@@ -1,0 +1,10 @@
+"""Ablation benchmark: bottom-up embodied model vs reported LCAs (ext02)."""
+
+from repro.experiments.ext02_embodied_validation import run
+
+
+def test_bench_ablation_embodied(benchmark):
+    result = benchmark(run)
+    assert result.all_checks_pass
+    ratios = result.table("validation").column("ratio")
+    assert all(ratio <= 1.0 for ratio in ratios)

@@ -1,0 +1,10 @@
+"""Ablation benchmark: process-node sweep with abatement (ext03)."""
+
+from repro.experiments.ext03_node_sweep import run
+
+
+def test_bench_ablation_nodes(benchmark):
+    result = benchmark(run)
+    assert result.all_checks_pass
+    per_cm2 = result.table("roadmap").column("per_cm2_kg")
+    assert per_cm2[-1] > per_cm2[0]

@@ -1,0 +1,43 @@
+"""Ablation benchmark: carbon-aware scheduling savings (ext01).
+
+Quantifies the Section VI claim that shifting deferrable work into
+clean-grid windows saves material carbon, against the carbon-agnostic
+baseline on the same jobs and grid.
+"""
+
+from repro.datacenter.grid_sim import DiurnalGridModel
+from repro.datacenter.scheduler import (
+    schedule_carbon_agnostic,
+    schedule_carbon_aware,
+)
+from repro.experiments.ext01_scheduler import example_jobs, run
+
+
+def test_bench_ablation_scheduler(benchmark):
+    result = benchmark(run)
+    assert result.all_checks_pass
+
+
+def test_bench_scheduler_scaling(benchmark):
+    """Aware scheduler over a 2-week horizon with a 60-job batch."""
+    grid = DiurnalGridModel(noise_g_per_kwh=25.0, seed=11).hourly_series(336)
+    jobs = []
+    for index in range(10):
+        for template in example_jobs():
+            jobs.append(
+                type(template)(
+                    name=f"{template.name}_{index}",
+                    duration_hours=template.duration_hours,
+                    power_kw=template.power_kw,
+                    arrival_hour=template.arrival_hour + 24 * (index % 7),
+                    deadline_hour=(
+                        None
+                        if template.deadline_hour is None
+                        else template.deadline_hour + 24 * (index % 7) + 48
+                    ),
+                )
+            )
+    capacity = 3000.0
+    aware = benchmark(lambda: schedule_carbon_aware(jobs, grid, capacity))
+    agnostic = schedule_carbon_agnostic(jobs, grid, capacity)
+    assert aware.total_carbon.grams < agnostic.total_carbon.grams

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 2 (energy-vs-carbon divergence and
+opex/capex pies for iPhone 3GS vs 11 and Facebook 2018)."""
+
+from repro.experiments.fig02_opex_capex_shift import run
+
+
+def test_bench_fig02(benchmark):
+    result = benchmark(run)
+    assert result.all_checks_pass
+    pies = result.table("opex_capex_pies")
+    assert abs(pies.row(0)["capex"] - 0.49) < 0.01   # iPhone 3GS
+    assert abs(pies.row(1)["capex"] - 0.86) < 0.01   # iPhone 11
+    assert abs(pies.row(3)["capex"] - 0.82) < 0.01   # FB 2018 market-based

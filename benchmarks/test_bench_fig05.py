@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 5 (Apple 2019 footprint breakdown)."""
+
+from repro.experiments.fig05_apple_breakdown import run
+
+
+def test_bench_fig05(benchmark):
+    result = benchmark(run)
+    assert result.all_checks_pass
+    groups = {row["group"]: row["fraction"] for row in result.table("groups")}
+    assert abs(groups["manufacturing"] - 0.74) < 0.01
+    assert abs(groups["product_use"] - 0.19) < 0.01

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 7 (generational trends)."""
+
+from repro.experiments.fig07_generational_trends import run
+
+
+def test_bench_fig07(benchmark):
+    result = benchmark(run)
+    assert result.all_checks_pass
+    iphone = result.table("iphone")
+    fractions = iphone.column("manufacturing_fraction")
+    assert fractions[0] == 0.40 and fractions[-1] == 0.75
+    ipad_totals = result.table("ipad").column("total_kg")
+    assert ipad_totals[-1] < ipad_totals[0]

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 9 (inference latency/energy grid)."""
+
+from repro.experiments.fig09_inference import run
+
+
+def test_bench_fig09(benchmark):
+    result = benchmark(run)
+    assert result.all_checks_pass
+    ratio = result.check("cpu_latency_inception_over_mobilenet_v2")
+    assert abs(ratio.measured - 17.0) < 0.5
+    energy_ratio = result.check("mobilenet_v3_cpu_over_dsp_energy")
+    assert abs(energy_ratio.measured - 2.0) < 0.05

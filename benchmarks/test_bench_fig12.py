@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 12 (Facebook 2019 Scope 3 split)."""
+
+from repro.experiments.fig12_fb_scope3 import run
+
+
+def test_bench_fig12(benchmark):
+    result = benchmark(run)
+    assert result.all_checks_pass
+    shares = {
+        row["category"]: row["share"] for row in result.table("scope3_categories")
+    }
+    assert abs(shares["capital_goods"] - 0.48) < 1e-9
+    assert abs(shares["purchased_goods"] - 0.39) < 1e-9

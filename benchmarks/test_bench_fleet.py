@@ -1,0 +1,20 @@
+"""Benchmark: fleet simulation reproducing the Figure 2/11 mechanism
+(ext04), plus a scale run at ten years and a larger fleet."""
+
+from repro.datacenter.fleet import simulate_fleet
+from repro.experiments.ext04_fleet import facebook_like_parameters, run
+from dataclasses import replace
+
+
+def test_bench_fleet_mechanism(benchmark):
+    result = benchmark(run)
+    assert result.all_checks_pass
+
+
+def test_bench_fleet_decade_scale(benchmark):
+    params = replace(
+        facebook_like_parameters(), years=10, initial_servers=100_000
+    )
+    reports = benchmark(lambda: simulate_fleet(params))
+    assert len(reports) == 10
+    assert reports[-1].servers > reports[0].servers

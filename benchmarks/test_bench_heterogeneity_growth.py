@@ -1,0 +1,19 @@
+"""Benchmarks: heterogeneity (ext08) and AI-growth race (ext09)."""
+
+from repro.experiments.ext08_heterogeneity import run as run_heterogeneity
+from repro.experiments.ext09_ai_growth import run as run_growth
+
+
+def test_bench_heterogeneity(benchmark):
+    result = benchmark(run_heterogeneity)
+    assert result.all_checks_pass
+    table = result.table("comparison")
+    totals = {row["plan"]: row["total_t_per_year"] for row in table}
+    assert totals["heterogeneous"] < totals["homogeneous"]
+
+
+def test_bench_ai_growth(benchmark):
+    result = benchmark(run_growth)
+    assert result.all_checks_pass
+    clean = result.table("wind_grid")
+    assert all(share > 0.5 for share in clean.column("embodied_share"))

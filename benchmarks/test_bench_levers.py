@@ -1,0 +1,19 @@
+"""Ablation benchmark: reduction-lever ranking (ext05) and lifetime
+economics (ext06)."""
+
+from repro.experiments.ext05_levers import run as run_levers
+from repro.experiments.ext06_lifetime import run as run_lifetime
+
+
+def test_bench_levers(benchmark):
+    result = benchmark(run_levers)
+    assert result.all_checks_pass
+    dirty = result.table("dirty_grid")
+    assert dirty.row(0)["lever"] == "renewable_energy"
+
+
+def test_bench_lifetime(benchmark):
+    result = benchmark(run_lifetime)
+    assert result.all_checks_pass
+    sweep = result.table("lifetime_sweep")
+    assert sweep.column("annualized_kg")[-1] < sweep.column("annualized_kg")[0]

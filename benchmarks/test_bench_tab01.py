@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Table I (scope taxonomy)."""
+
+from repro.experiments.tab01_scope_taxonomy import run
+
+
+def test_bench_tab01(benchmark):
+    result = benchmark(run)
+    assert result.all_checks_pass
+    assert result.table("taxonomy").num_rows == 3

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table II (energy-source intensities)."""
+
+from repro.experiments.tab02_energy_sources import run
+
+
+def test_bench_tab02(benchmark):
+    result = benchmark(run)
+    assert result.all_checks_pass
+    rows = {row["source"]: row["g_per_kwh"] for row in result.table("sources")}
+    assert rows["coal"] == 820.0 and rows["wind"] == 11.0

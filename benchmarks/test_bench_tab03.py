@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table III (grid intensities)."""
+
+from repro.experiments.tab03_grid_intensity import run
+
+
+def test_bench_tab03(benchmark):
+    result = benchmark(run)
+    assert result.all_checks_pass
+    rows = {row["region"]: row["g_per_kwh"] for row in result.table("grids")}
+    assert rows["united_states"] == 380.0 and rows["iceland"] == 28.0

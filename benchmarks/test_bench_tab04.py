@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table IV (Mac Pro configurations)."""
+
+from repro.experiments.tab04_macpro import run
+
+
+def test_bench_tab04(benchmark):
+    result = benchmark(run)
+    assert result.all_checks_pass
+    reported = result.table("reported")
+    kgs = reported.column("manufacturing_kg")
+    assert abs(kgs[1] / kgs[0] - 1900.0 / 700.0) < 1e-9

@@ -1,0 +1,32 @@
+"""Benchmark: Monte Carlo uncertainty propagation throughput.
+
+Propagates coefficient uncertainty through the Pixel 3 break-even model
+(the Figure 10 headline) — the kind of analysis the paper's "better
+accounting" direction calls for.
+"""
+
+from repro.analysis.uncertainty import Triangular, Uniform, monte_carlo
+from repro.core.amortization import break_even_days
+from repro.units import Carbon, CarbonIntensity, Power
+
+
+def _model(params):
+    return break_even_days(
+        Carbon.kg(params["capex_kg"]),
+        Power.watts(params["power_w"]),
+        CarbonIntensity.g_per_kwh(params["grid_g_per_kwh"]),
+    )
+
+
+def test_bench_breakeven_uncertainty(benchmark):
+    spec = {
+        "capex_kg": Triangular(15.0, 22.4, 30.0),
+        "power_w": Triangular(5.0, 7.0, 9.0),
+        "grid_g_per_kwh": Uniform(295.0, 583.0),
+    }
+    result = benchmark(
+        lambda: monte_carlo(_model, spec, samples=5000, seed=11)
+    )
+    low, high = result.interval(0.90)
+    # The paper's 350-day point estimate sits inside the band.
+    assert low < 350.0 < high

@@ -1,0 +1,42 @@
+"""Benchmarks: bottom-up vendor footprint (ext07) and the fab model."""
+
+from repro.data.grids import TAIWAN_GRID
+from repro.experiments.ext07_vendor import run as run_vendor
+from repro.fab.fabs import FabModel
+from repro.fab.process import node_by_name
+
+
+def test_bench_vendor_bottom_up(benchmark):
+    result = benchmark(run_vendor)
+    assert result.all_checks_pass
+    breakdown = {
+        row["group"]: row["fraction"] for row in result.table("breakdown")
+    }
+    assert abs(breakdown["manufacturing"] - 0.74) < 0.06
+
+
+def test_bench_fab_renewable_sweep(benchmark):
+    """Sweep a 3nm gigafab's renewable share 0..100% and file each."""
+    fab = FabModel(
+        name="gigafab_3nm",
+        node=node_by_name("3nm"),
+        wafer_starts_per_year=1.0e6,
+        grid=TAIWAN_GRID.intensity,
+    )
+
+    def sweep():
+        return [
+            fab.with_renewable_share(share / 10.0).inventory(2025)
+            for share in range(0, 11)
+        ]
+
+    inventories = benchmark(sweep)
+    market = [
+        inv.scope_total(type(inv.entries[0].scope).SCOPE2_MARKET).grams
+        for inv in inventories
+    ]
+    scope1 = [inv.scope_total(type(inv.entries[0].scope).SCOPE1).grams
+              for inv in inventories]
+    # Market Scope 2 falls to zero; Scope 1 gases stay flat.
+    assert market[-1] == 0.0 and market[0] > 0.0
+    assert scope1[0] == scope1[-1]

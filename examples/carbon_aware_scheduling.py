@@ -1,0 +1,70 @@
+"""Carbon-aware batch scheduling against a duck-curve grid.
+
+Implements the run-time-systems direction from the paper's Section VI:
+defer flexible batch work into the hours when solar floods the grid.
+Compares a carbon-agnostic baseline with the greedy carbon-aware
+scheduler on the same jobs, grid, and power cap.
+
+Run:  python examples/carbon_aware_scheduling.py
+"""
+
+from repro.datacenter.grid_sim import DiurnalGridModel
+from repro.datacenter.scheduler import (
+    schedule_carbon_agnostic,
+    schedule_carbon_aware,
+)
+from repro.experiments.ext01_scheduler import example_jobs
+from repro.report.charts import line_chart
+from repro.report.tables import render_table
+from repro.tabular import Table
+
+HORIZON_HOURS = 48
+CAPACITY_KW = 900.0
+
+
+def main() -> None:
+    grid = DiurnalGridModel(noise_g_per_kwh=15.0, seed=3)
+    intensity = grid.hourly_series(HORIZON_HOURS)
+    jobs = example_jobs()
+
+    print("Grid carbon intensity (g CO2e/kWh) over two days:")
+    print(
+        line_chart(
+            [float(hour) for hour in range(HORIZON_HOURS)],
+            {"intensity": list(intensity)},
+        )
+    )
+
+    agnostic = schedule_carbon_agnostic(jobs, intensity, CAPACITY_KW)
+    aware = schedule_carbon_aware(jobs, intensity, CAPACITY_KW)
+
+    table = Table.from_records(
+        [
+            {
+                "job": job.name,
+                "energy_kwh": job.energy.kilowatt_hours,
+                "agnostic_start_h": agnostic.placement_for(job.name).start_hour,
+                "aware_start_h": aware.placement_for(job.name).start_hour,
+                "agnostic_kg": agnostic.placement_for(job.name).carbon.kilograms,
+                "aware_kg": aware.placement_for(job.name).carbon.kilograms,
+            }
+            for job in jobs
+        ]
+    )
+    print()
+    print(render_table(table, title="Placements", float_format="{:.1f}"))
+
+    baseline = agnostic.total_carbon.kilograms
+    improved = aware.total_carbon.kilograms
+    print(
+        f"\ncarbon-agnostic total: {baseline:,.1f} kg CO2e"
+        f"\ncarbon-aware total:    {improved:,.1f} kg CO2e"
+        f"\nsavings:               {1.0 - improved / baseline:.1%}"
+        "\n\nSame jobs, same energy — the savings come purely from *when*"
+        "\nthe energy is drawn. This attacks the opex column; embodied"
+        "\ncarbon needs the paper's other levers."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""SoC design-space exploration with embodied carbon as a metric.
+
+Section VI asks architects to treat manufacturing carbon as a
+first-class design constraint. This example sweeps a design space of
+hypothetical phone SoCs (die area x process node x memory), estimates
+each point's embodied carbon with the bottom-up model, extracts the
+performance/carbon Pareto frontier, and runs a sensitivity analysis on
+the model's coefficients.
+
+Run:  python examples/soc_design_space.py
+"""
+
+from repro.analysis.sensitivity import one_at_a_time, tornado_order
+from repro.core.embodied import BillOfMaterials, EmbodiedModel
+from repro.core.pareto import ParetoPoint, pareto_frontier
+from repro.fab.process import node_by_name
+from repro.report.charts import scatter_chart
+from repro.report.tables import render_table
+from repro.tabular import Table
+from repro.units import CarbonIntensity
+
+#: (label, die area mm^2, node, DRAM GB) with a toy performance model:
+#: newer nodes and larger dies buy throughput.
+_DESIGNS = [
+    ("budget_28nm", 60.0, "28nm", 3.0),
+    ("mid_16nm", 75.0, "16nm", 4.0),
+    ("mid_10nm", 85.0, "10nm", 6.0),
+    ("flagship_7nm", 100.0, "7nm", 8.0),
+    ("flagship_5nm", 110.0, "5nm", 8.0),
+    ("ultra_5nm", 140.0, "5nm", 12.0),
+    ("ultra_3nm", 130.0, "3nm", 12.0),
+]
+
+_NODE_PERF = {"28nm": 1.0, "16nm": 2.0, "10nm": 3.2, "7nm": 4.8, "5nm": 6.5, "3nm": 8.5}
+
+
+def _performance(area_mm2: float, node_name: str) -> float:
+    return _NODE_PERF[node_name] * (area_mm2 / 100.0)
+
+
+def main() -> None:
+    model = EmbodiedModel()
+    records = []
+    points = []
+    for label, area, node_name, dram in _DESIGNS:
+        bill = BillOfMaterials(
+            name=label,
+            logic_dies={"soc": (area, node_by_name(node_name))},
+            dram_gb=dram,
+            nand_gb=128.0,
+        )
+        carbon = model.total(bill)
+        perf = _performance(area, node_name)
+        records.append(
+            {
+                "design": label,
+                "node": node_name,
+                "die_mm2": area,
+                "perf": perf,
+                "embodied_kg": carbon.kilograms,
+            }
+        )
+        points.append(ParetoPoint(label, perf, carbon.kilograms))
+
+    table = Table.from_records(records).sort_by("embodied_kg")
+    print(render_table(table, title="Design space", float_format="{:.2f}"))
+
+    frontier = pareto_frontier(points)
+    print("\nPareto-efficient designs (max perf, min embodied carbon):")
+    for point in frontier:
+        print(f"  {point.label}: perf {point.performance:.1f}, "
+              f"{point.cost:.1f} kg CO2e")
+
+    print("\nPerformance vs embodied carbon:")
+    print(
+        scatter_chart(
+            [(p.cost, p.performance, p.label[0].upper()) for p in points]
+        )
+    )
+
+    # --- Which coefficients drive the estimate? ------------------------
+    def flagship_model(params) -> float:
+        custom = EmbodiedModel(
+            fab_intensity=CarbonIntensity.g_per_kwh(params["fab_g_per_kwh"]),
+            packaging_kg_per_die=params["packaging_kg"],
+        )
+        bill = BillOfMaterials(
+            name="flagship_5nm",
+            logic_dies={"soc": (110.0, node_by_name("5nm"))},
+            dram_gb=params["dram_gb"],
+            nand_gb=128.0,
+        )
+        return custom.total(bill).kilograms
+
+    sensitivity = tornado_order(
+        one_at_a_time(
+            flagship_model,
+            baseline={
+                "fab_g_per_kwh": 583.0,
+                "packaging_kg": 0.15,
+                "dram_gb": 8.0,
+            },
+            ranges={
+                "fab_g_per_kwh": (11.0, 820.0),   # wind fab .. coal fab
+                "packaging_kg": (0.05, 0.50),
+                "dram_gb": (4.0, 16.0),
+            },
+        )
+    )
+    print()
+    print(render_table(sensitivity, title="Sensitivity (flagship_5nm)",
+                       float_format="{:.2f}"))
+    print(
+        "\nThe fab's grid dominates — which is exactly why Section V's"
+        "\nrenewable-fab lever matters, and why the ~37% non-energy wedge"
+        "\ncaps what it can deliver (Figure 14)."
+    )
+
+
+if __name__ == "__main__":
+    main()

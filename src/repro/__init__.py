@@ -1,0 +1,167 @@
+"""repro — a reproduction of "Chasing Carbon" (HPCA 2021).
+
+A carbon-accounting library for computing systems: GHG-Protocol
+organizational inventories, product life-cycle assessment, bottom-up
+embodied carbon, mobile-inference energy simulation, fab wafer models,
+data-center fleet simulation with renewable procurement, and the full
+set of experiment drivers regenerating every figure and table in the
+paper's evaluation.
+
+Quickstart::
+
+    from repro import pixel3, run_experiment
+
+    phone = pixel3()
+    print(phone.break_even_days("mobilenet_v3", "cpu"))   # ~350
+    print(run_experiment("fig10").render())
+"""
+
+from .units import (
+    Energy,
+    Power,
+    Carbon,
+    CarbonIntensity,
+    hours,
+    days,
+    years,
+)
+from .tabular import Table
+from .errors import (
+    ReproError,
+    UnitError,
+    DataValidationError,
+    TableError,
+    CalibrationError,
+    AccountingError,
+    SimulationError,
+    ExperimentError,
+)
+from .core import (
+    EnergySource,
+    GridRegion,
+    GridMix,
+    market_based_intensity,
+    Scope,
+    OpexCapex,
+    GHGInventory,
+    ReportSeries,
+    LifeCycleStage,
+    DeviceClass,
+    PowerClass,
+    ProductLCA,
+    use_phase_carbon,
+    EmbodiedModel,
+    BillOfMaterials,
+    AmortizationSchedule,
+    break_even_units,
+    break_even_days,
+    ParetoPoint,
+    pareto_frontier,
+    frontier_shift,
+)
+from .mobile import (
+    InferenceSimulator,
+    MonsoonSimulator,
+    MobilePhone,
+    pixel3,
+    SNAPDRAGON_845,
+)
+from .datacenter import (
+    ServerConfig,
+    Facility,
+    RenewablePortfolio,
+    PPAContract,
+    FleetParameters,
+    simulate_fleet,
+    DiurnalGridModel,
+    BatchJob,
+    schedule_carbon_agnostic,
+    schedule_carbon_aware,
+)
+from .fab import (
+    ProcessNode,
+    NODE_ROADMAP,
+    node_by_name,
+    WaferFootprintModel,
+    AbatementPolicy,
+    FabModel,
+)
+from .vendor import ProductLine, VendorModel
+from .experiments import (
+    Check,
+    ExperimentResult,
+    EXPERIMENT_IDS,
+    run_experiment,
+    run_all,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Energy",
+    "Power",
+    "Carbon",
+    "CarbonIntensity",
+    "hours",
+    "days",
+    "years",
+    "Table",
+    "ReproError",
+    "UnitError",
+    "DataValidationError",
+    "TableError",
+    "CalibrationError",
+    "AccountingError",
+    "SimulationError",
+    "ExperimentError",
+    "EnergySource",
+    "GridRegion",
+    "GridMix",
+    "market_based_intensity",
+    "Scope",
+    "OpexCapex",
+    "GHGInventory",
+    "ReportSeries",
+    "LifeCycleStage",
+    "DeviceClass",
+    "PowerClass",
+    "ProductLCA",
+    "use_phase_carbon",
+    "EmbodiedModel",
+    "BillOfMaterials",
+    "AmortizationSchedule",
+    "break_even_units",
+    "break_even_days",
+    "ParetoPoint",
+    "pareto_frontier",
+    "frontier_shift",
+    "InferenceSimulator",
+    "MonsoonSimulator",
+    "MobilePhone",
+    "pixel3",
+    "SNAPDRAGON_845",
+    "ServerConfig",
+    "Facility",
+    "RenewablePortfolio",
+    "PPAContract",
+    "FleetParameters",
+    "simulate_fleet",
+    "DiurnalGridModel",
+    "BatchJob",
+    "schedule_carbon_agnostic",
+    "schedule_carbon_aware",
+    "ProcessNode",
+    "NODE_ROADMAP",
+    "node_by_name",
+    "WaferFootprintModel",
+    "AbatementPolicy",
+    "FabModel",
+    "ProductLine",
+    "VendorModel",
+    "Check",
+    "ExperimentResult",
+    "EXPERIMENT_IDS",
+    "run_experiment",
+    "run_all",
+    "__version__",
+]

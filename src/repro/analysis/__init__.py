@@ -1,0 +1,64 @@
+"""Analysis toolkit: breakdowns, trends, projections, sensitivity."""
+
+from .breakdown import (
+    device_class_breakdown,
+    power_class_breakdown,
+    lifecycle_grid_sweep,
+)
+from .trends import generational_table, is_monotonic, trend_summary
+from .projections import interpolate_anchor_series, ict_projection
+from .sensitivity import one_at_a_time, tornado_order
+from .uncertainty import (
+    Normal,
+    Uniform,
+    Triangular,
+    Fixed,
+    UncertaintyResult,
+    monte_carlo,
+)
+from .levers import (
+    FootprintScenario,
+    ReductionLever,
+    renewable_energy_lever,
+    lifetime_extension_lever,
+    scale_down_lever,
+    carbon_aware_scheduling_lever,
+    compare_levers,
+)
+from .lifetime import (
+    annualized_footprint,
+    lifetime_sweep,
+    replacement_break_even_years,
+)
+from .growth import GrowthScenario, growth_trajectory
+
+__all__ = [
+    "device_class_breakdown",
+    "power_class_breakdown",
+    "lifecycle_grid_sweep",
+    "generational_table",
+    "is_monotonic",
+    "trend_summary",
+    "interpolate_anchor_series",
+    "ict_projection",
+    "one_at_a_time",
+    "tornado_order",
+    "Normal",
+    "Uniform",
+    "Triangular",
+    "Fixed",
+    "UncertaintyResult",
+    "monte_carlo",
+    "FootprintScenario",
+    "ReductionLever",
+    "renewable_energy_lever",
+    "lifetime_extension_lever",
+    "scale_down_lever",
+    "carbon_aware_scheduling_lever",
+    "compare_levers",
+    "annualized_footprint",
+    "lifetime_sweep",
+    "replacement_break_even_years",
+    "GrowthScenario",
+    "growth_trajectory",
+]

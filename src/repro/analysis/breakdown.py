@@ -1,0 +1,129 @@
+"""Opex/capex and life-cycle breakdown analytics (Figures 6 and 13)."""
+
+from __future__ import annotations
+
+import statistics
+from typing import Iterable, Sequence
+
+from ..core.intensity import EnergySource
+from ..core.lca import ProductLCA
+from ..data.corporate import LifecycleBreakdown
+from ..errors import SimulationError
+from ..tabular import Table
+
+__all__ = [
+    "device_class_breakdown",
+    "power_class_breakdown",
+    "lifecycle_grid_sweep",
+]
+
+
+def _mean(values: Sequence[float]) -> float:
+    return statistics.fmean(values)
+
+
+def _std(values: Sequence[float]) -> float:
+    return statistics.stdev(values) if len(values) > 1 else 0.0
+
+
+def device_class_breakdown(
+    lcas: Iterable[ProductLCA], min_year: int | None = None
+) -> Table:
+    """Per-device-class aggregation (Figure 6 rows).
+
+    For each device class: record count, mean and one-standard-deviation
+    spread of the manufacturing and use fractions, and mean absolute
+    total/manufacturing/use footprints in kg.
+    """
+    selected = [
+        lca for lca in lcas if min_year is None or lca.year >= min_year
+    ]
+    if not selected:
+        raise SimulationError("no devices left after the year filter")
+    records = []
+    by_class: dict[str, list[ProductLCA]] = {}
+    for lca in selected:
+        by_class.setdefault(lca.device_class.value, []).append(lca)
+    for class_name, members in by_class.items():
+        manufacturing = [m.manufacturing_fraction for m in members]
+        use = [m.use_fraction for m in members]
+        totals = [m.total.kilograms for m in members]
+        records.append(
+            {
+                "device_class": class_name,
+                "power_class": members[0].power_class.value,
+                "count": len(members),
+                "manufacturing_mean": _mean(manufacturing),
+                "manufacturing_std": _std(manufacturing),
+                "use_mean": _mean(use),
+                "use_std": _std(use),
+                "total_kg_mean": _mean(totals),
+                "manufacturing_kg_mean": _mean(
+                    [m.production_carbon.kilograms for m in members]
+                ),
+                "use_kg_mean": _mean([m.use_carbon.kilograms for m in members]),
+            }
+        )
+    return Table.from_records(records).sort_by("power_class", "device_class")
+
+
+def power_class_breakdown(
+    lcas: Iterable[ProductLCA], min_year: int | None = None
+) -> Table:
+    """Battery-powered vs always-connected aggregation (Takeaway 2)."""
+    selected = [
+        lca for lca in lcas if min_year is None or lca.year >= min_year
+    ]
+    if not selected:
+        raise SimulationError("no devices left after the year filter")
+    by_power: dict[str, list[ProductLCA]] = {}
+    for lca in selected:
+        by_power.setdefault(lca.power_class.value, []).append(lca)
+    records = []
+    for power_class, members in sorted(by_power.items()):
+        records.append(
+            {
+                "power_class": power_class,
+                "count": len(members),
+                "manufacturing_mean": _mean(
+                    [m.manufacturing_fraction for m in members]
+                ),
+                "use_mean": _mean([m.use_fraction for m in members]),
+                "total_kg_mean": _mean([m.total.kilograms for m in members]),
+            }
+        )
+    return Table.from_records(records)
+
+
+def lifecycle_grid_sweep(
+    breakdown: LifecycleBreakdown, sources: Iterable[EnergySource]
+) -> Table:
+    """Figure 13: rescale a vendor's use phase across energy sources.
+
+    Only the use category responds to the energy source; every other
+    category is fixed. Rows are normalized to the baseline total, so
+    the baseline row's ``total`` is 1.0 and cleaner sources shrink it.
+    """
+    baseline_intensity = breakdown.baseline_grid.intensity.grams_per_kwh
+    if baseline_intensity <= 0.0:
+        raise SimulationError("baseline grid intensity must be positive")
+    records = []
+    fixed = {
+        name: fraction
+        for name, fraction in breakdown.categories.items()
+        if name != breakdown.use_category
+    }
+    for source in sources:
+        scale = source.intensity.grams_per_kwh / baseline_intensity
+        use_value = breakdown.use_fraction * scale
+        total = use_value + sum(fixed.values())
+        record: dict[str, object] = {
+            "source": source.name,
+            "intensity_g_per_kwh": source.intensity.grams_per_kwh,
+            "use": use_value,
+            "total": total,
+            "use_share": use_value / total,
+            "non_use_share": 1.0 - use_value / total,
+        }
+        records.append(record)
+    return Table.from_records(records)

@@ -1,0 +1,93 @@
+"""Fleet growth vs efficiency: the race the paper's intro describes.
+
+Facebook's AI hardware grew 4x (training) and 3.5x (inference) in
+under two years while per-unit efficiency also improved. This module
+models that race: a fleet whose size compounds annually while each
+hardware generation gets more energy-efficient, producing the paper's
+structural outcome — operational carbon per unit of work falls, but
+total (and especially embodied) carbon keeps climbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+from ..tabular import Table
+from ..units import Carbon, CarbonIntensity, Energy
+
+__all__ = ["GrowthScenario", "growth_trajectory"]
+
+#: Paper anchors: Facebook AI hardware growth in under two years.
+FACEBOOK_TRAINING_GROWTH_2YR = 4.0
+FACEBOOK_INFERENCE_GROWTH_2YR = 3.5
+
+
+@dataclass(frozen=True, slots=True)
+class GrowthScenario:
+    """Inputs for a compounding fleet.
+
+    ``fleet_growth_per_year`` multiplies the installed base annually;
+    ``efficiency_gain_per_year`` divides the energy needed per unit of
+    work annually (hardware + algorithmic improvement combined).
+    """
+
+    name: str
+    initial_units: float
+    embodied_per_unit: Carbon
+    unit_lifetime_years: float
+    initial_energy_per_unit: Energy
+    fleet_growth_per_year: float
+    efficiency_gain_per_year: float
+    grid: CarbonIntensity
+
+    def __post_init__(self) -> None:
+        if self.initial_units <= 0.0:
+            raise SimulationError(f"{self.name}: initial fleet must be positive")
+        if self.unit_lifetime_years <= 0.0:
+            raise SimulationError(f"{self.name}: lifetime must be positive")
+        if self.fleet_growth_per_year < 1.0:
+            raise SimulationError(
+                f"{self.name}: this model covers growing fleets (>= 1.0)"
+            )
+        if self.efficiency_gain_per_year < 1.0:
+            raise SimulationError(
+                f"{self.name}: efficiency gain must be >= 1.0"
+            )
+
+
+def growth_trajectory(scenario: GrowthScenario, years: int) -> Table:
+    """Year-by-year carbon of a compounding, improving fleet.
+
+    Embodied carbon is amortized per unit-year; energy per unit falls
+    with the efficiency gain while the unit count compounds.
+    """
+    if years <= 0:
+        raise SimulationError("trajectory needs at least one year")
+    records = []
+    for year in range(years):
+        units = scenario.initial_units * scenario.fleet_growth_per_year**year
+        energy_per_unit = scenario.initial_energy_per_unit * (
+            1.0 / scenario.efficiency_gain_per_year**year
+        )
+        fleet_energy = energy_per_unit * units
+        operational = scenario.grid.carbon_for(fleet_energy)
+        embodied = (
+            scenario.embodied_per_unit
+            * (1.0 / scenario.unit_lifetime_years)
+            * units
+        )
+        total = operational + embodied
+        records.append(
+            {
+                "year": year,
+                "units": units,
+                "operational_t": operational.tonnes_value,
+                "embodied_t": embodied.tonnes_value,
+                "total_t": total.tonnes_value,
+                "embodied_share": embodied.grams / total.grams,
+                "carbon_per_unit_work": operational.grams
+                / (units * scenario.efficiency_gain_per_year**year),
+            }
+        )
+    return Table.from_records(records)

@@ -1,0 +1,182 @@
+"""Reduction-lever comparison: Section VI, quantified.
+
+The paper closes by listing levers across the computing stack —
+renewable energy, carbon-aware scheduling, hardware scale-down, longer
+lifetimes, leaner provisioning. This module makes them comparable: a
+:class:`ReductionLever` transforms a footprint scenario, and
+:func:`compare_levers` ranks levers by absolute carbon saved on a
+common baseline, a marginal-abatement-style analysis.
+
+The scenario is deliberately minimal — annual operational energy,
+its grid, and annual amortized embodied carbon — because that is the
+opex/capex decomposition the whole paper runs on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
+
+from ..errors import SimulationError
+from ..tabular import Table
+from ..units import Carbon, CarbonIntensity, Energy
+
+__all__ = [
+    "FootprintScenario",
+    "ReductionLever",
+    "renewable_energy_lever",
+    "lifetime_extension_lever",
+    "scale_down_lever",
+    "carbon_aware_scheduling_lever",
+    "compare_levers",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class FootprintScenario:
+    """Annualized footprint of a system under study.
+
+    ``embodied_per_year`` is the manufacturing footprint amortized over
+    the current service lifetime; ``lifetime_years`` carries the
+    lifetime so levers can re-amortize.
+    """
+
+    name: str
+    annual_energy: Energy
+    grid: CarbonIntensity
+    embodied_total: Carbon
+    lifetime_years: float
+
+    def __post_init__(self) -> None:
+        if self.lifetime_years <= 0.0:
+            raise SimulationError(f"{self.name}: lifetime must be positive")
+        if self.annual_energy.joules < 0.0:
+            raise SimulationError(f"{self.name}: energy must be non-negative")
+
+    @property
+    def opex_per_year(self) -> Carbon:
+        return self.grid.carbon_for(self.annual_energy)
+
+    @property
+    def embodied_per_year(self) -> Carbon:
+        return self.embodied_total * (1.0 / self.lifetime_years)
+
+    @property
+    def total_per_year(self) -> Carbon:
+        return self.opex_per_year + self.embodied_per_year
+
+
+@dataclass(frozen=True)
+class ReductionLever:
+    """A named intervention on a scenario."""
+
+    name: str
+    stack_layer: str
+    apply: Callable[[FootprintScenario], FootprintScenario]
+
+    def savings(self, baseline: FootprintScenario) -> Carbon:
+        improved = self.apply(baseline)
+        return baseline.total_per_year - improved.total_per_year
+
+
+def renewable_energy_lever(
+    contracted: CarbonIntensity, coverage: float = 1.0
+) -> ReductionLever:
+    """Buy renewable energy for ``coverage`` of consumption."""
+    if not 0.0 <= coverage <= 1.0:
+        raise SimulationError("coverage must be in [0, 1]")
+
+    def apply(scenario: FootprintScenario) -> FootprintScenario:
+        blended = CarbonIntensity.g_per_kwh(
+            scenario.grid.grams_per_kwh * (1.0 - coverage)
+            + contracted.grams_per_kwh * coverage
+        )
+        return replace(scenario, grid=blended)
+
+    return ReductionLever("renewable_energy", "infrastructure", apply)
+
+
+def lifetime_extension_lever(extra_years: float) -> ReductionLever:
+    """Keep hardware in service longer, re-amortizing embodied carbon."""
+    if extra_years <= 0.0:
+        raise SimulationError("extension must be positive")
+
+    def apply(scenario: FootprintScenario) -> FootprintScenario:
+        return replace(
+            scenario, lifetime_years=scenario.lifetime_years + extra_years
+        )
+
+    return ReductionLever("lifetime_extension", "devices", apply)
+
+
+def scale_down_lever(
+    embodied_reduction: float, energy_penalty: float = 0.0
+) -> ReductionLever:
+    """Provision leaner hardware: less embodied carbon, maybe slower.
+
+    ``embodied_reduction`` is the fraction of embodied carbon removed;
+    ``energy_penalty`` is the fractional energy increase paid for the
+    smaller system (jobs run longer on leaner machines).
+    """
+    if not 0.0 <= embodied_reduction <= 1.0:
+        raise SimulationError("embodied reduction must be in [0, 1]")
+    if energy_penalty < 0.0:
+        raise SimulationError("energy penalty must be non-negative")
+
+    def apply(scenario: FootprintScenario) -> FootprintScenario:
+        return replace(
+            scenario,
+            embodied_total=scenario.embodied_total * (1.0 - embodied_reduction),
+            annual_energy=scenario.annual_energy * (1.0 + energy_penalty),
+        )
+
+    return ReductionLever("scale_down_hardware", "architecture", apply)
+
+
+def carbon_aware_scheduling_lever(intensity_reduction: float) -> ReductionLever:
+    """Shift flexible load into cleaner hours.
+
+    ``intensity_reduction`` is the achieved drop in *average* consumed
+    intensity — measure it with :mod:`repro.datacenter.scheduler` and
+    feed it here.
+    """
+    if not 0.0 <= intensity_reduction <= 1.0:
+        raise SimulationError("intensity reduction must be in [0, 1]")
+
+    def apply(scenario: FootprintScenario) -> FootprintScenario:
+        return replace(
+            scenario,
+            grid=CarbonIntensity.g_per_kwh(
+                scenario.grid.grams_per_kwh * (1.0 - intensity_reduction)
+            ),
+        )
+
+    return ReductionLever("carbon_aware_scheduling", "runtime_systems", apply)
+
+
+def compare_levers(
+    baseline: FootprintScenario, levers: Sequence[ReductionLever]
+) -> Table:
+    """Rank levers by annual carbon saved on a common baseline.
+
+    Also reports each improved scenario's opex/capex split — the point
+    of the exercise is that opex levers stop mattering once the grid is
+    clean, while capex levers keep working.
+    """
+    if not levers:
+        raise SimulationError("need at least one lever to compare")
+    records = []
+    for lever in levers:
+        improved = lever.apply(baseline)
+        saved = lever.savings(baseline)
+        records.append(
+            {
+                "lever": lever.name,
+                "stack_layer": lever.stack_layer,
+                "saved_t_per_year": saved.tonnes_value,
+                "saved_fraction": saved.grams / baseline.total_per_year.grams,
+                "remaining_opex_t": improved.opex_per_year.tonnes_value,
+                "remaining_capex_t": improved.embodied_per_year.tonnes_value,
+            }
+        )
+    return Table.from_records(records).sort_by("saved_t_per_year", reverse=True)

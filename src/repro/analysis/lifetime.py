@@ -1,0 +1,90 @@
+"""Lifetime and replacement analysis.
+
+Takeaway 6 motivates "leaner systems as well as longer system
+lifetimes". This module answers the two questions that follow:
+
+* :func:`annualized_footprint` — how does carbon per service-year fall
+  as a device is kept longer?
+* :func:`replacement_break_even_years` — if a new device is X% more
+  energy-efficient, how long must it be used before its manufacturing
+  carbon is paid back by the efficiency gain? (The "should I upgrade?"
+  question, in CO2e.)
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+from ..tabular import Table
+from ..units import Carbon, CarbonIntensity, Energy
+
+__all__ = [
+    "annualized_footprint",
+    "lifetime_sweep",
+    "replacement_break_even_years",
+]
+
+
+def annualized_footprint(
+    embodied: Carbon,
+    annual_energy: Energy,
+    grid: CarbonIntensity,
+    lifetime_years: float,
+) -> Carbon:
+    """Total life-cycle carbon per year of service."""
+    if lifetime_years <= 0.0:
+        raise SimulationError("lifetime must be positive")
+    per_year_embodied = embodied * (1.0 / lifetime_years)
+    per_year_opex = grid.carbon_for(annual_energy)
+    return per_year_embodied + per_year_opex
+
+
+def lifetime_sweep(
+    embodied: Carbon,
+    annual_energy: Energy,
+    grid: CarbonIntensity,
+    lifetimes_years: tuple[float, ...] = (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0),
+) -> Table:
+    """Annualized footprint across candidate lifetimes.
+
+    The embodied share column shows the paper's structural point: the
+    longer hardware lives, the less its manufacturing dominates.
+    """
+    records = []
+    for lifetime in lifetimes_years:
+        total = annualized_footprint(embodied, annual_energy, grid, lifetime)
+        embodied_share = (embodied.grams / lifetime) / total.grams
+        records.append(
+            {
+                "lifetime_years": lifetime,
+                "annualized_kg": total.kilograms,
+                "embodied_share": embodied_share,
+            }
+        )
+    return Table.from_records(records)
+
+
+def replacement_break_even_years(
+    new_embodied: Carbon,
+    old_annual_energy: Energy,
+    new_annual_energy: Energy,
+    grid: CarbonIntensity,
+) -> float:
+    """Years before a replacement's efficiency gain repays its making.
+
+    Buying a more efficient device saves
+    ``grid * (old_energy - new_energy)`` per year but costs
+    ``new_embodied`` up front. Returns infinity when the new device is
+    not actually more efficient — the honest answer to most annual
+    upgrade cycles.
+    """
+    saved_energy = Energy(
+        old_annual_energy.joules - new_annual_energy.joules
+    )
+    if saved_energy.joules <= 0.0:
+        return float("inf")
+    saved_per_year = grid.carbon_for(saved_energy)
+    if saved_per_year.grams == 0.0:
+        return float("inf")
+    if new_embodied.grams < 0.0:
+        raise SimulationError("embodied carbon must be non-negative")
+    return new_embodied.grams / saved_per_year.grams

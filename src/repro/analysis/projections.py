@@ -1,0 +1,78 @@
+"""ICT energy projections (Figure 1).
+
+Interpolates the Andrae & Edler anchor points geometrically (energy
+demand grows multiplicatively, so log-linear interpolation between
+anchors is the natural choice) and assembles per-scenario tables of
+segment energy and share of global electricity demand.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from ..data.ict import GLOBAL_DEMAND_ANCHORS, ICT_ANCHORS, SCENARIOS, SEGMENTS
+from ..errors import SimulationError
+from ..tabular import Table
+
+__all__ = ["interpolate_anchor_series", "ict_projection"]
+
+
+def interpolate_anchor_series(
+    anchors: Mapping[int, float], years: list[int]
+) -> dict[int, float]:
+    """Geometric interpolation between anchor years.
+
+    Years outside the anchor span are rejected: extrapolating an
+    exponential silently is how projection charts go wrong.
+    """
+    if len(anchors) < 2:
+        raise SimulationError("interpolation needs at least two anchors")
+    for value in anchors.values():
+        if value <= 0.0:
+            raise SimulationError("anchor values must be positive")
+    known = sorted(anchors.items())
+    first_year, last_year = known[0][0], known[-1][0]
+    result: dict[int, float] = {}
+    for year in years:
+        if year < first_year or year > last_year:
+            raise SimulationError(
+                f"year {year} outside anchor span [{first_year}, {last_year}]"
+            )
+        for (y0, v0), (y1, v1) in zip(known, known[1:]):
+            if y0 <= year <= y1:
+                if year == y0:
+                    result[year] = v0
+                elif year == y1:
+                    result[year] = v1
+                else:
+                    alpha = (year - y0) / (y1 - y0)
+                    result[year] = math.exp(
+                        (1.0 - alpha) * math.log(v0) + alpha * math.log(v1)
+                    )
+                break
+    return result
+
+
+def ict_projection(scenario: str, years: list[int] | None = None) -> Table:
+    """Figure 1 panel: per-year segment energy and share of demand."""
+    if scenario not in SCENARIOS:
+        raise SimulationError(f"unknown scenario {scenario!r}; have {SCENARIOS}")
+    if years is None:
+        years = list(range(2010, 2031))
+    demand = interpolate_anchor_series(GLOBAL_DEMAND_ANCHORS, years)
+    segment_series = {
+        segment: interpolate_anchor_series(ICT_ANCHORS[scenario][segment], years)
+        for segment in SEGMENTS
+    }
+    records = []
+    for year in years:
+        total = sum(segment_series[segment][year] for segment in SEGMENTS)
+        record: dict[str, object] = {"year": year}
+        for segment in SEGMENTS:
+            record[f"{segment}_twh"] = segment_series[segment][year]
+        record["ict_total_twh"] = total
+        record["global_demand_twh"] = demand[year]
+        record["ict_share"] = total / demand[year]
+        records.append(record)
+    return Table.from_records(records)

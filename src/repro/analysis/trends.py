@@ -1,0 +1,72 @@
+"""Generational trend analysis (Figure 7)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.lca import ProductLCA
+from ..errors import SimulationError
+from ..tabular import Table
+
+__all__ = ["generational_table", "is_monotonic", "trend_summary"]
+
+
+def generational_table(generations: Sequence[ProductLCA]) -> Table:
+    """One Figure 7 panel: per-generation fractions and absolutes."""
+    if not generations:
+        raise SimulationError("a trend needs at least one generation")
+    records = []
+    for lca in generations:
+        records.append(
+            {
+                "product": lca.product,
+                "year": lca.year,
+                "total_kg": lca.total.kilograms,
+                "manufacturing_fraction": lca.manufacturing_fraction,
+                "manufacturing_kg": lca.production_carbon.kilograms,
+                "use_kg": lca.use_carbon.kilograms,
+            }
+        )
+    return Table.from_records(records)
+
+
+def is_monotonic(
+    values: Sequence[float], increasing: bool = True, tolerance: float = 0.0
+) -> bool:
+    """True when the sequence never moves against the trend.
+
+    ``tolerance`` forgives counter-trend steps up to that size —
+    useful for real-world series with measurement wiggle.
+    """
+    if len(values) < 2:
+        return True
+    for earlier, later in zip(values, values[1:]):
+        step = later - earlier if increasing else earlier - later
+        if step < -tolerance:
+            return False
+    return True
+
+
+def trend_summary(generations: Sequence[ProductLCA]) -> dict[str, float | bool]:
+    """First/last manufacturing fractions and trend verdicts.
+
+    Captures the Figure 7 claims: manufacturing fraction rises in every
+    family; use-phase carbon falls.
+    """
+    if len(generations) < 2:
+        raise SimulationError("a trend needs at least two generations")
+    fractions = [lca.manufacturing_fraction for lca in generations]
+    totals = [lca.total.kilograms for lca in generations]
+    use = [lca.use_carbon.kilograms for lca in generations]
+    return {
+        "first_manufacturing_fraction": fractions[0],
+        "last_manufacturing_fraction": fractions[-1],
+        "manufacturing_fraction_rising": is_monotonic(fractions, increasing=True),
+        # Real per-generation use numbers wiggle by a few kg; the claim
+        # is the decade-scale decline, so forgive small counter-steps.
+        "use_kg_falling": is_monotonic(use, increasing=False, tolerance=3.0)
+        and use[-1] < use[0],
+        "total_kg_first": totals[0],
+        "total_kg_last": totals[-1],
+        "total_rising": totals[-1] > totals[0],
+    }

@@ -1,0 +1,96 @@
+"""Command-line interface: run and render the paper's experiments.
+
+Usage::
+
+    python -m repro list                 # experiment ids and titles
+    python -m repro run fig10            # one experiment, full render
+    python -m repro run all              # everything, check summary only
+    python -m repro checks               # one-line pass/fail per artifact
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .experiments import EXPERIMENT_IDS, run_all, run_experiment
+from .errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Chasing Carbon' (HPCA 2021)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list experiment ids and titles")
+
+    run_parser = commands.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument(
+        "experiment", help="experiment id (fig01..fig14, tab01..tab04, "
+        "ext01..ext04) or 'all'",
+    )
+
+    commands.add_parser("checks", help="pass/fail summary for every artifact")
+    return parser
+
+
+def _command_list() -> int:
+    for experiment_id in EXPERIMENT_IDS:
+        result = run_experiment(experiment_id)
+        print(f"{experiment_id}  {result.title}")
+    return 0
+
+
+def _command_run(experiment: str) -> int:
+    if experiment == "all":
+        results = run_all()
+        failures = 0
+        for experiment_id, result in results.items():
+            status = "ok" if result.all_checks_pass else "FAIL"
+            print(f"{status:4s} {experiment_id}  ({len(result.checks)} checks)")
+            failures += len(result.failed_checks())
+        return 0 if failures == 0 else 1
+    result = run_experiment(experiment)
+    print(result.render())
+    return 0 if result.all_checks_pass else 1
+
+
+def _command_checks() -> int:
+    results = run_all()
+    total = sum(len(result.checks) for result in results.values())
+    failing = [
+        (experiment_id, check)
+        for experiment_id, result in results.items()
+        for check in result.failed_checks()
+    ]
+    print(f"{total} checks across {len(results)} experiments; "
+          f"{len(failing)} failing")
+    for experiment_id, check in failing:
+        print(
+            f"  {experiment_id} {check.name}: expected {check.expected:.4g}, "
+            f"measured {check.measured:.4g}"
+        )
+    return 0 if not failing else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _command_list()
+        if args.command == "run":
+            return _command_run(args.experiment)
+        if args.command == "checks":
+            return _command_checks()
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled command {args.command!r}")

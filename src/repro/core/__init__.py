@@ -1,0 +1,82 @@
+"""Core carbon-accounting machinery.
+
+The paper's primary contribution: GHG-Protocol organizational
+accounting, product life-cycle assessment, carbon-intensity modeling,
+bottom-up embodied carbon, opex/capex break-even analysis, and
+performance-vs-carbon Pareto tools.
+"""
+
+from .intensity import (
+    EnergySource,
+    GridRegion,
+    GridMix,
+    market_based_intensity,
+    renewable_scaling_factor,
+)
+from .ghg import (
+    Scope,
+    OpexCapex,
+    GHGEntry,
+    GHGInventory,
+    ReportSeries,
+    ScopeTaxonomy,
+    default_classification,
+)
+from .lca import (
+    LifeCycleStage,
+    DeviceClass,
+    PowerClass,
+    ProductLCA,
+    use_phase_carbon,
+    power_class_for,
+    CAPEX_STAGES,
+)
+from .embodied import (
+    MemoryCoefficients,
+    DEFAULT_MEMORY_COEFFICIENTS,
+    EmbodiedModel,
+    BillOfMaterials,
+)
+from .amortization import (
+    break_even_units,
+    break_even_seconds,
+    break_even_days,
+    break_even_years,
+    AmortizationSchedule,
+)
+from .pareto import ParetoPoint, dominates, pareto_frontier, frontier_shift
+
+__all__ = [
+    "EnergySource",
+    "GridRegion",
+    "GridMix",
+    "market_based_intensity",
+    "renewable_scaling_factor",
+    "Scope",
+    "OpexCapex",
+    "GHGEntry",
+    "GHGInventory",
+    "ReportSeries",
+    "ScopeTaxonomy",
+    "default_classification",
+    "LifeCycleStage",
+    "DeviceClass",
+    "PowerClass",
+    "ProductLCA",
+    "use_phase_carbon",
+    "power_class_for",
+    "CAPEX_STAGES",
+    "MemoryCoefficients",
+    "DEFAULT_MEMORY_COEFFICIENTS",
+    "EmbodiedModel",
+    "BillOfMaterials",
+    "break_even_units",
+    "break_even_seconds",
+    "break_even_days",
+    "break_even_years",
+    "AmortizationSchedule",
+    "ParetoPoint",
+    "dominates",
+    "pareto_frontier",
+    "frontier_shift",
+]

@@ -1,0 +1,172 @@
+"""Bottom-up embodied-carbon model for chips and systems.
+
+The paper argues architects need manufacturing carbon as a first-class
+design metric (Section VI); its successor tool (ACT, ISCA'22) built the
+bottom-up model this module implements:
+
+    per-die carbon = wafer carbon-per-area x die area / die yield
+    + memory/storage capacity x per-GB coefficients
+    + packaging and integration overheads
+
+Component coefficients are estimates calibrated against the public
+device LCAs in :mod:`repro.data.devices`; the
+``test_bench_ablation_embodied`` benchmark compares this bottom-up
+model against reported totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..errors import DataValidationError, SimulationError
+from ..units import Carbon, CarbonIntensity
+from ..fab.process import ProcessNode
+from ..fab.wafer import WaferFootprintModel
+from ..fab.yields import murphy_yield, poisson_yield
+
+__all__ = [
+    "MemoryCoefficients",
+    "DEFAULT_MEMORY_COEFFICIENTS",
+    "EmbodiedModel",
+    "BillOfMaterials",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryCoefficients:
+    """Per-capacity embodied carbon of memory and storage.
+
+    Units: kg CO2e per GB for DRAM and NAND, per TB for HDD. Values are
+    ACT-flavored estimates (DRAM is the most carbon-intense per byte,
+    NAND an order of magnitude lighter, spinning storage lighter still
+    per byte).
+    """
+
+    dram_kg_per_gb: float = 0.45
+    nand_kg_per_gb: float = 0.09
+    hdd_kg_per_tb: float = 6.0
+
+    def __post_init__(self) -> None:
+        for name in ("dram_kg_per_gb", "nand_kg_per_gb", "hdd_kg_per_tb"):
+            if getattr(self, name) < 0.0:
+                raise DataValidationError(f"{name} must be non-negative")
+
+
+DEFAULT_MEMORY_COEFFICIENTS = MemoryCoefficients()
+
+
+@dataclass(frozen=True)
+class EmbodiedModel:
+    """Computes embodied carbon for dies, memories, and whole systems.
+
+    ``fab_intensity`` is the electricity intensity of the logic fab
+    (defaults to a Taiwan-like 583 g/kWh, Table III); ``yield_model``
+    selects between Murphy (default) and Poisson die-yield models.
+    """
+
+    fab_intensity: CarbonIntensity = CarbonIntensity.g_per_kwh(583.0)
+    memory: MemoryCoefficients = DEFAULT_MEMORY_COEFFICIENTS
+    yield_model: str = "murphy"
+    packaging_kg_per_die: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.yield_model not in ("murphy", "poisson"):
+            raise SimulationError(f"unknown yield model {self.yield_model!r}")
+        if self.packaging_kg_per_die < 0.0:
+            raise DataValidationError("packaging overhead must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Per-component pieces
+    # ------------------------------------------------------------------
+    def die_yield(self, die_area_mm2: float, node: ProcessNode) -> float:
+        if self.yield_model == "murphy":
+            return murphy_yield(die_area_mm2, node.defect_density_per_cm2)
+        return poisson_yield(die_area_mm2, node.defect_density_per_cm2)
+
+    def logic_carbon(self, die_area_mm2: float, node: ProcessNode) -> Carbon:
+        """Embodied carbon of one *good* logic die (yield-adjusted)."""
+        if die_area_mm2 <= 0.0:
+            raise SimulationError("die area must be positive")
+        wafer = WaferFootprintModel.from_node(node, self.fab_intensity)
+        per_cm2 = wafer.carbon_per_cm2()
+        area_cm2 = die_area_mm2 / 100.0
+        raw = per_cm2 * area_cm2
+        fraction_good = self.die_yield(die_area_mm2, node)
+        if fraction_good <= 0.0:
+            raise SimulationError(
+                f"zero yield for {die_area_mm2} mm^2 on {node.name}"
+            )
+        packaged = Carbon.kg(self.packaging_kg_per_die)
+        return raw * (1.0 / fraction_good) + packaged
+
+    def dram_carbon(self, capacity_gb: float) -> Carbon:
+        if capacity_gb < 0.0:
+            raise SimulationError("DRAM capacity must be non-negative")
+        return Carbon.kg(self.memory.dram_kg_per_gb * capacity_gb)
+
+    def nand_carbon(self, capacity_gb: float) -> Carbon:
+        if capacity_gb < 0.0:
+            raise SimulationError("NAND capacity must be non-negative")
+        return Carbon.kg(self.memory.nand_kg_per_gb * capacity_gb)
+
+    def hdd_carbon(self, capacity_tb: float) -> Carbon:
+        if capacity_tb < 0.0:
+            raise SimulationError("HDD capacity must be non-negative")
+        return Carbon.kg(self.memory.hdd_kg_per_tb * capacity_tb)
+
+    # ------------------------------------------------------------------
+    # Whole systems
+    # ------------------------------------------------------------------
+    def build(self, bill: "BillOfMaterials") -> dict[str, Carbon]:
+        """Per-component embodied carbon for a bill of materials."""
+        breakdown: dict[str, Carbon] = {}
+        for name, (area_mm2, node) in bill.logic_dies.items():
+            breakdown[name] = self.logic_carbon(area_mm2, node)
+        if bill.dram_gb:
+            breakdown["dram"] = self.dram_carbon(bill.dram_gb)
+        if bill.nand_gb:
+            breakdown["nand"] = self.nand_carbon(bill.nand_gb)
+        if bill.hdd_tb:
+            breakdown["hdd"] = self.hdd_carbon(bill.hdd_tb)
+        for name, kg in bill.fixed_kg.items():
+            breakdown[name] = Carbon.kg(kg)
+        return breakdown
+
+    def total(self, bill: "BillOfMaterials") -> Carbon:
+        total = Carbon.zero()
+        for carbon in self.build(bill).values():
+            total = total + carbon
+        return total
+
+
+@dataclass(frozen=True)
+class BillOfMaterials:
+    """What goes into a system, from the embodied model's view.
+
+    * ``logic_dies`` — name -> (die area mm^2, process node);
+    * ``dram_gb`` / ``nand_gb`` / ``hdd_tb`` — memory capacities;
+    * ``fixed_kg`` — name -> kg CO2e for components modeled as fixed
+      totals (display, enclosure, battery, mainboard, assembly...).
+    """
+
+    name: str
+    logic_dies: Mapping[str, tuple[float, ProcessNode]] = field(default_factory=dict)
+    dram_gb: float = 0.0
+    nand_gb: float = 0.0
+    hdd_tb: float = 0.0
+    fixed_kg: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DataValidationError("a bill of materials needs a name")
+        for capacity_name in ("dram_gb", "nand_gb", "hdd_tb"):
+            if getattr(self, capacity_name) < 0.0:
+                raise DataValidationError(f"{capacity_name} must be non-negative")
+        for component, kg in self.fixed_kg.items():
+            if kg < 0.0:
+                raise DataValidationError(
+                    f"{self.name}: fixed component {component!r} is negative"
+                )
+        object.__setattr__(self, "logic_dies", dict(self.logic_dies))
+        object.__setattr__(self, "fixed_kg", dict(self.fixed_kg))

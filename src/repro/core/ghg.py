@@ -1,0 +1,315 @@
+"""GHG Protocol accounting: scopes, categories, inventories, series.
+
+The paper's organization-level analysis (Section II-A, Figures 11 and
+12, Table I) follows the Greenhouse Gas Protocol. This module provides:
+
+* :class:`Scope` — Scope 1, Scope 2 (location- and market-based), and
+  Scope 3 (upstream / downstream).
+* :class:`GHGEntry` — one ledger line: scope, category, mass of CO2e,
+  and its opex/capex classification.
+* :class:`GHGInventory` — an organization-year of entries with scope
+  totals, category breakdowns, and the opex/capex split the paper
+  builds its argument on.
+* :class:`ReportSeries` — a multi-year sequence of inventories (one
+  Figure 11 panel).
+* :class:`ScopeTaxonomy` — the qualitative Table I mapping from company
+  type to the salient emissions in each scope.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+from ..errors import AccountingError
+from ..tabular import Table
+from ..units import Carbon
+
+__all__ = [
+    "Scope",
+    "OpexCapex",
+    "GHGEntry",
+    "GHGInventory",
+    "ReportSeries",
+    "ScopeTaxonomy",
+    "default_classification",
+]
+
+
+class Scope(enum.Enum):
+    """GHG Protocol emission scopes.
+
+    Scope 2 is split into its location-based and market-based variants
+    because the renewable-energy story of Figure 11 lives exactly in the
+    gap between the two.
+    """
+
+    SCOPE1 = "scope1"
+    SCOPE2_LOCATION = "scope2_location"
+    SCOPE2_MARKET = "scope2_market"
+    SCOPE3_UPSTREAM = "scope3_upstream"
+    SCOPE3_DOWNSTREAM = "scope3_downstream"
+
+    @property
+    def is_scope3(self) -> bool:
+        return self in (Scope.SCOPE3_UPSTREAM, Scope.SCOPE3_DOWNSTREAM)
+
+    @property
+    def is_scope2(self) -> bool:
+        return self in (Scope.SCOPE2_LOCATION, Scope.SCOPE2_MARKET)
+
+
+class OpexCapex(enum.Enum):
+    """The paper's opex/capex decomposition of emissions.
+
+    OPEX covers hardware use and operational energy consumption; CAPEX
+    covers infrastructure construction and hardware manufacturing;
+    OTHER covers activities outside the computing life cycle (business
+    travel, commuting).
+    """
+
+    OPEX = "opex"
+    CAPEX = "capex"
+    OTHER = "other"
+
+
+def default_classification(scope: Scope, category: str) -> OpexCapex:
+    """Classify an entry per the paper's opex/capex definitions.
+
+    Scope 1 and Scope 2 (operational fuel and purchased energy) are
+    opex-related. Scope 3 is capex-related (supply chain: hardware
+    manufacturing, construction, capital and purchased goods) except
+    for travel/commuting-style categories and the downstream use of
+    sold products, which is opex of somebody else's hardware.
+    """
+    lowered = category.lower().replace("_", " ")
+    if scope in (Scope.SCOPE1, Scope.SCOPE2_LOCATION, Scope.SCOPE2_MARKET):
+        return OpexCapex.OPEX
+    if any(token in lowered for token in ("travel", "commut")):
+        return OpexCapex.OTHER
+    if "use of sold" in lowered or "product use" in lowered:
+        return OpexCapex.OPEX
+    return OpexCapex.CAPEX
+
+
+@dataclass(frozen=True, slots=True)
+class GHGEntry:
+    """One line of an organization's emission ledger."""
+
+    scope: Scope
+    category: str
+    carbon: Carbon
+    classification: OpexCapex
+
+    def __post_init__(self) -> None:
+        if not self.category:
+            raise AccountingError("a ledger entry needs a category")
+        if self.carbon.grams < 0.0:
+            raise AccountingError(
+                f"entry {self.category!r} has negative emissions"
+            )
+
+
+class GHGInventory:
+    """All ledger entries for one organization in one reporting year.
+
+    The inventory keeps both Scope 2 variants; totals never mix them.
+    ``total(market_based=True)`` is the figure organizations headline
+    (and the one Figure 11's "impact of buying renewable energy"
+    annotations refer to).
+    """
+
+    def __init__(
+        self,
+        organization: str,
+        year: int,
+        entries: Iterable[GHGEntry] = (),
+        classifier: Callable[[Scope, str], OpexCapex] = default_classification,
+    ) -> None:
+        if not organization:
+            raise AccountingError("an inventory needs an organization name")
+        self.organization = organization
+        self.year = int(year)
+        self._classifier = classifier
+        self._entries: list[GHGEntry] = list(entries)
+
+    # ------------------------------------------------------------------
+    # Ledger construction
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        scope: Scope,
+        category: str,
+        carbon: Carbon,
+        classification: OpexCapex | None = None,
+    ) -> GHGEntry:
+        """Append a ledger entry; classification defaults per the paper."""
+        if classification is None:
+            classification = self._classifier(scope, category)
+        entry = GHGEntry(scope, category, carbon, classification)
+        self._entries.append(entry)
+        return entry
+
+    @property
+    def entries(self) -> list[GHGEntry]:
+        return list(self._entries)
+
+    # ------------------------------------------------------------------
+    # Totals
+    # ------------------------------------------------------------------
+    def scope_total(self, scope: Scope) -> Carbon:
+        return _total(entry.carbon for entry in self._entries if entry.scope is scope)
+
+    def scope3_total(self) -> Carbon:
+        return _total(
+            entry.carbon for entry in self._entries if entry.scope.is_scope3
+        )
+
+    def total(self, market_based: bool = True) -> Carbon:
+        """Grand total; picks exactly one Scope 2 variant."""
+        excluded = Scope.SCOPE2_LOCATION if market_based else Scope.SCOPE2_MARKET
+        return _total(
+            entry.carbon
+            for entry in self._entries
+            if entry.scope is not excluded
+        )
+
+    def scope3_to_scope2_ratio(self, market_based: bool = True) -> float:
+        """The paper's headline ratio (23x for Facebook 2019)."""
+        scope2 = self.scope_total(
+            Scope.SCOPE2_MARKET if market_based else Scope.SCOPE2_LOCATION
+        )
+        if scope2.grams == 0.0:
+            raise AccountingError(
+                f"{self.organization} {self.year}: Scope 2 total is zero; "
+                "ratio undefined"
+            )
+        return self.scope3_total().grams / scope2.grams
+
+    def opex_capex_split(self, market_based: bool = True) -> dict[OpexCapex, Carbon]:
+        """Totals per opex/capex class, honoring the Scope 2 variant."""
+        excluded = Scope.SCOPE2_LOCATION if market_based else Scope.SCOPE2_MARKET
+        split = {kind: Carbon.zero() for kind in OpexCapex}
+        for entry in self._entries:
+            if entry.scope is excluded:
+                continue
+            split[entry.classification] = split[entry.classification] + entry.carbon
+        return split
+
+    def opex_fraction(self, market_based: bool = True) -> float:
+        """Fraction of the opex+capex total that is opex-related."""
+        split = self.opex_capex_split(market_based=market_based)
+        opex = split[OpexCapex.OPEX].grams
+        capex = split[OpexCapex.CAPEX].grams
+        if opex + capex == 0.0:
+            raise AccountingError(
+                f"{self.organization} {self.year}: no opex/capex emissions recorded"
+            )
+        return opex / (opex + capex)
+
+    def capex_fraction(self, market_based: bool = True) -> float:
+        return 1.0 - self.opex_fraction(market_based=market_based)
+
+    def category_breakdown(self, scope: Scope | None = None) -> Table:
+        """Per-category totals (optionally within one scope) with shares."""
+        entries = [
+            entry
+            for entry in self._entries
+            if scope is None or entry.scope is scope
+        ]
+        if not entries:
+            raise AccountingError(
+                f"{self.organization} {self.year}: no entries"
+                + (f" in {scope.value}" if scope else "")
+            )
+        totals: dict[str, float] = {}
+        for entry in entries:
+            totals[entry.category] = totals.get(entry.category, 0.0) + entry.carbon.grams
+        grand = sum(totals.values())
+        records = [
+            {
+                "category": category,
+                "tonnes": grams / 1e6,
+                "share": grams / grand if grand else 0.0,
+            }
+            for category, grams in sorted(
+                totals.items(), key=lambda item: item[1], reverse=True
+            )
+        ]
+        return Table.from_records(records)
+
+
+class ReportSeries:
+    """A multi-year sequence of inventories for one organization."""
+
+    def __init__(self, organization: str, inventories: Iterable[GHGInventory]) -> None:
+        self.organization = organization
+        self._by_year: dict[int, GHGInventory] = {}
+        for inventory in inventories:
+            if inventory.organization != organization:
+                raise AccountingError(
+                    f"inventory for {inventory.organization!r} added to "
+                    f"{organization!r} series"
+                )
+            if inventory.year in self._by_year:
+                raise AccountingError(
+                    f"duplicate year {inventory.year} in {organization!r} series"
+                )
+            self._by_year[inventory.year] = inventory
+
+    @property
+    def years(self) -> list[int]:
+        return sorted(self._by_year.keys())
+
+    def inventory(self, year: int) -> GHGInventory:
+        if year not in self._by_year:
+            raise AccountingError(
+                f"{self.organization}: no inventory for {year}; have {self.years}"
+            )
+        return self._by_year[year]
+
+    def scope_table(self) -> Table:
+        """The Figure 11 panel: per-year totals of each scope, in tonnes."""
+        records = []
+        for year in self.years:
+            inventory = self._by_year[year]
+            records.append(
+                {
+                    "year": year,
+                    "scope1_t": inventory.scope_total(Scope.SCOPE1).tonnes_value,
+                    "scope2_location_t": inventory.scope_total(
+                        Scope.SCOPE2_LOCATION
+                    ).tonnes_value,
+                    "scope2_market_t": inventory.scope_total(
+                        Scope.SCOPE2_MARKET
+                    ).tonnes_value,
+                    "scope3_t": inventory.scope3_total().tonnes_value,
+                }
+            )
+        return Table.from_records(records)
+
+
+@dataclass(frozen=True)
+class ScopeTaxonomy:
+    """Table I: which emissions matter per scope for each company type."""
+
+    company_type: str
+    scope1: Sequence[str]
+    scope2: Sequence[str]
+    scope3: Sequence[str]
+
+    def as_record(self) -> Mapping[str, str]:
+        return {
+            "company_type": self.company_type,
+            "scope1": "; ".join(self.scope1),
+            "scope2": "; ".join(self.scope2),
+            "scope3": "; ".join(self.scope3),
+        }
+
+
+def _total(carbons: Iterable[Carbon]) -> Carbon:
+    total = Carbon.zero()
+    for carbon in carbons:
+        total = total + carbon
+    return total

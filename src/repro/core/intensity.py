@@ -1,0 +1,175 @@
+"""Carbon intensity of energy: sources, grids, and mixes.
+
+Implements the machinery behind Table II (per-source carbon intensity
+and energy-payback time), Table III (geographic grid intensity), and
+every renewable-energy what-if in the paper (Figures 13 and 14):
+
+* :class:`EnergySource` — a generation technology with a life-cycle
+  carbon intensity (g CO2e per kWh produced).
+* :class:`GridRegion` — a geographic electricity grid with an average
+  intensity and a dominant source.
+* :class:`GridMix` — a weighted blend of sources whose intensity is the
+  share-weighted average; supports shifting share toward a cleaner
+  source, which is how we model renewable-energy procurement.
+* :func:`market_based_intensity` — the GHG-Protocol market-based Scope 2
+  computation given contractual renewable coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..errors import DataValidationError, UnitError
+from ..units import Carbon, CarbonIntensity, Energy
+
+__all__ = [
+    "EnergySource",
+    "GridRegion",
+    "GridMix",
+    "market_based_intensity",
+    "renewable_scaling_factor",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class EnergySource:
+    """A generation technology (Table II row).
+
+    ``payback_months`` is the energy-payback time: how long the plant
+    must operate to generate the energy its construction consumed.
+    ``None`` means not reported.
+    """
+
+    name: str
+    intensity: CarbonIntensity
+    payback_months: float | None = None
+    renewable: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DataValidationError("energy source needs a name")
+        if self.payback_months is not None and self.payback_months < 0:
+            raise DataValidationError(
+                f"payback for {self.name!r} must be non-negative"
+            )
+
+    def carbon_for(self, energy: Energy) -> Carbon:
+        return self.intensity.carbon_for(energy)
+
+
+@dataclass(frozen=True, slots=True)
+class GridRegion:
+    """A geographic electricity grid (Table III row)."""
+
+    name: str
+    intensity: CarbonIntensity
+    dominant_source: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DataValidationError("grid region needs a name")
+
+    def carbon_for(self, energy: Energy) -> Carbon:
+        return self.intensity.carbon_for(energy)
+
+
+@dataclass(frozen=True)
+class GridMix:
+    """A weighted blend of energy sources.
+
+    Shares must be non-negative and sum to 1 (within tolerance). The
+    mix's intensity is the share-weighted average of its sources.
+    """
+
+    shares: Mapping[EnergySource, float] = field(default_factory=dict)
+
+    _TOLERANCE = 1e-6
+
+    def __post_init__(self) -> None:
+        if not self.shares:
+            raise DataValidationError("a grid mix needs at least one source")
+        total = 0.0
+        for source, share in self.shares.items():
+            if share < 0.0:
+                raise DataValidationError(
+                    f"share for {source.name!r} must be non-negative, got {share}"
+                )
+            total += share
+        if abs(total - 1.0) > self._TOLERANCE:
+            raise DataValidationError(f"mix shares must sum to 1, got {total}")
+        object.__setattr__(self, "shares", dict(self.shares))
+
+    @classmethod
+    def single(cls, source: EnergySource) -> "GridMix":
+        return cls({source: 1.0})
+
+    @property
+    def intensity(self) -> CarbonIntensity:
+        value = sum(
+            source.intensity.grams_per_kwh * share
+            for source, share in self.shares.items()
+        )
+        return CarbonIntensity.g_per_kwh(value)
+
+    @property
+    def renewable_share(self) -> float:
+        return sum(
+            share for source, share in self.shares.items() if source.renewable
+        )
+
+    def carbon_for(self, energy: Energy) -> Carbon:
+        return self.intensity.carbon_for(energy)
+
+    def shift_toward(self, clean: EnergySource, added_share: float) -> "GridMix":
+        """Move ``added_share`` of the blend into ``clean``.
+
+        Existing sources are scaled down proportionally; this models
+        procuring renewable energy that displaces the incumbent mix.
+        """
+        if not 0.0 <= added_share <= 1.0:
+            raise UnitError(f"added share must be within [0, 1], got {added_share}")
+        remaining = 1.0 - added_share
+        shares: dict[EnergySource, float] = {
+            source: share * remaining for source, share in self.shares.items()
+        }
+        shares[clean] = shares.get(clean, 0.0) + added_share
+        return GridMix(shares)
+
+
+def market_based_intensity(
+    location: CarbonIntensity,
+    renewable_coverage: float,
+    renewable: CarbonIntensity | None = None,
+) -> CarbonIntensity:
+    """GHG-Protocol market-based Scope 2 intensity.
+
+    ``renewable_coverage`` is the fraction of consumed energy matched by
+    contractual instruments (PPAs, RECs); that fraction is accounted at
+    the contracted source's intensity (zero by convention when the
+    instrument conveys a zero-emission claim, which is how Facebook and
+    Google report).
+    """
+    if not 0.0 <= renewable_coverage <= 1.0:
+        raise UnitError(
+            f"renewable coverage must be within [0, 1], got {renewable_coverage}"
+        )
+    contracted = renewable.grams_per_kwh if renewable is not None else 0.0
+    value = (
+        location.grams_per_kwh * (1.0 - renewable_coverage)
+        + contracted * renewable_coverage
+    )
+    return CarbonIntensity.g_per_kwh(value)
+
+
+def renewable_scaling_factor(
+    baseline: CarbonIntensity, improvement: float
+) -> CarbonIntensity:
+    """Divide a baseline intensity by an ``improvement`` factor.
+
+    Figure 14 sweeps 1x..64x improvements of the energy powering a fab;
+    this helper keeps that sweep dimensional.
+    """
+    if improvement <= 0.0:
+        raise UnitError(f"improvement factor must be positive, got {improvement}")
+    return CarbonIntensity.g_per_kwh(baseline.grams_per_kwh / improvement)

@@ -1,0 +1,261 @@
+"""Product life-cycle assessment (LCA) for hardware systems.
+
+Models the four-phase hardware life cycle of Section II-B / Figure 4:
+production, transport, use, and end-of-life. Each consumer device in
+the paper's 30+-product corpus (Figure 6/7) becomes a
+:class:`ProductLCA` with a total footprint and a per-stage split, and
+the paper's opex/capex lens maps onto the stages:
+
+* opex-related: the *use* stage (operational energy consumption);
+* capex-related: production + transport + end-of-life.
+
+The narrower "manufacturing fraction" quoted for Figure 7 (iPhone 3GS
+40% -> iPhone XR 75%) is the *production* stage alone.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..errors import DataValidationError
+from ..units import Carbon, CarbonIntensity, Energy
+
+__all__ = [
+    "LifeCycleStage",
+    "DeviceClass",
+    "PowerClass",
+    "ProductLCA",
+    "use_phase_carbon",
+]
+
+_FRACTION_TOLERANCE = 1e-6
+
+
+class LifeCycleStage(enum.Enum):
+    """The four LCA phases of Figure 4."""
+
+    PRODUCTION = "production"
+    TRANSPORT = "transport"
+    USE = "use"
+    END_OF_LIFE = "end_of_life"
+
+
+#: Stages the paper counts as capex-related.
+CAPEX_STAGES = (
+    LifeCycleStage.PRODUCTION,
+    LifeCycleStage.TRANSPORT,
+    LifeCycleStage.END_OF_LIFE,
+)
+
+
+class DeviceClass(enum.Enum):
+    """Product categories used across Figures 6-8."""
+
+    PHONE = "phone"
+    TABLET = "tablet"
+    WEARABLE = "wearable"
+    LAPTOP = "laptop"
+    DESKTOP = "desktop"
+    DESKTOP_WITH_DISPLAY = "desktop_with_display"
+    SPEAKER = "speaker"
+    GAME_CONSOLE = "game_console"
+    SERVER = "server"
+
+
+class PowerClass(enum.Enum):
+    """Figure 6's split between battery-powered and always-connected."""
+
+    BATTERY_POWERED = "battery_powered"
+    ALWAYS_CONNECTED = "always_connected"
+
+
+#: Device classes that run on battery (Figure 6, top-left group).
+_BATTERY_CLASSES = frozenset(
+    {
+        DeviceClass.PHONE,
+        DeviceClass.TABLET,
+        DeviceClass.WEARABLE,
+        DeviceClass.LAPTOP,
+    }
+)
+
+
+def power_class_for(device_class: DeviceClass) -> PowerClass:
+    """Default battery/always-connected classification per device class."""
+    if device_class in _BATTERY_CLASSES:
+        return PowerClass.BATTERY_POWERED
+    return PowerClass.ALWAYS_CONNECTED
+
+
+@dataclass(frozen=True)
+class ProductLCA:
+    """A single product's life-cycle assessment.
+
+    ``stage_fractions`` must cover all four stages and sum to 1.
+    ``component_fractions`` optionally splits the *production* stage
+    into components (integrated circuits, display, aluminum, ...) as in
+    Figure 5; component fractions are of the production stage, not of
+    the total, and must sum to <= 1 (the remainder is "unattributed").
+    """
+
+    product: str
+    vendor: str
+    year: int
+    device_class: DeviceClass
+    total: Carbon
+    stage_fractions: Mapping[LifeCycleStage, float]
+    lifetime_years: float = 3.0
+    component_fractions: Mapping[str, float] = field(default_factory=dict)
+    provenance: str = "reported"
+
+    def __post_init__(self) -> None:
+        if not self.product:
+            raise DataValidationError("an LCA needs a product name")
+        if self.total.grams <= 0.0:
+            raise DataValidationError(
+                f"{self.product}: total footprint must be positive"
+            )
+        if self.lifetime_years <= 0.0:
+            raise DataValidationError(
+                f"{self.product}: lifetime must be positive"
+            )
+        missing = set(LifeCycleStage) - set(self.stage_fractions)
+        if missing:
+            raise DataValidationError(
+                f"{self.product}: missing stages {sorted(s.value for s in missing)}"
+            )
+        for stage, fraction in self.stage_fractions.items():
+            if not 0.0 <= fraction <= 1.0:
+                raise DataValidationError(
+                    f"{self.product}: stage {stage.value} fraction {fraction} "
+                    "outside [0, 1]"
+                )
+        total_fraction = sum(self.stage_fractions.values())
+        if abs(total_fraction - 1.0) > 1e-3:
+            raise DataValidationError(
+                f"{self.product}: stage fractions sum to {total_fraction}, expected 1"
+            )
+        component_total = sum(self.component_fractions.values())
+        if component_total > 1.0 + _FRACTION_TOLERANCE:
+            raise DataValidationError(
+                f"{self.product}: component fractions sum to {component_total} > 1"
+            )
+        object.__setattr__(self, "stage_fractions", dict(self.stage_fractions))
+        object.__setattr__(
+            self, "component_fractions", dict(self.component_fractions)
+        )
+
+    # ------------------------------------------------------------------
+    # Stage decomposition
+    # ------------------------------------------------------------------
+    def stage_carbon(self, stage: LifeCycleStage) -> Carbon:
+        return self.total * self.stage_fractions[stage]
+
+    @property
+    def production_carbon(self) -> Carbon:
+        return self.stage_carbon(LifeCycleStage.PRODUCTION)
+
+    @property
+    def use_carbon(self) -> Carbon:
+        return self.stage_carbon(LifeCycleStage.USE)
+
+    @property
+    def manufacturing_fraction(self) -> float:
+        """Production share of total (the Figure 7 metric)."""
+        return self.stage_fractions[LifeCycleStage.PRODUCTION]
+
+    @property
+    def use_fraction(self) -> float:
+        return self.stage_fractions[LifeCycleStage.USE]
+
+    # ------------------------------------------------------------------
+    # Opex/capex lens
+    # ------------------------------------------------------------------
+    @property
+    def capex_fraction(self) -> float:
+        """Production + transport + end-of-life share (Figure 2 metric)."""
+        return sum(self.stage_fractions[stage] for stage in CAPEX_STAGES)
+
+    @property
+    def opex_fraction(self) -> float:
+        return self.stage_fractions[LifeCycleStage.USE]
+
+    @property
+    def capex_carbon(self) -> Carbon:
+        return self.total * self.capex_fraction
+
+    @property
+    def opex_carbon(self) -> Carbon:
+        return self.total * self.opex_fraction
+
+    # ------------------------------------------------------------------
+    # Components and amortization
+    # ------------------------------------------------------------------
+    @property
+    def power_class(self) -> PowerClass:
+        return power_class_for(self.device_class)
+
+    def component_carbon(self, component: str) -> Carbon:
+        """Production-stage carbon attributed to one component."""
+        if component not in self.component_fractions:
+            raise DataValidationError(
+                f"{self.product}: no component {component!r}; "
+                f"have {sorted(self.component_fractions)}"
+            )
+        return self.production_carbon * self.component_fractions[component]
+
+    def amortized_per_year(self) -> Carbon:
+        """Total footprint spread evenly over the device lifetime."""
+        return self.total * (1.0 / self.lifetime_years)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_stage_carbon(
+        cls,
+        product: str,
+        vendor: str,
+        year: int,
+        device_class: DeviceClass,
+        stages: Mapping[LifeCycleStage, Carbon],
+        **kwargs: object,
+    ) -> "ProductLCA":
+        """Build from absolute per-stage masses instead of fractions."""
+        missing = set(LifeCycleStage) - set(stages)
+        if missing:
+            raise DataValidationError(
+                f"{product}: missing stages {sorted(s.value for s in missing)}"
+            )
+        total_grams = sum(carbon.grams for carbon in stages.values())
+        if total_grams <= 0.0:
+            raise DataValidationError(f"{product}: total footprint must be positive")
+        fractions = {
+            stage: carbon.grams / total_grams for stage, carbon in stages.items()
+        }
+        return cls(
+            product=product,
+            vendor=vendor,
+            year=year,
+            device_class=device_class,
+            total=Carbon(total_grams),
+            stage_fractions=fractions,
+            **kwargs,  # type: ignore[arg-type]
+        )
+
+
+def use_phase_carbon(
+    annual_energy: Energy, grid: CarbonIntensity, lifetime_years: float
+) -> Carbon:
+    """Operational carbon over a device lifetime.
+
+    This mirrors how vendor LCAs compute the use phase: modeled annual
+    energy consumption times the regional grid intensity times the
+    service lifetime.
+    """
+    if lifetime_years <= 0.0:
+        raise DataValidationError("lifetime must be positive")
+    per_year = grid.carbon_for(annual_energy)
+    return per_year * lifetime_years

@@ -1,0 +1,97 @@
+"""Pareto-frontier tools for performance-vs-carbon tradeoffs.
+
+Figure 8 plots MobileNet v1 inference throughput (maximize) against
+manufacturing carbon footprint (minimize) for a corpus of phones and
+draws two Pareto frontiers (devices through 2017, devices through
+2019). This module extracts such frontiers, tests dominance, and
+quantifies how a frontier moved between two years — the paper's
+observation that the frontier shifted *right* (more performance)
+rather than *down* (less carbon).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..errors import SimulationError
+
+__all__ = ["ParetoPoint", "dominates", "pareto_frontier", "frontier_shift"]
+
+
+@dataclass(frozen=True, slots=True)
+class ParetoPoint:
+    """A labeled point in (performance, cost) space.
+
+    ``performance`` is maximized (e.g., inferences per second) and
+    ``cost`` is minimized (e.g., kg CO2e of manufacturing).
+    """
+
+    label: str
+    performance: float
+    cost: float
+
+    def __post_init__(self) -> None:
+        if self.performance < 0.0 or self.cost < 0.0:
+            raise SimulationError(
+                f"{self.label}: performance and cost must be non-negative"
+            )
+
+
+def dominates(a: ParetoPoint, b: ParetoPoint) -> bool:
+    """True when ``a`` is at least as good as ``b`` on both axes and
+    strictly better on at least one."""
+    at_least_as_good = a.performance >= b.performance and a.cost <= b.cost
+    strictly_better = a.performance > b.performance or a.cost < b.cost
+    return at_least_as_good and strictly_better
+
+
+def pareto_frontier(points: Iterable[ParetoPoint]) -> list[ParetoPoint]:
+    """Non-dominated subset, sorted by ascending cost.
+
+    Within the frontier, performance is strictly increasing with cost —
+    a property the tests rely on.
+    """
+    candidates = list(points)
+    if not candidates:
+        return []
+    frontier = [
+        point
+        for point in candidates
+        if not any(dominates(other, point) for other in candidates)
+    ]
+    # Deduplicate identical coordinates (keep first label).
+    seen: dict[tuple[float, float], ParetoPoint] = {}
+    for point in frontier:
+        seen.setdefault((point.cost, point.performance), point)
+    return sorted(seen.values(), key=lambda point: (point.cost, point.performance))
+
+
+def frontier_shift(
+    earlier: Sequence[ParetoPoint], later: Sequence[ParetoPoint]
+) -> dict[str, float]:
+    """Quantify how a frontier moved between two snapshots.
+
+    Returns:
+
+    * ``performance_gain`` — ratio of the later frontier's best
+      performance to the earlier frontier's best performance (>1 means
+      the frontier extended right).
+    * ``cost_reduction`` — ratio of the earlier frontier's lowest cost
+      to the later frontier's lowest cost (>1 means the frontier
+      extended down, i.e. cheaper carbon became available).
+
+    The paper's finding is performance_gain >> cost_reduction.
+    """
+    if not earlier or not later:
+        raise SimulationError("both frontiers need at least one point")
+    earlier_best_perf = max(point.performance for point in earlier)
+    later_best_perf = max(point.performance for point in later)
+    earlier_min_cost = min(point.cost for point in earlier)
+    later_min_cost = min(point.cost for point in later)
+    if earlier_best_perf <= 0.0 or later_min_cost <= 0.0:
+        raise SimulationError("frontier extremes must be positive for ratios")
+    return {
+        "performance_gain": later_best_perf / earlier_best_perf,
+        "cost_reduction": earlier_min_cost / later_min_cost,
+    }

@@ -1,0 +1,66 @@
+"""Curated datasets behind every experiment.
+
+Values stated in the paper (or in the public reports it cites) are
+encoded exactly and tagged ``provenance="reported"``; values the paper
+only shows graphically are estimated from its charts and tagged
+``provenance="estimated"``. Every experiment records which anchors it
+reproduces exactly in EXPERIMENTS.md.
+"""
+
+from .energy_sources import ENERGY_SOURCES, source_by_name
+from .grids import GRID_REGIONS, grid_by_name, US_GRID, WORLD_GRID, TAIWAN_GRID
+from .devices import DEVICE_LCAS, device_by_name, devices_by_vendor, family
+from .ai_benchmarks import AI_BENCHMARK_POINTS
+from .corporate import (
+    APPLE_2019_BREAKDOWN,
+    facebook_series,
+    google_series,
+    FACEBOOK_SCOPE3_2019,
+    INTEL_BREAKDOWN,
+    AMD_BREAKDOWN,
+)
+from .tsmc import TSMC_WAFER_SHARES, TSMC_WAFER_TOTAL, tsmc_wafer_model
+from .ict import ICT_ANCHORS, GLOBAL_DEMAND_ANCHORS
+from .workloads import CNN_MODELS, cnn_by_name
+from .measurements import (
+    PIXEL3_MEASUREMENTS,
+    PIXEL3_IC_CAPEX,
+    measurement,
+    MeasurementRecord,
+)
+from .macpro import MAC_PRO_CONFIGS
+from .prineville import PRINEVILLE_SERIES
+
+__all__ = [
+    "ENERGY_SOURCES",
+    "source_by_name",
+    "GRID_REGIONS",
+    "grid_by_name",
+    "US_GRID",
+    "WORLD_GRID",
+    "TAIWAN_GRID",
+    "DEVICE_LCAS",
+    "device_by_name",
+    "devices_by_vendor",
+    "family",
+    "AI_BENCHMARK_POINTS",
+    "APPLE_2019_BREAKDOWN",
+    "facebook_series",
+    "google_series",
+    "FACEBOOK_SCOPE3_2019",
+    "INTEL_BREAKDOWN",
+    "AMD_BREAKDOWN",
+    "TSMC_WAFER_SHARES",
+    "TSMC_WAFER_TOTAL",
+    "tsmc_wafer_model",
+    "ICT_ANCHORS",
+    "GLOBAL_DEMAND_ANCHORS",
+    "CNN_MODELS",
+    "cnn_by_name",
+    "PIXEL3_MEASUREMENTS",
+    "PIXEL3_IC_CAPEX",
+    "measurement",
+    "MeasurementRecord",
+    "MAC_PRO_CONFIGS",
+    "PRINEVILLE_SERIES",
+]

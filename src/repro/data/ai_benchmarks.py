@@ -1,0 +1,51 @@
+"""Figure 8 inputs: MobileNet v1 throughput vs manufacturing footprint.
+
+Each point pairs a phone's MobileNet v1 inference throughput (images
+per second) with the manufacturing portion of its life-cycle footprint.
+The paper states four anchors exactly (iPhone X, iPhone 11, iPhone 11
+Pro, Pixel 3a); the rest are estimated from the figure. Manufacturing
+masses are consistent with :mod:`repro.data.devices`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DataValidationError
+
+__all__ = ["AIBenchmarkPoint", "AI_BENCHMARK_POINTS"]
+
+
+@dataclass(frozen=True, slots=True)
+class AIBenchmarkPoint:
+    """One device in the performance-vs-carbon scatter."""
+
+    product: str
+    vendor: str
+    year: int
+    throughput_ips: float
+    manufacturing_kg: float
+    provenance: str = "estimated"
+
+    def __post_init__(self) -> None:
+        if self.throughput_ips <= 0.0:
+            raise DataValidationError(f"{self.product}: throughput must be positive")
+        if self.manufacturing_kg <= 0.0:
+            raise DataValidationError(
+                f"{self.product}: manufacturing footprint must be positive"
+            )
+
+
+AI_BENCHMARK_POINTS: tuple[AIBenchmarkPoint, ...] = (
+    AIBenchmarkPoint("honor_5c", "huawei", 2016, 7.0, 19.3),
+    AIBenchmarkPoint("iphone_6s", "apple", 2015, 12.0, 33.5),
+    AIBenchmarkPoint("iphone_7", "apple", 2016, 17.0, 37.5),
+    AIBenchmarkPoint("honor_8_lite", "huawei", 2017, 9.0, 24.0),
+    AIBenchmarkPoint("pixel_2", "google", 2017, 14.0, 39.7),
+    AIBenchmarkPoint("iphone_x", "apple", 2017, 35.0, 63.0, provenance="reported"),
+    AIBenchmarkPoint("iphone_xr", "apple", 2018, 45.0, 50.3),
+    AIBenchmarkPoint("pixel_3", "google", 2018, 18.0, 44.8),
+    AIBenchmarkPoint("pixel_3a", "google", 2019, 20.0, 45.0, provenance="reported"),
+    AIBenchmarkPoint("iphone_11", "apple", 2019, 70.0, 60.0, provenance="reported"),
+    AIBenchmarkPoint("iphone_11_pro", "apple", 2019, 75.0, 66.0, provenance="reported"),
+)

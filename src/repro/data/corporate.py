@@ -1,0 +1,262 @@
+"""Corporate sustainability-report data (Figures 2, 5, 11, 12, 13).
+
+Anchors stated in the paper are exact:
+
+* Apple 2019: 25 Mt CO2e total; manufacturing 74%, product use 19%,
+  integrated circuits ~33% of the total; life cycle >98% (Figure 5).
+* Facebook 2019: Scope 3 = 5.8 Mt vs Scope 2 (market) = 252 kt — a 23x
+  ratio; Scope 3 split 48% capital goods / 39% purchased goods / 10%
+  travel / 3% other (Figures 11, 12).
+* Facebook 2018: opex:capex is 65:35 on location-based accounting and
+  18:82 on market-based accounting (Figure 2, bottom-right pies).
+* Google 2018: Scope 3 = 14.0 Mt vs Scope 2 (market) = 684 kt (~21x);
+  Scope 3 rose ~5x over 2017 on a disclosure change while location
+  Scope 2 rose only ~30% (Figure 11).
+* Intel: ~60% of life-cycle emissions from hardware use on the US
+  grid; only 9.7% of fab energy is non-renewable. AMD: ~45% from
+  hardware use (Figure 13).
+
+Interstitial years are estimated from the figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..core.ghg import GHGInventory, OpexCapex, ReportSeries, Scope
+from ..errors import DataValidationError
+from ..units import Carbon
+from .grids import US_GRID, GridRegion
+
+__all__ = [
+    "CategoryShare",
+    "APPLE_2019_TOTAL",
+    "APPLE_2019_BREAKDOWN",
+    "facebook_series",
+    "google_series",
+    "FACEBOOK_SCOPE3_2019",
+    "LifecycleBreakdown",
+    "INTEL_BREAKDOWN",
+    "AMD_BREAKDOWN",
+    "INTEL_NONRENEWABLE_FAB_ENERGY_SHARE",
+]
+
+
+# ----------------------------------------------------------------------
+# Apple 2019 (Figure 5)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class CategoryShare:
+    """One wedge of a corporate-footprint pie."""
+
+    group: str
+    category: str
+    fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise DataValidationError(
+                f"{self.group}/{self.category}: fraction outside [0, 1]"
+            )
+
+
+APPLE_2019_TOTAL = Carbon.megatonnes(25.0)
+
+#: Fractions of Apple's 2019 corporate footprint; they sum to 1.
+APPLE_2019_BREAKDOWN: tuple[CategoryShare, ...] = (
+    CategoryShare("manufacturing", "integrated_circuits", 0.330),
+    CategoryShare("manufacturing", "boards_flexes", 0.100),
+    CategoryShare("manufacturing", "aluminum", 0.090),
+    CategoryShare("manufacturing", "displays", 0.070),
+    CategoryShare("manufacturing", "electronics", 0.060),
+    CategoryShare("manufacturing", "steel", 0.030),
+    CategoryShare("manufacturing", "assembly", 0.030),
+    CategoryShare("manufacturing", "other_manufacturing", 0.030),
+    CategoryShare("product_use", "ios_devices", 0.110),
+    CategoryShare("product_use", "macos_active", 0.040),
+    CategoryShare("product_use", "macos_idle", 0.020),
+    CategoryShare("product_use", "other_use", 0.020),
+    CategoryShare("product_transport", "product_transport", 0.050),
+    CategoryShare("corporate_facilities", "corporate_facilities", 0.012),
+    CategoryShare("recycling", "recycling", 0.005),
+    CategoryShare("business_travel", "business_travel", 0.003),
+)
+
+
+# ----------------------------------------------------------------------
+# Facebook and Google scope series (Figure 11)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class _ScopeYear:
+    """Kilotonnes per scope for one year, plus a Scope 3 category split."""
+
+    year: int
+    scope1_kt: float
+    scope2_location_kt: float
+    scope2_market_kt: float
+    scope3_kt: float
+    scope3_split: Mapping[str, float]
+
+
+#: Generic Scope 3 category split used where the paper gives none.
+_DEFAULT_SCOPE3_SPLIT: dict[str, float] = {
+    "capital_goods": 0.50,
+    "purchased_goods": 0.35,
+    "business_travel": 0.12,
+    "other": 0.03,
+}
+
+#: Facebook 2019 Scope 3 split (Figure 12).
+FACEBOOK_SCOPE3_2019: dict[str, float] = {
+    "capital_goods": 0.48,
+    "purchased_goods": 0.39,
+    "business_travel": 0.10,
+    "other": 0.03,
+}
+
+_FACEBOOK_YEARS: tuple[_ScopeYear, ...] = (
+    _ScopeYear(2014, 20.0, 620.0, 450.0, 400.0, _DEFAULT_SCOPE3_SPLIT),
+    _ScopeYear(2015, 25.0, 760.0, 480.0, 500.0, _DEFAULT_SCOPE3_SPLIT),
+    _ScopeYear(2016, 30.0, 980.0, 450.0, 650.0, _DEFAULT_SCOPE3_SPLIT),
+    _ScopeYear(2017, 35.0, 1300.0, 300.0, 800.0, _DEFAULT_SCOPE3_SPLIT),
+    # 2018 tuned to the Figure 2 pies: 65/35 location-based,
+    # 18/82 market-based (travel and commuting excluded as "other").
+    _ScopeYear(
+        2018, 40.0, 1631.0, 158.0, 1010.0,
+        {
+            "capital_goods": 520.0 / 1010.0,
+            "purchased_goods": 380.0 / 1010.0,
+            "business_travel": 80.0 / 1010.0,
+            "employee_commuting": 30.0 / 1010.0,
+        },
+    ),
+    _ScopeYear(2019, 50.0, 1900.0, 252.0, 5800.0, FACEBOOK_SCOPE3_2019),
+)
+
+_GOOGLE_YEARS: tuple[_ScopeYear, ...] = (
+    _ScopeYear(2013, 30.0, 1800.0, 1500.0, 2000.0, _DEFAULT_SCOPE3_SPLIT),
+    _ScopeYear(2014, 35.0, 2100.0, 1200.0, 2200.0, _DEFAULT_SCOPE3_SPLIT),
+    _ScopeYear(2015, 40.0, 2500.0, 1000.0, 2400.0, _DEFAULT_SCOPE3_SPLIT),
+    _ScopeYear(2016, 45.0, 2800.0, 850.0, 2600.0, _DEFAULT_SCOPE3_SPLIT),
+    _ScopeYear(2017, 50.0, 3100.0, 720.0, 2800.0, _DEFAULT_SCOPE3_SPLIT),
+    _ScopeYear(2018, 60.0, 4000.0, 684.0, 14000.0, _DEFAULT_SCOPE3_SPLIT),
+)
+
+
+def _build_inventory(organization: str, data: _ScopeYear) -> GHGInventory:
+    inventory = GHGInventory(organization, data.year)
+    inventory.add(
+        Scope.SCOPE1, "facility_fuel_and_refrigerants",
+        Carbon.kilotonnes(data.scope1_kt),
+    )
+    inventory.add(
+        Scope.SCOPE2_LOCATION, "purchased_electricity",
+        Carbon.kilotonnes(data.scope2_location_kt),
+    )
+    inventory.add(
+        Scope.SCOPE2_MARKET, "purchased_electricity",
+        Carbon.kilotonnes(data.scope2_market_kt),
+    )
+    split_total = sum(data.scope3_split.values())
+    if abs(split_total - 1.0) > 1e-6:
+        raise DataValidationError(
+            f"{organization} {data.year}: scope 3 split sums to {split_total}"
+        )
+    for category, fraction in data.scope3_split.items():
+        classification = None
+        if category == "other":
+            # Figure 12 reports "other" outside capital/purchased goods;
+            # keep it out of the capex bucket.
+            classification = OpexCapex.OTHER
+        inventory.add(
+            Scope.SCOPE3_UPSTREAM,
+            category,
+            Carbon.kilotonnes(data.scope3_kt * fraction),
+            classification=classification,
+        )
+    return inventory
+
+
+def facebook_series() -> ReportSeries:
+    """Facebook's 2014-2019 GHG inventories (Figure 11, top panel)."""
+    return ReportSeries(
+        "facebook",
+        [_build_inventory("facebook", year) for year in _FACEBOOK_YEARS],
+    )
+
+
+def google_series() -> ReportSeries:
+    """Google's 2013-2018 GHG inventories (Figure 11, bottom panel)."""
+    return ReportSeries(
+        "google",
+        [_build_inventory("google", year) for year in _GOOGLE_YEARS],
+    )
+
+
+# ----------------------------------------------------------------------
+# Intel and AMD hardware life cycles (Figure 13)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LifecycleBreakdown:
+    """A vendor's reported life-cycle category split.
+
+    ``use_category`` names the category that scales with the energy
+    source powering the hardware; everything else is held fixed when
+    Figure 13 sweeps grids.
+    """
+
+    name: str
+    categories: Mapping[str, float]
+    use_category: str
+    baseline_grid: GridRegion
+
+    def __post_init__(self) -> None:
+        total = sum(self.categories.values())
+        if abs(total - 1.0) > 1e-6:
+            raise DataValidationError(
+                f"{self.name}: category fractions sum to {total}, expected 1"
+            )
+        if self.use_category not in self.categories:
+            raise DataValidationError(
+                f"{self.name}: use category {self.use_category!r} not present"
+            )
+        object.__setattr__(self, "categories", dict(self.categories))
+
+    @property
+    def use_fraction(self) -> float:
+        return self.categories[self.use_category]
+
+
+INTEL_BREAKDOWN = LifecycleBreakdown(
+    name="intel",
+    categories={
+        "hw_use": 0.60,
+        "raw_materials": 0.13,
+        "direct_emission": 0.10,
+        "indirect_emission": 0.05,
+        "renewable_energy_generation": 0.02,
+        "hw_transport": 0.04,
+        "travel": 0.03,
+        "other": 0.03,
+    },
+    use_category="hw_use",
+    baseline_grid=US_GRID,
+)
+
+AMD_BREAKDOWN = LifecycleBreakdown(
+    name="amd",
+    categories={
+        "hw_use": 0.45,
+        "raw_materials_manufacturing": 0.38,
+        "indirect_emission": 0.08,
+        "hw_transport": 0.04,
+        "travel": 0.05,
+    },
+    use_category="hw_use",
+    baseline_grid=US_GRID,
+)
+
+#: Paper: only 9.7% of the energy consumed by Intel fabs is
+#: non-renewable.
+INTEL_NONRENEWABLE_FAB_ENERGY_SHARE = 0.097

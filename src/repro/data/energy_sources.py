@@ -1,0 +1,46 @@
+"""Table II: carbon intensity and energy-payback time of energy sources.
+
+Values are the paper's exactly (g CO2e per kWh; payback in months).
+Where the paper gives a range we store the midpoint and keep the range
+in the record for reference.
+"""
+
+from __future__ import annotations
+
+from ..core.intensity import EnergySource
+from ..units import CarbonIntensity
+
+__all__ = ["ENERGY_SOURCES", "source_by_name"]
+
+
+def _source(
+    name: str, g_per_kwh: float, payback_months: float | None, renewable: bool
+) -> EnergySource:
+    return EnergySource(
+        name=name,
+        intensity=CarbonIntensity.g_per_kwh(g_per_kwh),
+        payback_months=payback_months,
+        renewable=renewable,
+    )
+
+
+#: Table II rows, ordered as in the paper (dirtiest first).
+ENERGY_SOURCES: tuple[EnergySource, ...] = (
+    _source("coal", 820.0, 2.0, renewable=False),
+    _source("gas", 490.0, 1.0, renewable=False),
+    _source("biomass", 230.0, 12.0, renewable=True),
+    _source("solar", 41.0, 36.0, renewable=True),
+    _source("geothermal", 38.0, 72.0, renewable=True),
+    _source("hydropower", 24.0, 24.0, renewable=True),
+    _source("nuclear", 12.0, 2.0, renewable=False),
+    _source("wind", 11.0, 12.0, renewable=True),
+)
+
+
+def source_by_name(name: str) -> EnergySource:
+    """Look up a Table II source by name."""
+    for source in ENERGY_SOURCES:
+        if source.name == name:
+            return source
+    known = [source.name for source in ENERGY_SOURCES]
+    raise KeyError(f"unknown energy source {name!r}; have {known}")

@@ -1,0 +1,49 @@
+"""Table III: average carbon intensity of electricity by geography.
+
+Values are the paper's exactly. The paper's mobile break-even analysis
+(Figure 10) uses the United States row (380 g/kWh); the TSMC analysis
+implicitly sits on the Taiwan row.
+"""
+
+from __future__ import annotations
+
+from ..core.intensity import GridRegion
+from ..units import CarbonIntensity
+
+__all__ = ["GRID_REGIONS", "grid_by_name", "US_GRID", "WORLD_GRID", "TAIWAN_GRID"]
+
+
+def _region(name: str, g_per_kwh: float, dominant: str) -> GridRegion:
+    return GridRegion(
+        name=name,
+        intensity=CarbonIntensity.g_per_kwh(g_per_kwh),
+        dominant_source=dominant,
+    )
+
+
+#: Table III rows, ordered as in the paper (dirtiest first).
+GRID_REGIONS: tuple[GridRegion, ...] = (
+    _region("india", 725.0, "coal/gas"),
+    _region("australia", 597.0, "coal"),
+    _region("taiwan", 583.0, "coal/gas"),
+    _region("singapore", 495.0, "gas"),
+    _region("united_states", 380.0, "coal/gas"),
+    _region("world", 301.0, ""),
+    _region("europe", 295.0, ""),
+    _region("brazil", 82.0, "wind/hydropower"),
+    _region("iceland", 28.0, "hydropower"),
+)
+
+
+def grid_by_name(name: str) -> GridRegion:
+    """Look up a Table III grid by name."""
+    for region in GRID_REGIONS:
+        if region.name == name:
+            return region
+    known = [region.name for region in GRID_REGIONS]
+    raise KeyError(f"unknown grid region {name!r}; have {known}")
+
+
+US_GRID = grid_by_name("united_states")
+WORLD_GRID = grid_by_name("world")
+TAIWAN_GRID = grid_by_name("taiwan")

@@ -1,0 +1,40 @@
+"""Figure 1 inputs: projected global ICT electricity use, 2010-2030.
+
+Anchors follow Andrae & Edler (2015) as summarized by the paper: on the
+optimistic trajectory ICT reaches ~7% of global electricity demand by
+2030, on the expected trajectory ~20%; in 2015 ICT was ~5% of demand
+and data centers alone ~1%. Segment values (TWh/yr) between anchors are
+interpolated geometrically by :mod:`repro.analysis.projections`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["GLOBAL_DEMAND_ANCHORS", "ICT_ANCHORS", "SEGMENTS", "SCENARIOS"]
+
+SEGMENTS = ("consumer_devices", "networking", "datacenter")
+SCENARIOS = ("optimistic", "expected")
+
+#: Global electricity demand (TWh/yr), gently rising.
+GLOBAL_DEMAND_ANCHORS: dict[int, float] = {
+    2010: 18500.0,
+    2015: 19900.0,
+    2020: 22000.0,
+    2025: 24000.0,
+    2030: 26000.0,
+}
+
+#: ICT electricity (TWh/yr) per scenario, segment, and anchor year.
+#: 2015 totals ~5% of demand; 2030 totals hit the 7% / 20% anchors;
+#: 2015 data centers ~1% of demand (the paper's "eclipsing nations").
+ICT_ANCHORS: dict[str, dict[str, dict[int, float]]] = {
+    "optimistic": {
+        "consumer_devices": {2010: 380.0, 2015: 470.0, 2020: 520.0, 2025: 560.0, 2030: 590.0},
+        "networking": {2010: 160.0, 2015: 300.0, 2020: 400.0, 2025: 500.0, 2030: 600.0},
+        "datacenter": {2010: 150.0, 2015: 200.0, 2020: 330.0, 2025: 450.0, 2030: 630.0},
+    },
+    "expected": {
+        "consumer_devices": {2010: 380.0, 2015: 500.0, 2020: 700.0, 2025: 1000.0, 2030: 1400.0},
+        "networking": {2010: 160.0, 2015: 320.0, 2020: 650.0, 2025: 1200.0, 2030: 1800.0},
+        "datacenter": {2010: 150.0, 2015: 220.0, 2020: 550.0, 2025: 1200.0, 2030: 2000.0},
+    },
+}

@@ -1,0 +1,65 @@
+"""Table IV: two Apple Mac Pro configurations.
+
+The paper contrasts a base Mac Pro with a maxed configuration (dual
+AMD Radeon Vega GPUs) to show manufacturing carbon scales with
+hardware capability: 4x flops, 8x memory bandwidth, and 16x GPU memory
+at a 2.7x higher manufacturing footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DataValidationError
+from ..units import Carbon, Power
+
+__all__ = ["MacProConfig", "MAC_PRO_CONFIGS"]
+
+
+@dataclass(frozen=True, slots=True)
+class MacProConfig:
+    """One Table IV column."""
+
+    name: str
+    cpu_cores: int
+    cpu_threads_per_core: int
+    dram_gb: float
+    storage_gb: float
+    gpu_teraflops: float
+    gpu_memory_bw_gbs: float
+    system_tdp: Power
+    manufacturing: Carbon
+
+    def __post_init__(self) -> None:
+        if self.cpu_cores <= 0 or self.cpu_threads_per_core <= 0:
+            raise DataValidationError(f"{self.name}: CPU shape must be positive")
+        for field_name in ("dram_gb", "storage_gb", "gpu_teraflops", "gpu_memory_bw_gbs"):
+            if getattr(self, field_name) <= 0.0:
+                raise DataValidationError(f"{self.name}: {field_name} must be positive")
+
+
+#: Table IV, values exactly as printed.
+MAC_PRO_CONFIGS: tuple[MacProConfig, ...] = (
+    MacProConfig(
+        name="mac_pro_1",
+        cpu_cores=8,
+        cpu_threads_per_core=2,
+        dram_gb=32.0,
+        storage_gb=256.0,
+        gpu_teraflops=6.2,
+        gpu_memory_bw_gbs=256.0,
+        system_tdp=Power.watts(310.0),
+        manufacturing=Carbon.kg(700.0),
+    ),
+    MacProConfig(
+        name="mac_pro_2",
+        cpu_cores=28,
+        cpu_threads_per_core=2,
+        dram_gb=1536.0,
+        storage_gb=4096.0,
+        gpu_teraflops=28.4,
+        gpu_memory_bw_gbs=2048.0,
+        system_tdp=Power.watts(730.0),
+        manufacturing=Carbon.kg(1900.0),
+    ),
+)

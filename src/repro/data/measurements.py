@@ -1,0 +1,123 @@
+"""Pixel 3 inference measurements (Figures 9 and 10 calibration).
+
+The paper measured latency and power for four CNNs on a Google Pixel 3
+(Snapdragon 845) across its CPU, GPU, and DSP with a Monsoon power
+monitor. We have no Monsoon or Pixel 3; these records are the
+calibration table for the :mod:`repro.mobile` simulators, chosen so the
+paper's stated anchors come out exactly:
+
+* latency: Inception v3 -> MobileNet v2 on CPU is 17x; MobileNet v2
+  CPU -> DSP is 3.2x (Figure 9 annotations);
+* energy: MobileNet v3 CPU -> DSP is 2.0x (Figure 9 / Takeaway 6);
+* break-even images against the Pixel 3's integrated-circuit embodied
+  carbon (22.4 kg, half of production) at the US grid (380 g/kWh):
+  ResNet-50 CPU 200 M, Inception v3 CPU 150 M, MobileNet v3 CPU 5 B,
+  MobileNet v3 DSP 10 B (Figure 10 top);
+* break-even days: MobileNet v3 CPU 350, DSP ~1,200 (Figure 10
+  bottom).
+
+The paper's days panel implies a DSP power draw low enough that, with
+energy fixed at CPU/2, DSP latency exceeds CPU latency for MobileNet
+v3; we preserve the paper's break-even anchors and record the residual
+tension in EXPERIMENTS.md. GPU cells are estimates for figure
+completeness (the paper states no GPU anchors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DataValidationError
+from ..units import Energy, Power, Carbon
+
+__all__ = [
+    "MeasurementRecord",
+    "PIXEL3_MEASUREMENTS",
+    "PIXEL3_IC_CAPEX",
+    "PIXEL3_IDLE_POWER_W",
+    "measurement",
+    "PROCESSORS",
+]
+
+#: Processor units on the Snapdragon 845 exercised by the paper.
+PROCESSORS = ("cpu", "gpu", "dsp")
+
+#: Embodied carbon of the Pixel 3's integrated circuits: half of the
+#: 44.8 kg production stage (see repro.data.devices pixel_3 record).
+PIXEL3_IC_CAPEX = Carbon.kg(22.4)
+
+#: Display-off idle floor of the phone, used by the Monsoon simulator.
+PIXEL3_IDLE_POWER_W = 0.35
+
+
+@dataclass(frozen=True, slots=True)
+class MeasurementRecord:
+    """One (model, processor) cell of the measured table."""
+
+    model: str
+    processor: str
+    latency_ms: float
+    power_w: float
+    provenance: str = "calibrated"
+
+    def __post_init__(self) -> None:
+        if self.processor not in PROCESSORS:
+            raise DataValidationError(
+                f"{self.model}: unknown processor {self.processor!r}"
+            )
+        if self.latency_ms <= 0.0 or self.power_w <= 0.0:
+            raise DataValidationError(
+                f"{self.model}/{self.processor}: latency and power must be positive"
+            )
+
+    @property
+    def latency_s(self) -> float:
+        return self.latency_ms / 1e3
+
+    @property
+    def power(self) -> Power:
+        return Power.watts(self.power_w)
+
+    @property
+    def energy_per_inference(self) -> Energy:
+        return self.power.energy_over(self.latency_s)
+
+    @property
+    def throughput_ips(self) -> float:
+        return 1e3 / self.latency_ms
+
+
+def _rec(model: str, processor: str, latency_ms: float, power_w: float,
+         provenance: str = "calibrated") -> MeasurementRecord:
+    return MeasurementRecord(model, processor, latency_ms, power_w, provenance)
+
+
+#: The measured table. Energy per inference (J) = power x latency.
+PIXEL3_MEASUREMENTS: tuple[MeasurementRecord, ...] = (
+    # ResNet-50: E_cpu = 1.0610 J -> 200 M images break-even.
+    _rec("resnet50", "cpu", 300.00, 3.537),
+    _rec("resnet50", "gpu", 95.00, 4.00, provenance="estimated"),
+    _rec("resnet50", "dsp", 70.00, 3.00, provenance="estimated"),
+    # Inception v3: E_cpu = 1.4145 J -> 150 M images break-even;
+    # CPU latency 17x MobileNet v2's 20 ms.
+    _rec("inception_v3", "cpu", 340.00, 4.160),
+    _rec("inception_v3", "gpu", 110.00, 4.20, provenance="estimated"),
+    _rec("inception_v3", "dsp", 82.00, 3.10, provenance="estimated"),
+    # MobileNet v2: CPU 20 ms (17x vs Inception), DSP 6.25 ms (3.2x).
+    _rec("mobilenet_v2", "cpu", 20.00, 3.250),
+    _rec("mobilenet_v2", "gpu", 9.50, 3.30, provenance="estimated"),
+    _rec("mobilenet_v2", "dsp", 6.25, 3.00),
+    # MobileNet v3: E_cpu = 0.042432 J -> 5 B images, 350 days;
+    # E_dsp = E_cpu / 2 -> 10 B images, ~1,198 days.
+    _rec("mobilenet_v3", "cpu", 6.0426, 7.0222),
+    _rec("mobilenet_v3", "gpu", 5.50, 5.00, provenance="estimated"),
+    _rec("mobilenet_v3", "dsp", 10.3493, 2.0500),
+)
+
+
+def measurement(model: str, processor: str) -> MeasurementRecord:
+    """Look up one cell of the measured table."""
+    for record in PIXEL3_MEASUREMENTS:
+        if record.model == model and record.processor == processor:
+            return record
+    raise KeyError(f"no measurement for {model!r} on {processor!r}")

@@ -1,0 +1,54 @@
+"""Figure 2 (left): Facebook's Prineville data center, 2013-2019.
+
+Energy consumption rose monotonically as the facility expanded while
+the carbon footprint of purchased energy began falling in 2017 and
+reached nearly zero by 2019 as the site converted to renewable supply.
+Values are estimated from the figure (the paper gives no axis
+numbers); the *shape* — monotone energy growth, carbon peak around
+2016-2017, near-zero 2019 — is the reproduced claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DataValidationError
+from ..units import Carbon, Energy
+
+__all__ = ["PrinevilleYear", "PRINEVILLE_SERIES"]
+
+
+@dataclass(frozen=True, slots=True)
+class PrinevilleYear:
+    """One year of the Prineville facility's operation."""
+
+    year: int
+    energy: Energy
+    purchased_energy_carbon: Carbon
+    renewable_coverage: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.renewable_coverage <= 1.0:
+            raise DataValidationError(
+                f"{self.year}: renewable coverage must be in [0, 1]"
+            )
+
+
+def _year(year: int, gwh: float, kilotonnes: float, coverage: float) -> PrinevilleYear:
+    return PrinevilleYear(
+        year=year,
+        energy=Energy.gwh(gwh),
+        purchased_energy_carbon=Carbon.kilotonnes(kilotonnes),
+        renewable_coverage=coverage,
+    )
+
+
+PRINEVILLE_SERIES: tuple[PrinevilleYear, ...] = (
+    _year(2013, 160.0, 70.0, 0.05),
+    _year(2014, 200.0, 85.0, 0.08),
+    _year(2015, 250.0, 100.0, 0.12),
+    _year(2016, 310.0, 112.0, 0.20),
+    _year(2017, 400.0, 105.0, 0.42),
+    _year(2018, 520.0, 48.0, 0.80),
+    _year(2019, 650.0, 3.0, 0.99),
+)

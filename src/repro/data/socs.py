@@ -1,0 +1,62 @@
+"""Mobile SoC catalog: die sizes and nodes for the phones we model.
+
+Die areas are the published teardown figures; nodes are the announced
+processes. ``companion_die_area_mm2`` aggregates the modem, RF
+front-end, PMIC, and other logic dies on the board, and
+``legacy_die_area_mm2`` the analog/sensor content on mature nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DataValidationError
+
+__all__ = ["SoCRecord", "SOC_CATALOG", "soc_by_product"]
+
+
+@dataclass(frozen=True, slots=True)
+class SoCRecord:
+    """Silicon content of one phone, for the embodied model."""
+
+    product: str
+    soc_name: str
+    node_name: str
+    die_area_mm2: float
+    companion_die_area_mm2: float
+    legacy_die_area_mm2: float
+    dram_gb: float
+    nand_gb: float
+
+    def __post_init__(self) -> None:
+        if self.die_area_mm2 <= 0.0:
+            raise DataValidationError(f"{self.product}: die area must be positive")
+        for field_name in (
+            "companion_die_area_mm2",
+            "legacy_die_area_mm2",
+            "dram_gb",
+            "nand_gb",
+        ):
+            if getattr(self, field_name) < 0.0:
+                raise DataValidationError(
+                    f"{self.product}: {field_name} must be non-negative"
+                )
+
+
+SOC_CATALOG: tuple[SoCRecord, ...] = (
+    SoCRecord("pixel_3", "snapdragon_845", "10nm", 94.0, 90.0, 120.0, 4.0, 64.0),
+    SoCRecord("pixel_3a", "snapdragon_670", "10nm", 84.0, 80.0, 110.0, 4.0, 64.0),
+    SoCRecord("iphone_x", "apple_a11", "10nm", 87.7, 100.0, 130.0, 3.0, 64.0),
+    SoCRecord("iphone_xr", "apple_a12", "7nm", 83.3, 100.0, 130.0, 3.0, 64.0),
+    SoCRecord("iphone_11", "apple_a13", "7nm", 98.5, 100.0, 130.0, 4.0, 64.0),
+    SoCRecord("iphone_11_pro", "apple_a13", "7nm", 98.5, 110.0, 140.0, 4.0, 256.0),
+)
+
+
+def soc_by_product(product: str) -> SoCRecord:
+    """Look up a phone's silicon record."""
+    for record in SOC_CATALOG:
+        if record.product == product:
+            return record
+    known = [record.product for record in SOC_CATALOG]
+    raise KeyError(f"no SoC record for {product!r}; have {known}")

@@ -1,0 +1,51 @@
+"""TSMC 12-inch-wafer carbon breakdown (Figure 14 inputs).
+
+The paper states two hard anchors from TSMC's CSR report: energy
+accounts for "over 63%" of per-wafer emissions and PFCs/chemicals/gases
+for "nearly 30%". The component shares below satisfy both; the absolute
+per-wafer total is an estimate consistent with the 16nm-class node
+coefficients in :mod:`repro.fab.process` under Taiwan's grid.
+"""
+
+from __future__ import annotations
+
+from ..fab.wafer import WaferFootprintModel
+from ..units import Carbon, Energy
+from .grids import TAIWAN_GRID
+
+__all__ = [
+    "TSMC_WAFER_SHARES",
+    "TSMC_WAFER_TOTAL",
+    "TSMC_3NM_FAB_ANNUAL_ENERGY",
+    "TSMC_RENEWABLE_TARGET_2025",
+    "tsmc_wafer_model",
+]
+
+#: Component shares of per-wafer carbon (sum to 1). Energy 63% and
+#: process gases 15+12+3 = 30% are the paper's anchors.
+TSMC_WAFER_SHARES: dict[str, float] = {
+    "energy": 0.63,
+    "pfc_diffusive": 0.15,
+    "chemicals_gases": 0.12,
+    "bulk_gases": 0.03,
+    "raw_wafers": 0.04,
+    "other": 0.03,
+}
+
+#: Estimated total emissions per processed 300 mm wafer.
+TSMC_WAFER_TOTAL = Carbon.kg(780.0)
+
+#: Paper: a forthcoming 3 nm fab may consume up to 7.7 billion kWh/yr.
+TSMC_3NM_FAB_ANNUAL_ENERGY = Energy.kwh(7.7e9)
+
+#: Paper: renewable energy will cover 20% of fab electricity by 2025.
+TSMC_RENEWABLE_TARGET_2025 = 0.20
+
+
+def tsmc_wafer_model() -> WaferFootprintModel:
+    """The Figure 14 baseline model (reported shares, Taiwan grid)."""
+    return WaferFootprintModel.from_reported_shares(
+        shares=TSMC_WAFER_SHARES,
+        total=TSMC_WAFER_TOTAL,
+        fab_intensity=TAIWAN_GRID.intensity,
+    )

@@ -1,0 +1,55 @@
+"""Convolutional-network workload descriptors (Figures 8-10).
+
+Compute/parameter figures are the commonly cited ImageNet 224x224
+single-image numbers. ``gflops`` counts fused multiply-adds the way the
+model zoo papers report them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DataValidationError
+
+__all__ = ["CNNModel", "CNN_MODELS", "cnn_by_name"]
+
+
+@dataclass(frozen=True, slots=True)
+class CNNModel:
+    """A convolutional network evaluated in the paper's case study."""
+
+    name: str
+    year: int
+    params_millions: float
+    gflops: float
+    top1_accuracy: float
+    input_resolution: int = 224
+
+    def __post_init__(self) -> None:
+        if self.params_millions <= 0.0 or self.gflops <= 0.0:
+            raise DataValidationError(f"{self.name}: params and flops must be positive")
+        if not 0.0 < self.top1_accuracy < 100.0:
+            raise DataValidationError(f"{self.name}: accuracy must be a percentage")
+
+    @property
+    def model_bytes(self) -> float:
+        """Approximate fp32 weight footprint in bytes."""
+        return self.params_millions * 1e6 * 4.0
+
+
+CNN_MODELS: tuple[CNNModel, ...] = (
+    CNNModel("resnet50", 2015, 25.6, 4.10, 76.1),
+    CNNModel("inception_v3", 2015, 23.8, 5.70, 78.8),
+    CNNModel("mobilenet_v1", 2017, 4.2, 1.14, 70.6),
+    CNNModel("mobilenet_v2", 2018, 3.5, 0.61, 72.0),
+    CNNModel("mobilenet_v3", 2019, 5.4, 0.44, 75.2),
+)
+
+
+def cnn_by_name(name: str) -> CNNModel:
+    """Look up a CNN descriptor by name."""
+    for model in CNN_MODELS:
+        if model.name == name:
+            return model
+    known = [model.name for model in CNN_MODELS]
+    raise KeyError(f"unknown CNN model {name!r}; have {known}")

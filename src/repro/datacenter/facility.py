@@ -1,0 +1,53 @@
+"""Data-center facility model: PUE and construction overhead.
+
+The facility contributes to both sides of the paper's ledger: PUE
+multiplies every joule of IT energy (opex), and construction embodied
+carbon is a capex wedge amortized over the building's life — part of
+the "construction and infrastructure" that dominates Scope 3 for
+Facebook and Google.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+from ..units import Carbon, Energy
+
+__all__ = ["Facility"]
+
+
+@dataclass(frozen=True, slots=True)
+class Facility:
+    """A warehouse-scale building.
+
+    ``construction_carbon`` covers concrete, steel, and fit-out;
+    hyperscale builds run on the order of tens of kilotonnes CO2e per
+    site. ``pue`` is the power-usage-effectiveness of the cooling and
+    power delivery (modern warehouse-scale facilities run ~1.1).
+    """
+
+    name: str
+    pue: float
+    construction_carbon: Carbon
+    lifetime_years: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.pue < 1.0:
+            raise SimulationError(f"{self.name}: PUE cannot be below 1.0")
+        if self.construction_carbon.grams < 0.0:
+            raise SimulationError(f"{self.name}: construction carbon is negative")
+        if self.lifetime_years <= 0.0:
+            raise SimulationError(f"{self.name}: lifetime must be positive")
+
+    def facility_energy(self, it_energy: Energy) -> Energy:
+        """Total grid draw needed to deliver ``it_energy`` to servers."""
+        return it_energy * self.pue
+
+    def overhead_energy(self, it_energy: Energy) -> Energy:
+        """Cooling/distribution losses alone."""
+        return it_energy * (self.pue - 1.0)
+
+    def construction_per_year(self) -> Carbon:
+        """Construction embodied carbon amortized per service year."""
+        return self.construction_carbon * (1.0 / self.lifetime_years)

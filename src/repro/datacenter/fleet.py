@@ -1,0 +1,139 @@
+"""Multi-year data-center fleet simulation.
+
+Reproduces the *mechanism* behind Figures 2 and 11: a growing server
+fleet consumes more energy every year, yet renewable procurement drives
+the market-based operational carbon toward zero while capex
+(new-server manufacturing plus construction amortization) keeps
+growing. The simulation emits one report per year with both Scope 2
+variants and the opex/capex split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.embodied import EmbodiedModel
+from ..errors import SimulationError
+from ..units import Carbon, CarbonIntensity, Energy
+from .facility import Facility
+from .renewable import RenewablePortfolio
+from .server import ServerConfig
+
+__all__ = ["FleetParameters", "FleetYearReport", "simulate_fleet"]
+
+
+@dataclass(frozen=True)
+class FleetParameters:
+    """Inputs to the fleet simulation.
+
+    ``renewable_ramp`` maps simulation year index (0-based) to the
+    portfolio held that year; missing years reuse the last defined
+    portfolio (empty portfolio by default).
+    """
+
+    server: ServerConfig
+    facility: Facility
+    location_intensity: CarbonIntensity
+    initial_servers: int
+    annual_growth: float
+    utilization: float = 0.45
+    years: int = 6
+    start_year: int = 2014
+    renewable_ramp: dict[int, RenewablePortfolio] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.initial_servers <= 0:
+            raise SimulationError("initial fleet size must be positive")
+        if self.annual_growth < 0.0:
+            raise SimulationError("growth rate must be non-negative")
+        if not 0.0 <= self.utilization <= 1.0:
+            raise SimulationError("utilization must be in [0, 1]")
+        if self.years <= 0:
+            raise SimulationError("simulation needs at least one year")
+
+
+@dataclass(frozen=True, slots=True)
+class FleetYearReport:
+    """One simulated year of fleet operation."""
+
+    year: int
+    servers: int
+    servers_added: int
+    energy: Energy
+    opex_location: Carbon
+    opex_market: Carbon
+    capex: Carbon
+    renewable_coverage: float
+
+    @property
+    def capex_to_opex_market(self) -> float:
+        if self.opex_market.grams == 0.0:
+            return float("inf")
+        return self.capex.grams / self.opex_market.grams
+
+    @property
+    def capex_fraction_market(self) -> float:
+        total = self.capex.grams + self.opex_market.grams
+        if total == 0.0:
+            raise SimulationError("zero total footprint; fraction undefined")
+        return self.capex.grams / total
+
+
+def simulate_fleet(
+    params: FleetParameters, embodied: EmbodiedModel | None = None
+) -> list[FleetYearReport]:
+    """Run the year-by-year fleet simulation.
+
+    Each year the fleet grows by ``annual_growth``; servers older than
+    the SKU lifetime are replaced (their replacements count as capex).
+    Capex per year = embodied carbon of purchased servers plus the
+    facility's construction amortization. Opex per year = facility
+    energy (IT energy times PUE) scored at the location intensity and
+    at the portfolio's market-based intensity.
+    """
+    embodied = embodied or EmbodiedModel()
+    per_server = params.server.embodied_carbon(embodied)
+    reports: list[FleetYearReport] = []
+    fleet_size = params.initial_servers
+    portfolio = RenewablePortfolio()
+    # Age ring: cohort sizes by purchase year, for refresh accounting.
+    cohorts: list[int] = [params.initial_servers]
+    lifetime = max(int(round(params.server.lifetime_years)), 1)
+    for index in range(params.years):
+        portfolio = params.renewable_ramp.get(index, portfolio)
+        if index == 0:
+            purchased = params.initial_servers
+        else:
+            grown = int(round(fleet_size * (1.0 + params.annual_growth)))
+            growth_purchases = grown - fleet_size
+            retired = cohorts.pop(0) if len(cohorts) >= lifetime else 0
+            purchased = growth_purchases + retired
+            fleet_size = grown
+            cohorts.append(purchased)
+        it_energy = params.server.annual_energy(params.utilization) * float(
+            fleet_size
+        )
+        total_energy = params.facility.facility_energy(it_energy)
+        opex_location = params.location_intensity.carbon_for(total_energy)
+        coverage = (
+            portfolio.coverage(total_energy) if portfolio.contracts else 0.0
+        )
+        opex_market = (
+            portfolio.market_carbon(total_energy, params.location_intensity)
+            if portfolio.contracts
+            else opex_location
+        )
+        capex = per_server * float(purchased) + params.facility.construction_per_year()
+        reports.append(
+            FleetYearReport(
+                year=params.start_year + index,
+                servers=fleet_size,
+                servers_added=purchased,
+                energy=total_energy,
+                opex_location=opex_location,
+                opex_market=opex_market,
+                capex=capex,
+                renewable_coverage=coverage,
+            )
+        )
+    return reports

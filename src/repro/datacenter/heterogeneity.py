@@ -1,0 +1,192 @@
+"""Heterogeneous provisioning: specialization as a carbon lever.
+
+Section VI: "systems researchers [should] consider how heterogeneity
+can reduce carbon footprint by reducing overall hardware resources in
+the data center". This module provisions a workload mix two ways —
+
+* **homogeneous**: one general-purpose SKU serves everything;
+* **heterogeneous**: each workload runs on the SKU that serves it with
+  the fewest machines —
+
+and prices both fleets in embodied and operational carbon, so the
+specialization question becomes a number instead of a slogan.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..core.embodied import EmbodiedModel
+from ..errors import SimulationError
+from ..tabular import Table
+from ..units import Carbon, CarbonIntensity
+from .server import ServerConfig
+
+__all__ = [
+    "WorkloadClass",
+    "ServerType",
+    "ProvisioningPlan",
+    "provision_homogeneous",
+    "provision_heterogeneous",
+    "compare_provisioning",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadClass:
+    """A service with a steady-state demand in requests per second."""
+
+    name: str
+    demand_rps: float
+
+    def __post_init__(self) -> None:
+        if self.demand_rps <= 0.0:
+            raise SimulationError(f"{self.name}: demand must be positive")
+
+
+@dataclass(frozen=True)
+class ServerType:
+    """A SKU and what it can serve.
+
+    ``throughput_rps`` maps workload name to this SKU's capacity for
+    that workload; absent workloads cannot run on it.
+    """
+
+    config: ServerConfig
+    throughput_rps: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        for workload, capacity in self.throughput_rps.items():
+            if capacity <= 0.0:
+                raise SimulationError(
+                    f"{self.config.name}: capacity for {workload!r} must be "
+                    "positive"
+                )
+        object.__setattr__(self, "throughput_rps", dict(self.throughput_rps))
+
+    def can_serve(self, workload: str) -> bool:
+        return workload in self.throughput_rps
+
+    def servers_for(
+        self, workload: WorkloadClass, utilization_target: float
+    ) -> int:
+        if not self.can_serve(workload.name):
+            raise SimulationError(
+                f"{self.config.name} cannot serve {workload.name!r}"
+            )
+        if not 0.0 < utilization_target <= 1.0:
+            raise SimulationError("utilization target must be in (0, 1]")
+        effective = self.throughput_rps[workload.name] * utilization_target
+        return max(int(math.ceil(workload.demand_rps / effective)), 1)
+
+
+@dataclass(frozen=True)
+class ProvisioningPlan:
+    """A fleet assignment: (server type, workload) -> machine count."""
+
+    name: str
+    assignments: tuple[tuple[ServerType, WorkloadClass, int], ...]
+    utilization_target: float
+
+    @property
+    def total_servers(self) -> int:
+        return sum(count for _, _, count in self.assignments)
+
+    def embodied_per_year(self, model: EmbodiedModel | None = None) -> Carbon:
+        model = model or EmbodiedModel()
+        total = Carbon.zero()
+        for server_type, _, count in self.assignments:
+            total = total + server_type.config.embodied_per_year(model) * float(
+                count
+            )
+        return total
+
+    def operational_per_year(self, grid: CarbonIntensity) -> Carbon:
+        total = Carbon.zero()
+        for server_type, _, count in self.assignments:
+            annual = server_type.config.annual_energy(self.utilization_target)
+            total = total + grid.carbon_for(annual) * float(count)
+        return total
+
+    def total_per_year(
+        self, grid: CarbonIntensity, model: EmbodiedModel | None = None
+    ) -> Carbon:
+        return self.embodied_per_year(model) + self.operational_per_year(grid)
+
+
+def provision_homogeneous(
+    workloads: Sequence[WorkloadClass],
+    general: ServerType,
+    utilization_target: float = 0.6,
+) -> ProvisioningPlan:
+    """Serve every workload on the general-purpose SKU."""
+    if not workloads:
+        raise SimulationError("need at least one workload")
+    assignments = tuple(
+        (general, workload, general.servers_for(workload, utilization_target))
+        for workload in workloads
+    )
+    return ProvisioningPlan("homogeneous", assignments, utilization_target)
+
+
+def provision_heterogeneous(
+    workloads: Sequence[WorkloadClass],
+    server_types: Sequence[ServerType],
+    utilization_target: float = 0.6,
+) -> ProvisioningPlan:
+    """Pick, per workload, the SKU needing the fewest machines.
+
+    Ties break toward the SKU with lower embodied carbon per machine,
+    so specialization never costs carbon on equal counts.
+    """
+    if not workloads:
+        raise SimulationError("need at least one workload")
+    if not server_types:
+        raise SimulationError("need at least one server type")
+    model = EmbodiedModel()
+    assignments = []
+    for workload in workloads:
+        candidates = [
+            server_type
+            for server_type in server_types
+            if server_type.can_serve(workload.name)
+        ]
+        if not candidates:
+            raise SimulationError(f"no server type can serve {workload.name!r}")
+        best = min(
+            candidates,
+            key=lambda server_type: (
+                server_type.servers_for(workload, utilization_target),
+                server_type.config.embodied_carbon(model).grams,
+            ),
+        )
+        assignments.append(
+            (best, workload, best.servers_for(workload, utilization_target))
+        )
+    return ProvisioningPlan("heterogeneous", tuple(assignments), utilization_target)
+
+
+def compare_provisioning(
+    homogeneous: ProvisioningPlan,
+    heterogeneous: ProvisioningPlan,
+    grid: CarbonIntensity,
+    model: EmbodiedModel | None = None,
+) -> Table:
+    """Side-by-side carbon accounting of the two fleets."""
+    model = model or EmbodiedModel()
+    records = []
+    for plan in (homogeneous, heterogeneous):
+        records.append(
+            {
+                "plan": plan.name,
+                "servers": plan.total_servers,
+                "embodied_t_per_year": plan.embodied_per_year(model).tonnes_value,
+                "operational_t_per_year": plan.operational_per_year(
+                    grid
+                ).tonnes_value,
+                "total_t_per_year": plan.total_per_year(grid, model).tonnes_value,
+            }
+        )
+    return Table.from_records(records)

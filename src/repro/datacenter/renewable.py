@@ -1,0 +1,84 @@
+"""Renewable-energy procurement and market-based accounting.
+
+Warehouse operators sign power-purchase agreements (PPAs) for wind and
+solar; under GHG-Protocol market-based accounting the contracted
+energy is scored at the contracted source's intensity. This module
+models a portfolio of contracts and computes the coverage and
+effective market-based intensity that drive Figure 11's diverging
+location/market Scope 2 lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.intensity import EnergySource, market_based_intensity
+from ..errors import SimulationError
+from ..units import Carbon, CarbonIntensity, Energy
+
+__all__ = ["PPAContract", "RenewablePortfolio"]
+
+
+@dataclass(frozen=True, slots=True)
+class PPAContract:
+    """One power-purchase agreement."""
+
+    name: str
+    source: EnergySource
+    annual_energy: Energy
+
+    def __post_init__(self) -> None:
+        if self.annual_energy.joules <= 0.0:
+            raise SimulationError(f"{self.name}: contracted energy must be positive")
+        if not self.source.renewable:
+            raise SimulationError(
+                f"{self.name}: {self.source.name} is not a renewable source"
+            )
+
+
+@dataclass(frozen=True)
+class RenewablePortfolio:
+    """A set of PPAs held by a data-center operator."""
+
+    contracts: tuple[PPAContract, ...] = ()
+
+    @property
+    def annual_supply(self) -> Energy:
+        total = Energy.zero()
+        for contract in self.contracts:
+            total = total + contract.annual_energy
+        return total
+
+    def contracted_intensity(self) -> CarbonIntensity:
+        """Supply-weighted intensity of the contracted sources."""
+        supply = self.annual_supply
+        if supply.joules == 0.0:
+            return CarbonIntensity.g_per_kwh(0.0)
+        weighted = sum(
+            contract.source.intensity.grams_per_kwh
+            * (contract.annual_energy.joules / supply.joules)
+            for contract in self.contracts
+        )
+        return CarbonIntensity.g_per_kwh(weighted)
+
+    def coverage(self, demand: Energy) -> float:
+        """Fraction of demand matched by contracts (capped at 1)."""
+        if demand.joules <= 0.0:
+            raise SimulationError("demand must be positive")
+        return min(self.annual_supply.joules / demand.joules, 1.0)
+
+    def market_intensity(
+        self, demand: Energy, location: CarbonIntensity
+    ) -> CarbonIntensity:
+        """Effective market-based Scope 2 intensity for ``demand``."""
+        return market_based_intensity(
+            location=location,
+            renewable_coverage=self.coverage(demand),
+            renewable=self.contracted_intensity(),
+        )
+
+    def market_carbon(self, demand: Energy, location: CarbonIntensity) -> Carbon:
+        return self.market_intensity(demand, location).carbon_for(demand)
+
+    def location_carbon(self, demand: Energy, location: CarbonIntensity) -> Carbon:
+        return location.carbon_for(demand)

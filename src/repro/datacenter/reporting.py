@@ -1,0 +1,47 @@
+"""Bridge from fleet simulation to GHG-Protocol reporting.
+
+Turns :class:`~repro.datacenter.fleet.FleetYearReport` objects into the
+same :class:`~repro.core.ghg.GHGInventory` / ReportSeries structures
+the corporate datasets use — so a simulated operator can be analyzed
+with exactly the tooling that processes Facebook's and Google's real
+filings (scope tables, 23x-style ratios, opex/capex splits).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.ghg import GHGInventory, ReportSeries, Scope
+from ..errors import AccountingError
+from .fleet import FleetYearReport
+
+__all__ = ["fleet_year_to_inventory", "fleet_to_report_series"]
+
+
+def fleet_year_to_inventory(
+    organization: str, report: FleetYearReport
+) -> GHGInventory:
+    """File one simulated year as a GHG inventory.
+
+    Purchased electricity lands in both Scope 2 variants; server
+    manufacturing and construction land in Scope 3 as capital goods.
+    """
+    inventory = GHGInventory(organization, report.year)
+    inventory.add(
+        Scope.SCOPE2_LOCATION, "purchased_electricity", report.opex_location
+    )
+    inventory.add(Scope.SCOPE2_MARKET, "purchased_electricity", report.opex_market)
+    inventory.add(Scope.SCOPE3_UPSTREAM, "capital_goods", report.capex)
+    return inventory
+
+
+def fleet_to_report_series(
+    organization: str, reports: Sequence[FleetYearReport]
+) -> ReportSeries:
+    """File a whole simulation as a multi-year report series."""
+    if not reports:
+        raise AccountingError("cannot build a report series from zero years")
+    return ReportSeries(
+        organization,
+        [fleet_year_to_inventory(organization, report) for report in reports],
+    )

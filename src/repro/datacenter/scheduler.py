@@ -1,0 +1,189 @@
+"""Carbon-aware batch scheduling (Section VI research direction).
+
+The paper points to run-time systems that "schedule batch-processing
+workloads during periods when renewable energy is readily available".
+This module implements that idea against the diurnal grid model and a
+carbon-agnostic baseline so the ablation benchmark can quantify the
+savings.
+
+Jobs are hour-granular, non-preemptible, and power-constrained: the
+cluster can draw at most ``capacity_kw`` in any hour. The agnostic
+scheduler starts every job as early as possible; the aware scheduler
+picks, for each job (most energy-hungry first), the feasible start
+slot with the lowest total carbon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..units import Carbon, Energy
+
+__all__ = [
+    "BatchJob",
+    "JobPlacement",
+    "ScheduleResult",
+    "schedule_carbon_agnostic",
+    "schedule_carbon_aware",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class BatchJob:
+    """A deferrable batch workload."""
+
+    name: str
+    duration_hours: int
+    power_kw: float
+    arrival_hour: int = 0
+    deadline_hour: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.duration_hours <= 0:
+            raise SimulationError(f"{self.name}: duration must be positive")
+        if self.power_kw <= 0.0:
+            raise SimulationError(f"{self.name}: power must be positive")
+        if self.arrival_hour < 0:
+            raise SimulationError(f"{self.name}: arrival must be non-negative")
+        if self.deadline_hour is not None:
+            if self.deadline_hour < self.arrival_hour + self.duration_hours:
+                raise SimulationError(
+                    f"{self.name}: deadline leaves no feasible start slot"
+                )
+
+    @property
+    def energy(self) -> Energy:
+        return Energy.kwh(self.power_kw * self.duration_hours)
+
+
+@dataclass(frozen=True, slots=True)
+class JobPlacement:
+    """Where one job landed and what it emitted."""
+
+    job: BatchJob
+    start_hour: int
+    carbon: Carbon
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """A full schedule with its carbon total."""
+
+    placements: tuple[JobPlacement, ...]
+
+    @property
+    def total_carbon(self) -> Carbon:
+        total = Carbon.zero()
+        for placement in self.placements:
+            total = total + placement.carbon
+        return total
+
+    def placement_for(self, name: str) -> JobPlacement:
+        for placement in self.placements:
+            if placement.job.name == name:
+                return placement
+        raise SimulationError(f"no placement for job {name!r}")
+
+
+def _job_carbon(
+    job: BatchJob, start: int, intensity_g_per_kwh: np.ndarray
+) -> Carbon:
+    window = intensity_g_per_kwh[start : start + job.duration_hours]
+    grams = float(np.sum(window) * job.power_kw)
+    return Carbon.from_grams(grams)
+
+
+def _fits(
+    job: BatchJob, start: int, load_kw: np.ndarray, capacity_kw: float
+) -> bool:
+    window = load_kw[start : start + job.duration_hours]
+    return bool(np.all(window + job.power_kw <= capacity_kw + 1e-9))
+
+
+def _feasible_starts(job: BatchJob, horizon: int) -> range:
+    latest = (
+        horizon - job.duration_hours
+        if job.deadline_hour is None
+        else min(job.deadline_hour - job.duration_hours, horizon - job.duration_hours)
+    )
+    return range(job.arrival_hour, latest + 1)
+
+
+def _validate(jobs: Sequence[BatchJob], intensity: np.ndarray, capacity_kw: float) -> None:
+    if capacity_kw <= 0.0:
+        raise SimulationError("cluster capacity must be positive")
+    horizon = intensity.shape[0]
+    for job in jobs:
+        if job.power_kw > capacity_kw:
+            raise SimulationError(f"{job.name}: power exceeds cluster capacity")
+        if job.arrival_hour + job.duration_hours > horizon:
+            raise SimulationError(f"{job.name}: cannot finish within the horizon")
+
+
+def schedule_carbon_agnostic(
+    jobs: Sequence[BatchJob],
+    intensity_g_per_kwh: np.ndarray,
+    capacity_kw: float,
+) -> ScheduleResult:
+    """Baseline: start each job at the earliest feasible hour.
+
+    Jobs are processed in arrival order (ties by name) — the behaviour
+    of a throughput-oriented batch queue that ignores the grid.
+    """
+    intensity = np.asarray(intensity_g_per_kwh, dtype=float)
+    _validate(jobs, intensity, capacity_kw)
+    load = np.zeros(intensity.shape[0])
+    placements: list[JobPlacement] = []
+    for job in sorted(jobs, key=lambda j: (j.arrival_hour, j.name)):
+        placed = False
+        for start in _feasible_starts(job, intensity.shape[0]):
+            if _fits(job, start, load, capacity_kw):
+                load[start : start + job.duration_hours] += job.power_kw
+                placements.append(
+                    JobPlacement(job, start, _job_carbon(job, start, intensity))
+                )
+                placed = True
+                break
+        if not placed:
+            raise SimulationError(f"{job.name}: no feasible slot under capacity")
+    return ScheduleResult(tuple(placements))
+
+
+def schedule_carbon_aware(
+    jobs: Sequence[BatchJob],
+    intensity_g_per_kwh: np.ndarray,
+    capacity_kw: float,
+) -> ScheduleResult:
+    """Greedy carbon-aware scheduler.
+
+    Jobs are placed most-energy-first; each takes the feasible start
+    slot minimizing its own carbon given the load committed so far.
+    Greedy is not optimal but captures the mechanism and is
+    deterministic.
+    """
+    intensity = np.asarray(intensity_g_per_kwh, dtype=float)
+    _validate(jobs, intensity, capacity_kw)
+    load = np.zeros(intensity.shape[0])
+    placements: list[JobPlacement] = []
+    ordered = sorted(
+        jobs, key=lambda j: (-j.power_kw * j.duration_hours, j.name)
+    )
+    for job in ordered:
+        best_start: int | None = None
+        best_carbon: Carbon | None = None
+        for start in _feasible_starts(job, intensity.shape[0]):
+            if not _fits(job, start, load, capacity_kw):
+                continue
+            carbon = _job_carbon(job, start, intensity)
+            if best_carbon is None or carbon.grams < best_carbon.grams:
+                best_carbon = carbon
+                best_start = start
+        if best_start is None or best_carbon is None:
+            raise SimulationError(f"{job.name}: no feasible slot under capacity")
+        load[best_start : best_start + job.duration_hours] += job.power_kw
+        placements.append(JobPlacement(job, best_start, best_carbon))
+    return ScheduleResult(tuple(placements))

@@ -1,0 +1,141 @@
+"""Server models: embodied carbon and operational power.
+
+A :class:`ServerConfig` couples a bill of materials (for the embodied
+model) with a linear utilization-to-power model (the standard
+warehouse-scale approximation: power rises linearly from an idle floor
+to peak).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.embodied import BillOfMaterials, EmbodiedModel
+from ..errors import SimulationError
+from ..fab.process import node_by_name
+from ..units import Carbon, Energy, Power, SECONDS_PER_YEAR
+
+__all__ = ["ServerConfig", "WEB_SERVER", "AI_TRAINING_SERVER", "STORAGE_SERVER"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """One server SKU."""
+
+    name: str
+    bill: BillOfMaterials
+    idle_power: Power
+    peak_power: Power
+    lifetime_years: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.peak_power.watts_value <= 0.0:
+            raise SimulationError(f"{self.name}: peak power must be positive")
+        if self.idle_power.watts_value < 0.0:
+            raise SimulationError(f"{self.name}: idle power must be non-negative")
+        if self.idle_power.watts_value > self.peak_power.watts_value:
+            raise SimulationError(f"{self.name}: idle power exceeds peak power")
+        if self.lifetime_years <= 0.0:
+            raise SimulationError(f"{self.name}: lifetime must be positive")
+
+    def power_at(self, utilization: float) -> Power:
+        """Linear power model between idle and peak."""
+        if not 0.0 <= utilization <= 1.0:
+            raise SimulationError(f"utilization must be in [0, 1], got {utilization}")
+        span = self.peak_power.watts_value - self.idle_power.watts_value
+        return Power.watts(self.idle_power.watts_value + span * utilization)
+
+    def annual_energy(self, utilization: float) -> Energy:
+        """IT-side energy for one year at a steady utilization."""
+        return self.power_at(utilization).energy_over(SECONDS_PER_YEAR)
+
+    def embodied_carbon(self, model: EmbodiedModel | None = None) -> Carbon:
+        """Manufacturing footprint of one unit."""
+        return (model or EmbodiedModel()).total(self.bill)
+
+    def embodied_per_year(self, model: EmbodiedModel | None = None) -> Carbon:
+        """Embodied carbon amortized over the service lifetime."""
+        return self.embodied_carbon(model) * (1.0 / self.lifetime_years)
+
+
+def _bill_web() -> BillOfMaterials:
+    node = node_by_name("16nm")
+    return BillOfMaterials(
+        name="web_server",
+        logic_dies={"cpu_0": (400.0, node), "cpu_1": (400.0, node)},
+        dram_gb=256.0,
+        nand_gb=2000.0,
+        fixed_kg={
+            "mainboard": 35.0,
+            "chassis_and_psu": 45.0,
+            "nic_and_misc": 15.0,
+            "assembly": 20.0,
+        },
+    )
+
+
+def _bill_ai() -> BillOfMaterials:
+    cpu_node = node_by_name("16nm")
+    gpu_node = node_by_name("7nm")
+    return BillOfMaterials(
+        name="ai_training_server",
+        logic_dies={
+            "cpu_0": (400.0, cpu_node),
+            "cpu_1": (400.0, cpu_node),
+            "accel_0": (815.0, gpu_node),
+            "accel_1": (815.0, gpu_node),
+            "accel_2": (815.0, gpu_node),
+            "accel_3": (815.0, gpu_node),
+        },
+        dram_gb=1024.0,
+        nand_gb=8000.0,
+        fixed_kg={
+            "mainboard": 60.0,
+            "chassis_and_psu": 80.0,
+            "nic_and_misc": 30.0,
+            "hbm_stacks": 120.0,
+            "assembly": 35.0,
+        },
+    )
+
+
+def _bill_storage() -> BillOfMaterials:
+    node = node_by_name("28nm")
+    return BillOfMaterials(
+        name="storage_server",
+        logic_dies={"cpu_0": (300.0, node)},
+        dram_gb=128.0,
+        nand_gb=4000.0,
+        hdd_tb=240.0,
+        fixed_kg={
+            "mainboard": 30.0,
+            "chassis_and_psu": 55.0,
+            "assembly": 20.0,
+        },
+    )
+
+
+#: A dual-socket web/frontend server.
+WEB_SERVER = ServerConfig(
+    name="web_server",
+    bill=_bill_web(),
+    idle_power=Power.watts(120.0),
+    peak_power=Power.watts(420.0),
+)
+
+#: A four-accelerator AI training node.
+AI_TRAINING_SERVER = ServerConfig(
+    name="ai_training_server",
+    bill=_bill_ai(),
+    idle_power=Power.watts(400.0),
+    peak_power=Power.watts(2200.0),
+)
+
+#: A dense HDD storage node.
+STORAGE_SERVER = ServerConfig(
+    name="storage_server",
+    bill=_bill_storage(),
+    idle_power=Power.watts(180.0),
+    peak_power=Power.watts(380.0),
+    lifetime_years=5.0,
+)

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError` so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "UnitError",
+    "DataValidationError",
+    "TableError",
+    "CalibrationError",
+    "AccountingError",
+    "SimulationError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class UnitError(ReproError):
+    """Raised for invalid physical-quantity construction or arithmetic."""
+
+
+class DataValidationError(ReproError):
+    """Raised when a curated dataset record fails its invariants."""
+
+
+class TableError(ReproError):
+    """Raised for malformed :class:`repro.tabular.Table` operations."""
+
+
+class CalibrationError(ReproError):
+    """Raised when a simulator cannot be calibrated to its anchors."""
+
+
+class AccountingError(ReproError):
+    """Raised for inconsistent GHG-Protocol or LCA bookkeeping."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulator is driven with invalid parameters."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment driver cannot produce its artifact."""

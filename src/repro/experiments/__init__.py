@@ -1,0 +1,19 @@
+"""Experiment drivers: one module per paper figure/table.
+
+Every driver exposes ``run() -> ExperimentResult`` returning the
+tables behind the paper artifact plus a list of :class:`Check` records
+comparing paper-reported anchors against what this repository
+computes. ``registry.run_all()`` executes the full evaluation.
+"""
+
+from .result import Check, ExperimentResult
+from .registry import EXPERIMENT_IDS, get_experiment, run_experiment, run_all
+
+__all__ = [
+    "Check",
+    "ExperimentResult",
+    "EXPERIMENT_IDS",
+    "get_experiment",
+    "run_experiment",
+    "run_all",
+]

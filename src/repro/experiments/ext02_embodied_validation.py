@@ -1,0 +1,95 @@
+"""Extension: validate the bottom-up embodied model against LCAs.
+
+The ACT-style model in :mod:`repro.core.embodied` estimates a phone's
+integrated-circuit carbon from die area, node, and memory capacity.
+This experiment compares those bottom-up estimates against the
+IC share implied by the reported device LCAs — the model must land in
+the right order of magnitude (within ~2x) for the devices we can
+parameterize.
+"""
+
+from __future__ import annotations
+
+from ..core.embodied import BillOfMaterials, EmbodiedModel
+from ..data.devices import device_by_name
+from ..data.socs import SoCRecord, soc_by_product
+from ..fab.process import node_by_name
+from ..tabular import Table
+from .result import Check, ExperimentResult
+
+__all__ = ["run"]
+
+#: Phones with public die/memory specs (see repro.data.socs).
+_PHONE_SPECS = ("pixel_3", "iphone_11", "iphone_x")
+
+
+def _bill_for(record: SoCRecord) -> BillOfMaterials:
+    node = node_by_name(record.node_name)
+    legacy = node_by_name("28nm")
+    return BillOfMaterials(
+        name=record.product,
+        logic_dies={
+            "soc": (record.die_area_mm2, node),
+            "companion_ics": (record.companion_die_area_mm2, node),
+            "legacy_analog": (record.legacy_die_area_mm2, legacy),
+        },
+        dram_gb=record.dram_gb,
+        nand_gb=record.nand_gb,
+    )
+
+
+def run() -> ExperimentResult:
+    """Run this experiment and return its tables and checks."""
+    model = EmbodiedModel()
+    records = []
+    ratios = []
+    for product in _PHONE_SPECS:
+        lca = device_by_name(product)
+        bottom_up = model.total(_bill_for(soc_by_product(product)))
+        if "integrated_circuits" in lca.component_fractions:
+            reported = lca.component_carbon("integrated_circuits")
+        else:
+            reported = lca.production_carbon * 0.5
+        ratio = bottom_up.kilograms / reported.kilograms
+        ratios.append(ratio)
+        records.append(
+            {
+                "product": product,
+                "bottom_up_kg": bottom_up.kilograms,
+                "reported_ic_kg": reported.kilograms,
+                "ratio": ratio,
+            }
+        )
+    table = Table.from_records(records)
+    checks = [
+        Check.boolean(
+            "bottom_up_within_3x_of_reported",
+            all(1.0 / 3.0 <= ratio <= 1.5 for ratio in ratios),
+        ),
+        Check.boolean(
+            # The model covers the SoC, companion dies, DRAM, and NAND;
+            # the vendor category also includes analog, RF, and
+            # passives, so the bottom-up figure must come in below.
+            "bottom_up_below_reported_everywhere",
+            all(ratio <= 1.0 for ratio in ratios),
+        ),
+        Check.boolean(
+            "bottom_up_orders_devices_consistently",
+            (records[1]["bottom_up_kg"] > records[0]["bottom_up_kg"])
+            == (records[1]["reported_ic_kg"] > records[0]["reported_ic_kg"])
+            or abs(records[1]["reported_ic_kg"] - records[0]["reported_ic_kg"])
+            < 2.0,
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="ext02",
+        title="Bottom-up embodied model vs reported LCAs",
+        tables={"validation": table},
+        checks=checks,
+        notes=[
+            "The bottom-up model covers SoC, companion dies, DRAM, and NAND;"
+            " vendor 'integrated circuits' categories also include analog and"
+            " passives, so landing below reported but within 3x is the"
+            " expected regime.",
+        ],
+    )

@@ -1,0 +1,73 @@
+"""Extension: embodied carbon across the process-node roadmap.
+
+Section V argues manufacturing emissions grow as fabrication advances;
+this sweep quantifies it: per-cm^2 wafer carbon rises monotonically
+from 65nm to 3nm, and pairing renewable fab energy with PFC abatement
+attacks both wedges where neither lever alone suffices.
+"""
+
+from __future__ import annotations
+
+from ..data.grids import TAIWAN_GRID
+from ..fab.abatement import AbatementPolicy
+from ..fab.process import NODE_ROADMAP
+from ..fab.wafer import WaferFootprintModel
+from ..report.charts import bar_chart
+from ..tabular import Table
+from .result import Check, ExperimentResult
+
+__all__ = ["run"]
+
+
+def run() -> ExperimentResult:
+    """Run this experiment and return its tables and checks."""
+    abatement = AbatementPolicy(coverage=0.9, destruction_efficiency=0.95)
+    records = []
+    for node in NODE_ROADMAP:
+        model = WaferFootprintModel.from_node(node, TAIWAN_GRID.intensity)
+        base_total = model.baseline.total.kilograms
+        renewables_only = model.with_energy_improvement(64.0).total.kilograms
+        both = abatement.apply(model.with_energy_improvement(64.0)).total.kilograms
+        records.append(
+            {
+                "node": node.name,
+                "per_cm2_kg": model.carbon_per_cm2().kilograms,
+                "wafer_kg": base_total,
+                "renewables_64x_kg": renewables_only,
+                "renewables_plus_abatement_kg": both,
+            }
+        )
+    table = Table.from_records(records)
+
+    per_cm2 = table.column("per_cm2_kg")
+    renewables = table.column("renewables_64x_kg")
+    combined = table.column("renewables_plus_abatement_kg")
+    wafer = table.column("wafer_kg")
+    checks = [
+        Check.boolean(
+            "per_area_carbon_rises_with_node_advancement",
+            all(a < b for a, b in zip(per_cm2, per_cm2[1:])),
+        ),
+        Check(
+            "3nm_to_65nm_per_area_ratio", 3.5, per_cm2[-1] / per_cm2[0],
+            rel_tolerance=0.25,
+        ),
+        Check.boolean(
+            "renewables_alone_leave_large_residual",
+            all(r > 0.25 * w for r, w in zip(renewables, wafer)),
+        ),
+        Check.boolean(
+            "abatement_composes_with_renewables",
+            all(c < 0.5 * r for c, r in zip(combined, renewables)),
+        ),
+    ]
+    chart = bar_chart(
+        table.column("node"), per_cm2, value_format="{:.2f} kg/cm2"
+    )
+    return ExperimentResult(
+        experiment_id="ext03",
+        title="Wafer carbon across the process-node roadmap",
+        tables={"roadmap": table},
+        checks=checks,
+        charts={"per_cm2": chart},
+    )

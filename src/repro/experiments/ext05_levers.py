@@ -1,0 +1,124 @@
+"""Extension: ranking the paper's reduction levers on one baseline.
+
+Section VI lists interventions across the computing stack. This
+experiment applies four of them to the same data-center scenario —
+renewable procurement, carbon-aware scheduling, hardware scale-down,
+lifetime extension — and ranks them by annual carbon saved, twice:
+once on a dirty grid and once on an already-renewable grid. The
+reproduced structural claim: opex levers dominate on dirty grids and
+collapse on clean ones, where only capex levers (scale-down, lifetime)
+still move the total.
+"""
+
+from __future__ import annotations
+
+from ..analysis.levers import (
+    FootprintScenario,
+    carbon_aware_scheduling_lever,
+    compare_levers,
+    lifetime_extension_lever,
+    renewable_energy_lever,
+    scale_down_lever,
+)
+from ..data.grids import US_GRID
+from ..report.tables import render_table
+from ..units import Carbon, CarbonIntensity, Energy
+from .result import Check, ExperimentResult
+
+__all__ = ["run", "baseline_scenario"]
+
+
+def baseline_scenario(grid: CarbonIntensity) -> FootprintScenario:
+    """A 50k-server cluster: ~420 GWh/yr and ~21 kt embodied."""
+    return FootprintScenario(
+        name="cluster",
+        annual_energy=Energy.gwh(420.0),
+        grid=grid,
+        embodied_total=Carbon.kilotonnes(85.0),
+        lifetime_years=4.0,
+    )
+
+
+def _levers():
+    return [
+        renewable_energy_lever(CarbonIntensity.g_per_kwh(11.0), coverage=1.0),
+        carbon_aware_scheduling_lever(intensity_reduction=0.20),
+        scale_down_lever(embodied_reduction=0.30, energy_penalty=0.05),
+        lifetime_extension_lever(extra_years=2.0),
+    ]
+
+
+def run() -> ExperimentResult:
+    """Run this experiment and return its tables and checks."""
+    dirty = compare_levers(baseline_scenario(US_GRID.intensity), _levers())
+    clean_grid = CarbonIntensity.g_per_kwh(11.0)
+    clean = compare_levers(baseline_scenario(clean_grid), _levers())
+
+    def top(table) -> str:
+        return table.row(0)["lever"]
+
+    def saved(table, lever: str) -> float:
+        return table.where(lambda r: r["lever"] == lever).row(0)[
+            "saved_t_per_year"
+        ]
+
+    checks = [
+        Check.boolean(
+            "renewables_win_on_dirty_grid", top(dirty) == "renewable_energy"
+        ),
+        Check.boolean(
+            "capex_lever_wins_on_clean_grid",
+            top(clean) in ("scale_down_hardware", "lifetime_extension"),
+        ),
+        Check.boolean(
+            "scheduling_collapses_on_clean_grid",
+            saved(clean, "carbon_aware_scheduling")
+            < 0.05 * saved(dirty, "carbon_aware_scheduling"),
+        ),
+        Check.boolean(
+            "lifetime_extension_grid_independent",
+            abs(
+                saved(clean, "lifetime_extension")
+                - saved(dirty, "lifetime_extension")
+            )
+            < 1e-6,
+        ),
+        Check.boolean(
+            # On a dirty grid the 5% energy penalty of leaner hardware
+            # outweighs the embodied savings...
+            "scale_down_backfires_on_dirty_grid",
+            saved(dirty, "scale_down_hardware") < 0.0,
+        ),
+        Check.boolean(
+            # ...but on a clean grid the embodied savings win outright.
+            "scale_down_wins_on_clean_grid",
+            saved(clean, "scale_down_hardware") > 0.0,
+        ),
+        Check.boolean(
+            "opex_levers_save_on_dirty_grid",
+            saved(dirty, "renewable_energy") > 0.0
+            and saved(dirty, "carbon_aware_scheduling") > 0.0
+            and saved(dirty, "lifetime_extension") > 0.0,
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="ext05",
+        title="Reduction levers ranked on dirty vs clean grids",
+        tables={"dirty_grid": dirty, "clean_grid": clean},
+        checks=checks,
+        notes=[
+            "Opex levers (renewables, scheduling) dominate on the US grid"
+            " but are worth little once the grid is wind-powered; only the"
+            " capex levers keep paying — the paper's core argument.",
+            "Scale-down carries a 5% energy penalty here: on the dirty grid"
+            " it backfires (operational growth beats embodied savings);"
+            " on the clean grid it wins. Embodied-vs-operational tradeoffs"
+            " are grid-dependent.",
+        ],
+    )
+
+
+if __name__ == "__main__":
+    result = run()
+    print(render_table(result.tables["dirty_grid"], title="dirty grid"))
+    print(render_table(result.tables["clean_grid"], title="clean grid"))

@@ -1,0 +1,112 @@
+"""Extension: lifetime and replacement economics in CO2e.
+
+Quantifies Takeaway 6's "longer system lifetimes" direction two ways:
+
+* annualized footprint vs lifetime for an iPhone-11-class device —
+  the embodied share falls as hardware lives longer;
+* replacement break-even: how many years of a new phone's efficiency
+  gain are needed to repay its manufacturing carbon. With the use
+  phase already small, an annual upgrade cycle can never pay back.
+"""
+
+from __future__ import annotations
+
+from ..analysis.lifetime import (
+    annualized_footprint,
+    lifetime_sweep,
+    replacement_break_even_years,
+)
+from ..data.devices import device_by_name
+from ..data.grids import US_GRID
+from ..tabular import Table
+from ..units import Energy
+from .result import Check, ExperimentResult
+
+__all__ = ["run"]
+
+
+def _annual_use_energy(product: str) -> Energy:
+    """Back out the modeled annual energy from the LCA's use stage."""
+    lca = device_by_name(product)
+    use_grams_per_year = lca.use_carbon.grams / lca.lifetime_years
+    kwh_per_year = use_grams_per_year / US_GRID.intensity.grams_per_kwh
+    return Energy.kwh(kwh_per_year)
+
+
+def run() -> ExperimentResult:
+    """Run this experiment and return its tables and checks."""
+    iphone = device_by_name("iphone_11")
+    annual_energy = _annual_use_energy("iphone_11")
+    embodied = iphone.capex_carbon
+
+    sweep = lifetime_sweep(embodied, annual_energy, US_GRID.intensity)
+
+    # Replacement question: a new device 30% more efficient, same
+    # embodied carbon. How long to pay back the new manufacturing?
+    new_embodied = embodied
+    payback_30pct = replacement_break_even_years(
+        new_embodied,
+        old_annual_energy=annual_energy,
+        new_annual_energy=annual_energy * 0.70,
+        grid=US_GRID.intensity,
+    )
+    payback_worse = replacement_break_even_years(
+        new_embodied,
+        old_annual_energy=annual_energy,
+        new_annual_energy=annual_energy * 1.10,
+        grid=US_GRID.intensity,
+    )
+    replacement = Table.from_records(
+        [
+            {"scenario": "new_device_30pct_more_efficient",
+             "payback_years": payback_30pct},
+            {"scenario": "new_device_10pct_less_efficient",
+             "payback_years": payback_worse},
+        ]
+    )
+
+    annualized = sweep.column("annualized_kg")
+    embodied_share = sweep.column("embodied_share")
+    three_year = annualized_footprint(
+        embodied, annual_energy, US_GRID.intensity, 3.0
+    )
+    six_year = annualized_footprint(
+        embodied, annual_energy, US_GRID.intensity, 6.0
+    )
+
+    checks = [
+        Check.boolean(
+            "annualized_footprint_falls_with_lifetime",
+            all(a > b for a, b in zip(annualized, annualized[1:])),
+        ),
+        Check.boolean(
+            "embodied_share_falls_with_lifetime",
+            all(a > b for a, b in zip(embodied_share, embodied_share[1:])),
+        ),
+        Check(
+            "doubling_lifetime_nearly_halves_annual_footprint",
+            0.52,
+            six_year.grams / three_year.grams,
+            rel_tolerance=0.10,
+        ),
+        Check.boolean(
+            # Embodied dominates, so a 30%-efficiency upgrade needs many
+            # times the device lifetime to pay back.
+            "efficiency_upgrade_never_pays_back_within_lifetime",
+            payback_30pct > 3.0 * iphone.lifetime_years,
+        ),
+        Check.boolean(
+            "less_efficient_replacement_never_pays_back",
+            payback_worse == float("inf"),
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="ext06",
+        title="Lifetime extension and replacement economics (CO2e)",
+        tables={"lifetime_sweep": sweep, "replacement": replacement},
+        checks=checks,
+        notes=[
+            "Annual energy is backed out of the iPhone 11 LCA's use stage"
+            " at the US grid; embodied carbon is its capex total.",
+        ],
+    )

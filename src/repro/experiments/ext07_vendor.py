@@ -1,0 +1,86 @@
+"""Extension: the Figure 5 breakdown, generated bottom-up.
+
+Builds an Apple-like vendor from its product lines (phones, tablets,
+watches, laptops, desktops at plausible relative volumes) and checks
+that the *emergent* corporate breakdown lands on the paper's Figure 5
+shape: hardware life cycle >98% of the total, manufacturing around
+74%, product use around 19%, and manufacturing far above use.
+"""
+
+from __future__ import annotations
+
+from ..data.devices import device_by_name
+from ..units import Carbon
+from ..vendor import ProductLine, VendorModel
+from .result import Check, ExperimentResult
+
+__all__ = ["run", "apple_like_vendor"]
+
+#: Product mix (units per year, millions) loosely shaped on Apple's
+#: 2019 shipment ratios: phones dominate, then tablets/watches/Macs.
+_PRODUCT_MIX: tuple[tuple[str, float], ...] = (
+    ("iphone_11", 110e6),
+    ("iphone_11_pro", 45e6),
+    ("iphone_xr", 30e6),
+    ("ipad_gen7", 40e6),
+    ("ipad_air", 10e6),
+    ("watch_series_5", 28e6),
+    ("macbook_air_13", 9e6),
+    ("macbook_pro_16", 6e6),
+    ("imac_21", 3e6),
+)
+
+
+def apple_like_vendor() -> VendorModel:
+    """Assemble the Apple-shaped vendor used by this experiment."""
+    return VendorModel(
+        name="apple_like",
+        lines=[
+            ProductLine(device_by_name(product), units)
+            for product, units in _PRODUCT_MIX
+        ],
+        corporate_facilities=Carbon.megatonnes(0.3),
+        business_travel=Carbon.megatonnes(0.1),
+    )
+
+
+def run() -> ExperimentResult:
+    """Run this experiment and return its tables and checks."""
+    vendor = apple_like_vendor()
+    breakdown = vendor.breakdown_table()
+    inventory = vendor.inventory(2019)
+
+    def fraction(group: str) -> float:
+        return breakdown.where(lambda r: r["group"] == group).row(0)["fraction"]
+
+    manufacturing = fraction("manufacturing")
+    use = fraction("product_use")
+
+    checks = [
+        Check("manufacturing_share_emerges_near_74pct", 0.74, manufacturing,
+              rel_tolerance=0.08),
+        Check("use_share_emerges_near_19pct", 0.19, use, rel_tolerance=0.25),
+        Check.boolean("lifecycle_over_98pct", vendor.lifecycle_fraction() >= 0.98),
+        Check.boolean("manufacturing_exceeds_use", manufacturing > use),
+        Check.boolean(
+            "total_in_apple_regime",
+            10.0 <= vendor.total().megatonnes_value <= 40.0,
+        ),
+        Check.boolean(
+            "scope3_dominates_filing",
+            inventory.scope3_total().grams
+            > 20.0
+            * inventory.scope_total(type(inventory.entries[0].scope).SCOPE2_MARKET).grams,
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="ext07",
+        title="Vendor footprint generated bottom-up from product lines",
+        tables={"breakdown": breakdown},
+        checks=checks,
+        notes=[
+            "The 74/19 split is not encoded anywhere in this experiment —"
+            " it emerges from the device LCA corpus and a plausible product"
+            " mix, which is the validation of the curated data.",
+        ],
+    )

@@ -1,0 +1,102 @@
+"""Extension: heterogeneous provisioning as a capex lever.
+
+Serves a mixed workload (web, AI inference, video transcode) with a
+general-purpose fleet and with specialized SKUs, and compares both
+fleets' embodied and operational carbon. The reproduced structural
+claim from Section VI: specialization shrinks the machine count enough
+to cut both carbon columns — heterogeneity is a capex lever, not just
+a performance one.
+"""
+
+from __future__ import annotations
+
+from ..data.grids import US_GRID
+from ..datacenter.heterogeneity import (
+    ServerType,
+    WorkloadClass,
+    compare_provisioning,
+    provision_heterogeneous,
+    provision_homogeneous,
+)
+from ..datacenter.server import AI_TRAINING_SERVER, STORAGE_SERVER, WEB_SERVER
+from .result import Check, ExperimentResult
+
+__all__ = ["run", "example_mix"]
+
+
+def example_mix() -> tuple[list[WorkloadClass], ServerType, list[ServerType]]:
+    """A three-service mix plus general and specialized SKUs.
+
+    The general SKU runs everything but is slow at AI and video; the
+    accelerator SKU is ~12x faster at AI inference, the storage SKU
+    ~3x at video. Throughputs are requests (or streams) per second.
+    """
+    workloads = [
+        WorkloadClass("web", demand_rps=900_000.0),
+        WorkloadClass("ai_inference", demand_rps=400_000.0),
+        WorkloadClass("video", demand_rps=60_000.0),
+    ]
+    general = ServerType(
+        config=WEB_SERVER,
+        throughput_rps={"web": 1_500.0, "ai_inference": 120.0, "video": 25.0},
+    )
+    accelerator = ServerType(
+        config=AI_TRAINING_SERVER,
+        throughput_rps={"ai_inference": 4_000.0},
+    )
+    video_sku = ServerType(
+        config=STORAGE_SERVER,
+        throughput_rps={"video": 80.0},
+    )
+    return workloads, general, [general, accelerator, video_sku]
+
+
+def run() -> ExperimentResult:
+    """Run this experiment and return its tables and checks."""
+    workloads, general, server_types = example_mix()
+    homogeneous = provision_homogeneous(workloads, general)
+    heterogeneous = provision_heterogeneous(workloads, server_types)
+    comparison = compare_provisioning(
+        homogeneous, heterogeneous, US_GRID.intensity
+    )
+
+    homo = comparison.where(lambda r: r["plan"] == "homogeneous").row(0)
+    hetero = comparison.where(lambda r: r["plan"] == "heterogeneous").row(0)
+
+    checks = [
+        Check.boolean(
+            "specialization_shrinks_fleet",
+            hetero["servers"] < 0.6 * homo["servers"],
+        ),
+        Check.boolean(
+            "specialization_cuts_embodied",
+            hetero["embodied_t_per_year"] < homo["embodied_t_per_year"],
+        ),
+        Check.boolean(
+            "specialization_cuts_operational",
+            hetero["operational_t_per_year"] < homo["operational_t_per_year"],
+        ),
+        Check.boolean(
+            "total_carbon_reduced_by_at_least_a_quarter",
+            hetero["total_t_per_year"] < 0.75 * homo["total_t_per_year"],
+        ),
+        Check.boolean(
+            "web_still_runs_on_general_sku",
+            any(
+                server_type.config.name == "web_server"
+                and workload.name == "web"
+                for server_type, workload, _ in heterogeneous.assignments
+            ),
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="ext08",
+        title="Heterogeneous provisioning as a capex lever",
+        tables={"comparison": comparison},
+        checks=checks,
+        notes=[
+            "Accelerator throughput advantage (~12x on AI inference) is the"
+            " regime the paper cites for Facebook's custom inference/training"
+            " servers; the carbon result follows from fewer machines.",
+        ],
+    )

@@ -1,0 +1,63 @@
+"""Figure 1: projected global ICT electricity use, 2010-2030.
+
+Paper claims reproduced: ICT was ~5% of global electricity demand in
+2015 (data centers alone ~1%); by 2030 ICT reaches ~7% of demand on
+the optimistic trajectory and ~20% on the expected trajectory.
+"""
+
+from __future__ import annotations
+
+from ..analysis.projections import ict_projection
+from ..report.charts import line_chart
+from .result import Check, ExperimentResult
+
+__all__ = ["run"]
+
+
+def run() -> ExperimentResult:
+    """Run this experiment and return its tables and checks."""
+    optimistic = ict_projection("optimistic")
+    expected = ict_projection("expected")
+
+    def share(table, year: int) -> float:
+        row = table.where(lambda r: r["year"] == year).row(0)
+        return row["ict_share"]
+
+    def datacenter_share(table, year: int) -> float:
+        row = table.where(lambda r: r["year"] == year).row(0)
+        return row["datacenter_twh"] / row["global_demand_twh"]
+
+    years = [row["year"] for row in optimistic]
+    chart = line_chart(
+        [float(year) for year in years],
+        {
+            "optimistic_total": [row["ict_total_twh"] for row in optimistic],
+            "expected_total": [row["ict_total_twh"] for row in expected],
+        },
+    )
+
+    checks = [
+        Check("ict_share_2015_optimistic", 0.05, share(optimistic, 2015),
+              rel_tolerance=0.20),
+        Check("ict_share_2030_optimistic", 0.07, share(optimistic, 2030),
+              rel_tolerance=0.10),
+        Check("ict_share_2030_expected", 0.20, share(expected, 2030),
+              rel_tolerance=0.10),
+        Check("datacenter_share_2015", 0.01, datacenter_share(optimistic, 2015),
+              rel_tolerance=0.20),
+        Check.boolean(
+            "expected_exceeds_optimistic_2030",
+            share(expected, 2030) > share(optimistic, 2030),
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="fig01",
+        title="Projected global ICT energy consumption (optimistic vs expected)",
+        tables={"optimistic": optimistic, "expected": expected},
+        checks=checks,
+        charts={"ict_total_twh": chart},
+        notes=[
+            "Anchor values follow Andrae & Edler (2015) as cited by the paper;"
+            " intermediate years are geometric interpolations.",
+        ],
+    )

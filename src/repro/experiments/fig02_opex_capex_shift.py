@@ -1,0 +1,98 @@
+"""Figure 2: energy vs carbon at Prineville; opex/capex pie shifts.
+
+Paper claims reproduced: Prineville's energy grew monotonically through
+2013-2019 while its purchased-energy carbon fell to near zero; the
+iPhone capex share grew from 49% (iPhone 3) to 86% (iPhone 11); and
+Facebook's 2018 footprint is 65% opex on location-based accounting but
+82% capex once renewable purchases are counted (market-based).
+"""
+
+from __future__ import annotations
+
+from ..data.corporate import facebook_series
+from ..data.devices import device_by_name
+from ..data.prineville import PRINEVILLE_SERIES
+from ..report.charts import line_chart
+from ..tabular import Table
+from .result import Check, ExperimentResult
+
+__all__ = ["run"]
+
+
+def run() -> ExperimentResult:
+    """Run this experiment and return its tables and checks."""
+    prineville = Table.from_records(
+        [
+            {
+                "year": record.year,
+                "energy_gwh": record.energy.gigawatt_hours,
+                "carbon_kt": record.purchased_energy_carbon.kilotonnes_value,
+                "renewable_coverage": record.renewable_coverage,
+            }
+            for record in PRINEVILLE_SERIES
+        ]
+    )
+
+    iphone_3gs = device_by_name("iphone_3gs")
+    iphone_11 = device_by_name("iphone_11")
+    facebook_2018 = facebook_series().inventory(2018)
+    pies = Table.from_records(
+        [
+            {
+                "subject": "iphone_3gs",
+                "capex": iphone_3gs.capex_fraction,
+                "opex": iphone_3gs.opex_fraction,
+            },
+            {
+                "subject": "iphone_11",
+                "capex": iphone_11.capex_fraction,
+                "opex": iphone_11.opex_fraction,
+            },
+            {
+                "subject": "facebook_2018_without_renewables",
+                "capex": facebook_2018.capex_fraction(market_based=False),
+                "opex": facebook_2018.opex_fraction(market_based=False),
+            },
+            {
+                "subject": "facebook_2018_with_renewables",
+                "capex": facebook_2018.capex_fraction(market_based=True),
+                "opex": facebook_2018.opex_fraction(market_based=True),
+            },
+        ]
+    )
+
+    energy = prineville.column("energy_gwh")
+    carbon = prineville.column("carbon_kt")
+    energy_rising = all(a < b for a, b in zip(energy, energy[1:]))
+    peak_year = prineville.row(carbon.index(max(carbon)))["year"]
+
+    checks = [
+        Check.boolean("prineville_energy_monotone_rising", energy_rising),
+        Check.boolean("prineville_carbon_peak_by_2017", peak_year <= 2017),
+        Check.boolean(
+            "prineville_2019_carbon_near_zero", carbon[-1] <= 0.05 * max(carbon)
+        ),
+        Check("iphone_3gs_capex_share", 0.49,
+              pies.row(0)["capex"], rel_tolerance=0.03),
+        Check("iphone_11_capex_share", 0.86,
+              pies.row(1)["capex"], rel_tolerance=0.03),
+        Check("facebook_2018_opex_share_location", 0.65,
+              pies.row(2)["opex"], rel_tolerance=0.03),
+        Check("facebook_2018_capex_share_market", 0.82,
+              pies.row(3)["capex"], rel_tolerance=0.03),
+    ]
+    chart = line_chart(
+        [float(record.year) for record in PRINEVILLE_SERIES],
+        {"energy_gwh": energy, "carbon_kt": carbon},
+    )
+    return ExperimentResult(
+        experiment_id="fig02",
+        title="Carbon footprint depends on more than energy consumption",
+        tables={"prineville": prineville, "opex_capex_pies": pies},
+        checks=checks,
+        charts={"prineville_series": chart},
+        notes=[
+            "Prineville absolute values are estimated from the figure; the"
+            " reproduced claim is the divergence between energy and carbon.",
+        ],
+    )

@@ -1,0 +1,70 @@
+"""Figure 5: Apple's 2019 corporate carbon-emission breakdown.
+
+Paper claims reproduced: hardware life cycle >98% of total emissions;
+manufacturing 74%; product use 19%; integrated circuits ~33% of the
+total — more than all product use combined.
+"""
+
+from __future__ import annotations
+
+from ..data.corporate import APPLE_2019_BREAKDOWN, APPLE_2019_TOTAL
+from ..report.charts import bar_chart
+from ..tabular import Table
+from .result import Check, ExperimentResult
+
+__all__ = ["run"]
+
+_LIFECYCLE_GROUPS = (
+    "manufacturing",
+    "product_use",
+    "product_transport",
+    "recycling",
+)
+
+
+def run() -> ExperimentResult:
+    """Run this experiment and return its tables and checks."""
+    categories = Table.from_records(
+        [
+            {
+                "group": share.group,
+                "category": share.category,
+                "fraction": share.fraction,
+                "megatonnes": APPLE_2019_TOTAL.megatonnes_value * share.fraction,
+            }
+            for share in APPLE_2019_BREAKDOWN
+        ]
+    )
+    groups = categories.aggregate(
+        by=["group"], fraction=("fraction", sum), megatonnes=("megatonnes", sum)
+    ).sort_by("fraction", reverse=True)
+
+    def group_fraction(name: str) -> float:
+        return groups.where(lambda row: row["group"] == name).row(0)["fraction"]
+
+    ic_fraction = categories.where(
+        lambda row: row["category"] == "integrated_circuits"
+    ).row(0)["fraction"]
+    use_fraction = group_fraction("product_use")
+    lifecycle = sum(group_fraction(name) for name in _LIFECYCLE_GROUPS)
+
+    checks = [
+        Check("total_megatonnes", 25.0, APPLE_2019_TOTAL.megatonnes_value,
+              rel_tolerance=0.0),
+        Check("manufacturing_share", 0.74, group_fraction("manufacturing"),
+              rel_tolerance=0.02),
+        Check("product_use_share", 0.19, use_fraction, rel_tolerance=0.02),
+        Check("integrated_circuits_share", 0.33, ic_fraction, rel_tolerance=0.02),
+        Check.boolean("lifecycle_over_98_percent", lifecycle >= 0.98),
+        Check.boolean("ic_exceeds_product_use", ic_fraction > use_fraction),
+    ]
+    chart = bar_chart(
+        groups.column("group"), groups.column("fraction"), value_format="{:.3f}"
+    )
+    return ExperimentResult(
+        experiment_id="fig05",
+        title="Apple 2019 carbon-emission breakdown",
+        tables={"categories": categories, "groups": groups},
+        checks=checks,
+        charts={"group_shares": chart},
+    )

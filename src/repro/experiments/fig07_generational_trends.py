@@ -1,0 +1,84 @@
+"""Figure 7: generational trends for iPhone, Apple Watch, and iPad.
+
+Paper claims reproduced: the manufacturing fraction rises in every
+family (iPhone 40% -> 75%, Watch 60% -> 75%, iPad 60% -> 75%); iPad
+absolute totals fall across generations while iPhone and Watch totals
+rise; per-generation use-phase carbon falls as efficiency improves.
+"""
+
+from __future__ import annotations
+
+from ..analysis.trends import generational_table, trend_summary
+from ..data.devices import family
+from ..report.charts import line_chart
+from .result import Check, ExperimentResult
+
+__all__ = ["run"]
+
+_EXPECTED_FRACTIONS = {
+    "iphone": (0.40, 0.75),
+    "apple_watch": (0.60, 0.75),
+    "ipad": (0.60, 0.75),
+}
+
+
+def run() -> ExperimentResult:
+    """Run this experiment and return its tables and checks."""
+    tables = {}
+    checks = []
+    fraction_series: dict[str, list[float]] = {}
+    for family_name, (first_expected, last_expected) in _EXPECTED_FRACTIONS.items():
+        generations = family(family_name)
+        tables[family_name] = generational_table(generations)
+        summary = trend_summary(generations)
+        fraction_series[family_name] = [
+            lca.manufacturing_fraction for lca in generations
+        ]
+        checks.append(
+            Check(
+                f"{family_name}_first_manufacturing_fraction",
+                first_expected,
+                float(summary["first_manufacturing_fraction"]),
+                rel_tolerance=0.02,
+            )
+        )
+        checks.append(
+            Check(
+                f"{family_name}_last_manufacturing_fraction",
+                last_expected,
+                float(summary["last_manufacturing_fraction"]),
+                rel_tolerance=0.02,
+            )
+        )
+        checks.append(
+            Check.boolean(
+                f"{family_name}_manufacturing_fraction_rising",
+                bool(summary["manufacturing_fraction_rising"]),
+            )
+        )
+    iphone_summary = trend_summary(family("iphone"))
+    watch_summary = trend_summary(family("apple_watch"))
+    ipad_summary = trend_summary(family("ipad"))
+    checks.extend(
+        [
+            Check.boolean("iphone_total_rising", bool(iphone_summary["total_rising"])),
+            Check.boolean("watch_total_rising", bool(watch_summary["total_rising"])),
+            Check.boolean("ipad_total_falling", not bool(ipad_summary["total_rising"])),
+            Check.boolean("iphone_use_kg_falling", bool(iphone_summary["use_kg_falling"])),
+        ]
+    )
+    longest = max(len(values) for values in fraction_series.values())
+    chart = line_chart(
+        list(range(longest)),
+        {
+            name: values + [values[-1]] * (longest - len(values))
+            for name, values in fraction_series.items()
+        },
+    )
+    return ExperimentResult(
+        experiment_id="fig07",
+        title="Generational carbon trends: iPhone, Apple Watch, iPad",
+        tables=tables,
+        checks=checks,
+        charts={"manufacturing_fraction_by_generation": chart},
+    )

@@ -1,0 +1,111 @@
+"""Figure 8: performance vs manufacturing-carbon Pareto frontier.
+
+Paper claims reproduced: the 2019 frontier contains the stated anchor
+devices (iPhone 11 Pro at 75 img/s and 66 kg, Pixel 3a at 20 img/s and
+45 kg); the iPhone 11 doubles the iPhone X's throughput at slightly
+lower manufacturing carbon; and between 2017 and 2019 the frontier
+moved right (performance up >2x) rather than down (minimum carbon
+essentially unchanged).
+"""
+
+from __future__ import annotations
+
+from ..core.pareto import ParetoPoint, frontier_shift, pareto_frontier
+from ..data.ai_benchmarks import AI_BENCHMARK_POINTS
+from ..report.charts import scatter_chart
+from ..tabular import Table
+from .result import Check, ExperimentResult
+
+__all__ = ["run"]
+
+
+def _points(max_year: int) -> list[ParetoPoint]:
+    return [
+        ParetoPoint(
+            label=point.product,
+            performance=point.throughput_ips,
+            cost=point.manufacturing_kg,
+        )
+        for point in AI_BENCHMARK_POINTS
+        if point.year <= max_year
+    ]
+
+
+def run() -> ExperimentResult:
+    """Run this experiment and return its tables and checks."""
+    frontier_2017 = pareto_frontier(_points(2017))
+    frontier_2019 = pareto_frontier(_points(2019))
+    shift = frontier_shift(frontier_2017, frontier_2019)
+
+    scatter = Table.from_records(
+        [
+            {
+                "product": point.product,
+                "vendor": point.vendor,
+                "year": point.year,
+                "throughput_ips": point.throughput_ips,
+                "manufacturing_kg": point.manufacturing_kg,
+            }
+            for point in AI_BENCHMARK_POINTS
+        ]
+    )
+    frontier_table = Table.from_records(
+        [
+            {"frontier": "2017", "product": p.label,
+             "throughput_ips": p.performance, "manufacturing_kg": p.cost}
+            for p in frontier_2017
+        ]
+        + [
+            {"frontier": "2019", "product": p.label,
+             "throughput_ips": p.performance, "manufacturing_kg": p.cost}
+            for p in frontier_2019
+        ]
+    )
+
+    labels_2019 = {point.label for point in frontier_2019}
+    by_name = {point.product: point for point in AI_BENCHMARK_POINTS}
+    iphone_11 = by_name["iphone_11"]
+    iphone_x = by_name["iphone_x"]
+
+    checks = [
+        Check("iphone_11_pro_throughput", 75.0,
+              by_name["iphone_11_pro"].throughput_ips, rel_tolerance=0.0),
+        Check("iphone_11_pro_manufacturing_kg", 66.0,
+              by_name["iphone_11_pro"].manufacturing_kg, rel_tolerance=0.0),
+        Check("pixel_3a_throughput", 20.0,
+              by_name["pixel_3a"].throughput_ips, rel_tolerance=0.0),
+        Check("pixel_3a_manufacturing_kg", 45.0,
+              by_name["pixel_3a"].manufacturing_kg, rel_tolerance=0.0),
+        Check("iphone_x_throughput", 35.0, iphone_x.throughput_ips,
+              rel_tolerance=0.0),
+        Check("iphone_11_doubles_iphone_x_throughput", 2.0,
+              iphone_11.throughput_ips / iphone_x.throughput_ips,
+              rel_tolerance=0.05),
+        Check.boolean(
+            "iphone_11_cheaper_carbon_than_x",
+            iphone_11.manufacturing_kg < iphone_x.manufacturing_kg,
+        ),
+        Check.boolean(
+            "anchors_on_2019_frontier",
+            {"iphone_11_pro", "pixel_3a", "iphone_11"} <= labels_2019,
+        ),
+        Check.boolean("frontier_moved_right", shift["performance_gain"] >= 2.0),
+        Check.boolean("frontier_not_moved_down", shift["cost_reduction"] <= 1.2),
+    ]
+    chart = scatter_chart(
+        [
+            (point.manufacturing_kg, point.throughput_ips, point.vendor[0].upper())
+            for point in AI_BENCHMARK_POINTS
+        ]
+    )
+    return ExperimentResult(
+        experiment_id="fig08",
+        title="MobileNet v1 throughput vs manufacturing-carbon Pareto frontier",
+        tables={"devices": scatter, "frontiers": frontier_table},
+        checks=checks,
+        charts={"throughput_vs_carbon": chart},
+        notes=[
+            f"frontier shift: performance x{shift['performance_gain']:.2f},"
+            f" min-carbon x{shift['cost_reduction']:.2f}",
+        ],
+    )

@@ -1,0 +1,87 @@
+"""Figure 9: inference latency and energy across CNNs and processors.
+
+Paper claims reproduced on the simulated Pixel 3: MobileNet v2 is 17x
+faster than Inception v3 on the CPU and another 3.2x faster on the
+DSP; algorithmic advances cut inference energy ~36x (Inception v3 ->
+MobileNet v3 on CPU) and the DSP halves MobileNet v3's energy. The
+Monsoon-simulator cross-check integrates a sampled power trace and
+must agree with the analytic energy within noise.
+"""
+
+from __future__ import annotations
+
+from ..data.measurements import PIXEL3_IDLE_POWER_W
+from ..mobile.inference import InferenceSimulator
+from ..mobile.power_monitor import MonsoonSimulator
+from ..report.charts import bar_chart
+from ..tabular import Table
+from .result import Check, ExperimentResult
+
+__all__ = ["run"]
+
+_MODELS = ("resnet50", "inception_v3", "mobilenet_v2", "mobilenet_v3")
+_PROCESSORS = ("cpu", "gpu", "dsp")
+
+
+def run() -> ExperimentResult:
+    """Run this experiment and return its tables and checks."""
+    simulator = InferenceSimulator()
+    rows = simulator.comparison_table(_MODELS, _PROCESSORS)
+    table = Table.from_records([dict(row) for row in rows])
+
+    def latency(model: str, proc: str) -> float:
+        return simulator.latency_s(model, proc)
+
+    def energy(model: str, proc: str) -> float:
+        return simulator.energy_per_inference(model, proc).joules
+
+    # Monsoon cross-check: integrate a 200-inference burst trace and
+    # compare against analytic energy (idle floor added on top).
+    monsoon = MonsoonSimulator(noise_fraction=0.02, seed=7)
+    estimate = simulator.estimate("mobilenet_v3", "cpu")
+    burst = monsoon.inference_burst(estimate, 200, PIXEL3_IDLE_POWER_W)
+    trace_energy = burst.energy().joules / 200.0
+    analytic_energy = estimate.energy_per_inference.joules
+
+    checks = [
+        Check("cpu_latency_inception_over_mobilenet_v2", 17.0,
+              latency("inception_v3", "cpu") / latency("mobilenet_v2", "cpu"),
+              rel_tolerance=0.05),
+        Check("mobilenet_v2_cpu_over_dsp_latency", 3.2,
+              latency("mobilenet_v2", "cpu") / latency("mobilenet_v2", "dsp"),
+              rel_tolerance=0.05),
+        Check("cpu_energy_inception_over_mobilenet_v3", 36.0,
+              energy("inception_v3", "cpu") / energy("mobilenet_v3", "cpu"),
+              rel_tolerance=0.15),
+        Check("mobilenet_v3_cpu_over_dsp_energy", 2.0,
+              energy("mobilenet_v3", "cpu") / energy("mobilenet_v3", "dsp"),
+              rel_tolerance=0.05),
+        Check("monsoon_trace_matches_analytic_energy", 1.0,
+              trace_energy / analytic_energy, rel_tolerance=0.05),
+        Check.boolean(
+            "mobilenets_faster_than_heavyweights_everywhere",
+            all(
+                latency(light, proc) < latency(heavy, proc)
+                for proc in _PROCESSORS
+                for light in ("mobilenet_v2", "mobilenet_v3")
+                for heavy in ("resnet50", "inception_v3")
+            ),
+        ),
+    ]
+    chart = bar_chart(
+        [f"{row['model']}/{row['processor']}" for row in rows],
+        [row["energy_mj"] for row in rows],
+        value_format="{:.1f} mJ",
+    )
+    return ExperimentResult(
+        experiment_id="fig09",
+        title="Inference latency and energy across CNN and hardware generations",
+        tables={"measurements": table},
+        checks=checks,
+        charts={"energy_per_inference": chart},
+        notes=[
+            "The paper's 36x energy annotation and its 150M-image break-even"
+            " anchor are mutually inconsistent by ~8%; we calibrate to the"
+            " break-even anchor, leaving this ratio at ~33x.",
+        ],
+    )

@@ -1,0 +1,98 @@
+"""Figure 10: manufacturing-vs-operational break-even on a Pixel 3.
+
+Paper claims reproduced: with the Pixel 3's integrated-circuit
+embodied carbon (half of production) and the US grid (380 g/kWh),
+operational emissions reach parity with manufacturing after 200M
+images (ResNet-50, CPU), 150M (Inception v3, CPU), 5B (MobileNet v3,
+CPU), and 10B (MobileNet v3, DSP); in wall-clock terms 350 days of
+continuous MobileNet v3 CPU inference and ~1,200 days on the DSP —
+beyond the ~1,100-day (3-year) device lifetime.
+"""
+
+from __future__ import annotations
+
+from ..mobile.device import pixel3
+from ..report.charts import bar_chart
+from ..tabular import Table
+from .result import Check, ExperimentResult
+
+__all__ = ["run"]
+
+_MODELS = ("resnet50", "inception_v3", "mobilenet_v2", "mobilenet_v3")
+_PROCESSORS = ("cpu", "gpu", "dsp")
+
+#: ImageNet's training-set size, the paper's yardstick.
+IMAGENET_IMAGES = 14e6
+
+
+def run() -> ExperimentResult:
+    """Run this experiment and return its tables and checks."""
+    phone = pixel3()
+    records = []
+    for model in _MODELS:
+        for processor in _PROCESSORS:
+            images = phone.break_even_images(model, processor)
+            days = phone.break_even_days(model, processor)
+            records.append(
+                {
+                    "model": model,
+                    "processor": processor,
+                    "break_even_images": images,
+                    "break_even_days": days,
+                    "imagenet_multiples": images / IMAGENET_IMAGES,
+                    "within_lifetime": phone.amortizes_within_lifetime(
+                        model, processor
+                    ),
+                }
+            )
+    table = Table.from_records(records)
+
+    def images(model: str, proc: str) -> float:
+        return phone.break_even_images(model, proc)
+
+    def days(model: str, proc: str) -> float:
+        return phone.break_even_days(model, proc)
+
+    lifetime_days = phone.lca.lifetime_years * 365.0
+    checks = [
+        Check("ic_capex_kg", 22.4, phone.ic_capex.kilograms, rel_tolerance=0.0),
+        Check("resnet50_cpu_images", 200e6, images("resnet50", "cpu"),
+              rel_tolerance=0.02),
+        Check("inception_v3_cpu_images", 150e6, images("inception_v3", "cpu"),
+              rel_tolerance=0.02),
+        Check("mobilenet_v3_cpu_images", 5e9, images("mobilenet_v3", "cpu"),
+              rel_tolerance=0.02),
+        Check("mobilenet_v3_dsp_images", 10e9, images("mobilenet_v3", "dsp"),
+              rel_tolerance=0.02),
+        Check("mobilenet_v3_cpu_days", 350.0, days("mobilenet_v3", "cpu"),
+              rel_tolerance=0.02),
+        Check("mobilenet_v3_dsp_days", 1200.0, days("mobilenet_v3", "dsp"),
+              rel_tolerance=0.05),
+        Check("mobilenet_v3_vs_resnet_images", 25.0,
+              images("mobilenet_v3", "cpu") / images("resnet50", "cpu"),
+              rel_tolerance=0.05),
+        Check.boolean(
+            "mobilenet_v3_dsp_beyond_lifetime",
+            days("mobilenet_v3", "dsp") > lifetime_days,
+        ),
+        Check.boolean(
+            "breakeven_exceeds_imagenet_everywhere",
+            all(record["imagenet_multiples"] > 1.0 for record in records),
+        ),
+    ]
+    chart = bar_chart(
+        [f"{r['model']}/{r['processor']}" for r in records],
+        [r["break_even_days"] for r in records],
+        value_format="{:.0f} d",
+    )
+    return ExperimentResult(
+        experiment_id="fig10",
+        title="Break-even between manufacturing and operational carbon (Pixel 3)",
+        tables={"break_even": table},
+        checks=checks,
+        charts={"break_even_days": chart},
+        notes=[
+            "Device lifetime is 3 years (~1,095 days); the DSP break-even of"
+            " ~1,200 days lands beyond it, the paper's Takeaway 6.",
+        ],
+    )

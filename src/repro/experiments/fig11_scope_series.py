@@ -1,0 +1,101 @@
+"""Figure 11: Facebook and Google carbon footprints by scope.
+
+Paper claims reproduced: Facebook's 2019 Scope 3 is 23x its
+market-based Scope 2 (5.8 Mt vs 252 kt); Google's 2018 Scope 3 is ~21x
+its market-based Scope 2 (14 Mt vs 684 kt); Google's Scope 3 jumped
+~5x between 2017 and 2018 on a disclosure change while location-based
+Scope 2 grew only ~30%; and for both companies market-based Scope 2
+falls over the series while location-based Scope 2 rises (the impact
+of buying renewable energy).
+"""
+
+from __future__ import annotations
+
+from ..analysis.trends import is_monotonic
+from ..data.corporate import facebook_series, google_series
+from ..report.charts import line_chart
+from .result import Check, ExperimentResult
+
+__all__ = ["run"]
+
+
+def run() -> ExperimentResult:
+    """Run this experiment and return its tables and checks."""
+    facebook = facebook_series()
+    google = google_series()
+    fb_table = facebook.scope_table()
+    goog_table = google.scope_table()
+
+    fb_2019 = facebook.inventory(2019)
+    goog_2018 = google.inventory(2018)
+    goog_2017 = google.inventory(2017)
+
+    goog_scope3_jump = (
+        goog_2018.scope3_total().grams / goog_2017.scope3_total().grams
+    )
+    goog_location_growth = (
+        goog_table.where(lambda r: r["year"] == 2018).row(0)["scope2_location_t"]
+        / goog_table.where(lambda r: r["year"] == 2017).row(0)["scope2_location_t"]
+    )
+
+    checks = [
+        Check("facebook_2019_scope3_megatonnes", 5.8,
+              fb_2019.scope3_total().megatonnes_value, rel_tolerance=0.0),
+        Check("facebook_2019_scope2_market_kilotonnes", 252.0,
+              fb_2019.scope_total(
+                  type(fb_2019.entries[0].scope).SCOPE2_MARKET
+              ).kilotonnes_value, rel_tolerance=0.0),
+        Check("facebook_2019_scope3_to_scope2_ratio", 23.0,
+              fb_2019.scope3_to_scope2_ratio(), rel_tolerance=0.02),
+        Check("google_2018_scope3_megatonnes", 14.0,
+              goog_2018.scope3_total().megatonnes_value, rel_tolerance=0.0),
+        Check("google_2018_scope3_to_scope2_ratio", 21.0,
+              goog_2018.scope3_to_scope2_ratio(), rel_tolerance=0.05),
+        Check("google_scope3_disclosure_jump", 5.0, goog_scope3_jump,
+              rel_tolerance=0.05),
+        Check("google_location_scope2_growth", 1.30, goog_location_growth,
+              rel_tolerance=0.05),
+        Check.boolean(
+            "facebook_market_scope2_falls_2016_to_2018",
+            is_monotonic(
+                [
+                    row["scope2_market_t"]
+                    for row in fb_table
+                    if 2016 <= row["year"] <= 2018
+                ],
+                increasing=False,
+            ),
+        ),
+        Check.boolean(
+            "facebook_2019_market_far_below_location",
+            fb_table.where(lambda r: r["year"] == 2019).row(0)["scope2_market_t"]
+            < 0.15
+            * fb_table.where(lambda r: r["year"] == 2019).row(0)[
+                "scope2_location_t"
+            ],
+        ),
+        Check.boolean(
+            "location_scope2_rises_for_both",
+            is_monotonic(fb_table.column("scope2_location_t"), increasing=True)
+            and is_monotonic(goog_table.column("scope2_location_t"), increasing=True),
+        ),
+    ]
+    chart = line_chart(
+        [float(year) for year in fb_table.column("year")],
+        {
+            "fb_scope3": fb_table.column("scope3_t"),
+            "fb_scope2_market": fb_table.column("scope2_market_t"),
+            "fb_scope2_location": fb_table.column("scope2_location_t"),
+        },
+    )
+    return ExperimentResult(
+        experiment_id="fig11",
+        title="Facebook and Google carbon footprint by scope",
+        tables={"facebook": fb_table, "google": goog_table},
+        checks=checks,
+        charts={"facebook_series": chart},
+        notes=[
+            "Non-anchor years are estimated from the figure; anchor years"
+            " (Facebook 2019, Google 2017/2018) are exact.",
+        ],
+    )

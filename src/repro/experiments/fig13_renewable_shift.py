@@ -1,0 +1,99 @@
+"""Figure 13: Intel/AMD life cycles under increasingly green energy.
+
+Paper claims reproduced: on the US-grid baseline roughly 60% of Intel's
+reported life-cycle emissions (45% of AMD's) come from hardware use;
+rescaling only the use phase by each source's carbon intensity shows
+that under solar or wind power, over 80% of the remaining footprint is
+manufacturing-side (non-use).
+"""
+
+from __future__ import annotations
+
+from ..analysis.breakdown import lifecycle_grid_sweep
+from ..core.intensity import EnergySource
+from ..data.corporate import AMD_BREAKDOWN, INTEL_BREAKDOWN
+from ..data.energy_sources import source_by_name
+from ..data.grids import US_GRID, WORLD_GRID
+from ..report.charts import bar_chart
+from .result import Check, ExperimentResult
+
+__all__ = ["run"]
+
+
+def _sweep_sources() -> list[EnergySource]:
+    """The figure's x-axis, dirty to clean."""
+    world_avg = EnergySource(
+        name="world_average", intensity=WORLD_GRID.intensity
+    )
+    us_avg = EnergySource(
+        name="america_average", intensity=US_GRID.intensity
+    )
+    return [
+        world_avg,
+        source_by_name("coal"),
+        source_by_name("gas"),
+        us_avg,
+        source_by_name("biomass"),
+        source_by_name("solar"),
+        source_by_name("geothermal"),
+        source_by_name("hydropower"),
+        source_by_name("nuclear"),
+        source_by_name("wind"),
+    ]
+
+
+def run() -> ExperimentResult:
+    """Run this experiment and return its tables and checks."""
+    sources = _sweep_sources()
+    intel = lifecycle_grid_sweep(INTEL_BREAKDOWN, sources)
+    amd = lifecycle_grid_sweep(AMD_BREAKDOWN, sources)
+
+    def row(table, source: str) -> dict:
+        return table.where(lambda r: r["source"] == source).row(0)
+
+    checks = [
+        Check("intel_baseline_use_share", 0.60,
+              row(intel, "america_average")["use_share"], rel_tolerance=0.01),
+        Check("amd_baseline_use_share", 0.45,
+              row(amd, "america_average")["use_share"], rel_tolerance=0.01),
+        Check.boolean(
+            "intel_solar_manufacturing_over_80pct",
+            row(intel, "solar")["non_use_share"] > 0.80,
+        ),
+        Check.boolean(
+            "intel_wind_manufacturing_over_80pct",
+            row(intel, "wind")["non_use_share"] > 0.80,
+        ),
+        Check.boolean(
+            "amd_solar_manufacturing_over_80pct",
+            row(amd, "solar")["non_use_share"] > 0.80,
+        ),
+        Check.boolean(
+            "amd_wind_manufacturing_over_80pct",
+            row(amd, "wind")["non_use_share"] > 0.80,
+        ),
+        Check.boolean(
+            "totals_fall_monotonically_with_cleaner_energy",
+            all(
+                a >= b
+                for a, b in zip(
+                    sorted(intel.column("total"), reverse=True),
+                    sorted(intel.column("total"), reverse=True)[1:],
+                )
+            ),
+        ),
+    ]
+    chart = bar_chart(
+        intel.column("source"), intel.column("use_share"), value_format="{:.2f}"
+    )
+    return ExperimentResult(
+        experiment_id="fig13",
+        title="Intel and AMD life-cycle breakdown vs energy source",
+        tables={"intel": intel, "amd": amd},
+        checks=checks,
+        charts={"intel_use_share": chart},
+        notes=[
+            "Use-phase emissions scale with the source's Table II intensity"
+            " relative to the US-grid baseline; all other categories fixed.",
+        ],
+    )

@@ -1,0 +1,68 @@
+"""Figure 14: TSMC wafer carbon vs renewable-energy scaling.
+
+Paper claims reproduced: energy is over 63% of per-wafer emissions and
+PFCs/chemicals/gases nearly 30%; sweeping the fab's electricity 1x-64x
+cleaner shrinks only the energy wedge, so the best case improves the
+wafer total by only ~2.7x.
+"""
+
+from __future__ import annotations
+
+from ..data.tsmc import tsmc_wafer_model
+from ..fab.wafer import WAFER_COMPONENTS
+from ..report.charts import stacked_bar_chart
+from ..tabular import Table
+from .result import Check, ExperimentResult
+
+__all__ = ["run"]
+
+_FACTORS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def run() -> ExperimentResult:
+    """Run this experiment and return its tables and checks."""
+    model = tsmc_wafer_model()
+    sweep_rows = model.sweep(_FACTORS)
+    sweep = Table.from_records(sweep_rows)
+
+    shares = model.baseline.shares()
+    gas_share = (
+        shares["pfc_diffusive"] + shares["chemicals_gases"] + shares["bulk_gases"]
+    )
+
+    checks = [
+        Check("energy_share", 0.63, shares["energy"], rel_tolerance=0.01),
+        Check("process_gas_share", 0.30, gas_share, rel_tolerance=0.02),
+        Check("reduction_at_64x", 2.7, model.total_reduction(64.0),
+              rel_tolerance=0.05),
+        Check.boolean(
+            "total_falls_monotonically",
+            all(
+                earlier["total"] > later["total"]
+                for earlier, later in zip(sweep_rows, sweep_rows[1:])
+            ),
+        ),
+        Check.boolean(
+            "non_energy_components_fixed",
+            all(
+                abs(row[name] - sweep_rows[0][name]) < 1e-12
+                for row in sweep_rows
+                for name in WAFER_COMPONENTS
+                if name != "energy"
+            ),
+        ),
+    ]
+    chart = stacked_bar_chart(
+        [f"{int(row['factor'])}x" for row in sweep_rows],
+        [
+            {name: row[name] for name in WAFER_COMPONENTS}
+            for row in sweep_rows
+        ],
+    )
+    return ExperimentResult(
+        experiment_id="fig14",
+        title="TSMC wafer carbon breakdown under renewable scaling",
+        tables={"sweep": sweep},
+        checks=checks,
+        charts={"component_stack": chart},
+    )

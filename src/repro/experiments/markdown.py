@@ -1,0 +1,64 @@
+"""Markdown rendering of experiment results (EXPERIMENTS.md generator).
+
+``markdown_report(run_all())`` produces the paper-vs-measured record
+for every experiment; the repository's EXPERIMENTS.md is this output
+plus hand-written commentary. Regenerate with::
+
+    python -m repro.experiments.markdown
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..tabular import Table
+from .result import ExperimentResult
+
+__all__ = ["markdown_table", "markdown_report"]
+
+
+def markdown_table(table: Table, float_format: str = "{:.4g}") -> str:
+    """Render a Table as GitHub-flavored markdown."""
+    names = table.column_names
+
+    def fmt(value: object) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    lines = [
+        "| " + " | ".join(names) + " |",
+        "|" + "|".join("---" for _ in names) + "|",
+    ]
+    for row in table:
+        lines.append("| " + " | ".join(fmt(row[name]) for name in names) + " |")
+    return "\n".join(lines)
+
+
+def markdown_report(results: Mapping[str, ExperimentResult]) -> str:
+    """One markdown section per experiment: title, checks, notes."""
+    sections: list[str] = []
+    for experiment_id, result in results.items():
+        status = "all checks pass" if result.all_checks_pass else "CHECKS FAILING"
+        sections.append(f"## {experiment_id} — {result.title}")
+        sections.append(f"Status: **{status}** ({len(result.checks)} checks)")
+        sections.append("")
+        sections.append(markdown_table(result.checks_table()))
+        for note in result.notes:
+            sections.append("")
+            sections.append(f"*Note: {note}*")
+        sections.append("")
+    return "\n".join(sections)
+
+
+def main() -> None:
+    """Print the full paper-vs-measured report as markdown."""
+    from .registry import run_all
+
+    print(markdown_report(run_all()))
+
+
+if __name__ == "__main__":
+    main()

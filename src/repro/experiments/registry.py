@@ -1,0 +1,67 @@
+"""Central registry of experiment drivers."""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable
+
+from ..errors import ExperimentError
+from .result import ExperimentResult
+
+__all__ = ["EXPERIMENT_IDS", "get_experiment", "run_experiment", "run_all"]
+
+#: Experiment id -> module path (relative to this package).
+_MODULES: dict[str, str] = {
+    "fig01": "fig01_ict_projections",
+    "fig02": "fig02_opex_capex_shift",
+    "fig05": "fig05_apple_breakdown",
+    "fig06": "fig06_device_lca",
+    "fig07": "fig07_generational_trends",
+    "fig08": "fig08_pareto",
+    "fig09": "fig09_inference",
+    "fig10": "fig10_breakeven",
+    "fig11": "fig11_scope_series",
+    "fig12": "fig12_fb_scope3",
+    "fig13": "fig13_renewable_shift",
+    "fig14": "fig14_tsmc_wafer",
+    "tab01": "tab01_scope_taxonomy",
+    "tab02": "tab02_energy_sources",
+    "tab03": "tab03_grid_intensity",
+    "tab04": "tab04_macpro",
+    "ext01": "ext01_scheduler",
+    "ext02": "ext02_embodied_validation",
+    "ext03": "ext03_node_sweep",
+    "ext04": "ext04_fleet",
+    "ext05": "ext05_levers",
+    "ext06": "ext06_lifetime",
+    "ext07": "ext07_vendor",
+    "ext08": "ext08_heterogeneity",
+    "ext09": "ext09_ai_growth",
+}
+
+EXPERIMENT_IDS: tuple[str, ...] = tuple(_MODULES)
+
+
+def get_experiment(experiment_id: str) -> Callable[[], ExperimentResult]:
+    """Resolve an experiment id to its ``run`` callable."""
+    if experiment_id not in _MODULES:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; have {list(_MODULES)}"
+        )
+    module = importlib.import_module(
+        f".{_MODULES[experiment_id]}", package=__package__
+    )
+    return module.run
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one experiment by id and return its result."""
+    return get_experiment(experiment_id)()
+
+
+def run_all() -> dict[str, ExperimentResult]:
+    """Run the entire evaluation, in registry order."""
+    return {
+        experiment_id: run_experiment(experiment_id)
+        for experiment_id in EXPERIMENT_IDS
+    }

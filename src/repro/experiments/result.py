@@ -1,0 +1,119 @@
+"""Result and check types shared by all experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ExperimentError
+from ..report.tables import render_table
+from ..tabular import Table
+
+__all__ = ["Check", "ExperimentResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class Check:
+    """A paper-reported anchor compared against our measurement.
+
+    ``expected`` is what the paper states; ``measured`` is what this
+    repository computes; the check passes when the relative deviation
+    is within ``rel_tolerance``. Boolean claims encode expected=1.0 and
+    measured in {0.0, 1.0}.
+    """
+
+    name: str
+    expected: float
+    measured: float
+    rel_tolerance: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.rel_tolerance < 0.0:
+            raise ExperimentError(f"{self.name}: tolerance must be non-negative")
+
+    @property
+    def deviation(self) -> float:
+        """Relative deviation of measured from expected."""
+        if self.expected == 0.0:
+            return abs(self.measured)
+        return abs(self.measured - self.expected) / abs(self.expected)
+
+    @property
+    def ok(self) -> bool:
+        return self.deviation <= self.rel_tolerance
+
+    @classmethod
+    def boolean(cls, name: str, claim: bool) -> "Check":
+        """A pass/fail claim with no numeric tolerance."""
+        return cls(name=name, expected=1.0, measured=1.0 if claim else 0.0,
+                   rel_tolerance=0.0)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a driver produces for one paper artifact."""
+
+    experiment_id: str
+    title: str
+    tables: dict[str, Table] = field(default_factory=dict)
+    checks: list[Check] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    charts: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    def failed_checks(self) -> list[Check]:
+        return [check for check in self.checks if not check.ok]
+
+    def check(self, name: str) -> Check:
+        for check in self.checks:
+            if check.name == name:
+                return check
+        raise ExperimentError(
+            f"{self.experiment_id}: no check named {name!r}; "
+            f"have {[c.name for c in self.checks]}"
+        )
+
+    def table(self, name: str) -> Table:
+        if name not in self.tables:
+            raise ExperimentError(
+                f"{self.experiment_id}: no table named {name!r}; "
+                f"have {sorted(self.tables)}"
+            )
+        return self.tables[name]
+
+    def checks_table(self) -> Table:
+        """The paper-vs-measured summary as a table."""
+        if not self.checks:
+            raise ExperimentError(f"{self.experiment_id}: no checks recorded")
+        return Table.from_records(
+            [
+                {
+                    "check": check.name,
+                    "paper": check.expected,
+                    "measured": check.measured,
+                    "deviation": check.deviation,
+                    "ok": check.ok,
+                }
+                for check in self.checks
+            ]
+        )
+
+    def render(self) -> str:
+        """Full text report: tables, charts, checks, notes."""
+        sections: list[str] = [f"{self.experiment_id}: {self.title}"]
+        sections.append("=" * len(sections[0]))
+        for name, table in self.tables.items():
+            sections.append(render_table(table, title=name))
+            sections.append("")
+        for name, chart in self.charts.items():
+            sections.append(f"{name}\n{'-' * len(name)}\n{chart}")
+            sections.append("")
+        if self.checks:
+            sections.append(
+                render_table(self.checks_table(), title="paper vs measured")
+            )
+        for note in self.notes:
+            sections.append(f"note: {note}")
+        return "\n".join(sections)

@@ -1,0 +1,52 @@
+"""Table I: salient GHG-Protocol scopes per technology-company type."""
+
+from __future__ import annotations
+
+from ..core.ghg import ScopeTaxonomy
+from ..tabular import Table
+from .result import Check, ExperimentResult
+
+__all__ = ["run", "TAXONOMIES"]
+
+TAXONOMIES: tuple[ScopeTaxonomy, ...] = (
+    ScopeTaxonomy(
+        company_type="chip_manufacturer",
+        scope1=("burning PFCs", "chemicals", "gases"),
+        scope2=("energy for fabrication",),
+        scope3=("raw materials", "hardware use"),
+    ),
+    ScopeTaxonomy(
+        company_type="mobile_device_vendor",
+        scope1=("natural gas", "diesel"),
+        scope2=("energy for offices",),
+        scope3=("chip manufacturing", "hardware use"),
+    ),
+    ScopeTaxonomy(
+        company_type="datacenter_operator",
+        scope1=("natural gas", "diesel"),
+        scope2=("energy for data centers",),
+        scope3=("server-hardware manufacturing", "construction"),
+    ),
+)
+
+
+def run() -> ExperimentResult:
+    """Run this experiment and return its tables and checks."""
+    table = Table.from_records([dict(t.as_record()) for t in TAXONOMIES])
+    checks = [
+        Check("company_types", 3.0, float(table.num_rows), rel_tolerance=0.0),
+        Check.boolean(
+            "chip_manufacturer_scope1_includes_pfcs",
+            "PFC" in table.row(0)["scope1"],
+        ),
+        Check.boolean(
+            "datacenter_scope3_includes_construction",
+            "construction" in table.row(2)["scope3"],
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="tab01",
+        title="Scope taxonomy for chip makers, device vendors, DC operators",
+        tables={"taxonomy": table},
+        checks=checks,
+    )

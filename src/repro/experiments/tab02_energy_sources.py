@@ -1,0 +1,71 @@
+"""Table II: carbon intensity and energy-payback of energy sources.
+
+Paper claims reproduced: the exact intensity values (coal 820 down to
+wind 11 g CO2e/kWh) and the headline that green sources produce up to
+~30x fewer GHG emissions than brown sources.
+"""
+
+from __future__ import annotations
+
+from ..data.energy_sources import ENERGY_SOURCES, source_by_name
+from ..report.charts import bar_chart
+from ..tabular import Table
+from .result import Check, ExperimentResult
+
+__all__ = ["run"]
+
+_EXPECTED = {
+    "coal": 820.0,
+    "gas": 490.0,
+    "biomass": 230.0,
+    "solar": 41.0,
+    "geothermal": 38.0,
+    "hydropower": 24.0,
+    "nuclear": 12.0,
+    "wind": 11.0,
+}
+
+
+def run() -> ExperimentResult:
+    """Run this experiment and return its tables and checks."""
+    table = Table.from_records(
+        [
+            {
+                "source": source.name,
+                "g_per_kwh": source.intensity.grams_per_kwh,
+                "payback_months": source.payback_months,
+                "renewable": source.renewable,
+            }
+            for source in ENERGY_SOURCES
+        ]
+    )
+    checks = [
+        Check(f"{name}_g_per_kwh", expected,
+              source_by_name(name).intensity.grams_per_kwh, rel_tolerance=0.0)
+        for name, expected in _EXPECTED.items()
+    ]
+    brown_floor = source_by_name("gas").intensity.grams_per_kwh
+    green_sources = ("solar", "hydropower", "wind", "nuclear", "geothermal")
+    green_ceiling = max(
+        source_by_name(name).intensity.grams_per_kwh for name in green_sources
+    )
+    checks.append(
+        Check.boolean(
+            "green_up_to_30x_cleaner_than_brown",
+            brown_floor / green_ceiling >= 10.0
+            and source_by_name("coal").intensity.grams_per_kwh
+            / source_by_name("hydropower").intensity.grams_per_kwh
+            >= 30.0,
+        )
+    )
+    chart = bar_chart(
+        table.column("source"), table.column("g_per_kwh"),
+        value_format="{:.0f}",
+    )
+    return ExperimentResult(
+        experiment_id="tab02",
+        title="Carbon efficiency of energy sources",
+        tables={"sources": table},
+        checks=checks,
+        charts={"intensity": chart},
+    )

@@ -1,0 +1,66 @@
+"""Table III: global carbon intensity of electricity production."""
+
+from __future__ import annotations
+
+from ..data.grids import GRID_REGIONS, grid_by_name
+from ..report.charts import bar_chart
+from ..tabular import Table
+from .result import Check, ExperimentResult
+
+__all__ = ["run"]
+
+_EXPECTED = {
+    "world": 301.0,
+    "india": 725.0,
+    "australia": 597.0,
+    "taiwan": 583.0,
+    "singapore": 495.0,
+    "united_states": 380.0,
+    "europe": 295.0,
+    "brazil": 82.0,
+    "iceland": 28.0,
+}
+
+
+def run() -> ExperimentResult:
+    """Run this experiment and return its tables and checks."""
+    table = Table.from_records(
+        [
+            {
+                "region": region.name,
+                "g_per_kwh": region.intensity.grams_per_kwh,
+                "dominant_source": region.dominant_source or "-",
+            }
+            for region in GRID_REGIONS
+        ]
+    )
+    checks = [
+        Check(f"{name}_g_per_kwh", expected,
+              grid_by_name(name).intensity.grams_per_kwh, rel_tolerance=0.0)
+        for name, expected in _EXPECTED.items()
+    ]
+    values = table.column("g_per_kwh")
+    checks.append(
+        Check.boolean(
+            "rows_ordered_dirtiest_first",
+            all(a >= b for a, b in zip(values, values[1:])),
+        )
+    )
+    checks.append(
+        Check(
+            "india_to_iceland_spread",
+            725.0 / 28.0,
+            grid_by_name("india").intensity / grid_by_name("iceland").intensity,
+            rel_tolerance=0.0,
+        )
+    )
+    chart = bar_chart(
+        table.column("region"), table.column("g_per_kwh"), value_format="{:.0f}"
+    )
+    return ExperimentResult(
+        experiment_id="tab03",
+        title="Global carbon efficiency of energy production",
+        tables={"grids": table},
+        checks=checks,
+        charts={"intensity": chart},
+    )

@@ -1,0 +1,27 @@
+"""Semiconductor-fab substrate: process nodes, yield, wafer footprints.
+
+Models the manufacturing side of the paper (Section V / Figure 14):
+per-wafer carbon decomposed into energy, PFC and diffusive emissions,
+chemicals and gases, bulk gases, raw wafers, and other; a process-node
+roadmap carrying per-area energy/gas/material coefficients; and die
+yield so per-chip embodied carbon can be derived bottom-up.
+"""
+
+from .process import ProcessNode, NODE_ROADMAP, node_by_name
+from .yields import poisson_yield, murphy_yield, dies_per_wafer
+from .wafer import WaferFootprintModel, WaferBreakdown
+from .abatement import AbatementPolicy
+from .fabs import FabModel
+
+__all__ = [
+    "ProcessNode",
+    "NODE_ROADMAP",
+    "node_by_name",
+    "poisson_yield",
+    "murphy_yield",
+    "dies_per_wafer",
+    "WaferFootprintModel",
+    "WaferBreakdown",
+    "AbatementPolicy",
+    "FabModel",
+]

@@ -1,0 +1,55 @@
+"""PFC abatement modeling.
+
+Fabs install point-of-use combustion/plasma abatement to destroy
+perfluorocarbons before release. Abatement attacks the *non-energy*
+wedge of the wafer footprint that renewable energy cannot touch, so it
+composes with Figure 14's sweep: the ablation benchmark pairs the two
+levers to show neither alone suffices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+from .wafer import WaferBreakdown
+
+__all__ = ["AbatementPolicy"]
+
+#: Components that point-of-use abatement can destroy.
+_ABATABLE = ("pfc_diffusive", "chemicals_gases", "bulk_gases")
+
+
+@dataclass(frozen=True, slots=True)
+class AbatementPolicy:
+    """Fraction of process-gas emissions destroyed before release.
+
+    ``coverage`` is the fraction of tools fitted with abatement;
+    ``destruction_efficiency`` is the removal efficiency of fitted
+    tools (industry systems reach 90-99% for most PFCs).
+    """
+
+    coverage: float
+    destruction_efficiency: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.coverage <= 1.0:
+            raise SimulationError(f"coverage must be in [0, 1], got {self.coverage}")
+        if not 0.0 <= self.destruction_efficiency <= 1.0:
+            raise SimulationError(
+                "destruction efficiency must be in [0, 1], "
+                f"got {self.destruction_efficiency}"
+            )
+
+    @property
+    def removal_fraction(self) -> float:
+        """Net fraction of abatable gas emissions removed."""
+        return self.coverage * self.destruction_efficiency
+
+    def apply(self, breakdown: WaferBreakdown) -> WaferBreakdown:
+        """Return a breakdown with abatable components reduced."""
+        keep = 1.0 - self.removal_fraction
+        components = dict(breakdown.components)
+        for name in _ABATABLE:
+            components[name] = components[name] * keep
+        return WaferBreakdown(components)

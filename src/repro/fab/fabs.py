@@ -1,0 +1,123 @@
+"""Fab-level model: capacity, energy demand, and GHG inventory.
+
+Scales the per-wafer footprint model to a whole fabrication plant so a
+chip manufacturer can be filed under the GHG Protocol exactly like the
+data-center operators: process gases land in Scope 1, fab electricity
+in Scope 2 (with a renewable share driving the market-based figure),
+and wafer materials in Scope 3. Anchors from the paper: a 3 nm
+gigafab may draw up to 7.7 billion kWh a year, and TSMC targets a 20%
+renewable share by 2025.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.ghg import GHGInventory, Scope
+from ..core.intensity import market_based_intensity
+from ..errors import SimulationError
+from ..units import Carbon, CarbonIntensity, Energy
+from .process import ProcessNode
+from .wafer import WaferFootprintModel
+
+__all__ = ["FabModel"]
+
+_GAS_COMPONENTS = ("pfc_diffusive", "chemicals_gases", "bulk_gases")
+_MATERIAL_COMPONENTS = ("raw_wafers", "other")
+
+
+@dataclass(frozen=True)
+class FabModel:
+    """A fabrication plant running one node at a given capacity."""
+
+    name: str
+    node: ProcessNode
+    wafer_starts_per_year: float
+    grid: CarbonIntensity
+    renewable_share: float = 0.0
+    wafer_diameter_mm: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.wafer_starts_per_year <= 0.0:
+            raise SimulationError(f"{self.name}: capacity must be positive")
+        if not 0.0 <= self.renewable_share <= 1.0:
+            raise SimulationError(f"{self.name}: renewable share in [0, 1]")
+
+    # ------------------------------------------------------------------
+    # Physical quantities
+    # ------------------------------------------------------------------
+    def wafer_model(self) -> WaferFootprintModel:
+        return WaferFootprintModel.from_node(
+            self.node, self.grid, self.wafer_diameter_mm
+        )
+
+    def annual_energy(self) -> Energy:
+        """Electricity demand of the whole plant."""
+        area_cm2 = self.wafer_model().wafer_area_cm2
+        per_wafer = Energy.kwh(self.node.energy_kwh_per_cm2 * area_cm2)
+        return per_wafer * self.wafer_starts_per_year
+
+    def effective_intensity(self) -> CarbonIntensity:
+        """Market-based intensity after renewable procurement."""
+        return market_based_intensity(self.grid, self.renewable_share)
+
+    # ------------------------------------------------------------------
+    # Per-scope emissions
+    # ------------------------------------------------------------------
+    def scope1(self) -> Carbon:
+        """Direct process-gas emissions (PFCs, chemicals, bulk gases)."""
+        baseline = self.wafer_model().baseline
+        per_wafer = Carbon.zero()
+        for component in _GAS_COMPONENTS:
+            per_wafer = per_wafer + baseline.components[component]
+        return per_wafer * self.wafer_starts_per_year
+
+    def scope2(self, market_based: bool = True) -> Carbon:
+        intensity = self.effective_intensity() if market_based else self.grid
+        return intensity.carbon_for(self.annual_energy())
+
+    def scope3_materials(self) -> Carbon:
+        """Upstream wafer and consumable materials."""
+        baseline = self.wafer_model().baseline
+        per_wafer = Carbon.zero()
+        for component in _MATERIAL_COMPONENTS:
+            per_wafer = per_wafer + baseline.components[component]
+        return per_wafer * self.wafer_starts_per_year
+
+    def inventory(self, year: int) -> GHGInventory:
+        """File the fab as a GHG-Protocol inventory for one year."""
+        inventory = GHGInventory(self.name, year)
+        inventory.add(Scope.SCOPE1, "process_gases", self.scope1())
+        inventory.add(
+            Scope.SCOPE2_LOCATION, "fab_electricity",
+            self.scope2(market_based=False),
+        )
+        inventory.add(
+            Scope.SCOPE2_MARKET, "fab_electricity",
+            self.scope2(market_based=True),
+        )
+        inventory.add(
+            Scope.SCOPE3_UPSTREAM, "wafer_materials", self.scope3_materials()
+        )
+        return inventory
+
+    # ------------------------------------------------------------------
+    # What-ifs
+    # ------------------------------------------------------------------
+    def with_renewable_share(self, share: float) -> "FabModel":
+        """The same fab with a different procurement level."""
+        return FabModel(
+            name=self.name,
+            node=self.node,
+            wafer_starts_per_year=self.wafer_starts_per_year,
+            grid=self.grid,
+            renewable_share=share,
+            wafer_diameter_mm=self.wafer_diameter_mm,
+        )
+
+    def total_emissions(self, market_based: bool = True) -> Carbon:
+        return (
+            self.scope1()
+            + self.scope2(market_based=market_based)
+            + self.scope3_materials()
+        )

@@ -1,0 +1,85 @@
+"""Process-node roadmap with per-area manufacturing coefficients.
+
+Each :class:`ProcessNode` carries the three per-area quantities that an
+ACT-style bottom-up embodied-carbon model needs:
+
+* ``energy_kwh_per_cm2`` — fab electricity per cm^2 of processed wafer;
+  multiplied by the fab grid's carbon intensity it yields the
+  energy-attributed carbon (the ~63% green wedge of Figure 14).
+* ``gas_kg_per_cm2`` — direct CO2e from PFCs, chemicals, and process
+  gases per cm^2 (the ~30% wedge TSMC attributes to PFCs/chemicals).
+* ``material_kg_per_cm2`` — upstream CO2e of raw wafers, bulk gases,
+  and consumable materials per cm^2.
+
+Coefficient values are estimates calibrated so that (a) the Figure 14
+component shares hold for the 16 nm-class baseline under a
+Taiwan-like grid, and (b) per-die footprints land in the range implied
+by the paper's device LCAs (a flagship phone SoC around 10-25 kg
+CO2e). Absolute values are marked estimated; trends across nodes
+(rising energy and gas per area) follow industry roadmaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DataValidationError
+
+__all__ = ["ProcessNode", "NODE_ROADMAP", "node_by_name"]
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessNode:
+    """A logic process node and its per-area manufacturing coefficients."""
+
+    name: str
+    feature_nm: float
+    energy_kwh_per_cm2: float
+    gas_kg_per_cm2: float
+    material_kg_per_cm2: float
+    defect_density_per_cm2: float
+    first_volume_year: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DataValidationError("process node needs a name")
+        if self.feature_nm <= 0.0:
+            raise DataValidationError(f"{self.name}: feature size must be positive")
+        for field_name in (
+            "energy_kwh_per_cm2",
+            "gas_kg_per_cm2",
+            "material_kg_per_cm2",
+            "defect_density_per_cm2",
+        ):
+            if getattr(self, field_name) < 0.0:
+                raise DataValidationError(
+                    f"{self.name}: {field_name} must be non-negative"
+                )
+
+
+#: Roadmap ordered from oldest to newest. Energy and gas per area rise
+#: with node advancement (more masks, more EUV, more process steps);
+#: defect density is the mature-process figure for each node. The 16nm
+#: row is the calibration anchor: under a Taiwan-like 583 g/kWh grid it
+#: reproduces Figure 14's component shares (energy ~63%, process gases
+#: ~31%, materials ~6% of per-wafer carbon).
+NODE_ROADMAP: tuple[ProcessNode, ...] = (
+    ProcessNode("65nm", 65.0, 0.60, 0.200, 0.050, 0.05, 2006),
+    ProcessNode("45nm", 45.0, 0.70, 0.230, 0.055, 0.06, 2008),
+    ProcessNode("28nm", 28.0, 0.90, 0.270, 0.060, 0.08, 2011),
+    ProcessNode("20nm", 20.0, 1.00, 0.300, 0.063, 0.09, 2014),
+    ProcessNode("16nm", 16.0, 1.20, 0.344, 0.067, 0.10, 2015),
+    ProcessNode("10nm", 10.0, 1.50, 0.400, 0.072, 0.12, 2017),
+    ProcessNode("7nm", 7.0, 1.80, 0.460, 0.078, 0.10, 2018),
+    ProcessNode("5nm", 5.0, 2.30, 0.540, 0.085, 0.12, 2020),
+    ProcessNode("3nm", 3.0, 2.90, 0.620, 0.092, 0.15, 2022),
+)
+
+
+def node_by_name(name: str) -> ProcessNode:
+    """Look up a roadmap node by its name (e.g. ``"7nm"``)."""
+    for node in NODE_ROADMAP:
+        if node.name == name:
+            return node
+    known = [node.name for node in NODE_ROADMAP]
+    raise DataValidationError(f"unknown process node {name!r}; have {known}")

@@ -1,0 +1,207 @@
+"""Per-wafer carbon footprint model (Figure 14).
+
+TSMC's CSR report decomposes 12-inch-wafer manufacturing emissions into
+energy (~63%), PFC and diffusive emissions, chemicals and gases, bulk
+gases, raw wafers, and other. Only the energy wedge responds to
+powering the fab with cleaner electricity, which is why a 64x cleaner
+grid shrinks the total by only ~2.7x.
+
+Two construction paths are supported:
+
+* :meth:`WaferFootprintModel.from_reported_shares` — top-down from the
+  reported component shares plus a baseline per-wafer total (the exact
+  Figure 14 reproduction).
+* :meth:`WaferFootprintModel.from_node` — bottom-up from a
+  :class:`~repro.fab.process.ProcessNode`'s per-area coefficients and a
+  fab grid intensity (used by the embodied-carbon model and the
+  node-sweep ablation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..errors import DataValidationError, SimulationError
+from ..units import Carbon, CarbonIntensity, Energy
+from .process import ProcessNode
+
+__all__ = ["WaferBreakdown", "WaferFootprintModel", "WAFER_COMPONENTS"]
+
+#: Component keys, in the paper's legend order.
+WAFER_COMPONENTS = (
+    "energy",
+    "pfc_diffusive",
+    "chemicals_gases",
+    "bulk_gases",
+    "raw_wafers",
+    "other",
+)
+
+#: Components that do not respond to cleaner fab electricity.
+_NON_ENERGY = tuple(name for name in WAFER_COMPONENTS if name != "energy")
+
+
+@dataclass(frozen=True)
+class WaferBreakdown:
+    """Absolute per-wafer carbon by component."""
+
+    components: Mapping[str, Carbon]
+
+    def __post_init__(self) -> None:
+        unknown = set(self.components) - set(WAFER_COMPONENTS)
+        if unknown:
+            raise DataValidationError(f"unknown wafer components {sorted(unknown)}")
+        missing = set(WAFER_COMPONENTS) - set(self.components)
+        if missing:
+            raise DataValidationError(f"missing wafer components {sorted(missing)}")
+        for name, carbon in self.components.items():
+            if carbon.grams < 0.0:
+                raise DataValidationError(f"component {name!r} is negative")
+        object.__setattr__(self, "components", dict(self.components))
+
+    @property
+    def total(self) -> Carbon:
+        total = Carbon.zero()
+        for carbon in self.components.values():
+            total = total + carbon
+        return total
+
+    def share(self, component: str) -> float:
+        if component not in self.components:
+            raise DataValidationError(f"unknown component {component!r}")
+        total = self.total.grams
+        if total == 0.0:
+            raise SimulationError("zero-total breakdown has no shares")
+        return self.components[component].grams / total
+
+    def shares(self) -> dict[str, float]:
+        return {name: self.share(name) for name in WAFER_COMPONENTS}
+
+
+@dataclass(frozen=True)
+class WaferFootprintModel:
+    """A wafer's carbon with an explicit energy/non-energy split.
+
+    ``fab_intensity`` is the grid intensity the energy wedge was
+    computed at; sweeping renewable improvements rescales only that
+    wedge.
+    """
+
+    baseline: WaferBreakdown
+    fab_intensity: CarbonIntensity
+    wafer_diameter_mm: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.wafer_diameter_mm <= 0.0:
+            raise DataValidationError("wafer diameter must be positive")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_reported_shares(
+        cls,
+        shares: Mapping[str, float],
+        total: Carbon,
+        fab_intensity: CarbonIntensity,
+        wafer_diameter_mm: float = 300.0,
+    ) -> "WaferFootprintModel":
+        """Top-down: reported component shares plus a per-wafer total."""
+        share_sum = sum(shares.get(name, 0.0) for name in WAFER_COMPONENTS)
+        if abs(share_sum - 1.0) > 1e-6:
+            raise DataValidationError(f"wafer shares must sum to 1, got {share_sum}")
+        components = {
+            name: total * shares.get(name, 0.0) for name in WAFER_COMPONENTS
+        }
+        return cls(WaferBreakdown(components), fab_intensity, wafer_diameter_mm)
+
+    @classmethod
+    def from_node(
+        cls,
+        node: ProcessNode,
+        fab_intensity: CarbonIntensity,
+        wafer_diameter_mm: float = 300.0,
+        gas_split: Mapping[str, float] | None = None,
+    ) -> "WaferFootprintModel":
+        """Bottom-up: per-area node coefficients times wafer area.
+
+        ``gas_split`` divides the node's direct-gas coefficient among
+        the three gas-flavored components; defaults follow the Figure 14
+        proportions (PFC dominates).
+        """
+        radius_cm = wafer_diameter_mm / 20.0
+        area_cm2 = math.pi * radius_cm * radius_cm
+        energy = Energy.kwh(node.energy_kwh_per_cm2 * area_cm2)
+        energy_carbon = fab_intensity.carbon_for(energy)
+        gas_total = Carbon.kg(node.gas_kg_per_cm2 * area_cm2)
+        material_total = Carbon.kg(node.material_kg_per_cm2 * area_cm2)
+        split = dict(gas_split) if gas_split is not None else {
+            "pfc_diffusive": 0.50,
+            "chemicals_gases": 0.37,
+            "bulk_gases": 0.13,
+        }
+        split_sum = sum(split.values())
+        if abs(split_sum - 1.0) > 1e-6:
+            raise DataValidationError(f"gas split must sum to 1, got {split_sum}")
+        components = {
+            "energy": energy_carbon,
+            "pfc_diffusive": gas_total * split.get("pfc_diffusive", 0.0),
+            "chemicals_gases": gas_total * split.get("chemicals_gases", 0.0),
+            "bulk_gases": gas_total * split.get("bulk_gases", 0.0),
+            "raw_wafers": material_total * 0.65,
+            "other": material_total * 0.35,
+        }
+        return cls(WaferBreakdown(components), fab_intensity, wafer_diameter_mm)
+
+    # ------------------------------------------------------------------
+    # Renewable-energy sweeps
+    # ------------------------------------------------------------------
+    def with_energy_improvement(self, factor: float) -> WaferBreakdown:
+        """Breakdown after making fab electricity ``factor``x cleaner.
+
+        Only the energy component shrinks; everything else is direct or
+        upstream emissions unaffected by the fab's grid.
+        """
+        if factor <= 0.0:
+            raise SimulationError(f"improvement factor must be positive, got {factor}")
+        components = dict(self.baseline.components)
+        components["energy"] = components["energy"] * (1.0 / factor)
+        return WaferBreakdown(components)
+
+    def total_reduction(self, factor: float) -> float:
+        """Overall footprint reduction for a ``factor``x cleaner grid.
+
+        The paper's headline: a 64x improvement yields only ~2.7x.
+        """
+        improved = self.with_energy_improvement(factor)
+        if improved.total.grams == 0.0:
+            raise SimulationError("improved footprint is zero; reduction undefined")
+        return self.baseline.total.grams / improved.total.grams
+
+    def sweep(self, factors: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64)) -> list[dict]:
+        """The Figure 14 sweep: normalized component stack per factor."""
+        base_total = self.baseline.total.grams
+        if base_total == 0.0:
+            raise SimulationError("zero-baseline model cannot be swept")
+        rows = []
+        for factor in factors:
+            improved = self.with_energy_improvement(factor)
+            row: dict[str, float] = {"factor": float(factor)}
+            for name in WAFER_COMPONENTS:
+                row[name] = improved.components[name].grams / base_total
+            row["total"] = improved.total.grams / base_total
+            rows.append(row)
+        return rows
+
+    # ------------------------------------------------------------------
+    # Per-area and per-die views
+    # ------------------------------------------------------------------
+    @property
+    def wafer_area_cm2(self) -> float:
+        radius_cm = self.wafer_diameter_mm / 20.0
+        return math.pi * radius_cm * radius_cm
+
+    def carbon_per_cm2(self) -> Carbon:
+        return self.baseline.total * (1.0 / self.wafer_area_cm2)

@@ -1,0 +1,80 @@
+"""Die yield and wafer-geometry models.
+
+Per-die embodied carbon divides per-wafer carbon over the *good* dies,
+so the bottom-up model needs (a) how many die candidates fit on a wafer
+and (b) what fraction of them work.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import SimulationError
+
+__all__ = ["poisson_yield", "murphy_yield", "dies_per_wafer", "good_dies_per_wafer"]
+
+
+def poisson_yield(die_area_mm2: float, defect_density_per_cm2: float) -> float:
+    """Poisson yield model: Y = exp(-A * D0).
+
+    The classic first-order model; pessimistic for large dies.
+    """
+    _validate(die_area_mm2, defect_density_per_cm2)
+    area_cm2 = die_area_mm2 / 100.0
+    return math.exp(-area_cm2 * defect_density_per_cm2)
+
+
+def murphy_yield(die_area_mm2: float, defect_density_per_cm2: float) -> float:
+    """Murphy's yield model: Y = ((1 - exp(-A*D0)) / (A*D0))^2.
+
+    Assumes a triangular defect-density distribution; the standard
+    industry compromise between Poisson and Seeds models.
+    """
+    _validate(die_area_mm2, defect_density_per_cm2)
+    area_cm2 = die_area_mm2 / 100.0
+    ad = area_cm2 * defect_density_per_cm2
+    if ad == 0.0:
+        return 1.0
+    return ((1.0 - math.exp(-ad)) / ad) ** 2
+
+
+def dies_per_wafer(wafer_diameter_mm: float, die_area_mm2: float) -> int:
+    """Gross die candidates per wafer (edge-loss corrected).
+
+    Uses the standard approximation
+    ``N = pi*(d/2)^2/A - pi*d/sqrt(2*A)`` which subtracts the partial
+    dies lost around the wafer edge.
+    """
+    if wafer_diameter_mm <= 0.0:
+        raise SimulationError("wafer diameter must be positive")
+    if die_area_mm2 <= 0.0:
+        raise SimulationError("die area must be positive")
+    radius = wafer_diameter_mm / 2.0
+    gross = (math.pi * radius * radius) / die_area_mm2
+    edge_loss = (math.pi * wafer_diameter_mm) / math.sqrt(2.0 * die_area_mm2)
+    count = int(gross - edge_loss)
+    return max(count, 0)
+
+
+def good_dies_per_wafer(
+    wafer_diameter_mm: float,
+    die_area_mm2: float,
+    defect_density_per_cm2: float,
+    model: str = "murphy",
+) -> float:
+    """Expected working dies per wafer under the chosen yield model."""
+    candidates = dies_per_wafer(wafer_diameter_mm, die_area_mm2)
+    if model == "murphy":
+        fraction = murphy_yield(die_area_mm2, defect_density_per_cm2)
+    elif model == "poisson":
+        fraction = poisson_yield(die_area_mm2, defect_density_per_cm2)
+    else:
+        raise SimulationError(f"unknown yield model {model!r}")
+    return candidates * fraction
+
+
+def _validate(die_area_mm2: float, defect_density_per_cm2: float) -> None:
+    if die_area_mm2 <= 0.0:
+        raise SimulationError("die area must be positive")
+    if defect_density_per_cm2 < 0.0:
+        raise SimulationError("defect density must be non-negative")

@@ -1,0 +1,38 @@
+"""Mobile-platform substrate: SoC, inference, and power measurement.
+
+Reproduces the paper's Pixel 3 case study (Figures 9 and 10) without
+the physical phone or Monsoon power monitor: a Snapdragon-845-like SoC
+model, a roofline-flavored inference simulator calibrated to the
+paper's measurements, a power-monitor simulator that produces sampled
+traces, and a device model that ties the SoC to its life-cycle record
+for break-even analysis.
+"""
+
+from .processors import MobileProcessor, MobileSoC, SNAPDRAGON_845
+from .inference import InferenceSimulator, InferenceEstimate
+from .power_monitor import MonsoonSimulator, PowerTrace
+from .device import MobilePhone, pixel3
+from .battery import (
+    Battery,
+    UsageProfile,
+    DEFAULT_SMARTPHONE_PROFILE,
+    annual_wall_energy,
+    use_phase_bottom_up,
+)
+
+__all__ = [
+    "MobileProcessor",
+    "MobileSoC",
+    "SNAPDRAGON_845",
+    "InferenceSimulator",
+    "InferenceEstimate",
+    "MonsoonSimulator",
+    "PowerTrace",
+    "MobilePhone",
+    "pixel3",
+    "Battery",
+    "UsageProfile",
+    "DEFAULT_SMARTPHONE_PROFILE",
+    "annual_wall_energy",
+    "use_phase_bottom_up",
+]

@@ -1,0 +1,99 @@
+"""Whole-phone model: life cycle plus inference energy (Figure 10).
+
+:class:`MobilePhone` ties a product's LCA record to an inference
+simulator so the paper's break-even questions become one-liners:
+
+>>> phone = pixel3()
+>>> round(phone.break_even_images("mobilenet_v3", "cpu") / 1e9, 1)
+5.0
+>>> round(phone.break_even_days("mobilenet_v3", "cpu"))
+350
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.amortization import (
+    AmortizationSchedule,
+    break_even_days,
+    break_even_units,
+)
+from ..core.lca import ProductLCA
+from ..data.devices import device_by_name
+from ..data.grids import US_GRID
+from ..errors import SimulationError
+from ..units import Carbon, CarbonIntensity, SECONDS_PER_DAY
+from .inference import InferenceSimulator
+from .processors import MobileSoC, SNAPDRAGON_845
+
+__all__ = ["MobilePhone", "pixel3"]
+
+
+@dataclass(frozen=True)
+class MobilePhone:
+    """A phone with a life cycle record and an inference simulator."""
+
+    lca: ProductLCA
+    soc: MobileSoC
+    simulator: InferenceSimulator
+    grid: CarbonIntensity = field(default_factory=lambda: US_GRID.intensity)
+
+    # ------------------------------------------------------------------
+    # Embodied carbon attribution
+    # ------------------------------------------------------------------
+    @property
+    def ic_capex(self) -> Carbon:
+        """Embodied carbon of the integrated circuits.
+
+        Uses the LCA's component split when present, otherwise the
+        paper's fallback assumption that half of production emissions
+        are integrated circuits.
+        """
+        if "integrated_circuits" in self.lca.component_fractions:
+            return self.lca.component_carbon("integrated_circuits")
+        return self.lca.production_carbon * 0.5
+
+    # ------------------------------------------------------------------
+    # Break-even analysis (Figure 10)
+    # ------------------------------------------------------------------
+    def carbon_per_inference(self, model_name: str, processor_kind: str) -> Carbon:
+        energy = self.simulator.energy_per_inference(model_name, processor_kind)
+        return self.grid.carbon_for(energy)
+
+    def break_even_images(self, model_name: str, processor_kind: str) -> float:
+        """Inferences until operational carbon equals the IC capex."""
+        return break_even_units(
+            self.ic_capex, self.carbon_per_inference(model_name, processor_kind)
+        )
+
+    def break_even_days(self, model_name: str, processor_kind: str) -> float:
+        """Days of continuous inference until opex equals IC capex."""
+        power = self.simulator.sustained_power(model_name, processor_kind)
+        return break_even_days(self.ic_capex, power, self.grid)
+
+    def amortization(self, model_name: str, processor_kind: str) -> AmortizationSchedule:
+        return AmortizationSchedule(
+            capex=self.ic_capex,
+            power=self.simulator.sustained_power(model_name, processor_kind),
+            grid=self.grid,
+        )
+
+    def amortizes_within_lifetime(
+        self, model_name: str, processor_kind: str
+    ) -> bool:
+        """Does break-even land inside the device's service life?"""
+        lifetime_s = self.lca.lifetime_years * 365.0 * SECONDS_PER_DAY
+        if lifetime_s <= 0.0:
+            raise SimulationError("device lifetime must be positive")
+        return self.break_even_days(model_name, processor_kind) * SECONDS_PER_DAY <= lifetime_s
+
+
+def pixel3(grid: CarbonIntensity | None = None) -> MobilePhone:
+    """The paper's measurement platform, fully wired."""
+    return MobilePhone(
+        lca=device_by_name("pixel_3"),
+        soc=SNAPDRAGON_845,
+        simulator=InferenceSimulator(),
+        grid=grid if grid is not None else US_GRID.intensity,
+    )

@@ -1,0 +1,168 @@
+"""CNN inference simulator for mobile SoCs.
+
+Layers two models:
+
+* a **roofline estimate** — latency is bounded below by compute time
+  (model flops over the unit's effective arithmetic rate) and memory
+  time (weight traffic over effective bandwidth);
+* a **calibration table** — measured (latency, power) records override
+  the roofline where available, exactly the way a lab pairs an
+  analytical model with Monsoon measurements. The shipped table is
+  :data:`repro.data.measurements.PIXEL3_MEASUREMENTS`.
+
+The simulator answers the questions Figures 9 and 10 ask: latency,
+energy per inference, throughput, and sustained power per
+(model, processor) pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..data.measurements import PIXEL3_MEASUREMENTS, MeasurementRecord
+from ..data.workloads import CNNModel, cnn_by_name
+from ..errors import CalibrationError, SimulationError
+from ..units import Energy, Power
+from .processors import MobileSoC, SNAPDRAGON_845
+
+__all__ = ["InferenceEstimate", "InferenceSimulator"]
+
+
+@dataclass(frozen=True, slots=True)
+class InferenceEstimate:
+    """What the simulator reports for one (model, processor) pair."""
+
+    model: str
+    processor: str
+    latency_s: float
+    power: Power
+    calibrated: bool
+
+    @property
+    def throughput_ips(self) -> float:
+        return 1.0 / self.latency_s
+
+    @property
+    def energy_per_inference(self) -> Energy:
+        return self.power.energy_over(self.latency_s)
+
+
+class InferenceSimulator:
+    """Latency/energy model for CNN inference on a mobile SoC."""
+
+    def __init__(
+        self,
+        soc: MobileSoC = SNAPDRAGON_845,
+        calibration: Iterable[MeasurementRecord] = PIXEL3_MEASUREMENTS,
+    ) -> None:
+        self.soc = soc
+        self._calibration: dict[tuple[str, str], MeasurementRecord] = {}
+        for record in calibration:
+            key = (record.model, record.processor)
+            if key in self._calibration:
+                raise CalibrationError(f"duplicate calibration record for {key}")
+            self._calibration[key] = record
+
+    # ------------------------------------------------------------------
+    # Roofline model
+    # ------------------------------------------------------------------
+    def roofline_latency_s(self, model: CNNModel, processor_kind: str) -> float:
+        """Analytic lower-bound latency from flops and weight traffic."""
+        unit = self.soc.processor(processor_kind)
+        compute_s = model.gflops / unit.effective_gflops
+        memory_s = model.model_bytes / (unit.effective_bandwidth_gbs * 1e9)
+        return max(compute_s, memory_s)
+
+    def roofline_power(self, processor_kind: str) -> Power:
+        return Power.watts(self.soc.processor(processor_kind).typical_active_power_w)
+
+    # ------------------------------------------------------------------
+    # Calibrated estimates
+    # ------------------------------------------------------------------
+    def estimate(self, model_name: str, processor_kind: str) -> InferenceEstimate:
+        """Best available estimate: calibrated if measured, else roofline."""
+        key = (model_name, processor_kind)
+        if key in self._calibration:
+            record = self._calibration[key]
+            return InferenceEstimate(
+                model=model_name,
+                processor=processor_kind,
+                latency_s=record.latency_s,
+                power=record.power,
+                calibrated=True,
+            )
+        model = cnn_by_name(model_name)
+        return InferenceEstimate(
+            model=model_name,
+            processor=processor_kind,
+            latency_s=self.roofline_latency_s(model, processor_kind),
+            power=self.roofline_power(processor_kind),
+            calibrated=False,
+        )
+
+    def latency_s(self, model_name: str, processor_kind: str) -> float:
+        return self.estimate(model_name, processor_kind).latency_s
+
+    def energy_per_inference(self, model_name: str, processor_kind: str) -> Energy:
+        return self.estimate(model_name, processor_kind).energy_per_inference
+
+    def throughput_ips(self, model_name: str, processor_kind: str) -> float:
+        return self.estimate(model_name, processor_kind).throughput_ips
+
+    def sustained_power(self, model_name: str, processor_kind: str) -> Power:
+        return self.estimate(model_name, processor_kind).power
+
+    # ------------------------------------------------------------------
+    # Batch runs and calibration diagnostics
+    # ------------------------------------------------------------------
+    def run(
+        self, model_name: str, processor_kind: str, num_inferences: int
+    ) -> tuple[float, Energy]:
+        """Duration and energy of a back-to-back inference burst."""
+        if num_inferences <= 0:
+            raise SimulationError("number of inferences must be positive")
+        estimate = self.estimate(model_name, processor_kind)
+        duration_s = estimate.latency_s * num_inferences
+        energy = estimate.power.energy_over(duration_s)
+        return duration_s, energy
+
+    def calibration_residual(self, model_name: str, processor_kind: str) -> float:
+        """Measured latency over roofline latency (>= 1 when sane).
+
+        The residual is the framework/overhead factor the analytic model
+        misses; the tests assert it never drops below 1 (a measurement
+        beating the roofline bound would mean a calibration bug).
+        """
+        key = (model_name, processor_kind)
+        if key not in self._calibration:
+            raise CalibrationError(f"no calibration record for {key}")
+        model = cnn_by_name(model_name)
+        bound = self.roofline_latency_s(model, processor_kind)
+        if bound <= 0.0:
+            raise CalibrationError(f"degenerate roofline bound for {key}")
+        return self._calibration[key].latency_s / bound
+
+    def calibrated_pairs(self) -> list[tuple[str, str]]:
+        return sorted(self._calibration.keys())
+
+    def comparison_table(
+        self, model_names: Iterable[str], processor_kinds: Iterable[str]
+    ) -> list[Mapping[str, object]]:
+        """Figure 9 rows: latency and energy per (model, processor)."""
+        rows: list[Mapping[str, object]] = []
+        for model_name in model_names:
+            for kind in processor_kinds:
+                estimate = self.estimate(model_name, kind)
+                rows.append(
+                    {
+                        "model": model_name,
+                        "processor": kind,
+                        "latency_ms": estimate.latency_s * 1e3,
+                        "energy_mj": estimate.energy_per_inference.joules * 1e3,
+                        "power_w": estimate.power.watts_value,
+                        "throughput_ips": estimate.throughput_ips,
+                        "calibrated": estimate.calibrated,
+                    }
+                )
+        return rows

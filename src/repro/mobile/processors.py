@@ -1,0 +1,129 @@
+"""Mobile SoC and processor models.
+
+A :class:`MobileSoC` aggregates the compute units the paper exercises
+(CPU cluster, GPU, DSP) with enough microarchitectural detail for a
+roofline latency estimate: peak arithmetic throughput, memory
+bandwidth, and achievable efficiency. The shipped instance mirrors the
+Qualcomm Snapdragon 845 in the Google Pixel 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..errors import DataValidationError
+
+__all__ = ["MobileProcessor", "MobileSoC", "SNAPDRAGON_845"]
+
+
+@dataclass(frozen=True, slots=True)
+class MobileProcessor:
+    """One compute unit on a mobile SoC.
+
+    ``peak_gflops`` is the unit's theoretical arithmetic peak for the
+    numeric format CNN inference uses on it (fp32 on CPU/GPU, int8 on
+    DSP — we fold format differences into the peak).
+    ``compute_efficiency`` is the fraction of that peak real CNN layers
+    achieve; ``bandwidth_efficiency`` likewise for DRAM streaming.
+    """
+
+    name: str
+    kind: str
+    peak_gflops: float
+    memory_bandwidth_gbs: float
+    typical_active_power_w: float
+    compute_efficiency: float = 0.35
+    bandwidth_efficiency: float = 0.60
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("cpu", "gpu", "dsp"):
+            raise DataValidationError(f"{self.name}: unknown kind {self.kind!r}")
+        for field_name in (
+            "peak_gflops",
+            "memory_bandwidth_gbs",
+            "typical_active_power_w",
+        ):
+            if getattr(self, field_name) <= 0.0:
+                raise DataValidationError(f"{self.name}: {field_name} must be positive")
+        for field_name in ("compute_efficiency", "bandwidth_efficiency"):
+            value = getattr(self, field_name)
+            if not 0.0 < value <= 1.0:
+                raise DataValidationError(
+                    f"{self.name}: {field_name} must be in (0, 1]"
+                )
+
+    @property
+    def effective_gflops(self) -> float:
+        return self.peak_gflops * self.compute_efficiency
+
+    @property
+    def effective_bandwidth_gbs(self) -> float:
+        return self.memory_bandwidth_gbs * self.bandwidth_efficiency
+
+
+@dataclass(frozen=True)
+class MobileSoC:
+    """A mobile system-on-chip: die, node, and compute units."""
+
+    name: str
+    process_node_name: str
+    die_area_mm2: float
+    processors: Mapping[str, MobileProcessor] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.die_area_mm2 <= 0.0:
+            raise DataValidationError(f"{self.name}: die area must be positive")
+        if not self.processors:
+            raise DataValidationError(f"{self.name}: needs at least one processor")
+        for key, processor in self.processors.items():
+            if key != processor.kind:
+                raise DataValidationError(
+                    f"{self.name}: processor keyed {key!r} has kind "
+                    f"{processor.kind!r}"
+                )
+        object.__setattr__(self, "processors", dict(self.processors))
+
+    def processor(self, kind: str) -> MobileProcessor:
+        if kind not in self.processors:
+            raise DataValidationError(
+                f"{self.name}: no {kind!r} unit; have {sorted(self.processors)}"
+            )
+        return self.processors[kind]
+
+
+#: The Pixel 3's SoC. Peaks are the commonly cited figures; the DSP
+#: peak reflects its int8 tensor throughput.
+SNAPDRAGON_845 = MobileSoC(
+    name="snapdragon_845",
+    process_node_name="10nm",
+    die_area_mm2=94.0,
+    processors={
+        "cpu": MobileProcessor(
+            name="kryo_385",
+            kind="cpu",
+            # Folded peak: 4x A75 @ 2.8 GHz with NEON int8 dot products
+            # (NN runtimes quantize), ~180 GOPS.
+            peak_gflops=180.0,
+            memory_bandwidth_gbs=29.8,
+            typical_active_power_w=4.0,
+            compute_efficiency=0.50,
+        ),
+        "gpu": MobileProcessor(
+            name="adreno_630",
+            kind="gpu",
+            peak_gflops=727.0,
+            memory_bandwidth_gbs=29.8,
+            typical_active_power_w=4.5,
+            compute_efficiency=0.25,
+        ),
+        "dsp": MobileProcessor(
+            name="hexagon_685",
+            kind="dsp",
+            peak_gflops=1024.0,
+            memory_bandwidth_gbs=29.8,
+            typical_active_power_w=2.5,
+            compute_efficiency=0.20,
+        ),
+    },
+)

@@ -1,0 +1,19 @@
+"""Text-mode reporting: tables and charts.
+
+The paper's figures are all chart renderings of tabular data; in an
+offline, dependency-free repo we render the same data as aligned text
+tables, horizontal bar charts, stacked bars, and character scatters.
+Every experiment driver uses these renderers for its ``render()``
+output.
+"""
+
+from .tables import render_table
+from .charts import bar_chart, stacked_bar_chart, scatter_chart, line_chart
+
+__all__ = [
+    "render_table",
+    "bar_chart",
+    "stacked_bar_chart",
+    "scatter_chart",
+    "line_chart",
+]

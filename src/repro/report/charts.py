@@ -1,0 +1,150 @@
+"""Character-cell charts: bars, stacked bars, lines, scatters."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..errors import SimulationError
+
+__all__ = ["bar_chart", "stacked_bar_chart", "line_chart", "scatter_chart"]
+
+_BLOCK = "#"
+
+
+def _label_width(labels: Sequence[str]) -> int:
+    return max(len(label) for label in labels)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    value_format: str = "{:.2f}",
+) -> str:
+    """Horizontal bar chart, one row per label."""
+    if len(labels) != len(values):
+        raise SimulationError("labels and values must have equal length")
+    if not labels:
+        raise SimulationError("a chart needs at least one bar")
+    if width <= 0:
+        raise SimulationError("chart width must be positive")
+    peak = max(values)
+    if peak < 0.0 or any(value < 0.0 for value in values):
+        raise SimulationError("bar values must be non-negative")
+    label_width = _label_width(labels)
+    lines = []
+    for label, value in zip(labels, values):
+        length = 0 if peak == 0 else int(round(width * value / peak))
+        lines.append(
+            f"{label.ljust(label_width)} |{_BLOCK * length:<{width}}| "
+            + value_format.format(value)
+        )
+    return "\n".join(lines)
+
+
+def stacked_bar_chart(
+    labels: Sequence[str],
+    stacks: Sequence[Mapping[str, float]],
+    width: int = 60,
+) -> str:
+    """Horizontal stacked bars with a legend.
+
+    Each stack maps component name -> value; components are drawn with
+    successive letters and the legend ties letters back to names.
+    """
+    if len(labels) != len(stacks):
+        raise SimulationError("labels and stacks must have equal length")
+    if not labels:
+        raise SimulationError("a chart needs at least one bar")
+    components: list[str] = []
+    for stack in stacks:
+        for name in stack:
+            if name not in components:
+                components.append(name)
+    symbols = {
+        name: chr(ord("A") + index) for index, name in enumerate(components)
+    }
+    if len(components) > 26:
+        raise SimulationError("too many components to letter")
+    peak = max(sum(stack.values()) for stack in stacks)
+    if peak <= 0.0:
+        raise SimulationError("stacked bars need a positive total")
+    label_width = _label_width(labels)
+    lines = []
+    for label, stack in zip(labels, stacks):
+        cells: list[str] = []
+        for name in components:
+            value = stack.get(name, 0.0)
+            if value < 0.0:
+                raise SimulationError(f"component {name!r} is negative")
+            cells.append(symbols[name] * int(round(width * value / peak)))
+        bar = "".join(cells)
+        total = sum(stack.values())
+        lines.append(f"{label.ljust(label_width)} |{bar:<{width}}| {total:.2f}")
+    legend = "  ".join(f"{symbols[name]}={name}" for name in components)
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    height: int = 12,
+    width: int = 64,
+) -> str:
+    """Multi-series character line chart (each series gets a letter)."""
+    if not series:
+        raise SimulationError("a line chart needs at least one series")
+    if height <= 1 or width <= 1:
+        raise SimulationError("chart dimensions must exceed one cell")
+    for name, values in series.items():
+        if len(values) != len(xs):
+            raise SimulationError(f"series {name!r} length mismatch")
+    all_values = [value for values in series.values() for value in values]
+    low, high = min(all_values), max(all_values)
+    span = high - low or 1.0
+    x_low, x_high = min(xs), max(xs)
+    x_span = x_high - x_low or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    symbols = {
+        name: chr(ord("A") + index) for index, name in enumerate(series)
+    }
+    for name, values in series.items():
+        for x, value in zip(xs, values):
+            col = int(round((x - x_low) / x_span * (width - 1)))
+            row = int(round((value - low) / span * (height - 1)))
+            grid[height - 1 - row][col] = symbols[name]
+    lines = ["".join(row) for row in grid]
+    lines.append("-" * width)
+    legend = "  ".join(f"{symbols[name]}={name}" for name in series)
+    lines.append(
+        f"y: [{low:.3g}, {high:.3g}]  x: [{x_low:.3g}, {x_high:.3g}]  {legend}"
+    )
+    return "\n".join(lines)
+
+
+def scatter_chart(
+    points: Sequence[tuple[float, float, str]],
+    height: int = 14,
+    width: int = 60,
+) -> str:
+    """Character scatter; each point is (x, y, single-char marker)."""
+    if not points:
+        raise SimulationError("a scatter needs at least one point")
+    if height <= 1 or width <= 1:
+        raise SimulationError("chart dimensions must exceed one cell")
+    xs = [point[0] for point in points]
+    ys = [point[1] for point in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = x_high - x_low or 1.0
+    y_span = y_high - y_low or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, marker in points:
+        col = int(round((x - x_low) / x_span * (width - 1)))
+        row = int(round((y - y_low) / y_span * (height - 1)))
+        grid[height - 1 - row][col] = (marker or "*")[0]
+    lines = ["".join(row) for row in grid]
+    lines.append("-" * width)
+    lines.append(f"x: [{x_low:.3g}, {x_high:.3g}]  y: [{y_low:.3g}, {y_high:.3g}]")
+    return "\n".join(lines)

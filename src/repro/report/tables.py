@@ -1,0 +1,18 @@
+"""Table rendering helpers."""
+
+from __future__ import annotations
+
+from ..tabular import Table
+
+__all__ = ["render_table"]
+
+
+def render_table(
+    table: Table, title: str | None = None, float_format: str = "{:.3f}"
+) -> str:
+    """Render a table with an optional underlined title."""
+    body = table.to_text(float_format=float_format)
+    if title is None:
+        return body
+    rule = "=" * len(title)
+    return f"{title}\n{rule}\n{body}"

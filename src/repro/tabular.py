@@ -1,0 +1,373 @@
+"""A minimal columnar table, the library's pandas substitute.
+
+Every analysis in the paper is a small relational computation over
+curated records: filter rows, derive columns, group, aggregate, sort,
+join, and render. :class:`Table` implements exactly that surface with
+plain Python containers so the repository has no heavyweight
+dependencies.
+
+Tables are immutable from the caller's point of view: every operation
+returns a new :class:`Table`, and columns handed in or out are copied.
+
+>>> t = Table.from_records([
+...     {"vendor": "apple", "kg": 60.0},
+...     {"vendor": "google", "kg": 45.0},
+...     {"vendor": "apple", "kg": 66.0},
+... ])
+>>> t.where(lambda row: row["vendor"] == "apple").num_rows
+2
+>>> t.aggregate(by=["vendor"], total=("kg", sum)).sort_by("vendor").column("total")
+[126.0, 45.0]
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from .errors import TableError
+
+__all__ = ["Table"]
+
+Row = dict[str, Any]
+Aggregation = tuple[str, Callable[[list[Any]], Any]]
+
+
+class Table:
+    """An ordered collection of named, equally sized columns."""
+
+    def __init__(self, columns: Mapping[str, Sequence[Any]]) -> None:
+        if not columns:
+            raise TableError("a table needs at least one column")
+        normalized: dict[str, list[Any]] = {}
+        length: int | None = None
+        for name, values in columns.items():
+            if not isinstance(name, str) or not name:
+                raise TableError(f"column names must be non-empty strings, got {name!r}")
+            values = list(values)
+            if length is None:
+                length = len(values)
+            elif len(values) != length:
+                raise TableError(
+                    f"column {name!r} has {len(values)} values, expected {length}"
+                )
+            normalized[name] = values
+        self._columns = normalized
+        self._length = length or 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_records(
+        cls, records: Iterable[Mapping[str, Any]], columns: Sequence[str] | None = None
+    ) -> "Table":
+        """Build a table from an iterable of row mappings.
+
+        When ``columns`` is omitted the column order of the first record
+        is used and every record must supply exactly the same keys.
+        """
+        records = list(records)
+        if not records:
+            if columns is None:
+                raise TableError("cannot infer columns from zero records")
+            return cls({name: [] for name in columns})
+        names = list(columns) if columns is not None else list(records[0].keys())
+        data: dict[str, list[Any]] = {name: [] for name in names}
+        for index, record in enumerate(records):
+            missing = set(names) - set(record.keys())
+            if missing:
+                raise TableError(f"record {index} is missing columns {sorted(missing)}")
+            extra = set(record.keys()) - set(names)
+            if extra and columns is None:
+                raise TableError(f"record {index} has unexpected columns {sorted(extra)}")
+            for name in names:
+                data[name].append(record[name])
+        return cls(data)
+
+    @classmethod
+    def empty(cls, columns: Sequence[str]) -> "Table":
+        return cls({name: [] for name in columns})
+
+    @classmethod
+    def concat(cls, tables: Sequence["Table"]) -> "Table":
+        """Stack tables with identical columns, preserving row order."""
+        if not tables:
+            raise TableError("concat() needs at least one table")
+        names = tables[0].column_names
+        for table in tables[1:]:
+            if table.column_names != names:
+                raise TableError(
+                    f"column mismatch: {table.column_names} vs {names}"
+                )
+        return cls(
+            {
+                name: [
+                    value for table in tables for value in table._columns[name]
+                ]
+                for name in names
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._columns.keys())
+
+    @property
+    def num_rows(self) -> int:
+        return self._length
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self) -> Iterator[Row]:
+        names = self.column_names
+        for index in range(self._length):
+            yield {name: self._columns[name][index] for name in names}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        return self._columns == other._columns
+
+    def row(self, index: int) -> Row:
+        """Return row ``index`` as a dict (supports negative indices)."""
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise TableError(f"row index {index} out of range for {self._length} rows")
+        return {name: values[index] for name, values in self._columns.items()}
+
+    def column(self, name: str) -> list[Any]:
+        """Return a copy of the named column's values."""
+        if name not in self._columns:
+            raise TableError(f"unknown column {name!r}; have {self.column_names}")
+        return list(self._columns[name])
+
+    def to_records(self) -> list[Row]:
+        return list(self)
+
+    # ------------------------------------------------------------------
+    # Relational operations (each returns a new Table)
+    # ------------------------------------------------------------------
+    def select(self, *names: str) -> "Table":
+        """Keep only the named columns, in the given order."""
+        for name in names:
+            if name not in self._columns:
+                raise TableError(f"unknown column {name!r}; have {self.column_names}")
+        if not names:
+            raise TableError("select() needs at least one column name")
+        return Table({name: self._columns[name] for name in names})
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        """Rename columns according to ``mapping`` (old name -> new name)."""
+        for old in mapping:
+            if old not in self._columns:
+                raise TableError(f"unknown column {old!r}; have {self.column_names}")
+        return Table(
+            {mapping.get(name, name): values for name, values in self._columns.items()}
+        )
+
+    def where(self, predicate: Callable[[Row], bool]) -> "Table":
+        """Keep rows for which ``predicate(row)`` is truthy."""
+        keep = [index for index, row in enumerate(self) if predicate(row)]
+        return self._take(keep)
+
+    def with_column(
+        self, name: str, values: Sequence[Any] | Callable[[Row], Any]
+    ) -> "Table":
+        """Add or replace a column, from a sequence or a per-row function."""
+        if callable(values):
+            computed = [values(row) for row in self]
+        else:
+            computed = list(values)
+            if len(computed) != self._length:
+                raise TableError(
+                    f"column {name!r} has {len(computed)} values, expected {self._length}"
+                )
+        columns = dict(self._columns)
+        columns[name] = computed
+        return Table(columns)
+
+    def drop(self, *names: str) -> "Table":
+        """Remove the named columns."""
+        for name in names:
+            if name not in self._columns:
+                raise TableError(f"unknown column {name!r}; have {self.column_names}")
+        remaining = {
+            name: values for name, values in self._columns.items() if name not in names
+        }
+        if not remaining:
+            raise TableError("cannot drop every column")
+        return Table(remaining)
+
+    def sort_by(self, *names: str, reverse: bool = False) -> "Table":
+        """Sort rows lexicographically by the named columns."""
+        if not names:
+            raise TableError("sort_by() needs at least one column name")
+        for name in names:
+            if name not in self._columns:
+                raise TableError(f"unknown column {name!r}; have {self.column_names}")
+        order = sorted(
+            range(self._length),
+            key=lambda index: tuple(self._columns[name][index] for name in names),
+            reverse=reverse,
+        )
+        return self._take(order)
+
+    def head(self, count: int) -> "Table":
+        """Return the first ``count`` rows."""
+        if count < 0:
+            raise TableError("head() count must be non-negative")
+        return self._take(list(range(min(count, self._length))))
+
+    def unique(self, name: str) -> list[Any]:
+        """Distinct values of a column, in first-appearance order."""
+        seen: dict[Any, None] = {}
+        for value in self.column(name):
+            seen.setdefault(value, None)
+        return list(seen.keys())
+
+    def describe(self) -> "Table":
+        """Min/mean/max summary of every numeric column."""
+        records: list[Row] = []
+        for name, values in self._columns.items():
+            numeric = [
+                float(value)
+                for value in values
+                if isinstance(value, (int, float)) and not isinstance(value, bool)
+            ]
+            if not numeric:
+                continue
+            records.append(
+                {
+                    "column": name,
+                    "count": len(numeric),
+                    "min": min(numeric),
+                    "mean": sum(numeric) / len(numeric),
+                    "max": max(numeric),
+                }
+            )
+        if not records:
+            raise TableError("describe() needs at least one numeric column")
+        return Table.from_records(records)
+
+    def group_by(self, *names: str) -> list[tuple[tuple[Any, ...], "Table"]]:
+        """Partition rows by the named key columns.
+
+        Returns ``(key, sub_table)`` pairs in first-appearance order of
+        each key.
+        """
+        if not names:
+            raise TableError("group_by() needs at least one column name")
+        for name in names:
+            if name not in self._columns:
+                raise TableError(f"unknown column {name!r}; have {self.column_names}")
+        groups: dict[tuple[Any, ...], list[int]] = {}
+        for index in range(self._length):
+            key = tuple(self._columns[name][index] for name in names)
+            groups.setdefault(key, []).append(index)
+        return [(key, self._take(indices)) for key, indices in groups.items()]
+
+    def aggregate(self, by: Sequence[str], **aggregations: Aggregation) -> "Table":
+        """Group by ``by`` and reduce columns.
+
+        Each keyword maps an output column name to a pair
+        ``(input_column, reducer)`` where the reducer is applied to the
+        list of values of that column within the group:
+
+        >>> t = Table({"k": ["a", "a", "b"], "v": [1, 2, 3]})
+        >>> t.aggregate(by=["k"], total=("v", sum)).column("total")
+        [3, 3]
+        """
+        if not aggregations:
+            raise TableError("aggregate() needs at least one aggregation")
+        records: list[Row] = []
+        for key, group in self.group_by(*by):
+            record: Row = dict(zip(by, key))
+            for out_name, (in_name, reducer) in aggregations.items():
+                record[out_name] = reducer(group.column(in_name))
+            records.append(record)
+        return Table.from_records(
+            records, columns=list(by) + list(aggregations.keys())
+        )
+
+    def join(self, other: "Table", on: str | Sequence[str]) -> "Table":
+        """Inner-join with ``other`` on the named key column(s).
+
+        Non-key columns that exist in both tables are taken from the
+        right table under the suffix ``_right``.
+        """
+        keys = [on] if isinstance(on, str) else list(on)
+        for key in keys:
+            if key not in self._columns:
+                raise TableError(f"left table lacks join column {key!r}")
+            if key not in other._columns:
+                raise TableError(f"right table lacks join column {key!r}")
+        right_index: dict[tuple[Any, ...], list[int]] = {}
+        for index in range(other._length):
+            key = tuple(other._columns[name][index] for name in keys)
+            right_index.setdefault(key, []).append(index)
+        right_extra = [name for name in other.column_names if name not in keys]
+        out_names = self.column_names + [
+            f"{name}_right" if name in self._columns else name for name in right_extra
+        ]
+        records: list[Row] = []
+        for index in range(self._length):
+            key = tuple(self._columns[name][index] for name in keys)
+            for right_row_index in right_index.get(key, []):
+                record = {
+                    name: self._columns[name][index] for name in self.column_names
+                }
+                for name in right_extra:
+                    out = f"{name}_right" if name in self._columns else name
+                    record[out] = other._columns[name][right_row_index]
+                records.append(record)
+        return Table.from_records(records, columns=out_names)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def to_text(self, float_format: str = "{:.3f}") -> str:
+        """Render as an aligned plain-text table."""
+        names = self.column_names
+
+        def fmt(value: Any) -> str:
+            if isinstance(value, bool):
+                return str(value)
+            if isinstance(value, float):
+                return float_format.format(value)
+            return str(value)
+
+        cells = [[fmt(value) for value in self._columns[name]] for name in names]
+        widths = [
+            max([len(name)] + [len(cell) for cell in column])
+            for name, column in zip(names, cells)
+        ]
+        header = "  ".join(name.ljust(width) for name, width in zip(names, widths))
+        rule = "  ".join("-" * width for width in widths)
+        lines = [header, rule]
+        for row_index in range(self._length):
+            lines.append(
+                "  ".join(
+                    cells[col_index][row_index].ljust(widths[col_index])
+                    for col_index in range(len(names))
+                )
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Table({self._length} rows x {len(self._columns)} cols: {self.column_names})"
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _take(self, indices: Sequence[int]) -> "Table":
+        return Table(
+            {
+                name: [values[index] for index in indices]
+                for name, values in self._columns.items()
+            }
+        )

@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.corporate import facebook_series, google_series
+from repro.mobile.device import pixel3
+from repro.mobile.inference import InferenceSimulator
+
+
+@pytest.fixture(scope="session")
+def simulator() -> InferenceSimulator:
+    return InferenceSimulator()
+
+
+@pytest.fixture(scope="session")
+def phone():
+    return pixel3()
+
+
+@pytest.fixture(scope="session")
+def facebook():
+    return facebook_series()
+
+
+@pytest.fixture(scope="session")
+def google():
+    return google_series()

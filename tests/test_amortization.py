@@ -1,0 +1,130 @@
+"""Tests for break-even and amortization analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.amortization import (
+    AmortizationSchedule,
+    break_even_days,
+    break_even_seconds,
+    break_even_units,
+    break_even_years,
+)
+from repro.errors import SimulationError
+from repro.units import Carbon, CarbonIntensity, Power, days
+
+
+@pytest.fixture
+def schedule() -> AmortizationSchedule:
+    return AmortizationSchedule(
+        capex=Carbon.kg(22.4),
+        power=Power.watts(7.0222),
+        grid=CarbonIntensity.g_per_kwh(380.0),
+    )
+
+
+class TestBreakEvenUnits:
+    def test_simple_ratio(self):
+        assert break_even_units(Carbon.kg(10.0), Carbon.from_grams(1.0)) == 10_000.0
+
+    def test_zero_per_unit_rejected(self):
+        with pytest.raises(SimulationError):
+            break_even_units(Carbon.kg(1.0), Carbon.zero())
+
+    def test_negative_capex_rejected(self):
+        with pytest.raises(SimulationError):
+            break_even_units(Carbon.kg(-1.0), Carbon.from_grams(1.0))
+
+    def test_zero_capex_breaks_even_immediately(self):
+        assert break_even_units(Carbon.zero(), Carbon.from_grams(1.0)) == 0.0
+
+
+class TestBreakEvenTime:
+    def test_seconds_inverse_in_power(self):
+        capex = Carbon.kg(10.0)
+        grid = CarbonIntensity.g_per_kwh(380.0)
+        slow = break_even_seconds(capex, Power.watts(1.0), grid)
+        fast = break_even_seconds(capex, Power.watts(4.0), grid)
+        assert slow == pytest.approx(4.0 * fast)
+
+    def test_seconds_inverse_in_intensity(self):
+        capex = Carbon.kg(10.0)
+        power = Power.watts(5.0)
+        dirty = break_even_seconds(capex, power, CarbonIntensity.g_per_kwh(800.0))
+        clean = break_even_seconds(capex, power, CarbonIntensity.g_per_kwh(100.0))
+        assert clean == pytest.approx(8.0 * dirty)
+
+    def test_days_and_years_consistent(self):
+        capex = Carbon.kg(10.0)
+        power = Power.watts(5.0)
+        grid = CarbonIntensity.g_per_kwh(380.0)
+        assert break_even_days(capex, power, grid) == pytest.approx(
+            break_even_seconds(capex, power, grid) / 86400.0
+        )
+        assert break_even_years(capex, power, grid) == pytest.approx(
+            break_even_days(capex, power, grid) / 365.0
+        )
+
+    def test_paper_anchor_mobilenet_v3_cpu(self):
+        # The Figure 10 bottom-panel anchor: 22.4 kg at 7.02 W on the
+        # US grid breaks even in ~350 days.
+        result = break_even_days(
+            Carbon.kg(22.4), Power.watts(7.0222), CarbonIntensity.g_per_kwh(380.0)
+        )
+        assert result == pytest.approx(350.0, rel=0.01)
+
+    def test_zero_power_rejected(self):
+        with pytest.raises(SimulationError):
+            break_even_seconds(
+                Carbon.kg(1.0), Power.watts(0.0), CarbonIntensity.g_per_kwh(380.0)
+            )
+
+    def test_zero_intensity_rejected(self):
+        with pytest.raises(SimulationError):
+            break_even_seconds(
+                Carbon.kg(1.0), Power.watts(1.0), CarbonIntensity.g_per_kwh(0.0)
+            )
+
+
+class TestAmortizationSchedule:
+    def test_opex_at_break_even_equals_capex(self, schedule):
+        seconds = schedule.break_even_seconds()
+        assert schedule.opex_after(seconds).kilograms == pytest.approx(
+            schedule.capex.kilograms
+        )
+
+    def test_opex_share_is_half_at_break_even(self, schedule):
+        seconds = schedule.break_even_seconds()
+        assert schedule.opex_share_after(seconds) == pytest.approx(0.5)
+
+    def test_opex_grows_linearly(self, schedule):
+        one_day = schedule.opex_after(days(1)).grams
+        ten_days = schedule.opex_after(days(10)).grams
+        assert ten_days == pytest.approx(10.0 * one_day)
+
+    def test_total_after_includes_capex(self, schedule):
+        assert schedule.total_after(0.0).kilograms == pytest.approx(
+            schedule.capex.kilograms
+        )
+
+    def test_amortized_within_lifetime(self, schedule):
+        break_even = schedule.break_even_seconds()
+        assert schedule.amortized_within(break_even * 1.01)
+        assert not schedule.amortized_within(break_even * 0.99)
+
+    def test_negative_elapsed_rejected(self, schedule):
+        with pytest.raises(SimulationError):
+            schedule.opex_after(-1.0)
+
+    def test_nonpositive_lifetime_rejected(self, schedule):
+        with pytest.raises(SimulationError):
+            schedule.amortized_within(0.0)
+
+    def test_zero_power_rejected(self):
+        with pytest.raises(SimulationError):
+            AmortizationSchedule(
+                capex=Carbon.kg(1.0),
+                power=Power.watts(0.0),
+                grid=CarbonIntensity.g_per_kwh(380.0),
+            )

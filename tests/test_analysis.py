@@ -1,0 +1,165 @@
+"""Tests for the analysis toolkit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.breakdown import (
+    device_class_breakdown,
+    lifecycle_grid_sweep,
+    power_class_breakdown,
+)
+from repro.analysis.projections import ict_projection, interpolate_anchor_series
+from repro.analysis.sensitivity import one_at_a_time, tornado_order
+from repro.analysis.trends import generational_table, is_monotonic, trend_summary
+from repro.data.corporate import INTEL_BREAKDOWN
+from repro.data.devices import DEVICE_LCAS, family
+from repro.data.energy_sources import source_by_name
+from repro.errors import SimulationError
+
+
+class TestBreakdowns:
+    def test_device_class_breakdown_covers_recent_classes(self):
+        table = device_class_breakdown(DEVICE_LCAS, min_year=2017)
+        assert "phone" in table.column("device_class")
+        assert "speaker" in table.column("device_class")
+
+    def test_fraction_means_in_unit_interval(self):
+        table = device_class_breakdown(DEVICE_LCAS, min_year=2017)
+        for row in table:
+            assert 0.0 <= row["manufacturing_mean"] <= 1.0
+            assert 0.0 <= row["use_mean"] <= 1.0
+
+    def test_power_class_breakdown_has_two_rows(self):
+        table = power_class_breakdown(DEVICE_LCAS, min_year=2017)
+        assert sorted(table.column("power_class")) == [
+            "always_connected",
+            "battery_powered",
+        ]
+
+    def test_year_filter_that_empties_raises(self):
+        with pytest.raises(SimulationError):
+            device_class_breakdown(DEVICE_LCAS, min_year=2100)
+
+    def test_grid_sweep_baseline_total_is_one(self):
+        us_like = source_by_name("gas")
+        sweep = lifecycle_grid_sweep(INTEL_BREAKDOWN, [us_like])
+        # gas (490) is dirtier than the US baseline (380): total > 1.
+        assert sweep.row(0)["total"] > 1.0
+
+    def test_grid_sweep_use_share_shrinks_with_clean_energy(self):
+        sweep = lifecycle_grid_sweep(
+            INTEL_BREAKDOWN,
+            [source_by_name("coal"), source_by_name("wind")],
+        )
+        assert sweep.row(1)["use_share"] < sweep.row(0)["use_share"]
+
+
+class TestTrends:
+    def test_is_monotonic_increasing(self):
+        assert is_monotonic([1, 2, 3])
+        assert not is_monotonic([1, 3, 2])
+
+    def test_is_monotonic_decreasing(self):
+        assert is_monotonic([3, 2, 1], increasing=False)
+
+    def test_tolerance_forgives_small_steps(self):
+        assert is_monotonic([1.0, 0.9, 2.0], tolerance=0.2)
+        assert not is_monotonic([1.0, 0.5, 2.0], tolerance=0.2)
+
+    def test_short_sequences_trivially_monotone(self):
+        assert is_monotonic([])
+        assert is_monotonic([5])
+
+    def test_generational_table_columns(self):
+        table = generational_table(family("iphone"))
+        assert "manufacturing_fraction" in table.column_names
+        assert table.num_rows == len(family("iphone"))
+
+    def test_trend_summary_iphone_anchors(self):
+        summary = trend_summary(family("iphone"))
+        assert summary["first_manufacturing_fraction"] == pytest.approx(0.40)
+        assert summary["last_manufacturing_fraction"] == pytest.approx(0.75)
+        assert summary["manufacturing_fraction_rising"]
+
+    def test_trend_summary_needs_two_generations(self):
+        with pytest.raises(SimulationError):
+            trend_summary(family("iphone")[:1])
+
+
+class TestProjections:
+    def test_interpolation_hits_anchors_exactly(self):
+        anchors = {2010: 100.0, 2020: 400.0}
+        series = interpolate_anchor_series(anchors, [2010, 2020])
+        assert series[2010] == 100.0
+        assert series[2020] == 400.0
+
+    def test_interpolation_is_geometric(self):
+        anchors = {2010: 100.0, 2020: 400.0}
+        series = interpolate_anchor_series(anchors, [2015])
+        assert series[2015] == pytest.approx(200.0)
+
+    def test_interpolation_monotone_between_rising_anchors(self):
+        anchors = {2010: 100.0, 2020: 400.0}
+        years = list(range(2010, 2021))
+        series = interpolate_anchor_series(anchors, years)
+        values = [series[year] for year in years]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_extrapolation_rejected(self):
+        with pytest.raises(SimulationError):
+            interpolate_anchor_series({2010: 1.0, 2020: 2.0}, [2021])
+
+    def test_nonpositive_anchor_rejected(self):
+        with pytest.raises(SimulationError):
+            interpolate_anchor_series({2010: 0.0, 2020: 2.0}, [2015])
+
+    def test_ict_projection_has_21_years(self):
+        table = ict_projection("expected")
+        assert table.num_rows == 21
+
+    def test_ict_share_rises_in_expected_scenario(self):
+        table = ict_projection("expected")
+        shares = table.column("ict_share")
+        assert shares[-1] > shares[0]
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SimulationError):
+            ict_projection("pessimistic")
+
+
+def _linear_model(params):
+    return params["a"] * 10.0 + params["b"]
+
+
+class TestSensitivity:
+    def test_swing_reflects_parameter_weight(self):
+        table = one_at_a_time(
+            _linear_model,
+            baseline={"a": 1.0, "b": 1.0},
+            ranges={"a": (0.0, 2.0), "b": (0.0, 2.0)},
+        )
+        swings = {row["parameter"]: row["swing"] for row in table}
+        assert swings["a"] == pytest.approx(20.0)
+        assert swings["b"] == pytest.approx(2.0)
+
+    def test_tornado_order_sorts_by_swing(self):
+        table = one_at_a_time(
+            _linear_model,
+            baseline={"a": 1.0, "b": 1.0},
+            ranges={"a": (0.0, 2.0), "b": (0.0, 2.0)},
+        )
+        ordered = tornado_order(table)
+        assert ordered.column("parameter")[0] == "a"
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(SimulationError):
+            one_at_a_time(_linear_model, baseline={"a": 1.0}, ranges={"z": (0, 1)})
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(SimulationError):
+            one_at_a_time(
+                _linear_model,
+                baseline={"a": 1.0, "b": 1.0},
+                ranges={"a": (2.0, 0.0)},
+            )

@@ -1,0 +1,114 @@
+"""Tests for the battery and usage-profile model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.devices import device_by_name
+from repro.data.grids import US_GRID
+from repro.errors import SimulationError
+from repro.mobile.battery import (
+    DEFAULT_SMARTPHONE_PROFILE,
+    Battery,
+    UsageProfile,
+    annual_wall_energy,
+    use_phase_bottom_up,
+)
+from repro.units import Energy, Power
+
+
+@pytest.fixture
+def battery() -> Battery:
+    return Battery(capacity_wh=11.0, charge_efficiency=0.75, cycle_life=800)
+
+
+class TestBattery:
+    def test_wall_energy_includes_charging_losses(self, battery):
+        wall = battery.wall_energy_for(Energy.watt_hours(75.0))
+        assert wall.watt_hours_value == pytest.approx(100.0)
+
+    def test_perfect_charger_is_identity(self):
+        ideal = Battery(capacity_wh=10.0, charge_efficiency=1.0)
+        assert ideal.wall_energy_for(Energy.kwh(1.0)).kilowatt_hours == 1.0
+
+    def test_cycles_for_capacity(self, battery):
+        assert battery.cycles_for(Energy.watt_hours(22.0)) == pytest.approx(2.0)
+
+    def test_cycle_lifetime(self, battery):
+        # One full cycle per day exhausts 800 cycles in ~2.2 years.
+        annual = Energy.watt_hours(11.0 * 365.0)
+        assert battery.lifetime_years_by_cycles(annual) == pytest.approx(
+            800.0 / 365.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            Battery(capacity_wh=0.0)
+        with pytest.raises(SimulationError):
+            Battery(capacity_wh=10.0, charge_efficiency=0.0)
+        with pytest.raises(SimulationError):
+            Battery(capacity_wh=10.0, cycle_life=0)
+
+
+class TestUsageProfile:
+    def test_daily_energy_combines_active_and_standby(self):
+        profile = UsageProfile(
+            active_hours_per_day=4.0,
+            active_power=Power.watts(2.0),
+            standby_power=Power.watts(0.1),
+        )
+        expected_wh = 4.0 * 2.0 + 20.0 * 0.1
+        assert profile.daily_device_energy().watt_hours_value == pytest.approx(
+            expected_wh
+        )
+
+    def test_annual_scales_daily(self):
+        profile = DEFAULT_SMARTPHONE_PROFILE
+        assert profile.annual_device_energy().joules == pytest.approx(
+            profile.daily_device_energy().joules * 365.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            UsageProfile(25.0, Power.watts(1.0), Power.watts(0.1))
+        with pytest.raises(SimulationError):
+            UsageProfile(4.0, Power.watts(0.1), Power.watts(1.0))
+
+
+class TestBottomUpUsePhase:
+    def test_default_profile_lands_near_iphone_lca(self, battery):
+        """The bottom-up use phase must land within ~35% of the curated
+        iPhone 11 use stage — the cross-validation this module exists
+        for."""
+        lca = device_by_name("iphone_11")
+        bottom_up = use_phase_bottom_up(
+            DEFAULT_SMARTPHONE_PROFILE, battery, US_GRID.intensity,
+            lca.lifetime_years,
+        )
+        assert bottom_up.kilograms == pytest.approx(
+            lca.use_carbon.kilograms, rel=0.35
+        )
+
+    def test_annual_wall_energy_magnitude(self, battery):
+        # Heavy smartphone use is single-digit kWh per year at the wall.
+        wall = annual_wall_energy(DEFAULT_SMARTPHONE_PROFILE, battery)
+        assert 5.0 <= wall.kilowatt_hours <= 15.0
+
+    def test_cleaner_grid_scales_linearly(self, battery):
+        from repro.units import CarbonIntensity
+
+        dirty = use_phase_bottom_up(
+            DEFAULT_SMARTPHONE_PROFILE, battery,
+            CarbonIntensity.g_per_kwh(800.0), 3.0,
+        )
+        clean = use_phase_bottom_up(
+            DEFAULT_SMARTPHONE_PROFILE, battery,
+            CarbonIntensity.g_per_kwh(80.0), 3.0,
+        )
+        assert dirty.grams == pytest.approx(10.0 * clean.grams)
+
+    def test_lifetime_must_be_positive(self, battery):
+        with pytest.raises(SimulationError):
+            use_phase_bottom_up(
+                DEFAULT_SMARTPHONE_PROFILE, battery, US_GRID.intensity, 0.0
+            )

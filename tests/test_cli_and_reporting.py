@@ -1,0 +1,101 @@
+"""Tests for the CLI, markdown report, and fleet-to-GHG reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datacenter.fleet import simulate_fleet
+from repro.datacenter.reporting import (
+    fleet_to_report_series,
+    fleet_year_to_inventory,
+)
+from repro.errors import AccountingError
+from repro.experiments import run_experiment
+from repro.experiments.markdown import markdown_report, markdown_table
+from repro.experiments.ext04_fleet import facebook_like_parameters
+from repro.tabular import Table
+
+
+class TestCLI:
+    def test_parser_rejects_missing_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out and "tab04" in out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "tab02"]) == 0
+        out = capsys.readouterr().out
+        assert "paper vs measured" in out
+
+    def test_run_all(self, capsys):
+        assert main(["run", "all"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("ok") >= 20
+
+    def test_checks_command(self, capsys):
+        assert main(["checks"]) == 0
+        out = capsys.readouterr().out
+        assert "0 failing" in out
+
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestMarkdown:
+    def test_markdown_table_shape(self):
+        table = Table.from_records([{"a": 1.5, "b": True}])
+        text = markdown_table(table)
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert "yes" in lines[2]
+
+    def test_markdown_report_sections(self):
+        results = {"fig05": run_experiment("fig05")}
+        text = markdown_report(results)
+        assert text.startswith("## fig05")
+        assert "all checks pass" in text
+        assert "| check |" in text
+
+
+class TestFleetReporting:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return simulate_fleet(facebook_like_parameters())
+
+    def test_inventory_totals_match_report(self, reports):
+        final = reports[-1]
+        inventory = fleet_year_to_inventory("sim", final)
+        assert inventory.scope3_total().grams == pytest.approx(final.capex.grams)
+        assert inventory.capex_fraction(market_based=True) == pytest.approx(
+            final.capex_fraction_market
+        )
+
+    def test_series_covers_all_years(self, reports):
+        series = fleet_to_report_series("sim", reports)
+        assert series.years == [report.year for report in reports]
+
+    def test_series_scope_table_renders(self, reports):
+        series = fleet_to_report_series("sim", reports)
+        table = series.scope_table()
+        assert table.num_rows == len(reports)
+
+    def test_simulated_operator_shows_paper_pattern(self, reports):
+        """The simulated series reproduces Figure 11's divergence:
+        location-based Scope 2 rises, market-based falls."""
+        series = fleet_to_report_series("sim", reports)
+        table = series.scope_table()
+        location = table.column("scope2_location_t")
+        market = table.column("scope2_market_t")
+        assert location[-1] > location[0]
+        assert market[-1] < market[0]
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(AccountingError):
+            fleet_to_report_series("sim", [])

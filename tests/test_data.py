@@ -1,0 +1,191 @@
+"""Invariant tests over the curated datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import (
+    AI_BENCHMARK_POINTS,
+    CNN_MODELS,
+    DEVICE_LCAS,
+    ENERGY_SOURCES,
+    GRID_REGIONS,
+    MAC_PRO_CONFIGS,
+    PIXEL3_IC_CAPEX,
+    PIXEL3_MEASUREMENTS,
+    PRINEVILLE_SERIES,
+    TSMC_WAFER_SHARES,
+    cnn_by_name,
+    device_by_name,
+    devices_by_vendor,
+    family,
+    grid_by_name,
+    measurement,
+    source_by_name,
+)
+from repro.data.corporate import (
+    AMD_BREAKDOWN,
+    APPLE_2019_BREAKDOWN,
+    FACEBOOK_SCOPE3_2019,
+    INTEL_BREAKDOWN,
+)
+from repro.data.devices import FAMILIES
+
+
+class TestDeviceCorpus:
+    def test_corpus_size_matches_paper_scale(self):
+        # The paper's corpus is "more than 30 products".
+        assert len(DEVICE_LCAS) >= 40
+
+    def test_product_names_unique(self):
+        names = [lca.product for lca in DEVICE_LCAS]
+        assert len(names) == len(set(names))
+
+    def test_all_four_vendors_present(self):
+        vendors = {lca.vendor for lca in DEVICE_LCAS}
+        assert vendors == {"apple", "google", "microsoft", "huawei"}
+
+    def test_lookup_unknown_device_raises(self):
+        with pytest.raises(KeyError):
+            device_by_name("nokia_3310")
+
+    def test_devices_by_vendor_filters(self):
+        for lca in devices_by_vendor("google"):
+            assert lca.vendor == "google"
+
+    def test_families_ordered_by_year(self):
+        for name in FAMILIES:
+            years = [lca.year for lca in family(name)]
+            assert years == sorted(years)
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(KeyError):
+            family("galaxy")
+
+    def test_paper_anchor_fractions(self):
+        assert device_by_name("iphone_3gs").manufacturing_fraction == 0.40
+        assert device_by_name("iphone_xr").manufacturing_fraction == 0.75
+        assert device_by_name("watch_series_1").manufacturing_fraction == 0.60
+        assert device_by_name("watch_series_5").manufacturing_fraction == 0.75
+        assert device_by_name("ipad_gen7").manufacturing_fraction == 0.75
+
+    def test_iphone_11_capex_anchor(self):
+        assert device_by_name("iphone_11").capex_fraction == pytest.approx(0.86)
+
+    def test_mac_pro_production_anchor(self):
+        assert device_by_name("mac_pro").production_carbon.kilograms == pytest.approx(
+            700.0
+        )
+
+    def test_pixel3_ic_anchor(self):
+        lca = device_by_name("pixel_3")
+        assert lca.component_carbon("integrated_circuits").kilograms == (
+            pytest.approx(PIXEL3_IC_CAPEX.kilograms)
+        )
+
+
+class TestEnergyAndGrids:
+    def test_table2_complete(self):
+        assert len(ENERGY_SOURCES) == 8
+
+    def test_sources_sorted_dirtiest_first(self):
+        values = [s.intensity.grams_per_kwh for s in ENERGY_SOURCES]
+        assert values == sorted(values, reverse=True)
+
+    def test_renewables_flagged(self):
+        assert source_by_name("wind").renewable
+        assert not source_by_name("coal").renewable
+        assert not source_by_name("nuclear").renewable
+
+    def test_table3_complete(self):
+        assert len(GRID_REGIONS) == 9
+
+    def test_lookup_errors(self):
+        with pytest.raises(KeyError):
+            source_by_name("fusion")
+        with pytest.raises(KeyError):
+            grid_by_name("atlantis")
+
+
+class TestCorporateData:
+    def test_apple_breakdown_sums_to_one(self):
+        assert sum(s.fraction for s in APPLE_2019_BREAKDOWN) == pytest.approx(1.0)
+
+    def test_facebook_scope3_split_sums_to_one(self):
+        assert sum(FACEBOOK_SCOPE3_2019.values()) == pytest.approx(1.0)
+
+    def test_vendor_breakdowns_sum_to_one(self):
+        assert sum(INTEL_BREAKDOWN.categories.values()) == pytest.approx(1.0)
+        assert sum(AMD_BREAKDOWN.categories.values()) == pytest.approx(1.0)
+
+    def test_use_fractions_match_paper(self):
+        assert INTEL_BREAKDOWN.use_fraction == pytest.approx(0.60)
+        assert AMD_BREAKDOWN.use_fraction == pytest.approx(0.45)
+
+
+class TestMeasurements:
+    def test_twelve_cells(self):
+        assert len(PIXEL3_MEASUREMENTS) == 12
+
+    def test_all_models_on_all_processors(self):
+        models = {record.model for record in PIXEL3_MEASUREMENTS}
+        processors = {record.processor for record in PIXEL3_MEASUREMENTS}
+        assert len(models) * len(processors) == len(PIXEL3_MEASUREMENTS)
+
+    def test_lookup_unknown_cell_raises(self):
+        with pytest.raises(KeyError):
+            measurement("vgg16", "cpu")
+
+    def test_energy_per_inference_positive(self):
+        for record in PIXEL3_MEASUREMENTS:
+            assert record.energy_per_inference.joules > 0.0
+
+    def test_mobilenets_use_less_energy_than_heavyweights(self):
+        for processor in ("cpu", "gpu", "dsp"):
+            light = measurement("mobilenet_v3", processor)
+            heavy = measurement("resnet50", processor)
+            assert (
+                light.energy_per_inference.joules
+                < heavy.energy_per_inference.joules
+            )
+
+
+class TestWorkloadsAndBenchmarks:
+    def test_cnn_models_present(self):
+        assert {m.name for m in CNN_MODELS} >= {
+            "resnet50", "inception_v3", "mobilenet_v2", "mobilenet_v3",
+        }
+
+    def test_mobilenets_lighter_than_heavyweights(self):
+        assert cnn_by_name("mobilenet_v3").gflops < cnn_by_name("resnet50").gflops
+
+    def test_ai_points_reference_known_devices(self):
+        for point in AI_BENCHMARK_POINTS:
+            assert device_by_name(point.product) is not None
+
+    def test_ai_point_manufacturing_consistent_with_lca(self):
+        for point in AI_BENCHMARK_POINTS:
+            lca = device_by_name(point.product)
+            assert point.manufacturing_kg == pytest.approx(
+                lca.production_carbon.kilograms, rel=0.12
+            )
+
+
+class TestMiscSeries:
+    def test_tsmc_shares_sum_to_one(self):
+        assert sum(TSMC_WAFER_SHARES.values()) == pytest.approx(1.0)
+
+    def test_prineville_years_consecutive(self):
+        years = [record.year for record in PRINEVILLE_SERIES]
+        assert years == list(range(2013, 2020))
+
+    def test_prineville_coverage_rises(self):
+        coverage = [record.renewable_coverage for record in PRINEVILLE_SERIES]
+        assert all(a <= b for a, b in zip(coverage, coverage[1:]))
+
+    def test_mac_pro_table(self):
+        base, maxed = MAC_PRO_CONFIGS
+        assert maxed.manufacturing.kilograms / base.manufacturing.kilograms == (
+            pytest.approx(1900 / 700)
+        )
+        assert maxed.dram_gb / base.dram_gb == pytest.approx(48.0)

@@ -1,0 +1,127 @@
+"""Tests for the multi-year fleet simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.grids import US_GRID
+from repro.datacenter.facility import Facility
+from repro.datacenter.fleet import FleetParameters, simulate_fleet
+from repro.datacenter.renewable import PPAContract, RenewablePortfolio
+from repro.datacenter.server import WEB_SERVER
+from repro.data.energy_sources import source_by_name
+from repro.errors import SimulationError
+from repro.units import Carbon, Energy
+
+
+def _facility() -> Facility:
+    return Facility("dc", pue=1.1, construction_carbon=Carbon.kilotonnes(100.0))
+
+
+def _params(**overrides) -> FleetParameters:
+    params = dict(
+        server=WEB_SERVER,
+        facility=_facility(),
+        location_intensity=US_GRID.intensity,
+        initial_servers=10_000,
+        annual_growth=0.20,
+        years=6,
+    )
+    params.update(overrides)
+    return FleetParameters(**params)
+
+
+class TestFleetGrowth:
+    def test_one_report_per_year(self):
+        reports = simulate_fleet(_params())
+        assert len(reports) == 6
+        assert [r.year for r in reports] == list(range(2014, 2020))
+
+    def test_fleet_grows_at_configured_rate(self):
+        reports = simulate_fleet(_params())
+        for earlier, later in zip(reports, reports[1:]):
+            assert later.servers == int(round(earlier.servers * 1.2))
+
+    def test_energy_tracks_fleet_size(self):
+        reports = simulate_fleet(_params())
+        per_server = reports[0].energy.kilowatt_hours / reports[0].servers
+        for report in reports:
+            assert report.energy.kilowatt_hours / report.servers == pytest.approx(
+                per_server
+            )
+
+    def test_refresh_repurchases_old_cohorts(self):
+        # With a 4-year server lifetime, year index 4 must repurchase
+        # the initial cohort on top of growth.
+        reports = simulate_fleet(_params())
+        year4 = reports[4]
+        growth_only = year4.servers - reports[3].servers
+        assert year4.servers_added > growth_only
+
+    def test_zero_growth_still_refreshes(self):
+        reports = simulate_fleet(_params(annual_growth=0.0))
+        assert reports[4].servers_added == reports[0].servers_added
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(SimulationError):
+            _params(initial_servers=0)
+        with pytest.raises(SimulationError):
+            _params(annual_growth=-0.1)
+        with pytest.raises(SimulationError):
+            _params(utilization=1.5)
+        with pytest.raises(SimulationError):
+            _params(years=0)
+
+
+class TestFleetAccounting:
+    def test_without_renewables_market_equals_location(self):
+        reports = simulate_fleet(_params())
+        for report in reports:
+            assert report.opex_market.grams == pytest.approx(
+                report.opex_location.grams
+            )
+            assert report.renewable_coverage == 0.0
+
+    def test_renewables_cut_market_opex_only(self):
+        wind = PPAContract("wind", source_by_name("wind"), Energy.gwh(500.0))
+        ramp = {3: RenewablePortfolio((wind,))}
+        with_ppa = simulate_fleet(_params(renewable_ramp=ramp))
+        without = simulate_fleet(_params())
+        assert with_ppa[4].opex_market.grams < without[4].opex_market.grams
+        assert with_ppa[4].opex_location.grams == pytest.approx(
+            without[4].opex_location.grams
+        )
+
+    def test_portfolio_persists_after_ramp_year(self):
+        wind = PPAContract("wind", source_by_name("wind"), Energy.gwh(500.0))
+        ramp = {2: RenewablePortfolio((wind,))}
+        reports = simulate_fleet(_params(renewable_ramp=ramp))
+        assert reports[5].renewable_coverage > 0.0
+
+    def test_capex_includes_construction_every_year(self):
+        reports = simulate_fleet(_params())
+        construction = _facility().construction_per_year().grams
+        per_server = WEB_SERVER.embodied_carbon().grams
+        for report in reports:
+            expected = per_server * report.servers_added + construction
+            assert report.capex.grams == pytest.approx(expected)
+
+    def test_capex_fraction_bounds(self):
+        reports = simulate_fleet(_params())
+        for report in reports:
+            assert 0.0 < report.capex_fraction_market < 1.0
+
+    def test_capex_to_opex_infinite_when_opex_zero(self):
+        from repro.datacenter.fleet import FleetYearReport
+
+        report = FleetYearReport(
+            year=2020,
+            servers=1,
+            servers_added=1,
+            energy=Energy.kwh(1.0),
+            opex_location=Carbon.kg(1.0),
+            opex_market=Carbon.zero(),
+            capex=Carbon.kg(5.0),
+            renewable_coverage=1.0,
+        )
+        assert report.capex_to_opex_market == float("inf")

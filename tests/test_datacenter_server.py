@@ -1,0 +1,147 @@
+"""Tests for server, facility, and renewable-portfolio models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.embodied import EmbodiedModel
+from repro.data.energy_sources import source_by_name
+from repro.data.grids import US_GRID
+from repro.datacenter.facility import Facility
+from repro.datacenter.renewable import PPAContract, RenewablePortfolio
+from repro.datacenter.server import (
+    AI_TRAINING_SERVER,
+    STORAGE_SERVER,
+    WEB_SERVER,
+    ServerConfig,
+)
+from repro.errors import SimulationError
+from repro.units import Carbon, Energy, Power
+
+
+class TestServerPowerModel:
+    def test_idle_at_zero_utilization(self):
+        assert WEB_SERVER.power_at(0.0).watts_value == pytest.approx(
+            WEB_SERVER.idle_power.watts_value
+        )
+
+    def test_peak_at_full_utilization(self):
+        assert WEB_SERVER.power_at(1.0).watts_value == pytest.approx(
+            WEB_SERVER.peak_power.watts_value
+        )
+
+    def test_linear_midpoint(self):
+        midpoint = WEB_SERVER.power_at(0.5).watts_value
+        expected = (
+            WEB_SERVER.idle_power.watts_value + WEB_SERVER.peak_power.watts_value
+        ) / 2.0
+        assert midpoint == pytest.approx(expected)
+
+    def test_utilization_bounds(self):
+        with pytest.raises(SimulationError):
+            WEB_SERVER.power_at(1.5)
+
+    def test_annual_energy_magnitude(self):
+        # ~255 W continuous is ~2.2 MWh/yr.
+        energy = WEB_SERVER.annual_energy(0.45)
+        assert 2.0e3 <= energy.kilowatt_hours <= 2.5e3
+
+    def test_idle_cannot_exceed_peak(self):
+        with pytest.raises(SimulationError):
+            ServerConfig(
+                name="x",
+                bill=WEB_SERVER.bill,
+                idle_power=Power.watts(500.0),
+                peak_power=Power.watts(400.0),
+            )
+
+
+class TestServerEmbodied:
+    def test_ai_server_carries_more_embodied_carbon(self):
+        model = EmbodiedModel()
+        assert (
+            AI_TRAINING_SERVER.embodied_carbon(model).kilograms
+            > WEB_SERVER.embodied_carbon(model).kilograms
+        )
+
+    def test_embodied_per_year_divides_by_lifetime(self):
+        total = STORAGE_SERVER.embodied_carbon().kilograms
+        per_year = STORAGE_SERVER.embodied_per_year().kilograms
+        assert per_year == pytest.approx(total / STORAGE_SERVER.lifetime_years)
+
+    def test_web_server_embodied_magnitude(self):
+        # Hundreds of kg CO2e, not tens or tens of thousands.
+        kg = WEB_SERVER.embodied_carbon().kilograms
+        assert 100.0 <= kg <= 1500.0
+
+
+class TestFacility:
+    def test_pue_multiplies_it_energy(self):
+        facility = Facility("dc", pue=1.5, construction_carbon=Carbon.tonnes(1.0))
+        assert facility.facility_energy(Energy.kwh(100.0)).kilowatt_hours == 150.0
+
+    def test_overhead_energy(self):
+        facility = Facility("dc", pue=1.2, construction_carbon=Carbon.tonnes(1.0))
+        assert facility.overhead_energy(
+            Energy.kwh(100.0)
+        ).kilowatt_hours == pytest.approx(20.0)
+
+    def test_construction_amortization(self):
+        facility = Facility(
+            "dc", pue=1.1, construction_carbon=Carbon.kilotonnes(100.0),
+            lifetime_years=20.0,
+        )
+        assert facility.construction_per_year().kilotonnes_value == pytest.approx(5.0)
+
+    def test_pue_below_one_rejected(self):
+        with pytest.raises(SimulationError):
+            Facility("dc", pue=0.9, construction_carbon=Carbon.tonnes(1.0))
+
+
+class TestRenewablePortfolio:
+    def _portfolio(self) -> RenewablePortfolio:
+        return RenewablePortfolio(
+            (
+                PPAContract("wind", source_by_name("wind"), Energy.gwh(100.0)),
+                PPAContract("solar", source_by_name("solar"), Energy.gwh(50.0)),
+            )
+        )
+
+    def test_annual_supply_sums_contracts(self):
+        assert self._portfolio().annual_supply.gigawatt_hours == pytest.approx(150.0)
+
+    def test_contracted_intensity_is_weighted(self):
+        intensity = self._portfolio().contracted_intensity()
+        expected = (100 * 11 + 50 * 41) / 150
+        assert intensity.grams_per_kwh == pytest.approx(expected)
+
+    def test_coverage_caps_at_one(self):
+        portfolio = self._portfolio()
+        assert portfolio.coverage(Energy.gwh(100.0)) == 1.0
+        assert portfolio.coverage(Energy.gwh(300.0)) == pytest.approx(0.5)
+
+    def test_market_carbon_below_location(self):
+        portfolio = self._portfolio()
+        demand = Energy.gwh(200.0)
+        market = portfolio.market_carbon(demand, US_GRID.intensity)
+        location = portfolio.location_carbon(demand, US_GRID.intensity)
+        assert market.grams < location.grams
+
+    def test_full_coverage_leaves_contract_intensity(self):
+        portfolio = self._portfolio()
+        demand = Energy.gwh(150.0)
+        market = portfolio.market_intensity(demand, US_GRID.intensity)
+        assert market.grams_per_kwh == pytest.approx(
+            portfolio.contracted_intensity().grams_per_kwh
+        )
+
+    def test_empty_portfolio_has_zero_supply(self):
+        assert RenewablePortfolio().annual_supply.joules == 0.0
+
+    def test_non_renewable_contract_rejected(self):
+        with pytest.raises(SimulationError):
+            PPAContract("coal", source_by_name("coal"), Energy.gwh(10.0))
+
+    def test_zero_energy_contract_rejected(self):
+        with pytest.raises(SimulationError):
+            PPAContract("wind", source_by_name("wind"), Energy.zero())

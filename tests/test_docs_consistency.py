@@ -1,0 +1,70 @@
+"""Documentation consistency: DESIGN.md and EXPERIMENTS.md track the code.
+
+Docs that drift from the registry are worse than no docs; these tests
+fail the suite when an experiment is added without updating the record.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import EXPERIMENT_IDS
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def design_text() -> str:
+    return (_ROOT / "DESIGN.md").read_text()
+
+
+@pytest.fixture(scope="module")
+def experiments_text() -> str:
+    return (_ROOT / "EXPERIMENTS.md").read_text()
+
+
+@pytest.fixture(scope="module")
+def readme_text() -> str:
+    return (_ROOT / "README.md").read_text()
+
+
+@pytest.mark.parametrize("experiment_id", EXPERIMENT_IDS)
+def test_every_experiment_recorded_in_experiments_md(
+    experiments_text, experiment_id
+):
+    assert f"## {experiment_id}" in experiments_text, (
+        f"{experiment_id} missing from EXPERIMENTS.md — regenerate with "
+        "python -m repro.experiments.markdown"
+    )
+
+
+@pytest.mark.parametrize("experiment_id", EXPERIMENT_IDS)
+def test_every_experiment_indexed_in_design_md(design_text, experiment_id):
+    assert experiment_id in design_text, (
+        f"{experiment_id} missing from DESIGN.md's experiment index"
+    )
+
+
+def test_experiments_md_reports_no_failures(experiments_text):
+    assert "CHECKS FAILING" not in experiments_text
+
+
+def test_every_benchmark_exists_per_paper_artifact():
+    bench_dir = _ROOT / "benchmarks"
+    for number in (1, 2, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14):
+        assert (bench_dir / f"test_bench_fig{number:02d}.py").exists()
+    for number in (1, 2, 3, 4):
+        assert (bench_dir / f"test_bench_tab{number:02d}.py").exists()
+
+
+def test_readme_mentions_all_examples(readme_text):
+    for example in sorted((_ROOT / "examples").glob("*.py")):
+        assert example.name in readme_text, f"{example.name} not in README"
+
+
+def test_design_documents_the_substitutions(design_text):
+    # The Monsoon substitution is the load-bearing one.
+    assert "Monsoon" in design_text
+    assert "Substitutions" in design_text or "substitution" in design_text

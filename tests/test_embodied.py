@@ -1,0 +1,135 @@
+"""Tests for the bottom-up embodied-carbon model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.embodied import (
+    BillOfMaterials,
+    EmbodiedModel,
+    MemoryCoefficients,
+)
+from repro.errors import DataValidationError, SimulationError
+from repro.fab.process import node_by_name
+from repro.units import CarbonIntensity
+
+
+@pytest.fixture
+def model() -> EmbodiedModel:
+    return EmbodiedModel()
+
+
+class TestLogicCarbon:
+    def test_scales_superlinearly_with_area(self, model):
+        node = node_by_name("7nm")
+        small = model.logic_carbon(50.0, node).kilograms
+        large = model.logic_carbon(200.0, node).kilograms
+        # Larger dies pay both area and yield penalties.
+        assert large > 4.0 * (small - model.packaging_kg_per_die)
+
+    def test_newer_node_costs_more_per_die(self, model):
+        area = 100.0
+        old = model.logic_carbon(area, node_by_name("28nm")).kilograms
+        new = model.logic_carbon(area, node_by_name("5nm")).kilograms
+        assert new > old
+
+    def test_cleaner_fab_reduces_carbon(self):
+        node = node_by_name("7nm")
+        dirty = EmbodiedModel(fab_intensity=CarbonIntensity.g_per_kwh(583.0))
+        clean = EmbodiedModel(fab_intensity=CarbonIntensity.g_per_kwh(50.0))
+        assert (
+            clean.logic_carbon(100.0, node).kilograms
+            < dirty.logic_carbon(100.0, node).kilograms
+        )
+
+    def test_cleaner_fab_cannot_remove_gas_and_materials(self):
+        node = node_by_name("7nm")
+        zero_energy = EmbodiedModel(fab_intensity=CarbonIntensity.g_per_kwh(0.0))
+        residual = zero_energy.logic_carbon(100.0, node).kilograms
+        floor = (node.gas_kg_per_cm2 + node.material_kg_per_cm2) * 1.0
+        assert residual > floor  # yield division only increases it
+
+    def test_zero_area_rejected(self, model):
+        with pytest.raises(SimulationError):
+            model.logic_carbon(0.0, node_by_name("7nm"))
+
+    def test_yield_model_choice_matters(self):
+        node = node_by_name("5nm")
+        murphy = EmbodiedModel(yield_model="murphy")
+        poisson = EmbodiedModel(yield_model="poisson")
+        # Poisson yield is lower, so per-good-die carbon is higher.
+        assert (
+            poisson.logic_carbon(400.0, node).kilograms
+            > murphy.logic_carbon(400.0, node).kilograms
+        )
+
+    def test_unknown_yield_model_rejected(self):
+        with pytest.raises(SimulationError):
+            EmbodiedModel(yield_model="seeds")
+
+
+class TestMemoryCarbon:
+    def test_dram_dominates_nand_per_gb(self, model):
+        assert (
+            model.dram_carbon(1.0).kilograms > model.nand_carbon(1.0).kilograms
+        )
+
+    def test_linear_in_capacity(self, model):
+        assert model.nand_carbon(128.0).kilograms == pytest.approx(
+            2.0 * model.nand_carbon(64.0).kilograms
+        )
+
+    def test_zero_capacity_is_zero(self, model):
+        assert model.dram_carbon(0.0).grams == 0.0
+
+    def test_negative_capacity_rejected(self, model):
+        with pytest.raises(SimulationError):
+            model.hdd_carbon(-1.0)
+
+    def test_coefficients_validated(self):
+        with pytest.raises(DataValidationError):
+            MemoryCoefficients(dram_kg_per_gb=-0.1)
+
+
+class TestBillOfMaterials:
+    def test_build_covers_all_components(self, model):
+        bill = BillOfMaterials(
+            name="phone",
+            logic_dies={"soc": (94.0, node_by_name("10nm"))},
+            dram_gb=4.0,
+            nand_gb=64.0,
+            fixed_kg={"display": 8.0},
+        )
+        breakdown = model.build(bill)
+        assert set(breakdown) == {"soc", "dram", "nand", "display"}
+
+    def test_total_equals_sum_of_breakdown(self, model):
+        bill = BillOfMaterials(
+            name="server",
+            logic_dies={"cpu": (400.0, node_by_name("16nm"))},
+            dram_gb=256.0,
+            nand_gb=2000.0,
+            hdd_tb=10.0,
+            fixed_kg={"chassis": 45.0},
+        )
+        breakdown = model.build(bill)
+        total = sum(carbon.kilograms for carbon in breakdown.values())
+        assert model.total(bill).kilograms == pytest.approx(total)
+
+    def test_zero_capacities_omit_components(self, model):
+        bill = BillOfMaterials(
+            name="minimal", logic_dies={"soc": (50.0, node_by_name("28nm"))}
+        )
+        assert set(model.build(bill)) == {"soc"}
+
+    def test_negative_fixed_component_rejected(self):
+        with pytest.raises(DataValidationError):
+            BillOfMaterials(name="x", fixed_kg={"chassis": -1.0})
+
+    def test_name_required(self):
+        with pytest.raises(DataValidationError):
+            BillOfMaterials(name="")
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(DataValidationError):
+            BillOfMaterials(name="x", dram_gb=-1.0)

@@ -1,0 +1,48 @@
+"""Every shipped example must run end to end and say what it claims."""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+_EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+_EXAMPLES = sorted(path.name for path in _EXAMPLES_DIR.glob("*.py"))
+
+#: A phrase each example's output must contain — pinned so the examples
+#: keep demonstrating what their docstrings promise.
+_EXPECTED_PHRASES = {
+    "quickstart.py": "paper vs measured",
+    "mobile_ai_amortization.py": "BEYOND lifetime",
+    "datacenter_renewables.py": "capex share",
+    "soc_design_space.py": "Pareto-efficient designs",
+    "carbon_aware_scheduling.py": "savings",
+    "ai_fleet_planning.py": "closing argument",
+}
+
+
+def _run_example(name: str, capsys) -> str:
+    path = _EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{name[:-3]}", path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+def test_examples_directory_is_complete():
+    assert set(_EXAMPLES) == set(_EXPECTED_PHRASES)
+
+
+@pytest.mark.parametrize("name", sorted(_EXPECTED_PHRASES))
+def test_example_runs_and_demonstrates_its_claim(name, capsys):
+    output = _run_example(name, capsys)
+    assert len(output) > 200, f"{name} produced almost no output"
+    assert _EXPECTED_PHRASES[name] in output

@@ -1,0 +1,233 @@
+"""Tests for the fab substrate: nodes, yields, wafers, abatement."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.data.grids import TAIWAN_GRID
+from repro.data.tsmc import tsmc_wafer_model
+from repro.errors import DataValidationError, SimulationError
+from repro.fab.abatement import AbatementPolicy
+from repro.fab.process import NODE_ROADMAP, node_by_name
+from repro.fab.wafer import WAFER_COMPONENTS, WaferBreakdown, WaferFootprintModel
+from repro.fab.yields import (
+    dies_per_wafer,
+    good_dies_per_wafer,
+    murphy_yield,
+    poisson_yield,
+)
+from repro.units import Carbon
+
+
+class TestProcessRoadmap:
+    def test_lookup_by_name(self):
+        assert node_by_name("7nm").feature_nm == 7.0
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(DataValidationError):
+            node_by_name("1nm")
+
+    def test_roadmap_ordered_new_to_small(self):
+        features = [node.feature_nm for node in NODE_ROADMAP]
+        assert features == sorted(features, reverse=True)
+
+    def test_energy_per_area_rises_with_advancement(self):
+        energies = [node.energy_kwh_per_cm2 for node in NODE_ROADMAP]
+        assert all(a < b for a, b in zip(energies, energies[1:]))
+
+    def test_gas_per_area_rises_with_advancement(self):
+        gases = [node.gas_kg_per_cm2 for node in NODE_ROADMAP]
+        assert all(a < b for a, b in zip(gases, gases[1:]))
+
+    def test_volume_years_monotone(self):
+        years = [node.first_volume_year for node in NODE_ROADMAP]
+        assert years == sorted(years)
+
+
+class TestYieldModels:
+    def test_zero_defects_is_perfect_yield(self):
+        assert poisson_yield(100.0, 0.0) == pytest.approx(1.0)
+        assert murphy_yield(100.0, 0.0) == pytest.approx(1.0)
+
+    def test_yield_decreases_with_area(self):
+        assert murphy_yield(400.0, 0.1) < murphy_yield(100.0, 0.1)
+        assert poisson_yield(400.0, 0.1) < poisson_yield(100.0, 0.1)
+
+    def test_yield_decreases_with_defect_density(self):
+        assert murphy_yield(100.0, 0.3) < murphy_yield(100.0, 0.1)
+
+    def test_murphy_at_least_poisson(self):
+        # Murphy's triangular distribution is more forgiving.
+        for area in (50.0, 100.0, 400.0, 800.0):
+            assert murphy_yield(area, 0.1) >= poisson_yield(area, 0.1)
+
+    def test_poisson_matches_closed_form(self):
+        assert poisson_yield(100.0, 0.1) == pytest.approx(math.exp(-0.1))
+
+    def test_yields_within_unit_interval(self):
+        for area in (1.0, 100.0, 1000.0):
+            for density in (0.0, 0.1, 1.0):
+                assert 0.0 < murphy_yield(area, density) <= 1.0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(SimulationError):
+            murphy_yield(0.0, 0.1)
+        with pytest.raises(SimulationError):
+            poisson_yield(100.0, -0.1)
+
+
+class TestDiesPerWafer:
+    def test_more_dies_for_smaller_dies(self):
+        assert dies_per_wafer(300.0, 50.0) > dies_per_wafer(300.0, 100.0)
+
+    def test_known_magnitude(self):
+        # ~100 mm^2 dies on a 300 mm wafer: several hundred candidates.
+        count = dies_per_wafer(300.0, 100.0)
+        assert 500 <= count <= 700
+
+    def test_giant_die_yields_zero_or_more(self):
+        assert dies_per_wafer(300.0, 70000.0) >= 0
+
+    def test_good_dies_applies_yield(self):
+        gross = dies_per_wafer(300.0, 100.0)
+        good = good_dies_per_wafer(300.0, 100.0, 0.1)
+        assert good < gross
+        assert good == pytest.approx(gross * murphy_yield(100.0, 0.1))
+
+    def test_good_dies_poisson_option(self):
+        good = good_dies_per_wafer(300.0, 100.0, 0.1, model="poisson")
+        assert good == pytest.approx(
+            dies_per_wafer(300.0, 100.0) * poisson_yield(100.0, 0.1)
+        )
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SimulationError):
+            good_dies_per_wafer(300.0, 100.0, 0.1, model="bose")
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(SimulationError):
+            dies_per_wafer(0.0, 100.0)
+        with pytest.raises(SimulationError):
+            dies_per_wafer(300.0, 0.0)
+
+
+class TestWaferBreakdown:
+    def test_requires_all_components(self):
+        with pytest.raises(DataValidationError):
+            WaferBreakdown({"energy": Carbon.kg(1.0)})
+
+    def test_rejects_unknown_components(self):
+        components = {name: Carbon.kg(1.0) for name in WAFER_COMPONENTS}
+        components["magic"] = Carbon.kg(1.0)
+        with pytest.raises(DataValidationError):
+            WaferBreakdown(components)
+
+    def test_shares_sum_to_one(self):
+        model = tsmc_wafer_model()
+        assert sum(model.baseline.shares().values()) == pytest.approx(1.0)
+
+
+class TestWaferFootprintModel:
+    def test_reported_shares_roundtrip(self):
+        model = tsmc_wafer_model()
+        assert model.baseline.share("energy") == pytest.approx(0.63)
+
+    def test_shares_must_sum_to_one(self):
+        with pytest.raises(DataValidationError):
+            WaferFootprintModel.from_reported_shares(
+                shares={"energy": 0.5},
+                total=Carbon.kg(100.0),
+                fab_intensity=TAIWAN_GRID.intensity,
+            )
+
+    def test_energy_improvement_touches_only_energy(self):
+        model = tsmc_wafer_model()
+        improved = model.with_energy_improvement(8.0)
+        for name in WAFER_COMPONENTS:
+            if name == "energy":
+                assert improved.components[name].grams == pytest.approx(
+                    model.baseline.components[name].grams / 8.0
+                )
+            else:
+                assert improved.components[name].grams == pytest.approx(
+                    model.baseline.components[name].grams
+                )
+
+    def test_total_reduction_saturates(self):
+        model = tsmc_wafer_model()
+        # Even infinite cleanup cannot beat 1/(1 - energy_share).
+        limit = 1.0 / (1.0 - model.baseline.share("energy"))
+        assert model.total_reduction(64.0) < limit
+        assert model.total_reduction(1e9) == pytest.approx(limit, rel=1e-3)
+
+    def test_reduction_of_one_is_identity(self):
+        assert tsmc_wafer_model().total_reduction(1.0) == pytest.approx(1.0)
+
+    def test_nonpositive_factor_rejected(self):
+        with pytest.raises(SimulationError):
+            tsmc_wafer_model().with_energy_improvement(0.0)
+
+    def test_sweep_rows_normalized_to_baseline(self):
+        rows = tsmc_wafer_model().sweep((1, 2, 4))
+        assert rows[0]["total"] == pytest.approx(1.0)
+        assert rows[-1]["total"] < rows[0]["total"]
+
+    def test_from_node_area_scaling(self):
+        node = node_by_name("16nm")
+        model = WaferFootprintModel.from_node(node, TAIWAN_GRID.intensity)
+        per_cm2 = model.carbon_per_cm2().kilograms
+        expected = (
+            node.energy_kwh_per_cm2 * TAIWAN_GRID.intensity.grams_per_kwh / 1000.0
+            + node.gas_kg_per_cm2
+            + node.material_kg_per_cm2
+        )
+        assert per_cm2 == pytest.approx(expected, rel=1e-6)
+
+    def test_from_node_matches_figure14_shares(self):
+        model = WaferFootprintModel.from_node(
+            node_by_name("16nm"), TAIWAN_GRID.intensity
+        )
+        assert model.baseline.share("energy") == pytest.approx(0.63, abs=0.01)
+
+    def test_gas_split_must_sum_to_one(self):
+        with pytest.raises(DataValidationError):
+            WaferFootprintModel.from_node(
+                node_by_name("16nm"),
+                TAIWAN_GRID.intensity,
+                gas_split={"pfc_diffusive": 0.5},
+            )
+
+
+@given(st.floats(min_value=1.0, max_value=1024.0))
+def test_reduction_monotone_in_factor(factor):
+    model = tsmc_wafer_model()
+    assert model.total_reduction(factor) <= model.total_reduction(factor * 2.0)
+
+
+class TestAbatement:
+    def test_removal_fraction(self):
+        policy = AbatementPolicy(coverage=0.8, destruction_efficiency=0.9)
+        assert policy.removal_fraction == pytest.approx(0.72)
+
+    def test_apply_reduces_only_gas_components(self):
+        model = tsmc_wafer_model()
+        abated = AbatementPolicy(coverage=1.0).apply(model.baseline)
+        assert abated.components["energy"].grams == pytest.approx(
+            model.baseline.components["energy"].grams
+        )
+        assert (
+            abated.components["pfc_diffusive"].grams
+            < model.baseline.components["pfc_diffusive"].grams
+        )
+
+    def test_zero_coverage_is_identity(self):
+        model = tsmc_wafer_model()
+        abated = AbatementPolicy(coverage=0.0).apply(model.baseline)
+        assert abated.total.grams == pytest.approx(model.baseline.total.grams)
+
+    def test_coverage_validated(self):
+        with pytest.raises(SimulationError):
+            AbatementPolicy(coverage=1.5)

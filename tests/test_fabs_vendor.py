@@ -1,0 +1,164 @@
+"""Tests for the fab-level model and the vendor model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ghg import Scope
+from repro.core.lca import LifeCycleStage
+from repro.data.devices import device_by_name
+from repro.data.grids import TAIWAN_GRID
+from repro.errors import AccountingError, SimulationError
+from repro.fab.fabs import FabModel
+from repro.fab.process import node_by_name
+from repro.units import Carbon
+from repro.vendor import ProductLine, VendorModel
+
+
+@pytest.fixture
+def fab() -> FabModel:
+    return FabModel(
+        name="gigafab_3nm",
+        node=node_by_name("3nm"),
+        wafer_starts_per_year=1.0e6,
+        grid=TAIWAN_GRID.intensity,
+        renewable_share=0.20,
+    )
+
+
+class TestFabModel:
+    def test_annual_energy_scales_with_capacity(self, fab):
+        double = FabModel(
+            name="x", node=fab.node, wafer_starts_per_year=2.0e6,
+            grid=fab.grid, renewable_share=0.20,
+        )
+        assert double.annual_energy().joules == pytest.approx(
+            2.0 * fab.annual_energy().joules
+        )
+
+    def test_3nm_gigafab_energy_magnitude(self, fab):
+        """The paper's anchor: a 3nm fab may draw up to 7.7 B kWh/yr.
+
+        At one million wafer starts a year our coefficients put the
+        plant at the same order of magnitude (a few billion kWh)."""
+        kwh = fab.annual_energy().kilowatt_hours
+        assert 1e9 <= kwh <= 7.7e9
+
+    def test_renewables_cut_market_scope2_only(self, fab):
+        market = fab.scope2(market_based=True)
+        location = fab.scope2(market_based=False)
+        assert market.grams == pytest.approx(0.80 * location.grams)
+
+    def test_scope1_independent_of_renewables(self, fab):
+        cleaner = fab.with_renewable_share(1.0)
+        assert cleaner.scope1().grams == pytest.approx(fab.scope1().grams)
+
+    def test_full_renewables_zero_market_scope2(self, fab):
+        assert fab.with_renewable_share(1.0).scope2().grams == pytest.approx(0.0)
+
+    def test_inventory_has_all_scopes(self, fab):
+        inventory = fab.inventory(2025)
+        assert inventory.scope_total(Scope.SCOPE1).grams > 0.0
+        assert inventory.scope_total(Scope.SCOPE2_LOCATION).grams > 0.0
+        assert inventory.scope3_total().grams > 0.0
+
+    def test_chip_maker_scope1_is_material(self, fab):
+        """Table I: for chip makers Scope 1 (process gases) is a large
+        share of operational emissions — here >25% of scope1+scope2."""
+        scope1 = fab.scope1().grams
+        scope2 = fab.scope2(market_based=False).grams
+        assert scope1 / (scope1 + scope2) > 0.25
+
+    def test_total_consistent_with_parts(self, fab):
+        total = fab.total_emissions(market_based=False)
+        parts = (
+            fab.scope1()
+            + fab.scope2(market_based=False)
+            + fab.scope3_materials()
+        )
+        assert total.grams == pytest.approx(parts.grams)
+
+    def test_validation(self, fab):
+        with pytest.raises(SimulationError):
+            FabModel("x", fab.node, 0.0, fab.grid)
+        with pytest.raises(SimulationError):
+            fab.with_renewable_share(1.5)
+
+
+class TestVendorModel:
+    def _vendor(self) -> VendorModel:
+        return VendorModel(
+            name="mini_vendor",
+            lines=[
+                ProductLine(device_by_name("iphone_11"), 10e6),
+                ProductLine(device_by_name("ipad_gen7"), 3e6),
+            ],
+            corporate_facilities=Carbon.kilotonnes(50.0),
+            business_travel=Carbon.kilotonnes(20.0),
+        )
+
+    def test_stage_totals_scale_with_volume(self):
+        line = ProductLine(device_by_name("iphone_11"), 10e6)
+        per_unit = device_by_name("iphone_11").production_carbon.grams
+        assert line.stage_total(LifeCycleStage.PRODUCTION).grams == (
+            pytest.approx(per_unit * 10e6)
+        )
+
+    def test_total_includes_overheads(self):
+        vendor = self._vendor()
+        lifecycle = Carbon.zero()
+        for stage in LifeCycleStage:
+            lifecycle = lifecycle + vendor.stage_total(stage)
+        assert vendor.total().grams == pytest.approx(
+            lifecycle.grams + 70.0e9  # 50 + 20 kt in grams
+        )
+
+    def test_breakdown_fractions_sum_to_one(self):
+        table = self._vendor().breakdown_table()
+        assert sum(table.column("fraction")) == pytest.approx(1.0)
+
+    def test_manufacturing_dominates(self):
+        table = self._vendor().breakdown_table()
+        assert table.row(0)["group"] == "manufacturing"
+
+    def test_inventory_books_use_as_downstream_opex(self):
+        vendor = self._vendor()
+        inventory = vendor.inventory(2019)
+        downstream = inventory.scope_total(Scope.SCOPE3_DOWNSTREAM)
+        use = vendor.stage_total(LifeCycleStage.USE)
+        eol = vendor.stage_total(LifeCycleStage.END_OF_LIFE)
+        assert downstream.grams == pytest.approx(use.grams + eol.grams)
+
+    def test_inventory_total_matches_vendor_total(self):
+        vendor = self._vendor()
+        inventory = vendor.inventory(2019)
+        assert inventory.total(market_based=True).grams == pytest.approx(
+            vendor.total().grams
+        )
+
+    def test_validation(self):
+        with pytest.raises(AccountingError):
+            VendorModel(name="empty", lines=[])
+        with pytest.raises(AccountingError):
+            ProductLine(device_by_name("iphone_11"), 0.0)
+
+
+class TestSoCCatalog:
+    def test_catalog_lookup(self):
+        from repro.data.socs import soc_by_product
+
+        record = soc_by_product("iphone_11")
+        assert record.node_name == "7nm"
+        assert record.die_area_mm2 == pytest.approx(98.5)
+
+    def test_unknown_product_raises(self):
+        from repro.data.socs import soc_by_product
+
+        with pytest.raises(KeyError):
+            soc_by_product("galaxy_s10")
+
+    def test_catalog_products_exist_in_device_corpus(self):
+        from repro.data.socs import SOC_CATALOG
+
+        for record in SOC_CATALOG:
+            assert device_by_name(record.product) is not None

@@ -1,0 +1,172 @@
+"""Tests for the GHG-Protocol accounting engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ghg import (
+    GHGEntry,
+    GHGInventory,
+    OpexCapex,
+    ReportSeries,
+    Scope,
+    ScopeTaxonomy,
+    default_classification,
+)
+from repro.errors import AccountingError
+from repro.units import Carbon
+
+
+@pytest.fixture
+def inventory() -> GHGInventory:
+    inv = GHGInventory("acme", 2019)
+    inv.add(Scope.SCOPE1, "facility_fuel", Carbon.kilotonnes(50.0))
+    inv.add(Scope.SCOPE2_LOCATION, "purchased_electricity", Carbon.kilotonnes(1900.0))
+    inv.add(Scope.SCOPE2_MARKET, "purchased_electricity", Carbon.kilotonnes(252.0))
+    inv.add(Scope.SCOPE3_UPSTREAM, "capital_goods", Carbon.kilotonnes(2784.0))
+    inv.add(Scope.SCOPE3_UPSTREAM, "purchased_goods", Carbon.kilotonnes(2262.0))
+    inv.add(Scope.SCOPE3_UPSTREAM, "business_travel", Carbon.kilotonnes(580.0))
+    inv.add(
+        Scope.SCOPE3_UPSTREAM, "other", Carbon.kilotonnes(174.0),
+        classification=OpexCapex.OTHER,
+    )
+    return inv
+
+
+class TestDefaultClassification:
+    def test_scope1_and_2_are_opex(self):
+        assert default_classification(Scope.SCOPE1, "fuel") is OpexCapex.OPEX
+        assert (
+            default_classification(Scope.SCOPE2_MARKET, "electricity")
+            is OpexCapex.OPEX
+        )
+
+    def test_scope3_goods_are_capex(self):
+        assert (
+            default_classification(Scope.SCOPE3_UPSTREAM, "capital_goods")
+            is OpexCapex.CAPEX
+        )
+
+    def test_travel_and_commuting_are_other(self):
+        assert (
+            default_classification(Scope.SCOPE3_UPSTREAM, "business_travel")
+            is OpexCapex.OTHER
+        )
+        assert (
+            default_classification(Scope.SCOPE3_UPSTREAM, "employee_commuting")
+            is OpexCapex.OTHER
+        )
+
+    def test_use_of_sold_products_is_opex(self):
+        assert (
+            default_classification(Scope.SCOPE3_DOWNSTREAM, "use_of_sold products")
+            is OpexCapex.OPEX
+        )
+
+
+class TestGHGEntry:
+    def test_negative_emissions_rejected(self):
+        with pytest.raises(AccountingError):
+            GHGEntry(Scope.SCOPE1, "fuel", Carbon.kg(-1.0), OpexCapex.OPEX)
+
+    def test_empty_category_rejected(self):
+        with pytest.raises(AccountingError):
+            GHGEntry(Scope.SCOPE1, "", Carbon.kg(1.0), OpexCapex.OPEX)
+
+
+class TestInventoryTotals:
+    def test_scope_total(self, inventory):
+        assert inventory.scope_total(Scope.SCOPE1).kilotonnes_value == pytest.approx(
+            50.0
+        )
+
+    def test_scope3_total(self, inventory):
+        assert inventory.scope3_total().kilotonnes_value == pytest.approx(5800.0)
+
+    def test_total_market_excludes_location_scope2(self, inventory):
+        total = inventory.total(market_based=True)
+        assert total.kilotonnes_value == pytest.approx(50 + 252 + 5800)
+
+    def test_total_location_excludes_market_scope2(self, inventory):
+        total = inventory.total(market_based=False)
+        assert total.kilotonnes_value == pytest.approx(50 + 1900 + 5800)
+
+    def test_scope3_to_scope2_ratio(self, inventory):
+        assert inventory.scope3_to_scope2_ratio() == pytest.approx(5800 / 252)
+
+    def test_ratio_with_zero_scope2_raises(self):
+        inv = GHGInventory("x", 2020)
+        inv.add(Scope.SCOPE3_UPSTREAM, "goods", Carbon.kg(1.0))
+        with pytest.raises(AccountingError):
+            inv.scope3_to_scope2_ratio()
+
+
+class TestOpexCapexSplit:
+    def test_split_sums_match_entries(self, inventory):
+        split = inventory.opex_capex_split()
+        assert split[OpexCapex.OPEX].kilotonnes_value == pytest.approx(302.0)
+        assert split[OpexCapex.CAPEX].kilotonnes_value == pytest.approx(5046.0)
+        assert split[OpexCapex.OTHER].kilotonnes_value == pytest.approx(754.0)
+
+    def test_opex_fraction_market_vs_location_differ(self, inventory):
+        market = inventory.opex_fraction(market_based=True)
+        location = inventory.opex_fraction(market_based=False)
+        assert market < location
+
+    def test_capex_fraction_complements(self, inventory):
+        assert inventory.capex_fraction() == pytest.approx(
+            1.0 - inventory.opex_fraction()
+        )
+
+    def test_empty_inventory_fraction_raises(self):
+        with pytest.raises(AccountingError):
+            GHGInventory("x", 2020).opex_fraction()
+
+
+class TestCategoryBreakdown:
+    def test_shares_sum_to_one(self, inventory):
+        table = inventory.category_breakdown(scope=Scope.SCOPE3_UPSTREAM)
+        assert sum(table.column("share")) == pytest.approx(1.0)
+
+    def test_sorted_descending(self, inventory):
+        table = inventory.category_breakdown(scope=Scope.SCOPE3_UPSTREAM)
+        shares = table.column("share")
+        assert all(a >= b for a, b in zip(shares, shares[1:]))
+
+    def test_empty_scope_raises(self, inventory):
+        with pytest.raises(AccountingError):
+            inventory.category_breakdown(scope=Scope.SCOPE3_DOWNSTREAM)
+
+
+class TestReportSeries:
+    def test_years_sorted(self, facebook):
+        assert facebook.years == sorted(facebook.years)
+
+    def test_unknown_year_raises(self, facebook):
+        with pytest.raises(AccountingError):
+            facebook.inventory(1999)
+
+    def test_wrong_organization_rejected(self, inventory):
+        with pytest.raises(AccountingError):
+            ReportSeries("someone_else", [inventory])
+
+    def test_duplicate_year_rejected(self, inventory):
+        with pytest.raises(AccountingError):
+            ReportSeries("acme", [inventory, inventory])
+
+    def test_scope_table_has_all_years(self, facebook):
+        table = facebook.scope_table()
+        assert table.column("year") == facebook.years
+
+
+class TestScopeTaxonomy:
+    def test_as_record_joins_entries(self):
+        taxonomy = ScopeTaxonomy(
+            company_type="chip_manufacturer",
+            scope1=("PFCs", "gases"),
+            scope2=("fab energy",),
+            scope3=("raw materials",),
+        )
+        record = taxonomy.as_record()
+        assert record["scope1"] == "PFCs; gases"
+        assert record["company_type"] == "chip_manufacturer"

@@ -1,0 +1,184 @@
+"""Tests for heterogeneous provisioning and the growth model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.growth import GrowthScenario, growth_trajectory
+from repro.data.grids import US_GRID
+from repro.datacenter.heterogeneity import (
+    ServerType,
+    WorkloadClass,
+    compare_provisioning,
+    provision_heterogeneous,
+    provision_homogeneous,
+)
+from repro.datacenter.server import AI_TRAINING_SERVER, WEB_SERVER
+from repro.errors import SimulationError
+from repro.units import Carbon, CarbonIntensity, Energy
+
+
+@pytest.fixture
+def general() -> ServerType:
+    return ServerType(
+        config=WEB_SERVER,
+        throughput_rps={"web": 1000.0, "ai": 100.0},
+    )
+
+
+@pytest.fixture
+def accelerator() -> ServerType:
+    return ServerType(
+        config=AI_TRAINING_SERVER,
+        throughput_rps={"ai": 2000.0},
+    )
+
+
+class TestServerType:
+    def test_servers_for_rounds_up(self, general):
+        workload = WorkloadClass("web", demand_rps=1501.0)
+        assert general.servers_for(workload, utilization_target=1.0) == 2
+
+    def test_utilization_headroom_adds_servers(self, general):
+        workload = WorkloadClass("web", demand_rps=1000.0)
+        assert general.servers_for(workload, 1.0) == 1
+        assert general.servers_for(workload, 0.5) == 2
+
+    def test_cannot_serve_unknown_workload(self, accelerator):
+        with pytest.raises(SimulationError):
+            accelerator.servers_for(WorkloadClass("web", 100.0), 0.6)
+
+    def test_invalid_parameters(self, general):
+        with pytest.raises(SimulationError):
+            WorkloadClass("x", 0.0)
+        with pytest.raises(SimulationError):
+            ServerType(config=WEB_SERVER, throughput_rps={"web": 0.0})
+        with pytest.raises(SimulationError):
+            general.servers_for(WorkloadClass("web", 1.0), 0.0)
+
+
+class TestProvisioning:
+    def _workloads(self) -> list[WorkloadClass]:
+        return [
+            WorkloadClass("web", demand_rps=10_000.0),
+            WorkloadClass("ai", demand_rps=20_000.0),
+        ]
+
+    def test_homogeneous_uses_general_everywhere(self, general):
+        plan = provision_homogeneous(self._workloads(), general)
+        assert all(
+            server_type is general for server_type, _, _ in plan.assignments
+        )
+
+    def test_heterogeneous_picks_fewest_machines(self, general, accelerator):
+        plan = provision_heterogeneous(
+            self._workloads(), [general, accelerator]
+        )
+        picked = {
+            workload.name: server_type.config.name
+            for server_type, workload, _ in plan.assignments
+        }
+        assert picked["ai"] == "ai_training_server"
+        assert picked["web"] == "web_server"
+
+    def test_heterogeneous_never_more_servers(self, general, accelerator):
+        workloads = self._workloads()
+        homo = provision_homogeneous(workloads, general)
+        hetero = provision_heterogeneous(workloads, [general, accelerator])
+        assert hetero.total_servers <= homo.total_servers
+
+    def test_unservable_workload_rejected(self, accelerator):
+        with pytest.raises(SimulationError):
+            provision_heterogeneous(
+                [WorkloadClass("video", 100.0)], [accelerator]
+            )
+
+    def test_empty_inputs_rejected(self, general):
+        with pytest.raises(SimulationError):
+            provision_homogeneous([], general)
+        with pytest.raises(SimulationError):
+            provision_heterogeneous(self._workloads(), [])
+
+    def test_plan_carbon_accounting(self, general):
+        plan = provision_homogeneous(self._workloads(), general)
+        grid = US_GRID.intensity
+        total = plan.total_per_year(grid)
+        assert total.grams == pytest.approx(
+            plan.embodied_per_year().grams
+            + plan.operational_per_year(grid).grams
+        )
+
+    def test_compare_table_shape(self, general, accelerator):
+        workloads = self._workloads()
+        table = compare_provisioning(
+            provision_homogeneous(workloads, general),
+            provision_heterogeneous(workloads, [general, accelerator]),
+            US_GRID.intensity,
+        )
+        assert table.column("plan") == ["homogeneous", "heterogeneous"]
+
+
+class TestGrowthModel:
+    def _scenario(self, growth: float = 2.0, gain: float = 1.5) -> GrowthScenario:
+        return GrowthScenario(
+            name="fleet",
+            initial_units=100.0,
+            embodied_per_unit=Carbon.kg(1000.0),
+            unit_lifetime_years=4.0,
+            initial_energy_per_unit=Energy.kwh(10_000.0),
+            fleet_growth_per_year=growth,
+            efficiency_gain_per_year=gain,
+            grid=CarbonIntensity.g_per_kwh(380.0),
+        )
+
+    def test_units_compound(self):
+        table = growth_trajectory(self._scenario(growth=2.0), 4)
+        assert table.column("units") == [100.0, 200.0, 400.0, 800.0]
+
+    def test_embodied_tracks_units_linearly(self):
+        table = growth_trajectory(self._scenario(), 3)
+        embodied = table.column("embodied_t")
+        units = table.column("units")
+        assert embodied[2] / embodied[0] == pytest.approx(units[2] / units[0])
+
+    def test_operational_growth_damped_by_efficiency(self):
+        table = growth_trajectory(self._scenario(growth=2.0, gain=1.5), 3)
+        operational = table.column("operational_t")
+        # Grows by 2/1.5 per year, not 2.
+        assert operational[1] / operational[0] == pytest.approx(2.0 / 1.5)
+
+    def test_efficiency_outpacing_growth_shrinks_operational(self):
+        table = growth_trajectory(self._scenario(growth=1.2, gain=1.5), 4)
+        operational = table.column("operational_t")
+        assert all(a > b for a, b in zip(operational, operational[1:]))
+
+    def test_embodied_share_rises_when_growth_wins(self):
+        table = growth_trajectory(self._scenario(growth=2.0, gain=1.5), 5)
+        shares = table.column("embodied_share")
+        assert all(a < b for a, b in zip(shares, shares[1:]))
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            growth_trajectory(self._scenario(), 0)
+        with pytest.raises(SimulationError):
+            GrowthScenario(
+                name="x",
+                initial_units=0.0,
+                embodied_per_unit=Carbon.kg(1.0),
+                unit_lifetime_years=4.0,
+                initial_energy_per_unit=Energy.kwh(1.0),
+                fleet_growth_per_year=2.0,
+                efficiency_gain_per_year=1.5,
+                grid=CarbonIntensity.g_per_kwh(380.0),
+            )
+        with pytest.raises(SimulationError):
+            GrowthScenario(
+                name="x",
+                initial_units=1.0,
+                embodied_per_unit=Carbon.kg(1.0),
+                unit_lifetime_years=4.0,
+                initial_energy_per_unit=Energy.kwh(1.0),
+                fleet_growth_per_year=0.9,
+                efficiency_gain_per_year=1.5,
+                grid=CarbonIntensity.g_per_kwh(380.0),
+            )

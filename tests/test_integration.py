@@ -1,0 +1,160 @@
+"""Cross-module integration tests.
+
+Each test wires several subsystems together the way a downstream user
+would and asserts the combined behaviour, not just per-module contracts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    BatchJob,
+    Carbon,
+    DiurnalGridModel,
+    EmbodiedModel,
+    Energy,
+    GHGInventory,
+    PPAContract,
+    RenewablePortfolio,
+    Scope,
+    schedule_carbon_agnostic,
+    schedule_carbon_aware,
+)
+from repro.data.energy_sources import source_by_name
+from repro.data.grids import US_GRID
+from repro.datacenter.facility import Facility
+from repro.datacenter.fleet import FleetParameters, simulate_fleet
+from repro.datacenter.server import WEB_SERVER
+from repro.mobile.device import pixel3
+from repro.mobile.power_monitor import MonsoonSimulator
+from repro.units import SECONDS_PER_DAY
+
+
+class TestPhoneMeasurementPipeline:
+    """Monsoon trace -> energy -> grid carbon -> break-even."""
+
+    def test_trace_driven_breakeven_matches_analytic(self):
+        phone = pixel3()
+        estimate = phone.simulator.estimate("mobilenet_v3", "cpu")
+        monsoon = MonsoonSimulator(noise_fraction=0.0)
+        trace = monsoon.inference_burst(estimate, 1000, idle_power_w=0.0)
+        energy_per_inference = trace.energy() / 1000.0
+        carbon_per_inference = phone.grid.carbon_for(energy_per_inference)
+        trace_breakeven = phone.ic_capex.grams / carbon_per_inference.grams
+        analytic = phone.break_even_images("mobilenet_v3", "cpu")
+        assert trace_breakeven == pytest.approx(analytic, rel=0.02)
+
+    def test_amortization_schedule_consistent_with_phone(self):
+        phone = pixel3()
+        schedule = phone.amortization("mobilenet_v3", "dsp")
+        days = schedule.break_even_seconds() / SECONDS_PER_DAY
+        assert days == pytest.approx(
+            phone.break_even_days("mobilenet_v3", "dsp"), rel=1e-9
+        )
+
+
+class TestFleetToGHGInventory:
+    """The fleet simulator's output can populate a GHG inventory whose
+    opex/capex split matches the simulator's own accounting."""
+
+    def test_inventory_roundtrip(self):
+        portfolio = RenewablePortfolio(
+            (PPAContract("wind", source_by_name("wind"), Energy.gwh(400.0)),)
+        )
+        params = FleetParameters(
+            server=WEB_SERVER,
+            facility=Facility(
+                "dc", pue=1.1, construction_carbon=Carbon.kilotonnes(80.0)
+            ),
+            location_intensity=US_GRID.intensity,
+            initial_servers=20_000,
+            annual_growth=0.2,
+            years=4,
+            renewable_ramp={0: portfolio},
+        )
+        final = simulate_fleet(params)[-1]
+
+        inventory = GHGInventory("sim_dc", 2017)
+        inventory.add(
+            Scope.SCOPE2_LOCATION, "purchased_electricity", final.opex_location
+        )
+        inventory.add(
+            Scope.SCOPE2_MARKET, "purchased_electricity", final.opex_market
+        )
+        inventory.add(Scope.SCOPE3_UPSTREAM, "capital_goods", final.capex)
+        assert inventory.capex_fraction(market_based=True) == pytest.approx(
+            final.capex_fraction_market
+        )
+
+    def test_embodied_model_consistency(self):
+        # The fleet's per-server capex equals the embodied model's total.
+        model = EmbodiedModel()
+        per_server = WEB_SERVER.embodied_carbon(model)
+        reports = simulate_fleet(
+            FleetParameters(
+                server=WEB_SERVER,
+                facility=Facility(
+                    "dc", pue=1.1, construction_carbon=Carbon.zero()
+                ),
+                location_intensity=US_GRID.intensity,
+                initial_servers=1_000,
+                annual_growth=0.0,
+                years=1,
+            ),
+            embodied=model,
+        )
+        assert reports[0].capex.kilograms == pytest.approx(
+            per_server.kilograms * 1_000
+        )
+
+
+class TestSchedulerAgainstGridModel:
+    def test_savings_disappear_on_flat_grid(self):
+        jobs = [
+            BatchJob("train", 6, 300.0, arrival_hour=0, deadline_hour=40),
+            BatchJob("etl", 3, 120.0, arrival_hour=0, deadline_hour=24),
+        ]
+        duck = DiurnalGridModel().hourly_series(48)
+        flat = DiurnalGridModel(
+            base_g_per_kwh=420.0,
+            solar_depth_g_per_kwh=0.0,
+            evening_peak_g_per_kwh=0.0,
+        ).hourly_series(48)
+        duck_savings = (
+            schedule_carbon_agnostic(jobs, duck, 800.0).total_carbon.grams
+            - schedule_carbon_aware(jobs, duck, 800.0).total_carbon.grams
+        )
+        flat_savings = (
+            schedule_carbon_agnostic(jobs, flat, 800.0).total_carbon.grams
+            - schedule_carbon_aware(jobs, flat, 800.0).total_carbon.grams
+        )
+        assert duck_savings > 0.0
+        assert flat_savings == pytest.approx(0.0, abs=1e-6)
+
+
+class TestDeviceCorpusThroughAnalysis:
+    def test_paper_narrative_end_to_end(self):
+        """iPhone family: manufacturing share rose while the phone's
+        operational break-even horizon stretched past its lifetime."""
+        from repro.analysis.trends import trend_summary
+        from repro.data.devices import family
+
+        summary = trend_summary(family("iphone"))
+        assert summary["manufacturing_fraction_rising"]
+        phone = pixel3()
+        assert not phone.amortizes_within_lifetime("mobilenet_v3", "dsp")
+
+    def test_embodied_model_explains_macpro_scaling_direction(self):
+        """Bottom-up: more memory and dies -> more embodied carbon, the
+        Table IV direction."""
+        from repro.core.embodied import BillOfMaterials
+        from repro.fab.process import node_by_name
+
+        model = EmbodiedModel()
+        node = node_by_name("16nm")
+        small = BillOfMaterials(name="small", logic_dies={"cpu": (350.0, node)},
+                                dram_gb=32.0, nand_gb=256.0)
+        big = BillOfMaterials(name="big", logic_dies={"cpu": (698.0, node)},
+                              dram_gb=1536.0, nand_gb=4096.0)
+        assert model.total(big).kilograms > 2.0 * model.total(small).kilograms

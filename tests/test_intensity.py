@@ -1,0 +1,145 @@
+"""Tests for carbon-intensity models: sources, grids, mixes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.intensity import (
+    EnergySource,
+    GridMix,
+    GridRegion,
+    market_based_intensity,
+    renewable_scaling_factor,
+)
+from repro.errors import DataValidationError, UnitError
+from repro.units import CarbonIntensity, Energy
+
+
+def _source(name: str, g: float, renewable: bool = False) -> EnergySource:
+    return EnergySource(name, CarbonIntensity.g_per_kwh(g), renewable=renewable)
+
+
+class TestEnergySource:
+    def test_carbon_for(self):
+        coal = _source("coal", 820.0)
+        assert coal.carbon_for(Energy.kwh(1.0)).grams == pytest.approx(820.0)
+
+    def test_requires_name(self):
+        with pytest.raises(DataValidationError):
+            _source("", 100.0)
+
+    def test_negative_payback_rejected(self):
+        with pytest.raises(DataValidationError):
+            EnergySource("x", CarbonIntensity.g_per_kwh(10.0), payback_months=-1.0)
+
+
+class TestGridRegion:
+    def test_carbon_for(self):
+        grid = GridRegion("us", CarbonIntensity.g_per_kwh(380.0))
+        assert grid.carbon_for(Energy.kwh(10.0)).grams == pytest.approx(3800.0)
+
+    def test_requires_name(self):
+        with pytest.raises(DataValidationError):
+            GridRegion("", CarbonIntensity.g_per_kwh(380.0))
+
+
+class TestGridMix:
+    def test_single_source_mix(self):
+        wind = _source("wind", 11.0, renewable=True)
+        assert GridMix.single(wind).intensity.grams_per_kwh == pytest.approx(11.0)
+
+    def test_weighted_average(self):
+        coal = _source("coal", 800.0)
+        wind = _source("wind", 10.0, renewable=True)
+        mix = GridMix({coal: 0.75, wind: 0.25})
+        assert mix.intensity.grams_per_kwh == pytest.approx(0.75 * 800 + 0.25 * 10)
+
+    def test_shares_must_sum_to_one(self):
+        coal = _source("coal", 800.0)
+        with pytest.raises(DataValidationError):
+            GridMix({coal: 0.5})
+
+    def test_negative_share_rejected(self):
+        coal = _source("coal", 800.0)
+        wind = _source("wind", 10.0)
+        with pytest.raises(DataValidationError):
+            GridMix({coal: 1.5, wind: -0.5})
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(DataValidationError):
+            GridMix({})
+
+    def test_renewable_share(self):
+        coal = _source("coal", 800.0)
+        wind = _source("wind", 10.0, renewable=True)
+        mix = GridMix({coal: 0.6, wind: 0.4})
+        assert mix.renewable_share == pytest.approx(0.4)
+
+    def test_shift_toward_reduces_intensity(self):
+        coal = _source("coal", 800.0)
+        wind = _source("wind", 10.0, renewable=True)
+        mix = GridMix.single(coal)
+        shifted = mix.shift_toward(wind, 0.5)
+        assert shifted.intensity.grams_per_kwh == pytest.approx(405.0)
+        assert shifted.renewable_share == pytest.approx(0.5)
+
+    def test_shift_toward_full_replacement(self):
+        coal = _source("coal", 800.0)
+        wind = _source("wind", 10.0, renewable=True)
+        shifted = GridMix.single(coal).shift_toward(wind, 1.0)
+        assert shifted.intensity.grams_per_kwh == pytest.approx(10.0)
+
+    def test_shift_preserves_normalization(self):
+        coal = _source("coal", 800.0)
+        gas = _source("gas", 490.0)
+        wind = _source("wind", 10.0, renewable=True)
+        mix = GridMix({coal: 0.5, gas: 0.5}).shift_toward(wind, 0.3)
+        assert sum(mix.shares.values()) == pytest.approx(1.0)
+
+    def test_shift_share_out_of_range(self):
+        coal = _source("coal", 800.0)
+        wind = _source("wind", 10.0, renewable=True)
+        with pytest.raises(UnitError):
+            GridMix.single(coal).shift_toward(wind, 1.5)
+
+
+class TestMarketBasedIntensity:
+    def test_zero_coverage_equals_location(self):
+        location = CarbonIntensity.g_per_kwh(380.0)
+        assert market_based_intensity(location, 0.0).grams_per_kwh == 380.0
+
+    def test_full_coverage_zero_claim(self):
+        location = CarbonIntensity.g_per_kwh(380.0)
+        assert market_based_intensity(location, 1.0).grams_per_kwh == 0.0
+
+    def test_partial_coverage_with_contracted_intensity(self):
+        location = CarbonIntensity.g_per_kwh(380.0)
+        wind = CarbonIntensity.g_per_kwh(11.0)
+        result = market_based_intensity(location, 0.5, renewable=wind)
+        assert result.grams_per_kwh == pytest.approx(0.5 * 380 + 0.5 * 11)
+
+    def test_coverage_out_of_range(self):
+        with pytest.raises(UnitError):
+            market_based_intensity(CarbonIntensity.g_per_kwh(380.0), 1.2)
+
+    def test_monotone_in_coverage(self):
+        location = CarbonIntensity.g_per_kwh(380.0)
+        previous = float("inf")
+        for coverage in (0.0, 0.25, 0.5, 0.75, 1.0):
+            value = market_based_intensity(location, coverage).grams_per_kwh
+            assert value <= previous
+            previous = value
+
+
+class TestRenewableScaling:
+    def test_divides_intensity(self):
+        base = CarbonIntensity.g_per_kwh(640.0)
+        assert renewable_scaling_factor(base, 64.0).grams_per_kwh == 10.0
+
+    def test_identity_factor(self):
+        base = CarbonIntensity.g_per_kwh(100.0)
+        assert renewable_scaling_factor(base, 1.0).grams_per_kwh == 100.0
+
+    def test_nonpositive_factor_rejected(self):
+        with pytest.raises(UnitError):
+            renewable_scaling_factor(CarbonIntensity.g_per_kwh(100.0), 0.0)

@@ -1,0 +1,175 @@
+"""Tests for the product LCA engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.lca import (
+    CAPEX_STAGES,
+    DeviceClass,
+    LifeCycleStage,
+    PowerClass,
+    ProductLCA,
+    power_class_for,
+    use_phase_carbon,
+)
+from repro.errors import DataValidationError
+from repro.units import Carbon, CarbonIntensity, Energy
+
+
+def _lca(**overrides) -> ProductLCA:
+    params = dict(
+        product="test_phone",
+        vendor="acme",
+        year=2019,
+        device_class=DeviceClass.PHONE,
+        total=Carbon.kg(100.0),
+        stage_fractions={
+            LifeCycleStage.PRODUCTION: 0.70,
+            LifeCycleStage.TRANSPORT: 0.05,
+            LifeCycleStage.USE: 0.24,
+            LifeCycleStage.END_OF_LIFE: 0.01,
+        },
+    )
+    params.update(overrides)
+    return ProductLCA(**params)
+
+
+class TestValidation:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(DataValidationError):
+            _lca(
+                stage_fractions={
+                    LifeCycleStage.PRODUCTION: 0.5,
+                    LifeCycleStage.TRANSPORT: 0.1,
+                    LifeCycleStage.USE: 0.1,
+                    LifeCycleStage.END_OF_LIFE: 0.1,
+                }
+            )
+
+    def test_all_stages_required(self):
+        with pytest.raises(DataValidationError):
+            _lca(
+                stage_fractions={
+                    LifeCycleStage.PRODUCTION: 0.8,
+                    LifeCycleStage.USE: 0.2,
+                }
+            )
+
+    def test_fraction_range_enforced(self):
+        with pytest.raises(DataValidationError):
+            _lca(
+                stage_fractions={
+                    LifeCycleStage.PRODUCTION: 1.2,
+                    LifeCycleStage.TRANSPORT: -0.2,
+                    LifeCycleStage.USE: 0.0,
+                    LifeCycleStage.END_OF_LIFE: 0.0,
+                }
+            )
+
+    def test_positive_total_required(self):
+        with pytest.raises(DataValidationError):
+            _lca(total=Carbon.zero())
+
+    def test_positive_lifetime_required(self):
+        with pytest.raises(DataValidationError):
+            _lca(lifetime_years=0.0)
+
+    def test_component_fractions_must_not_exceed_one(self):
+        with pytest.raises(DataValidationError):
+            _lca(component_fractions={"ics": 0.7, "display": 0.5})
+
+    def test_product_name_required(self):
+        with pytest.raises(DataValidationError):
+            _lca(product="")
+
+
+class TestDecomposition:
+    def test_stage_carbon(self):
+        lca = _lca()
+        assert lca.production_carbon.kilograms == pytest.approx(70.0)
+        assert lca.use_carbon.kilograms == pytest.approx(24.0)
+
+    def test_stage_carbons_sum_to_total(self):
+        lca = _lca()
+        total = sum(lca.stage_carbon(stage).kilograms for stage in LifeCycleStage)
+        assert total == pytest.approx(lca.total.kilograms)
+
+    def test_capex_is_everything_but_use(self):
+        lca = _lca()
+        assert lca.capex_fraction == pytest.approx(0.76)
+        assert lca.opex_fraction == pytest.approx(0.24)
+        assert lca.capex_fraction + lca.opex_fraction == pytest.approx(1.0)
+
+    def test_capex_stages_constant(self):
+        assert LifeCycleStage.USE not in CAPEX_STAGES
+        assert len(CAPEX_STAGES) == 3
+
+    def test_manufacturing_fraction_is_production_only(self):
+        lca = _lca()
+        assert lca.manufacturing_fraction == pytest.approx(0.70)
+        assert lca.manufacturing_fraction < lca.capex_fraction
+
+
+class TestComponents:
+    def test_component_carbon_is_of_production(self):
+        lca = _lca(component_fractions={"integrated_circuits": 0.5})
+        assert lca.component_carbon("integrated_circuits").kilograms == pytest.approx(
+            35.0
+        )
+
+    def test_unknown_component_raises(self):
+        lca = _lca()
+        with pytest.raises(DataValidationError):
+            lca.component_carbon("display")
+
+
+class TestAmortizationAndClasses:
+    def test_amortized_per_year(self):
+        lca = _lca(lifetime_years=4.0)
+        assert lca.amortized_per_year().kilograms == pytest.approx(25.0)
+
+    def test_power_class_mapping(self):
+        assert power_class_for(DeviceClass.PHONE) is PowerClass.BATTERY_POWERED
+        assert power_class_for(DeviceClass.LAPTOP) is PowerClass.BATTERY_POWERED
+        assert power_class_for(DeviceClass.DESKTOP) is PowerClass.ALWAYS_CONNECTED
+        assert (
+            power_class_for(DeviceClass.GAME_CONSOLE) is PowerClass.ALWAYS_CONNECTED
+        )
+
+    def test_lca_exposes_power_class(self):
+        assert _lca().power_class is PowerClass.BATTERY_POWERED
+
+
+class TestFromStageCarbon:
+    def test_builds_fractions_from_absolutes(self):
+        lca = ProductLCA.from_stage_carbon(
+            "x", "acme", 2020, DeviceClass.TABLET,
+            stages={
+                LifeCycleStage.PRODUCTION: Carbon.kg(75.0),
+                LifeCycleStage.TRANSPORT: Carbon.kg(5.0),
+                LifeCycleStage.USE: Carbon.kg(19.0),
+                LifeCycleStage.END_OF_LIFE: Carbon.kg(1.0),
+            },
+        )
+        assert lca.total.kilograms == pytest.approx(100.0)
+        assert lca.manufacturing_fraction == pytest.approx(0.75)
+
+    def test_missing_stage_raises(self):
+        with pytest.raises(DataValidationError):
+            ProductLCA.from_stage_carbon(
+                "x", "acme", 2020, DeviceClass.TABLET,
+                stages={LifeCycleStage.PRODUCTION: Carbon.kg(75.0)},
+            )
+
+
+class TestUsePhaseCarbon:
+    def test_matches_manual_computation(self):
+        carbon = use_phase_carbon(
+            Energy.kwh(10.0), CarbonIntensity.g_per_kwh(380.0), lifetime_years=3.0
+        )
+        assert carbon.grams == pytest.approx(10 * 380 * 3)
+
+    def test_lifetime_must_be_positive(self):
+        with pytest.raises(DataValidationError):
+            use_phase_carbon(Energy.kwh(1.0), CarbonIntensity.g_per_kwh(1.0), 0.0)

@@ -1,0 +1,193 @@
+"""Tests for reduction levers and lifetime/replacement analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.levers import (
+    FootprintScenario,
+    carbon_aware_scheduling_lever,
+    compare_levers,
+    lifetime_extension_lever,
+    renewable_energy_lever,
+    scale_down_lever,
+)
+from repro.analysis.lifetime import (
+    annualized_footprint,
+    lifetime_sweep,
+    replacement_break_even_years,
+)
+from repro.errors import SimulationError
+from repro.units import Carbon, CarbonIntensity, Energy
+
+
+@pytest.fixture
+def scenario() -> FootprintScenario:
+    return FootprintScenario(
+        name="cluster",
+        annual_energy=Energy.gwh(100.0),
+        grid=CarbonIntensity.g_per_kwh(400.0),
+        embodied_total=Carbon.kilotonnes(40.0),
+        lifetime_years=4.0,
+    )
+
+
+class TestScenario:
+    def test_opex_per_year(self, scenario):
+        assert scenario.opex_per_year.kilotonnes_value == pytest.approx(40.0)
+
+    def test_embodied_per_year(self, scenario):
+        assert scenario.embodied_per_year.kilotonnes_value == pytest.approx(10.0)
+
+    def test_total(self, scenario):
+        assert scenario.total_per_year.kilotonnes_value == pytest.approx(50.0)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            FootprintScenario(
+                name="x",
+                annual_energy=Energy.gwh(1.0),
+                grid=CarbonIntensity.g_per_kwh(1.0),
+                embodied_total=Carbon.kg(1.0),
+                lifetime_years=0.0,
+            )
+
+
+class TestLevers:
+    def test_renewable_lever_full_coverage(self, scenario):
+        lever = renewable_energy_lever(CarbonIntensity.g_per_kwh(10.0))
+        improved = lever.apply(scenario)
+        assert improved.grid.grams_per_kwh == pytest.approx(10.0)
+        # Embodied untouched.
+        assert improved.embodied_per_year.grams == scenario.embodied_per_year.grams
+
+    def test_renewable_lever_partial_coverage(self, scenario):
+        lever = renewable_energy_lever(
+            CarbonIntensity.g_per_kwh(0.0), coverage=0.5
+        )
+        improved = lever.apply(scenario)
+        assert improved.grid.grams_per_kwh == pytest.approx(200.0)
+
+    def test_lifetime_lever_reduces_embodied_only(self, scenario):
+        lever = lifetime_extension_lever(4.0)
+        improved = lever.apply(scenario)
+        assert improved.embodied_per_year.kilotonnes_value == pytest.approx(5.0)
+        assert improved.opex_per_year.grams == scenario.opex_per_year.grams
+
+    def test_scale_down_tradeoff(self, scenario):
+        lever = scale_down_lever(embodied_reduction=0.5, energy_penalty=0.1)
+        improved = lever.apply(scenario)
+        assert improved.embodied_per_year.kilotonnes_value == pytest.approx(5.0)
+        assert improved.annual_energy.gigawatt_hours == pytest.approx(110.0)
+
+    def test_scheduling_lever_scales_grid(self, scenario):
+        lever = carbon_aware_scheduling_lever(0.25)
+        improved = lever.apply(scenario)
+        assert improved.grid.grams_per_kwh == pytest.approx(300.0)
+
+    def test_savings_sign(self, scenario):
+        lever = renewable_energy_lever(CarbonIntensity.g_per_kwh(10.0))
+        assert lever.savings(scenario).grams > 0.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(SimulationError):
+            renewable_energy_lever(CarbonIntensity.g_per_kwh(0.0), coverage=1.5)
+        with pytest.raises(SimulationError):
+            lifetime_extension_lever(0.0)
+        with pytest.raises(SimulationError):
+            scale_down_lever(embodied_reduction=1.5)
+        with pytest.raises(SimulationError):
+            carbon_aware_scheduling_lever(-0.1)
+
+
+class TestCompareLevers:
+    def test_ranked_by_savings(self, scenario):
+        table = compare_levers(
+            scenario,
+            [
+                renewable_energy_lever(CarbonIntensity.g_per_kwh(10.0)),
+                lifetime_extension_lever(1.0),
+            ],
+        )
+        savings = table.column("saved_t_per_year")
+        assert savings == sorted(savings, reverse=True)
+
+    def test_requires_levers(self, scenario):
+        with pytest.raises(SimulationError):
+            compare_levers(scenario, [])
+
+    def test_renewables_beat_lifetime_on_dirty_grid(self, scenario):
+        table = compare_levers(
+            scenario,
+            [
+                renewable_energy_lever(CarbonIntensity.g_per_kwh(10.0)),
+                lifetime_extension_lever(2.0),
+            ],
+        )
+        assert table.row(0)["lever"] == "renewable_energy"
+
+
+class TestLifetimeAnalysis:
+    def test_annualized_footprint_components(self):
+        total = annualized_footprint(
+            Carbon.kg(80.0), Energy.kwh(10.0),
+            CarbonIntensity.g_per_kwh(400.0), 4.0,
+        )
+        assert total.kilograms == pytest.approx(20.0 + 4.0)
+
+    def test_annualized_falls_with_lifetime(self):
+        embodied = Carbon.kg(64.0)
+        energy = Energy.kwh(10.0)
+        grid = CarbonIntensity.g_per_kwh(380.0)
+        short = annualized_footprint(embodied, energy, grid, 2.0)
+        long = annualized_footprint(embodied, energy, grid, 6.0)
+        assert long.grams < short.grams
+
+    def test_sweep_shares_fall(self):
+        table = lifetime_sweep(
+            Carbon.kg(64.0), Energy.kwh(10.0), CarbonIntensity.g_per_kwh(380.0)
+        )
+        shares = table.column("embodied_share")
+        assert all(a > b for a, b in zip(shares, shares[1:]))
+
+    def test_zero_lifetime_rejected(self):
+        with pytest.raises(SimulationError):
+            annualized_footprint(
+                Carbon.kg(1.0), Energy.kwh(1.0),
+                CarbonIntensity.g_per_kwh(1.0), 0.0,
+            )
+
+
+class TestReplacementBreakEven:
+    def test_efficient_replacement_pays_back_eventually(self):
+        years = replacement_break_even_years(
+            Carbon.kg(60.0),
+            old_annual_energy=Energy.kwh(100.0),
+            new_annual_energy=Energy.kwh(50.0),
+            grid=CarbonIntensity.g_per_kwh(400.0),
+        )
+        # Saves 20 kg/yr against 60 kg embodied -> 3 years.
+        assert years == pytest.approx(3.0)
+
+    def test_no_efficiency_gain_never_pays_back(self):
+        years = replacement_break_even_years(
+            Carbon.kg(60.0),
+            old_annual_energy=Energy.kwh(100.0),
+            new_annual_energy=Energy.kwh(100.0),
+            grid=CarbonIntensity.g_per_kwh(400.0),
+        )
+        assert years == float("inf")
+
+    def test_cleaner_grid_stretches_payback(self):
+        kwargs = dict(
+            new_embodied=Carbon.kg(60.0),
+            old_annual_energy=Energy.kwh(100.0),
+            new_annual_energy=Energy.kwh(50.0),
+        )
+        dirty = replacement_break_even_years(
+            grid=CarbonIntensity.g_per_kwh(800.0), **kwargs
+        )
+        clean = replacement_break_even_years(
+            grid=CarbonIntensity.g_per_kwh(50.0), **kwargs
+        )
+        assert clean > dirty

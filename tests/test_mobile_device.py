@@ -1,0 +1,87 @@
+"""Tests for the whole-phone break-even model (Figure 10 anchors)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.grids import grid_by_name
+from repro.mobile.device import MobilePhone, pixel3
+
+
+class TestICCapex:
+    def test_pixel3_uses_component_split(self, phone: MobilePhone):
+        # Half of the 44.8 kg production stage.
+        assert phone.ic_capex.kilograms == pytest.approx(22.4)
+
+    def test_fallback_is_half_production(self):
+        from repro.data.devices import device_by_name
+        from repro.mobile.inference import InferenceSimulator
+        from repro.mobile.processors import SNAPDRAGON_845
+
+        lca = device_by_name("pixel_3a")  # no component split
+        other = MobilePhone(
+            lca=lca, soc=SNAPDRAGON_845, simulator=InferenceSimulator()
+        )
+        assert other.ic_capex.kilograms == pytest.approx(
+            lca.production_carbon.kilograms / 2.0
+        )
+
+
+class TestBreakEvenAnchors:
+    @pytest.mark.parametrize(
+        "model,processor,expected_images",
+        [
+            ("resnet50", "cpu", 200e6),
+            ("inception_v3", "cpu", 150e6),
+            ("mobilenet_v3", "cpu", 5e9),
+            ("mobilenet_v3", "dsp", 10e9),
+        ],
+    )
+    def test_break_even_images(self, phone, model, processor, expected_images):
+        assert phone.break_even_images(model, processor) == pytest.approx(
+            expected_images, rel=0.01
+        )
+
+    def test_break_even_days_cpu(self, phone):
+        assert phone.break_even_days("mobilenet_v3", "cpu") == pytest.approx(
+            350.0, rel=0.01
+        )
+
+    def test_break_even_days_dsp_near_1200(self, phone):
+        assert phone.break_even_days("mobilenet_v3", "dsp") == pytest.approx(
+            1200.0, rel=0.05
+        )
+
+    def test_dsp_break_even_beyond_lifetime(self, phone):
+        assert not phone.amortizes_within_lifetime("mobilenet_v3", "dsp")
+
+    def test_resnet_amortizes_within_lifetime(self, phone):
+        assert phone.amortizes_within_lifetime("resnet50", "cpu")
+
+
+class TestGridSensitivity:
+    def test_cleaner_grid_pushes_break_even_out(self):
+        dirty = pixel3(grid=grid_by_name("india").intensity)
+        clean = pixel3(grid=grid_by_name("iceland").intensity)
+        assert clean.break_even_days("mobilenet_v3", "cpu") > dirty.break_even_days(
+            "mobilenet_v3", "cpu"
+        )
+
+    def test_break_even_scales_inversely_with_intensity(self):
+        us = pixel3(grid=grid_by_name("united_states").intensity)
+        iceland = pixel3(grid=grid_by_name("iceland").intensity)
+        ratio = iceland.break_even_days(
+            "mobilenet_v3", "cpu"
+        ) / us.break_even_days("mobilenet_v3", "cpu")
+        assert ratio == pytest.approx(380.0 / 28.0, rel=1e-6)
+
+
+class TestAmortizationSchedule:
+    def test_schedule_consistent_with_days(self, phone):
+        schedule = phone.amortization("mobilenet_v3", "cpu")
+        assert schedule.break_even_days() == pytest.approx(
+            phone.break_even_days("mobilenet_v3", "cpu")
+        )
+
+    def test_carbon_per_inference_positive(self, phone):
+        assert phone.carbon_per_inference("resnet50", "gpu").grams > 0.0

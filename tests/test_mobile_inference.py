@@ -1,0 +1,128 @@
+"""Tests for the mobile SoC and inference simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.measurements import PIXEL3_MEASUREMENTS, measurement
+from repro.data.workloads import cnn_by_name
+from repro.errors import CalibrationError, DataValidationError, SimulationError
+from repro.mobile.inference import InferenceSimulator
+from repro.mobile.processors import SNAPDRAGON_845, MobileProcessor, MobileSoC
+
+
+class TestProcessors:
+    def test_soc_has_three_units(self):
+        assert set(SNAPDRAGON_845.processors) == {"cpu", "gpu", "dsp"}
+
+    def test_effective_rates_below_peak(self):
+        for unit in SNAPDRAGON_845.processors.values():
+            assert unit.effective_gflops < unit.peak_gflops
+            assert unit.effective_bandwidth_gbs < unit.memory_bandwidth_gbs
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(DataValidationError):
+            MobileProcessor("npu", "npu", 100.0, 30.0, 2.0)
+
+    def test_kind_key_mismatch_rejected(self):
+        unit = MobileProcessor("x", "cpu", 10.0, 10.0, 1.0)
+        with pytest.raises(DataValidationError):
+            MobileSoC("soc", "10nm", 90.0, processors={"gpu": unit})
+
+    def test_missing_unit_lookup_raises(self):
+        with pytest.raises(DataValidationError):
+            MobileSoC(
+                "soc", "10nm", 90.0,
+                processors={"cpu": MobileProcessor("x", "cpu", 10.0, 10.0, 1.0)},
+            ).processor("dsp")
+
+    def test_efficiency_bounds_enforced(self):
+        with pytest.raises(DataValidationError):
+            MobileProcessor("x", "cpu", 10.0, 10.0, 1.0, compute_efficiency=0.0)
+
+
+class TestCalibratedEstimates:
+    def test_calibrated_cells_reproduce_measurements(self, simulator):
+        for record in PIXEL3_MEASUREMENTS:
+            estimate = simulator.estimate(record.model, record.processor)
+            assert estimate.calibrated
+            assert estimate.latency_s == pytest.approx(record.latency_s)
+            assert estimate.power.watts_value == pytest.approx(record.power_w)
+
+    def test_energy_is_power_times_latency(self, simulator):
+        estimate = simulator.estimate("resnet50", "cpu")
+        assert estimate.energy_per_inference.joules == pytest.approx(
+            estimate.power.watts_value * estimate.latency_s
+        )
+
+    def test_throughput_inverse_of_latency(self, simulator):
+        estimate = simulator.estimate("mobilenet_v2", "dsp")
+        assert estimate.throughput_ips == pytest.approx(1.0 / estimate.latency_s)
+
+    def test_paper_latency_ratios(self, simulator):
+        inception = simulator.latency_s("inception_v3", "cpu")
+        mnv2_cpu = simulator.latency_s("mobilenet_v2", "cpu")
+        mnv2_dsp = simulator.latency_s("mobilenet_v2", "dsp")
+        assert inception / mnv2_cpu == pytest.approx(17.0, rel=0.01)
+        assert mnv2_cpu / mnv2_dsp == pytest.approx(3.2, rel=0.01)
+
+    def test_paper_energy_ratio_mnv3_cpu_dsp(self, simulator):
+        cpu = simulator.energy_per_inference("mobilenet_v3", "cpu").joules
+        dsp = simulator.energy_per_inference("mobilenet_v3", "dsp").joules
+        assert cpu / dsp == pytest.approx(2.0, rel=0.01)
+
+    def test_duplicate_calibration_rejected(self):
+        record = measurement("resnet50", "cpu")
+        with pytest.raises(CalibrationError):
+            InferenceSimulator(calibration=[record, record])
+
+    def test_calibrated_pairs_cover_table(self, simulator):
+        assert len(simulator.calibrated_pairs()) == len(PIXEL3_MEASUREMENTS)
+
+
+class TestRooflineModel:
+    def test_uncalibrated_estimate_falls_back_to_roofline(self):
+        simulator = InferenceSimulator(calibration=[])
+        estimate = simulator.estimate("resnet50", "cpu")
+        assert not estimate.calibrated
+        assert estimate.latency_s > 0.0
+
+    def test_roofline_respects_compute_bound(self, simulator):
+        model = cnn_by_name("resnet50")
+        unit = SNAPDRAGON_845.processor("cpu")
+        latency = simulator.roofline_latency_s(model, "cpu")
+        assert latency >= model.gflops / unit.peak_gflops
+
+    def test_measured_latency_never_beats_roofline(self, simulator):
+        # Calibration residual >= 1 means measurements respect physics.
+        for model_name, processor in simulator.calibrated_pairs():
+            assert simulator.calibration_residual(model_name, processor) >= 1.0
+
+    def test_residual_requires_calibration(self):
+        simulator = InferenceSimulator(calibration=[])
+        with pytest.raises(CalibrationError):
+            simulator.calibration_residual("resnet50", "cpu")
+
+    def test_bigger_model_is_slower_on_roofline(self, simulator):
+        small = simulator.roofline_latency_s(cnn_by_name("mobilenet_v2"), "cpu")
+        big = simulator.roofline_latency_s(cnn_by_name("inception_v3"), "cpu")
+        assert big > small
+
+
+class TestRunsAndTables:
+    def test_run_scales_linearly(self, simulator):
+        duration_1, energy_1 = simulator.run("mobilenet_v3", "cpu", 100)
+        duration_2, energy_2 = simulator.run("mobilenet_v3", "cpu", 200)
+        assert duration_2 == pytest.approx(2.0 * duration_1)
+        assert energy_2.joules == pytest.approx(2.0 * energy_1.joules)
+
+    def test_run_rejects_nonpositive_count(self, simulator):
+        with pytest.raises(SimulationError):
+            simulator.run("mobilenet_v3", "cpu", 0)
+
+    def test_comparison_table_shape(self, simulator):
+        rows = simulator.comparison_table(
+            ("resnet50", "mobilenet_v3"), ("cpu", "dsp")
+        )
+        assert len(rows) == 4
+        assert {row["model"] for row in rows} == {"resnet50", "mobilenet_v3"}

@@ -1,0 +1,161 @@
+"""Property-based invariants across the carbon models.
+
+These are the conservation and monotonicity laws the library's
+conclusions rest on: cleaner energy never adds carbon, bigger hardware
+never embodies less, longer lifetimes never raise the annualized
+footprint, and accounting identities hold under arbitrary inputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.growth import GrowthScenario, growth_trajectory
+from repro.analysis.lifetime import annualized_footprint
+from repro.core.embodied import EmbodiedModel
+from repro.core.ghg import GHGInventory, Scope
+from repro.core.lca import DeviceClass, LifeCycleStage, ProductLCA
+from repro.fab.process import NODE_ROADMAP
+from repro.fab.wafer import WaferFootprintModel
+from repro.units import Carbon, CarbonIntensity, Energy
+
+nodes = st.sampled_from(NODE_ROADMAP)
+areas = st.floats(min_value=10.0, max_value=800.0)
+intensities = st.floats(min_value=1.0, max_value=900.0)
+positive_kg = st.floats(min_value=0.1, max_value=1e6)
+
+
+@settings(max_examples=50)
+@given(nodes, areas, areas)
+def test_embodied_monotone_in_die_area(node, area_a, area_b):
+    model = EmbodiedModel()
+    small, large = sorted((area_a, area_b))
+    assert (
+        model.logic_carbon(small, node).grams
+        <= model.logic_carbon(large, node).grams + 1e-6
+    )
+
+
+@settings(max_examples=50)
+@given(nodes, areas, intensities, intensities)
+def test_embodied_monotone_in_fab_intensity(node, area, g_a, g_b):
+    clean_g, dirty_g = sorted((g_a, g_b))
+    clean = EmbodiedModel(fab_intensity=CarbonIntensity.g_per_kwh(clean_g))
+    dirty = EmbodiedModel(fab_intensity=CarbonIntensity.g_per_kwh(dirty_g))
+    assert (
+        clean.logic_carbon(area, node).grams
+        <= dirty.logic_carbon(area, node).grams + 1e-6
+    )
+
+
+@settings(max_examples=50)
+@given(nodes, intensities, st.floats(min_value=1.0, max_value=512.0))
+def test_wafer_energy_improvement_never_increases_total(node, grid_g, factor):
+    model = WaferFootprintModel.from_node(
+        node, CarbonIntensity.g_per_kwh(grid_g)
+    )
+    improved = model.with_energy_improvement(factor)
+    assert improved.total.grams <= model.baseline.total.grams + 1e-9
+
+
+@settings(max_examples=50)
+@given(
+    positive_kg,
+    st.floats(min_value=0.0, max_value=1e5),
+    intensities,
+    st.floats(min_value=0.5, max_value=20.0),
+    st.floats(min_value=0.5, max_value=20.0),
+)
+def test_longer_lifetime_never_raises_annualized_footprint(
+    embodied_kg, annual_kwh, grid_g, life_a, life_b
+):
+    short, long = sorted((life_a, life_b))
+    grid = CarbonIntensity.g_per_kwh(grid_g)
+    shorter = annualized_footprint(
+        Carbon.kg(embodied_kg), Energy.kwh(annual_kwh), grid, short
+    )
+    longer = annualized_footprint(
+        Carbon.kg(embodied_kg), Energy.kwh(annual_kwh), grid, long
+    )
+    assert longer.grams <= shorter.grams + 1e-6
+
+
+@settings(max_examples=40)
+@given(
+    st.floats(min_value=0.05, max_value=0.95),
+    st.floats(min_value=10.0, max_value=2000.0),
+)
+def test_lca_stage_carbons_conserve_total(production_fraction, total_kg):
+    remaining = 1.0 - production_fraction
+    lca = ProductLCA(
+        product="prop_device",
+        vendor="acme",
+        year=2020,
+        device_class=DeviceClass.PHONE,
+        total=Carbon.kg(total_kg),
+        stage_fractions={
+            LifeCycleStage.PRODUCTION: production_fraction,
+            LifeCycleStage.TRANSPORT: remaining * 0.2,
+            LifeCycleStage.USE: remaining * 0.7,
+            LifeCycleStage.END_OF_LIFE: remaining * 0.1,
+        },
+    )
+    reassembled = sum(
+        lca.stage_carbon(stage).grams for stage in LifeCycleStage
+    )
+    assert reassembled == pytest.approx(lca.total.grams, rel=1e-9)
+    assert lca.capex_fraction + lca.opex_fraction == pytest.approx(1.0)
+
+
+@settings(max_examples=40)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(list(Scope)),
+            st.floats(min_value=0.0, max_value=1e6),
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_inventory_total_is_sum_of_scope_totals(entries):
+    inventory = GHGInventory("prop_org", 2020)
+    for index, (scope, kg) in enumerate(entries):
+        inventory.add(scope, f"category_{index}", Carbon.kg(kg))
+    market_total = inventory.total(market_based=True).grams
+    by_scope = sum(
+        inventory.scope_total(scope).grams
+        for scope in Scope
+        if scope is not Scope.SCOPE2_LOCATION
+    )
+    assert market_total == pytest.approx(by_scope, rel=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.floats(min_value=1.0, max_value=3.0),
+    st.floats(min_value=1.0, max_value=3.0),
+    st.integers(min_value=2, max_value=8),
+)
+def test_growth_embodied_share_direction_follows_race(growth, gain, years):
+    scenario = GrowthScenario(
+        name="prop_fleet",
+        initial_units=100.0,
+        embodied_per_unit=Carbon.kg(1000.0),
+        unit_lifetime_years=4.0,
+        initial_energy_per_unit=Energy.kwh(10_000.0),
+        fleet_growth_per_year=growth,
+        efficiency_gain_per_year=gain,
+        grid=CarbonIntensity.g_per_kwh(380.0),
+    )
+    table = growth_trajectory(scenario, years)
+    shares = table.column("embodied_share")
+    if gain > 1.0:
+        # Efficiency improves while embodied-per-unit is fixed: the
+        # embodied share can only rise year over year.
+        assert all(a <= b + 1e-12 for a, b in zip(shares, shares[1:]))
+    else:
+        assert all(
+            a == pytest.approx(b, rel=1e-9) for a, b in zip(shares, shares[1:])
+        )

@@ -1,0 +1,127 @@
+"""Tests (including property-based) for the Pareto-frontier tools."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.pareto import ParetoPoint, dominates, frontier_shift, pareto_frontier
+from repro.errors import SimulationError
+
+
+def _point(label: str, perf: float, cost: float) -> ParetoPoint:
+    return ParetoPoint(label=label, performance=perf, cost=cost)
+
+
+class TestDominance:
+    def test_strictly_better_dominates(self):
+        assert dominates(_point("a", 10, 5), _point("b", 5, 10))
+
+    def test_equal_points_do_not_dominate(self):
+        a = _point("a", 10, 5)
+        b = _point("b", 10, 5)
+        assert not dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_tradeoff_points_do_not_dominate(self):
+        fast_dirty = _point("a", 10, 10)
+        slow_clean = _point("b", 5, 5)
+        assert not dominates(fast_dirty, slow_clean)
+        assert not dominates(slow_clean, fast_dirty)
+
+    def test_dominance_with_one_axis_tied(self):
+        assert dominates(_point("a", 10, 5), _point("b", 10, 6))
+        assert dominates(_point("a", 11, 5), _point("b", 10, 5))
+
+    def test_negative_coordinates_rejected(self):
+        with pytest.raises(SimulationError):
+            _point("a", -1.0, 5.0)
+
+
+class TestFrontier:
+    def test_empty_input(self):
+        assert pareto_frontier([]) == []
+
+    def test_single_point(self):
+        point = _point("only", 1, 1)
+        assert pareto_frontier([point]) == [point]
+
+    def test_dominated_points_removed(self):
+        frontier = pareto_frontier(
+            [_point("good", 10, 5), _point("bad", 5, 10), _point("ok", 12, 8)]
+        )
+        labels = {p.label for p in frontier}
+        assert labels == {"good", "ok"}
+
+    def test_sorted_by_cost(self):
+        frontier = pareto_frontier(
+            [_point("a", 10, 8), _point("b", 5, 3), _point("c", 15, 12)]
+        )
+        costs = [p.cost for p in frontier]
+        assert costs == sorted(costs)
+
+    def test_duplicate_coordinates_deduped(self):
+        frontier = pareto_frontier([_point("a", 5, 5), _point("b", 5, 5)])
+        assert len(frontier) == 1
+
+
+points_strategy = st.lists(
+    st.builds(
+        ParetoPoint,
+        label=st.text(alphabet="xyz", min_size=1, max_size=3),
+        performance=st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+        cost=st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(points_strategy)
+def test_frontier_members_are_non_dominated(points):
+    frontier = pareto_frontier(points)
+    for member in frontier:
+        assert not any(dominates(other, member) for other in points)
+
+
+@given(points_strategy)
+def test_every_point_dominated_by_or_on_frontier(points):
+    frontier = pareto_frontier(points)
+    for point in points:
+        covered = any(
+            dominates(member, point)
+            or (member.performance == point.performance and member.cost == point.cost)
+            for member in frontier
+        )
+        assert covered
+
+
+@given(points_strategy)
+def test_frontier_performance_increases_with_cost(points):
+    frontier = pareto_frontier(points)
+    for earlier, later in zip(frontier, frontier[1:]):
+        assert earlier.cost <= later.cost
+        assert earlier.performance <= later.performance
+
+
+@given(points_strategy, points_strategy)
+def test_adding_points_never_worsens_frontier_extremes(base, extra):
+    before = pareto_frontier(base)
+    after = pareto_frontier(base + extra)
+    assert max(p.performance for p in after) >= max(p.performance for p in before)
+    assert min(p.cost for p in after) <= min(p.cost for p in before)
+
+
+class TestFrontierShift:
+    def test_paper_shape_right_not_down(self):
+        earlier = [_point("x2017", 35, 63), _point("cheap", 7, 19)]
+        later = earlier + [_point("x2019", 75, 66)]
+        shift = frontier_shift(
+            pareto_frontier(earlier), pareto_frontier(later)
+        )
+        assert shift["performance_gain"] == pytest.approx(75 / 35)
+        assert shift["cost_reduction"] == pytest.approx(1.0)
+
+    def test_empty_frontier_rejected(self):
+        with pytest.raises(SimulationError):
+            frontier_shift([], [_point("a", 1, 1)])

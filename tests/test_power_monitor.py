@@ -1,0 +1,110 @@
+"""Tests for the Monsoon power-monitor simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.mobile.inference import InferenceSimulator
+from repro.mobile.power_monitor import MonsoonSimulator, PowerTrace
+from repro.units import Power
+
+
+@pytest.fixture
+def estimate(simulator: InferenceSimulator):
+    return simulator.estimate("mobilenet_v3", "cpu")
+
+
+class TestPowerTrace:
+    def test_constant_trace_energy(self):
+        trace = PowerTrace(np.full(5001, 2.0), 5000.0)
+        assert trace.energy().joules == pytest.approx(2.0, rel=1e-6)
+
+    def test_average_and_peak(self):
+        trace = PowerTrace(np.array([1.0, 3.0, 2.0]), 10.0)
+        assert trace.average_power.watts_value == pytest.approx(2.0)
+        assert trace.peak_power.watts_value == pytest.approx(3.0)
+
+    def test_duration(self):
+        trace = PowerTrace(np.zeros(11), 10.0)
+        assert trace.duration_s == pytest.approx(1.0)
+
+    def test_above_threshold_fraction(self):
+        trace = PowerTrace(np.array([0.0, 1.0, 2.0, 3.0]), 1.0)
+        assert trace.above(1.5) == pytest.approx(0.5)
+
+    def test_negative_samples_rejected(self):
+        with pytest.raises(SimulationError):
+            PowerTrace(np.array([1.0, -1.0]), 10.0)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(SimulationError):
+            PowerTrace(np.array([1.0]), 10.0)
+
+    def test_bad_sample_rate_rejected(self):
+        with pytest.raises(SimulationError):
+            PowerTrace(np.array([1.0, 1.0]), 0.0)
+
+
+class TestMonsoonSimulator:
+    def test_constant_measurement_close_to_ideal(self):
+        monsoon = MonsoonSimulator(noise_fraction=0.01, seed=3)
+        trace = monsoon.constant(Power.watts(5.0), 1.0)
+        assert trace.average_power.watts_value == pytest.approx(5.0, rel=0.02)
+
+    def test_noiseless_trace_is_exact(self):
+        monsoon = MonsoonSimulator(noise_fraction=0.0)
+        trace = monsoon.constant(Power.watts(5.0), 1.0)
+        assert trace.average_power.watts_value == pytest.approx(5.0)
+
+    def test_same_seed_reproduces_trace(self):
+        a = MonsoonSimulator(seed=42).constant(Power.watts(3.0), 0.5)
+        b = MonsoonSimulator(seed=42).constant(Power.watts(3.0), 0.5)
+        assert np.array_equal(a.samples_w, b.samples_w)
+
+    def test_different_seeds_differ(self):
+        a = MonsoonSimulator(seed=1).constant(Power.watts(3.0), 0.5)
+        b = MonsoonSimulator(seed=2).constant(Power.watts(3.0), 0.5)
+        assert not np.array_equal(a.samples_w, b.samples_w)
+
+    def test_burst_energy_matches_analytic(self, estimate):
+        monsoon = MonsoonSimulator(noise_fraction=0.0)
+        trace = monsoon.inference_burst(estimate, 100, idle_power_w=0.0)
+        expected = estimate.energy_per_inference.joules * 100
+        assert trace.energy().joules == pytest.approx(expected, rel=0.02)
+
+    def test_gaps_lower_average_power(self, estimate):
+        monsoon = MonsoonSimulator(noise_fraction=0.0)
+        dense = monsoon.inference_burst(estimate, 20, idle_power_w=0.3)
+        sparse = monsoon.inference_burst(
+            estimate, 20, idle_power_w=0.3, inter_arrival_s=0.05
+        )
+        assert (
+            sparse.average_power.watts_value < dense.average_power.watts_value
+        )
+
+    def test_measure_energy_per_inference_subtracts_idle(self, estimate):
+        monsoon = MonsoonSimulator(noise_fraction=0.0)
+        gross = monsoon.inference_burst(estimate, 50, idle_power_w=0.0)
+        net = monsoon.measure_energy_per_inference(estimate, 50, idle_power_w=0.35)
+        per_inference_gross = gross.energy().joules / 50
+        assert net.joules < per_inference_gross
+        # Net = (P_active - P_idle) * latency, within sampling error.
+        expected = (
+            (estimate.power.watts_value - 0.35) * estimate.latency_s
+        )
+        assert net.joules == pytest.approx(expected, rel=0.03)
+
+    def test_invalid_parameters_rejected(self, estimate):
+        monsoon = MonsoonSimulator()
+        with pytest.raises(SimulationError):
+            monsoon.constant(Power.watts(1.0), 0.0)
+        with pytest.raises(SimulationError):
+            monsoon.inference_burst(estimate, 0, idle_power_w=0.0)
+        with pytest.raises(SimulationError):
+            monsoon.inference_burst(estimate, 1, idle_power_w=-1.0)
+        with pytest.raises(SimulationError):
+            MonsoonSimulator(sample_rate_hz=0.0)
+        with pytest.raises(SimulationError):
+            MonsoonSimulator(noise_fraction=1.0)

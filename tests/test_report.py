@@ -1,0 +1,126 @@
+"""Tests for text-mode table and chart rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.report.charts import (
+    bar_chart,
+    line_chart,
+    scatter_chart,
+    stacked_bar_chart,
+)
+from repro.report.tables import render_table
+from repro.tabular import Table
+
+
+class TestRenderTable:
+    def test_title_underlined(self):
+        table = Table({"a": [1]})
+        text = render_table(table, title="hello")
+        lines = text.splitlines()
+        assert lines[0] == "hello"
+        assert lines[1] == "====="
+
+    def test_no_title(self):
+        table = Table({"a": [1]})
+        assert render_table(table).splitlines()[0].startswith("a")
+
+
+class TestBarChart:
+    def test_longest_bar_fills_width(self):
+        chart = bar_chart(["x", "y"], [10.0, 5.0], width=20)
+        first = chart.splitlines()[0]
+        assert "#" * 20 in first
+
+    def test_half_bar(self):
+        chart = bar_chart(["x", "y"], [10.0, 5.0], width=20)
+        second = chart.splitlines()[1]
+        assert "#" * 10 in second
+        assert "#" * 11 not in second
+
+    def test_values_printed(self):
+        chart = bar_chart(["x"], [3.25], value_format="{:.2f}")
+        assert "3.25" in chart
+
+    def test_zero_values_allowed(self):
+        chart = bar_chart(["x"], [0.0])
+        assert "|" in chart
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(SimulationError):
+            bar_chart(["x"], [1.0, 2.0])
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(SimulationError):
+            bar_chart(["x"], [-1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            bar_chart([], [])
+
+
+class TestStackedBarChart:
+    def test_legend_lists_components(self):
+        chart = stacked_bar_chart(
+            ["row"], [{"energy": 3.0, "gas": 1.0}], width=40
+        )
+        assert "A=energy" in chart
+        assert "B=gas" in chart
+
+    def test_totals_printed(self):
+        chart = stacked_bar_chart(["row"], [{"a": 1.0, "b": 1.0}])
+        assert "2.00" in chart
+
+    def test_missing_component_treated_as_zero(self):
+        chart = stacked_bar_chart(
+            ["r1", "r2"], [{"a": 1.0}, {"a": 0.5, "b": 0.5}]
+        )
+        assert chart.count("\n") >= 2
+
+    def test_negative_component_rejected(self):
+        with pytest.raises(SimulationError):
+            stacked_bar_chart(["r"], [{"a": -1.0}])
+
+
+class TestLineChart:
+    def test_axis_summary_present(self):
+        chart = line_chart([0.0, 1.0, 2.0], {"s": [1.0, 2.0, 3.0]})
+        assert "y: [" in chart
+        assert "A=s" in chart
+
+    def test_multiple_series_lettered(self):
+        chart = line_chart(
+            [0.0, 1.0], {"first": [1.0, 2.0], "second": [2.0, 1.0]}
+        )
+        assert "A=first" in chart
+        assert "B=second" in chart
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            line_chart([0.0, 1.0], {"s": [1.0]})
+
+    def test_flat_series_renders(self):
+        chart = line_chart([0.0, 1.0], {"s": [5.0, 5.0]})
+        assert "A" in chart
+
+
+class TestScatterChart:
+    def test_markers_plotted(self):
+        chart = scatter_chart([(1.0, 1.0, "G"), (2.0, 2.0, "A")])
+        assert "G" in chart
+        assert "A" in chart
+
+    def test_bounds_printed(self):
+        chart = scatter_chart([(1.0, 2.0, "x"), (3.0, 4.0, "y")])
+        assert "x: [1, 3]" in chart
+        assert "y: [2, 4]" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            scatter_chart([])
+
+    def test_degenerate_dimensions_rejected(self):
+        with pytest.raises(SimulationError):
+            scatter_chart([(1.0, 1.0, "x")], height=1)

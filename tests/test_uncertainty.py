@@ -1,0 +1,148 @@
+"""Tests for Monte Carlo uncertainty propagation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.uncertainty import (
+    Fixed,
+    Normal,
+    Triangular,
+    Uniform,
+    UncertaintyResult,
+    monte_carlo,
+)
+from repro.errors import SimulationError
+
+
+class TestDistributions:
+    def test_fixed_is_constant(self):
+        rng = np.random.default_rng(0)
+        samples = Fixed(3.5).sample(rng, 100)
+        assert np.all(samples == 3.5)
+
+    def test_uniform_within_bounds(self):
+        rng = np.random.default_rng(0)
+        samples = Uniform(1.0, 2.0).sample(rng, 1000)
+        assert np.all((samples >= 1.0) & (samples <= 2.0))
+
+    def test_normal_truncated_at_zero(self):
+        rng = np.random.default_rng(0)
+        samples = Normal(0.1, 5.0).sample(rng, 1000)
+        assert np.all(samples >= 0.0)
+
+    def test_triangular_within_bounds(self):
+        rng = np.random.default_rng(0)
+        samples = Triangular(1.0, 2.0, 4.0).sample(rng, 1000)
+        assert np.all((samples >= 1.0) & (samples <= 4.0))
+
+    def test_degenerate_triangular(self):
+        rng = np.random.default_rng(0)
+        assert np.all(Triangular(2.0, 2.0, 2.0).sample(rng, 10) == 2.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(SimulationError):
+            Normal(1.0, -0.1)
+        with pytest.raises(SimulationError):
+            Uniform(2.0, 1.0)
+        with pytest.raises(SimulationError):
+            Triangular(1.0, 0.5, 2.0)
+
+
+class TestMonteCarlo:
+    def test_deterministic_given_seed(self):
+        spec = {"a": Normal(10.0, 1.0)}
+        first = monte_carlo(lambda p: p["a"], spec, samples=100, seed=7)
+        second = monte_carlo(lambda p: p["a"], spec, samples=100, seed=7)
+        assert np.array_equal(first.samples, second.samples)
+
+    def test_fixed_inputs_give_constant_output(self):
+        spec = {"a": Fixed(2.0), "b": Fixed(3.0)}
+        result = monte_carlo(lambda p: p["a"] * p["b"], spec, samples=50)
+        assert result.std == 0.0
+        assert result.mean == pytest.approx(6.0)
+
+    def test_mean_of_sum_is_sum_of_means(self):
+        spec = {"a": Normal(10.0, 1.0), "b": Uniform(0.0, 2.0)}
+        result = monte_carlo(
+            lambda p: p["a"] + p["b"], spec, samples=4000, seed=1
+        )
+        assert result.mean == pytest.approx(11.0, abs=0.15)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(SimulationError):
+            monte_carlo(lambda p: 0.0, {}, samples=10)
+        with pytest.raises(SimulationError):
+            monte_carlo(lambda p: 0.0, {"a": Fixed(1.0)}, samples=0)
+
+    def test_break_even_uncertainty_example(self):
+        """Uncertain IC capex and grid intensity -> break-even days."""
+        from repro.units import Carbon, CarbonIntensity, Power
+        from repro.core.amortization import break_even_days
+
+        def model(params):
+            return break_even_days(
+                Carbon.kg(params["capex_kg"]),
+                Power.watts(7.0),
+                CarbonIntensity.g_per_kwh(params["grid"]),
+            )
+
+        result = monte_carlo(
+            model,
+            {
+                "capex_kg": Triangular(15.0, 22.4, 30.0),
+                "grid": Uniform(300.0, 450.0),
+            },
+            samples=2000,
+            seed=3,
+        )
+        low, high = result.interval(0.90)
+        assert low < 351.0 < high  # the point estimate sits inside
+
+
+class TestUncertaintyResult:
+    def test_percentiles_ordered(self):
+        result = UncertaintyResult(np.arange(100, dtype=float))
+        assert result.percentile(5) < result.percentile(50) < result.percentile(95)
+
+    def test_interval_contains_median(self):
+        result = UncertaintyResult(np.random.default_rng(0).normal(size=500))
+        low, high = result.interval(0.8)
+        assert low < result.percentile(50) < high
+
+    def test_probability_above(self):
+        result = UncertaintyResult(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert result.probability_above(2.5) == pytest.approx(0.5)
+
+    def test_summary_table_columns(self):
+        result = UncertaintyResult(np.array([1.0, 2.0, 3.0]))
+        table = result.summary_table()
+        assert table.column_names == ["mean", "std", "p05", "p50", "p95"]
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(SimulationError):
+            UncertaintyResult(np.array([]))
+        result = UncertaintyResult(np.array([1.0, 2.0]))
+        with pytest.raises(SimulationError):
+            result.percentile(120.0)
+        with pytest.raises(SimulationError):
+            result.interval(1.5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.floats(min_value=0.1, max_value=100.0),
+    st.floats(min_value=0.0, max_value=10.0),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_monotone_model_preserves_interval_order(mean, spread, seed):
+    """For a monotone model, output interval ends follow input order."""
+    spec = {"x": Uniform(mean, mean + spread + 1e-6)}
+    result = monte_carlo(lambda p: 3.0 * p["x"] + 1.0, spec, samples=300,
+                         seed=seed)
+    low, high = result.interval(0.9)
+    assert low <= high
+    assert low >= 3.0 * mean + 1.0 - 1e-6
+    assert high <= 3.0 * (mean + spread + 1e-6) + 1.0 + 1e-6

@@ -1,0 +1,196 @@
+"""Unit tests for repro.units quantities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnitError
+from repro.units import (
+    Carbon,
+    CarbonIntensity,
+    Energy,
+    Power,
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    SECONDS_PER_YEAR,
+    days,
+    hours,
+    years,
+)
+
+
+class TestDurations:
+    def test_hours_converts_to_seconds(self):
+        assert hours(2) == 2 * SECONDS_PER_HOUR
+
+    def test_days_converts_to_seconds(self):
+        assert days(1.5) == 1.5 * SECONDS_PER_DAY
+
+    def test_years_converts_to_seconds(self):
+        assert years(1) == SECONDS_PER_YEAR
+
+    def test_year_is_365_days(self):
+        assert years(1) == days(365)
+
+    def test_nan_rejected(self):
+        with pytest.raises(UnitError):
+            hours(float("nan"))
+
+    def test_infinity_rejected(self):
+        with pytest.raises(UnitError):
+            days(float("inf"))
+
+
+class TestEnergy:
+    def test_kwh_roundtrip(self):
+        assert Energy.kwh(1.0).kilowatt_hours == pytest.approx(1.0)
+
+    def test_kwh_is_3_6_megajoules(self):
+        assert Energy.kwh(1.0).joules == pytest.approx(3.6e6)
+
+    def test_watt_hours(self):
+        assert Energy.watt_hours(1000.0).kilowatt_hours == pytest.approx(1.0)
+
+    def test_gwh_and_twh(self):
+        assert Energy.gwh(1.0).kilowatt_hours == pytest.approx(1e6)
+        assert Energy.twh(1.0).gigawatt_hours == pytest.approx(1e3)
+
+    def test_addition(self):
+        assert (Energy.kwh(1.0) + Energy.kwh(2.0)).kilowatt_hours == pytest.approx(3.0)
+
+    def test_subtraction(self):
+        assert (Energy.kwh(3.0) - Energy.kwh(1.0)).kilowatt_hours == pytest.approx(2.0)
+
+    def test_scalar_multiplication_both_sides(self):
+        assert (Energy.kwh(2.0) * 3).kilowatt_hours == pytest.approx(6.0)
+        assert (3 * Energy.kwh(2.0)).kilowatt_hours == pytest.approx(6.0)
+
+    def test_division_by_energy_gives_ratio(self):
+        assert Energy.kwh(6.0) / Energy.kwh(2.0) == pytest.approx(3.0)
+
+    def test_division_by_scalar(self):
+        assert (Energy.kwh(6.0) / 2.0).kilowatt_hours == pytest.approx(3.0)
+
+    def test_division_by_zero_energy_raises(self):
+        with pytest.raises(UnitError):
+            Energy.kwh(1.0) / Energy.zero()
+
+    def test_division_by_zero_scalar_raises(self):
+        with pytest.raises(UnitError):
+            Energy.kwh(1.0) / 0.0
+
+    def test_ordering(self):
+        assert Energy.kwh(1.0) < Energy.kwh(2.0)
+        assert Energy.kwh(2.0) <= Energy.kwh(2.0)
+
+    def test_negation(self):
+        assert (-Energy.kwh(1.0)).kilowatt_hours == pytest.approx(-1.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(UnitError):
+            Energy(float("nan"))
+
+    def test_repr_mentions_kwh(self):
+        assert "kWh" in repr(Energy.kwh(1.0))
+
+
+class TestPower:
+    def test_constructors(self):
+        assert Power.kilowatts(1.0).watts_value == pytest.approx(1000.0)
+        assert Power.megawatts(1.0).kilowatts_value == pytest.approx(1000.0)
+        assert Power.milliwatts(500.0).watts_value == pytest.approx(0.5)
+
+    def test_energy_over_one_hour(self):
+        energy = Power.watts(1000.0).energy_over(hours(1))
+        assert energy.kilowatt_hours == pytest.approx(1.0)
+
+    def test_energy_over_zero_time_is_zero(self):
+        assert Power.watts(50.0).energy_over(0.0).joules == 0.0
+
+    def test_addition_and_subtraction(self):
+        assert (Power.watts(3.0) + Power.watts(4.0)).watts_value == pytest.approx(7.0)
+        assert (Power.watts(4.0) - Power.watts(3.0)).watts_value == pytest.approx(1.0)
+
+    def test_scalar_multiplication(self):
+        assert (Power.watts(2.0) * 4).watts_value == pytest.approx(8.0)
+
+    def test_ratio(self):
+        assert Power.watts(8.0) / Power.watts(2.0) == pytest.approx(4.0)
+
+    def test_zero_division_raises(self):
+        with pytest.raises(UnitError):
+            Power.watts(1.0) / Power.watts(0.0)
+
+    def test_ordering(self):
+        assert Power.watts(1.0) < Power.watts(2.0)
+
+
+class TestCarbon:
+    def test_unit_ladder(self):
+        assert Carbon.kg(1.0).grams == pytest.approx(1000.0)
+        assert Carbon.tonnes(1.0).kilograms == pytest.approx(1000.0)
+        assert Carbon.kilotonnes(1.0).tonnes_value == pytest.approx(1000.0)
+        assert Carbon.megatonnes(1.0).kilotonnes_value == pytest.approx(1000.0)
+
+    def test_addition(self):
+        assert (Carbon.kg(1.0) + Carbon.kg(2.0)).kilograms == pytest.approx(3.0)
+
+    def test_subtraction_can_go_negative(self):
+        assert (Carbon.kg(1.0) - Carbon.kg(2.0)).kilograms == pytest.approx(-1.0)
+
+    def test_scalar_multiplication(self):
+        assert (Carbon.kg(2.0) * 0.5).kilograms == pytest.approx(1.0)
+
+    def test_ratio(self):
+        assert Carbon.kg(10.0) / Carbon.kg(4.0) == pytest.approx(2.5)
+
+    def test_zero_division_raises(self):
+        with pytest.raises(UnitError):
+            Carbon.kg(1.0) / Carbon.zero()
+
+    def test_repr_scales_with_magnitude(self):
+        assert "g CO2e" in repr(Carbon.from_grams(5.0))
+        assert "kg CO2e" in repr(Carbon.kg(5.0))
+        assert "t CO2e" in repr(Carbon.tonnes(5.0))
+
+
+class TestCarbonIntensity:
+    def test_carbon_for_energy(self):
+        grid = CarbonIntensity.g_per_kwh(380.0)
+        assert grid.carbon_for(Energy.kwh(2.0)).grams == pytest.approx(760.0)
+
+    def test_multiplication_with_energy_both_orders(self):
+        grid = CarbonIntensity.g_per_kwh(100.0)
+        energy = Energy.kwh(3.0)
+        assert (grid * energy).grams == pytest.approx(300.0)
+        assert (energy * grid).grams == pytest.approx(300.0)
+
+    def test_kg_per_mwh_equals_g_per_kwh(self):
+        assert CarbonIntensity.kg_per_mwh(380.0).grams_per_kwh == pytest.approx(380.0)
+
+    def test_scaling(self):
+        assert (CarbonIntensity.g_per_kwh(100.0) * 0.5).grams_per_kwh == 50.0
+        assert (CarbonIntensity.g_per_kwh(100.0) / 4.0).grams_per_kwh == 25.0
+
+    def test_ratio(self):
+        ratio = CarbonIntensity.g_per_kwh(820.0) / CarbonIntensity.g_per_kwh(11.0)
+        assert ratio == pytest.approx(820.0 / 11.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(UnitError):
+            CarbonIntensity.g_per_kwh(-1.0)
+
+    def test_ordering(self):
+        assert CarbonIntensity.g_per_kwh(11.0) < CarbonIntensity.g_per_kwh(820.0)
+
+    def test_full_chain_power_to_carbon(self):
+        # 5 W for a day at 380 g/kWh: 0.12 kWh -> 45.6 g.
+        energy = Power.watts(5.0).energy_over(days(1))
+        carbon = CarbonIntensity.g_per_kwh(380.0).carbon_for(energy)
+        assert carbon.grams == pytest.approx(45.6)
+
+    def test_quantities_are_hashable_and_frozen(self):
+        grid = CarbonIntensity.g_per_kwh(380.0)
+        assert hash(grid) == hash(CarbonIntensity.g_per_kwh(380.0))
+        with pytest.raises(Exception):
+            grid.grams_per_kwh = 1.0  # type: ignore[misc]

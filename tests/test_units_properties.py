@@ -1,0 +1,104 @@
+"""Property-based tests for the quantity algebra."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.units import Carbon, CarbonIntensity, Energy, Power, hours
+
+finite = st.floats(
+    min_value=-1e12, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+positive = st.floats(
+    min_value=1e-6, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+non_negative = st.floats(
+    min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+@given(finite, finite)
+def test_energy_addition_commutes(a, b):
+    left = Energy(a) + Energy(b)
+    right = Energy(b) + Energy(a)
+    assert left.joules == right.joules
+
+
+@given(finite, finite, finite)
+def test_energy_addition_associates(a, b, c):
+    left = (Energy(a) + Energy(b)) + Energy(c)
+    right = Energy(a) + (Energy(b) + Energy(c))
+    assert math.isclose(left.joules, right.joules, rel_tol=1e-12, abs_tol=1e-6)
+
+
+@given(positive)
+def test_energy_kwh_roundtrip(value):
+    assert math.isclose(Energy.kwh(value).kilowatt_hours, value, rel_tol=1e-12)
+
+
+@given(positive)
+def test_energy_unit_ladder_consistent(value):
+    assert math.isclose(
+        Energy.gwh(value).kilowatt_hours, value * 1e6, rel_tol=1e-12
+    )
+    assert math.isclose(
+        Energy.twh(value).gigawatt_hours, value * 1e3, rel_tol=1e-12
+    )
+
+
+@given(positive, positive)
+def test_power_energy_linearity_in_time(watts, duration):
+    power = Power.watts(watts)
+    single = power.energy_over(duration)
+    double = power.energy_over(2.0 * duration)
+    assert math.isclose(double.joules, 2.0 * single.joules, rel_tol=1e-12)
+
+
+@given(positive, positive, positive)
+def test_power_energy_additive_in_power(w1, w2, duration):
+    combined = Power.watts(w1 + w2).energy_over(duration)
+    split = Power.watts(w1).energy_over(duration) + Power.watts(w2).energy_over(
+        duration
+    )
+    assert math.isclose(combined.joules, split.joules, rel_tol=1e-9)
+
+
+@given(non_negative, positive)
+def test_intensity_carbon_scales_with_energy(g_per_kwh, kwh):
+    grid = CarbonIntensity.g_per_kwh(g_per_kwh)
+    one = grid.carbon_for(Energy.kwh(kwh))
+    three = grid.carbon_for(Energy.kwh(3.0 * kwh))
+    assert math.isclose(three.grams, 3.0 * one.grams, rel_tol=1e-9)
+
+
+@given(non_negative, non_negative, positive)
+def test_cleaner_grid_never_emits_more(g1, g2, kwh):
+    lo, hi = sorted((g1, g2))
+    energy = Energy.kwh(kwh)
+    clean = CarbonIntensity.g_per_kwh(lo).carbon_for(energy)
+    dirty = CarbonIntensity.g_per_kwh(hi).carbon_for(energy)
+    assert clean.grams <= dirty.grams + 1e-9
+
+
+@given(finite)
+def test_carbon_unit_ladder(value):
+    assert math.isclose(Carbon.kg(value).grams, value * 1e3, rel_tol=1e-12, abs_tol=1e-9)
+    assert math.isclose(
+        Carbon.tonnes(value).kilograms, value * 1e3, rel_tol=1e-12, abs_tol=1e-9
+    )
+
+
+@given(finite, st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+def test_carbon_scalar_distributes(value, scale):
+    left = (Carbon(value) + Carbon(value)) * scale
+    right = Carbon(value) * scale + Carbon(value) * scale
+    assert math.isclose(left.grams, right.grams, rel_tol=1e-9, abs_tol=1e-6)
+
+
+@given(positive)
+def test_hours_consistent_with_power_chain(watts):
+    # P watts for 1 hour must equal P watt-hours.
+    energy = Power.watts(watts).energy_over(hours(1))
+    assert math.isclose(energy.watt_hours_value, watts, rel_tol=1e-12)
