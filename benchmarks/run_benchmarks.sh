@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Run the full pytest-benchmark suite and record a JSON snapshot so the
+# performance trajectory is visible per PR.
+#
+# Usage:
+#   benchmarks/run_benchmarks.sh [tag]
+#
+# Writes benchmarks/BENCH_<tag>.json (tag defaults to today's date,
+# YYYYMMDD). Compare two snapshots with:
+#   python -m pytest_benchmark compare benchmarks/BENCH_*.json
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+tag="${1:-$(date +%Y%m%d)}"
+out="benchmarks/BENCH_${tag}.json"
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest benchmarks \
+    -q --benchmark-json="$out" "${@:2}"
+
+echo "benchmark snapshot written to $out"

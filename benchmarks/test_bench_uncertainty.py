@@ -18,15 +18,27 @@ def _model(params):
     )
 
 
+_SPEC = {
+    "capex_kg": Triangular(15.0, 22.4, 30.0),
+    "power_w": Triangular(5.0, 7.0, 9.0),
+    "grid_g_per_kwh": Uniform(295.0, 583.0),
+}
+
+
 def test_bench_breakeven_uncertainty(benchmark):
-    spec = {
-        "capex_kg": Triangular(15.0, 22.4, 30.0),
-        "power_w": Triangular(5.0, 7.0, 9.0),
-        "grid_g_per_kwh": Uniform(295.0, 583.0),
-    }
+    """Batched path: the model sees every draw array at once."""
     result = benchmark(
-        lambda: monte_carlo(_model, spec, samples=5000, seed=11)
+        lambda: monte_carlo(_model, _SPEC, samples=5000, seed=11, vectorized=True)
     )
     low, high = result.interval(0.90)
     # The paper's 350-day point estimate sits inside the band.
+    assert low < 350.0 < high
+
+
+def test_bench_breakeven_uncertainty_scalar(benchmark):
+    """Per-sample loop baseline over the same model and draws."""
+    result = benchmark(
+        lambda: monte_carlo(_model, _SPEC, samples=5000, seed=11)
+    )
+    low, high = result.interval(0.90)
     assert low < 350.0 < high

@@ -3,13 +3,13 @@
 from __future__ import annotations
 
 import statistics
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from ..core.intensity import EnergySource
 from ..core.lca import ProductLCA
 from ..data.corporate import LifecycleBreakdown
 from ..errors import SimulationError
-from ..tabular import Table
+from ..tabular import Table, col
 
 __all__ = [
     "device_class_breakdown",
@@ -26,6 +26,30 @@ def _std(values: Sequence[float]) -> float:
     return statistics.stdev(values) if len(values) > 1 else 0.0
 
 
+def _first(values: Sequence[Any]) -> Any:
+    return values[0]
+
+
+def _lca_table(lcas: Iterable[ProductLCA], min_year: int | None) -> Table:
+    """One row per LCA with the fields the breakdowns aggregate over."""
+    records = [
+        {
+            "device_class": lca.device_class.value,
+            "power_class": lca.power_class.value,
+            "manufacturing": lca.manufacturing_fraction,
+            "use": lca.use_fraction,
+            "total_kg": lca.total.kilograms,
+            "manufacturing_kg": lca.production_carbon.kilograms,
+            "use_kg": lca.use_carbon.kilograms,
+        }
+        for lca in lcas
+        if min_year is None or lca.year >= min_year
+    ]
+    if not records:
+        raise SimulationError("no devices left after the year filter")
+    return Table.from_records(records)
+
+
 def device_class_breakdown(
     lcas: Iterable[ProductLCA], min_year: int | None = None
 ) -> Table:
@@ -35,64 +59,39 @@ def device_class_breakdown(
     spread of the manufacturing and use fractions, and mean absolute
     total/manufacturing/use footprints in kg.
     """
-    selected = [
-        lca for lca in lcas if min_year is None or lca.year >= min_year
-    ]
-    if not selected:
-        raise SimulationError("no devices left after the year filter")
-    records = []
-    by_class: dict[str, list[ProductLCA]] = {}
-    for lca in selected:
-        by_class.setdefault(lca.device_class.value, []).append(lca)
-    for class_name, members in by_class.items():
-        manufacturing = [m.manufacturing_fraction for m in members]
-        use = [m.use_fraction for m in members]
-        totals = [m.total.kilograms for m in members]
-        records.append(
-            {
-                "device_class": class_name,
-                "power_class": members[0].power_class.value,
-                "count": len(members),
-                "manufacturing_mean": _mean(manufacturing),
-                "manufacturing_std": _std(manufacturing),
-                "use_mean": _mean(use),
-                "use_std": _std(use),
-                "total_kg_mean": _mean(totals),
-                "manufacturing_kg_mean": _mean(
-                    [m.production_carbon.kilograms for m in members]
-                ),
-                "use_kg_mean": _mean([m.use_carbon.kilograms for m in members]),
-            }
+    return (
+        _lca_table(lcas, min_year)
+        .aggregate(
+            by=["device_class"],
+            power_class=("power_class", _first),
+            count=("manufacturing", len),
+            manufacturing_mean=("manufacturing", _mean),
+            manufacturing_std=("manufacturing", _std),
+            use_mean=("use", _mean),
+            use_std=("use", _std),
+            total_kg_mean=("total_kg", _mean),
+            manufacturing_kg_mean=("manufacturing_kg", _mean),
+            use_kg_mean=("use_kg", _mean),
         )
-    return Table.from_records(records).sort_by("power_class", "device_class")
+        .sort_by("power_class", "device_class")
+    )
 
 
 def power_class_breakdown(
     lcas: Iterable[ProductLCA], min_year: int | None = None
 ) -> Table:
     """Battery-powered vs always-connected aggregation (Takeaway 2)."""
-    selected = [
-        lca for lca in lcas if min_year is None or lca.year >= min_year
-    ]
-    if not selected:
-        raise SimulationError("no devices left after the year filter")
-    by_power: dict[str, list[ProductLCA]] = {}
-    for lca in selected:
-        by_power.setdefault(lca.power_class.value, []).append(lca)
-    records = []
-    for power_class, members in sorted(by_power.items()):
-        records.append(
-            {
-                "power_class": power_class,
-                "count": len(members),
-                "manufacturing_mean": _mean(
-                    [m.manufacturing_fraction for m in members]
-                ),
-                "use_mean": _mean([m.use_fraction for m in members]),
-                "total_kg_mean": _mean([m.total.kilograms for m in members]),
-            }
+    return (
+        _lca_table(lcas, min_year)
+        .aggregate(
+            by=["power_class"],
+            count=("manufacturing", len),
+            manufacturing_mean=("manufacturing", _mean),
+            use_mean=("use", _mean),
+            total_kg_mean=("total_kg", _mean),
         )
-    return Table.from_records(records)
+        .sort_by("power_class")
+    )
 
 
 def lifecycle_grid_sweep(
@@ -107,23 +106,24 @@ def lifecycle_grid_sweep(
     baseline_intensity = breakdown.baseline_grid.intensity.grams_per_kwh
     if baseline_intensity <= 0.0:
         raise SimulationError("baseline grid intensity must be positive")
-    records = []
-    fixed = {
-        name: fraction
+    fixed_total = sum(
+        fraction
         for name, fraction in breakdown.categories.items()
         if name != breakdown.use_category
-    }
-    for source in sources:
-        scale = source.intensity.grams_per_kwh / baseline_intensity
-        use_value = breakdown.use_fraction * scale
-        total = use_value + sum(fixed.values())
-        record: dict[str, object] = {
-            "source": source.name,
-            "intensity_g_per_kwh": source.intensity.grams_per_kwh,
-            "use": use_value,
-            "total": total,
-            "use_share": use_value / total,
-            "non_use_share": 1.0 - use_value / total,
-        }
-        records.append(record)
-    return Table.from_records(records)
+    )
+    table = Table.from_records(
+        [
+            {
+                "source": source.name,
+                "intensity_g_per_kwh": source.intensity.grams_per_kwh,
+            }
+            for source in sources
+        ]
+    )
+    scale = col("intensity_g_per_kwh") / baseline_intensity
+    return (
+        table.with_column("use", scale * breakdown.use_fraction)
+        .with_column("total", col("use") + fixed_total)
+        .with_column("use_share", col("use") / col("total"))
+        .with_column("non_use_share", 1.0 - col("use") / col("total"))
+    )

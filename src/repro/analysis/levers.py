@@ -168,7 +168,7 @@ def compare_levers(
     records = []
     for lever in levers:
         improved = lever.apply(baseline)
-        saved = lever.savings(baseline)
+        saved = baseline.total_per_year - improved.total_per_year
         records.append(
             {
                 "lever": lever.name,

@@ -11,6 +11,20 @@ output distribution.
 >>> result = monte_carlo(lambda p: p["a"] + p["b"], spec, samples=2000)
 >>> 10.5 < result.mean < 11.5
 True
+
+Batched evaluation: ``monte_carlo(..., vectorized=True)`` calls the
+model *once* with the full draw arrays (a mapping of parameter name to
+a ``float64`` vector of all samples) instead of once per draw. Models
+built from plain arithmetic or from the array-friendly quantity types
+in :mod:`repro.units` (e.g. :func:`repro.core.amortization.break_even_days`)
+evaluate in a handful of numpy operations; models that only handle
+scalars fall back to the per-sample loop automatically, so the flag is
+always safe to pass. Both paths produce bit-identical outputs for
+models whose arithmetic is elementwise.
+
+Non-finite model outputs (NaN/inf) raise :class:`SimulationError`
+naming the offending parameter draw rather than silently polluting the
+summary statistics.
 """
 
 from __future__ import annotations
@@ -156,12 +170,16 @@ def monte_carlo(
     parameters: Mapping[str, Distribution],
     samples: int = 1000,
     seed: int = 0,
+    vectorized: bool = False,
 ) -> UncertaintyResult:
     """Propagate parameter distributions through ``model``.
 
-    The model is called once per draw with a plain dict of floats, so
-    any existing scalar model (embodied totals, break-even days, fleet
-    capex) plugs in unchanged.
+    By default the model is called once per draw with a plain dict of
+    floats, so any existing scalar model (embodied totals, break-even
+    days, fleet capex) plugs in unchanged. With ``vectorized=True`` the
+    model is instead called once with the full draw arrays; a model
+    that cannot handle arrays (raises, or returns a scalar/misshapen
+    result) falls back to the per-sample loop.
     """
     if samples <= 0:
         raise SimulationError("sample count must be positive")
@@ -172,8 +190,53 @@ def monte_carlo(
         name: distribution.sample(rng, samples)
         for name, distribution in parameters.items()
     }
-    outputs = np.empty(samples)
-    for index in range(samples):
-        point = {name: float(values[index]) for name, values in draws.items()}
-        outputs[index] = model(point)
+    outputs: np.ndarray | None = None
+    if vectorized:
+        outputs = _evaluate_batched(model, draws, samples)
+    if outputs is None:
+        outputs = np.empty(samples)
+        for index in range(samples):
+            point = {name: float(values[index]) for name, values in draws.items()}
+            outputs[index] = model(point)
+    _require_finite_outputs(outputs, draws)
     return UncertaintyResult(outputs)
+
+
+def _evaluate_batched(
+    model: Callable[[Mapping[str, float]], float],
+    draws: Mapping[str, np.ndarray],
+    samples: int,
+) -> np.ndarray | None:
+    """Call ``model`` once with the full draw arrays.
+
+    Returns ``None`` when the model is scalar-only — it raised on array
+    input or did not return one output per sample — so the caller can
+    fall back to the per-sample loop.
+    """
+    try:
+        # The model gets copies: if it mutates a draw array in place
+        # before failing, the fallback loop must still see pristine
+        # draws (and error messages must report the real values).
+        batched = model({name: values.copy() for name, values in draws.items()})
+    except Exception:
+        return None
+    outputs = np.asarray(batched, dtype=float)
+    if outputs.shape != (samples,):
+        return None
+    return outputs
+
+
+def _require_finite_outputs(
+    outputs: np.ndarray, draws: Mapping[str, np.ndarray]
+) -> None:
+    """Reject NaN/inf model outputs, naming the draw that caused one."""
+    bad = np.flatnonzero(~np.isfinite(outputs))
+    if bad.size == 0:
+        return
+    index = int(bad[0])
+    draw = {name: float(values[index]) for name, values in draws.items()}
+    raise SimulationError(
+        f"model returned non-finite output {float(outputs[index])!r} for sample "
+        f"{index} with parameter draw {draw} "
+        f"({bad.size} of {outputs.size} samples non-finite)"
+    )

@@ -6,11 +6,19 @@ equal the embodied carbon? The paper expresses the answer three ways —
 number of inferences, days of continuous operation, and a comparison
 against the device lifetime — and this module supports all three plus
 full amortization schedules.
+
+The break-even functions are batch-friendly: quantities may wrap 1-D
+numpy draw arrays (see :mod:`repro.units`), in which case each function
+returns an array of break-evens — one per draw. This is what
+``monte_carlo(..., vectorized=True)`` relies on to evaluate a model
+once over every sample.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from ..errors import SimulationError
 from ..units import SECONDS_PER_DAY, SECONDS_PER_YEAR, Carbon, CarbonIntensity, Energy, Power
@@ -24,26 +32,34 @@ __all__ = [
 ]
 
 
+def _any(condition: "bool | np.ndarray") -> bool:
+    """Truth of a validation predicate over a scalar or a draw array,
+    without paying numpy dispatch on the scalar fast path."""
+    if isinstance(condition, np.ndarray):
+        return bool(condition.any())
+    return bool(condition)
+
+
 def break_even_units(capex: Carbon, carbon_per_unit: Carbon) -> float:
     """How many units of work until operational carbon equals ``capex``.
 
     A "unit" is whatever the caller's rate describes — one inference for
     Figure 10 (top).
     """
-    if capex.grams < 0.0:
+    if _any(capex.grams < 0.0):
         raise SimulationError("capex must be non-negative")
-    if carbon_per_unit.grams <= 0.0:
+    if _any(carbon_per_unit.grams <= 0.0):
         raise SimulationError("per-unit carbon must be positive")
     return capex.grams / carbon_per_unit.grams
 
 
 def break_even_seconds(capex: Carbon, power: Power, grid: CarbonIntensity) -> float:
     """Seconds of continuous draw at ``power`` until opex equals capex."""
-    if capex.grams < 0.0:
+    if _any(capex.grams < 0.0):
         raise SimulationError("capex must be non-negative")
-    if power.watts_value <= 0.0:
+    if _any(power.watts_value <= 0.0):
         raise SimulationError("power must be positive")
-    if grid.grams_per_kwh <= 0.0:
+    if _any(grid.grams_per_kwh <= 0.0):
         raise SimulationError(
             "grid intensity must be positive for a finite break-even"
         )

@@ -73,9 +73,19 @@ class DiurnalGridModel:
         """
         if hours <= 0:
             raise SimulationError("series length must be positive")
-        values = np.array(
-            [self.intensity_at(float(hour)).grams_per_kwh for hour in range(hours)]
+        hour_of_day = np.arange(hours, dtype=float) % 24.0
+
+        def bell(center: float, width: float) -> np.ndarray:
+            offset = np.abs(hour_of_day - center)
+            distance = np.minimum(offset, 24.0 - offset)
+            return np.exp(-(distance * distance) / (2.0 * width * width))
+
+        values = (
+            self.base_g_per_kwh
+            - self.solar_depth_g_per_kwh * bell(self._SOLAR_NOON, 3.0)
+            + self.evening_peak_g_per_kwh * bell(self._EVENING_PEAK, 2.0)
         )
+        np.maximum(values, 1.0, out=values)
         if self.noise_g_per_kwh > 0.0:
             rng = np.random.default_rng(self.seed)
             values = values + rng.normal(0.0, self.noise_g_per_kwh, size=hours)

@@ -11,6 +11,11 @@ cluster can draw at most ``capacity_kw`` in any hour. The agnostic
 scheduler starts every job as early as possible; the aware scheduler
 picks, for each job (most energy-hungry first), the feasible start
 slot with the lowest total carbon.
+
+Placement is O(starts) per job rather than O(starts x duration): the
+per-start carbon of every candidate window comes from one prefix-sum
+subtraction, and feasibility from a single sliding-window maximum of
+the committed load.
 """
 
 from __future__ import annotations
@@ -89,21 +94,6 @@ class ScheduleResult:
         raise SimulationError(f"no placement for job {name!r}")
 
 
-def _job_carbon(
-    job: BatchJob, start: int, intensity_g_per_kwh: np.ndarray
-) -> Carbon:
-    window = intensity_g_per_kwh[start : start + job.duration_hours]
-    grams = float(np.sum(window) * job.power_kw)
-    return Carbon.from_grams(grams)
-
-
-def _fits(
-    job: BatchJob, start: int, load_kw: np.ndarray, capacity_kw: float
-) -> bool:
-    window = load_kw[start : start + job.duration_hours]
-    return bool(np.all(window + job.power_kw <= capacity_kw + 1e-9))
-
-
 def _feasible_starts(job: BatchJob, horizon: int) -> range:
     latest = (
         horizon - job.duration_hours
@@ -111,6 +101,41 @@ def _feasible_starts(job: BatchJob, horizon: int) -> range:
         else min(job.deadline_hour - job.duration_hours, horizon - job.duration_hours)
     )
     return range(job.arrival_hour, latest + 1)
+
+
+def _prefix_sum(intensity: np.ndarray) -> np.ndarray:
+    """``csum[k]`` = intensity summed over hours ``[0, k)``, so any
+    window sum is one subtraction: ``csum[s + d] - csum[s]``."""
+    csum = np.empty(intensity.shape[0] + 1)
+    csum[0] = 0.0
+    np.cumsum(intensity, out=csum[1:])
+    return csum
+
+
+def _window_carbon_grams(
+    csum: np.ndarray, starts: np.ndarray | int, duration: int, power_kw: float
+) -> np.ndarray | float:
+    """Carbon (grams) of running ``power_kw`` for ``duration`` hours
+    from each start, via the intensity prefix sums — O(1) per start."""
+    return (csum[starts + duration] - csum[starts]) * power_kw
+
+
+def _window_load_max(load_kw: np.ndarray, duration: int) -> np.ndarray:
+    """Max committed load within each length-``duration`` window.
+
+    A job fits at start ``s`` iff this max plus its own power stays
+    under capacity — one sliding-window pass replaces the per-start
+    rescan of the whole window. Computed as ``duration - 1`` shifted
+    elementwise maxima, which beats ``sliding_window_view`` on the
+    hour-scale durations batch jobs have.
+    """
+    if duration == 1:
+        return load_kw
+    span = load_kw.shape[0] - duration + 1
+    result = load_kw[:span].copy()
+    for offset in range(1, duration):
+        np.maximum(result, load_kw[offset : offset + span], out=result)
+    return result
 
 
 def _validate(jobs: Sequence[BatchJob], intensity: np.ndarray, capacity_kw: float) -> None:
@@ -136,20 +161,25 @@ def schedule_carbon_agnostic(
     """
     intensity = np.asarray(intensity_g_per_kwh, dtype=float)
     _validate(jobs, intensity, capacity_kw)
+    csum = _prefix_sum(intensity)
     load = np.zeros(intensity.shape[0])
     placements: list[JobPlacement] = []
     for job in sorted(jobs, key=lambda j: (j.arrival_hour, j.name)):
-        placed = False
-        for start in _feasible_starts(job, intensity.shape[0]):
-            if _fits(job, start, load, capacity_kw):
-                load[start : start + job.duration_hours] += job.power_kw
-                placements.append(
-                    JobPlacement(job, start, _job_carbon(job, start, intensity))
-                )
-                placed = True
-                break
-        if not placed:
+        starts = _feasible_starts(job, intensity.shape[0])
+        if len(starts) == 0:
             raise SimulationError(f"{job.name}: no feasible slot under capacity")
+        window_max = _window_load_max(load, job.duration_hours)
+        feasible = (
+            window_max[starts.start : starts.stop] + job.power_kw
+            <= capacity_kw + 1e-9
+        )
+        first = int(np.argmax(feasible))
+        if not feasible[first]:
+            raise SimulationError(f"{job.name}: no feasible slot under capacity")
+        start = starts.start + first
+        load[start : start + job.duration_hours] += job.power_kw
+        grams = float(_window_carbon_grams(csum, start, job.duration_hours, job.power_kw))
+        placements.append(JobPlacement(job, start, Carbon.from_grams(grams)))
     return ScheduleResult(tuple(placements))
 
 
@@ -167,23 +197,34 @@ def schedule_carbon_aware(
     """
     intensity = np.asarray(intensity_g_per_kwh, dtype=float)
     _validate(jobs, intensity, capacity_kw)
+    csum = _prefix_sum(intensity)
     load = np.zeros(intensity.shape[0])
     placements: list[JobPlacement] = []
     ordered = sorted(
         jobs, key=lambda j: (-j.power_kw * j.duration_hours, j.name)
     )
     for job in ordered:
-        best_start: int | None = None
-        best_carbon: Carbon | None = None
-        for start in _feasible_starts(job, intensity.shape[0]):
-            if not _fits(job, start, load, capacity_kw):
-                continue
-            carbon = _job_carbon(job, start, intensity)
-            if best_carbon is None or carbon.grams < best_carbon.grams:
-                best_carbon = carbon
-                best_start = start
-        if best_start is None or best_carbon is None:
+        starts = _feasible_starts(job, intensity.shape[0])
+        if len(starts) == 0:
             raise SimulationError(f"{job.name}: no feasible slot under capacity")
-        load[best_start : best_start + job.duration_hours] += job.power_kw
-        placements.append(JobPlacement(job, best_start, best_carbon))
+        window_max = _window_load_max(load, job.duration_hours)
+        feasible = (
+            window_max[starts.start : starts.stop] + job.power_kw
+            <= capacity_kw + 1e-9
+        )
+        if not feasible.any():
+            raise SimulationError(f"{job.name}: no feasible slot under capacity")
+        grams = _window_carbon_grams(
+            csum,
+            np.arange(starts.start, starts.stop),
+            job.duration_hours,
+            job.power_kw,
+        )
+        grams = np.where(feasible, grams, np.inf)
+        best = int(np.argmin(grams))  # first minimum = earliest clean start
+        start = starts.start + best
+        load[start : start + job.duration_hours] += job.power_kw
+        placements.append(
+            JobPlacement(job, start, Carbon.from_grams(float(grams[best])))
+        )
     return ScheduleResult(tuple(placements))

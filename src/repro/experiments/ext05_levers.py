@@ -58,7 +58,7 @@ def run() -> ExperimentResult:
         return table.row(0)["lever"]
 
     def saved(table, lever: str) -> float:
-        return table.where(lambda r: r["lever"] == lever).row(0)[
+        return table.where("lever", "==", lever).row(0)[
             "saved_t_per_year"
         ]
 

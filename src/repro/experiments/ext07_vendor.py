@@ -51,7 +51,7 @@ def run() -> ExperimentResult:
     inventory = vendor.inventory(2019)
 
     def fraction(group: str) -> float:
-        return breakdown.where(lambda r: r["group"] == group).row(0)["fraction"]
+        return breakdown.where("group", "==", group).row(0)["fraction"]
 
     manufacturing = fraction("manufacturing")
     use = fraction("product_use")

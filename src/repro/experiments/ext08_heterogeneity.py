@@ -60,8 +60,8 @@ def run() -> ExperimentResult:
         homogeneous, heterogeneous, US_GRID.intensity
     )
 
-    homo = comparison.where(lambda r: r["plan"] == "homogeneous").row(0)
-    hetero = comparison.where(lambda r: r["plan"] == "heterogeneous").row(0)
+    homo = comparison.where("plan", "==", "homogeneous").row(0)
+    hetero = comparison.where("plan", "==", "heterogeneous").row(0)
 
     checks = [
         Check.boolean(

@@ -20,11 +20,11 @@ def run() -> ExperimentResult:
     expected = ict_projection("expected")
 
     def share(table, year: int) -> float:
-        row = table.where(lambda r: r["year"] == year).row(0)
+        row = table.where("year", "==", year).row(0)
         return row["ict_share"]
 
     def datacenter_share(table, year: int) -> float:
-        row = table.where(lambda r: r["year"] == year).row(0)
+        row = table.where("year", "==", year).row(0)
         return row["datacenter_twh"] / row["global_demand_twh"]
 
     years = [row["year"] for row in optimistic]

@@ -40,10 +40,10 @@ def run() -> ExperimentResult:
     ).sort_by("fraction", reverse=True)
 
     def group_fraction(name: str) -> float:
-        return groups.where(lambda row: row["group"] == name).row(0)["fraction"]
+        return groups.where("group", "==", name).row(0)["fraction"]
 
     ic_fraction = categories.where(
-        lambda row: row["category"] == "integrated_circuits"
+        "category", "==", "integrated_circuits"
     ).row(0)["fraction"]
     use_fraction = group_fraction("product_use")
     lifecycle = sum(group_fraction(name) for name in _LIFECYCLE_GROUPS)

@@ -30,10 +30,10 @@ def run() -> ExperimentResult:
     per_power = power_class_breakdown(DEVICE_LCAS, min_year=_MIN_YEAR)
 
     def power_row(name: str) -> dict:
-        return per_power.where(lambda row: row["power_class"] == name).row(0)
+        return per_power.where("power_class", "==", name).row(0)
 
     def class_row(name: str) -> dict:
-        return per_class.where(lambda row: row["device_class"] == name).row(0)
+        return per_class.where("device_class", "==", name).row(0)
 
     battery = power_row("battery_powered")
     connected = power_row("always_connected")

@@ -34,8 +34,8 @@ def run() -> ExperimentResult:
         goog_2018.scope3_total().grams / goog_2017.scope3_total().grams
     )
     goog_location_growth = (
-        goog_table.where(lambda r: r["year"] == 2018).row(0)["scope2_location_t"]
-        / goog_table.where(lambda r: r["year"] == 2017).row(0)["scope2_location_t"]
+        goog_table.where("year", "==", 2018).row(0)["scope2_location_t"]
+        / goog_table.where("year", "==", 2017).row(0)["scope2_location_t"]
     )
 
     checks = [
@@ -68,9 +68,9 @@ def run() -> ExperimentResult:
         ),
         Check.boolean(
             "facebook_2019_market_far_below_location",
-            fb_table.where(lambda r: r["year"] == 2019).row(0)["scope2_market_t"]
+            fb_table.where("year", "==", 2019).row(0)["scope2_market_t"]
             < 0.15
-            * fb_table.where(lambda r: r["year"] == 2019).row(0)[
+            * fb_table.where("year", "==", 2019).row(0)[
                 "scope2_location_t"
             ],
         ),

@@ -21,7 +21,7 @@ def run() -> ExperimentResult:
     breakdown = inventory.category_breakdown(scope=Scope.SCOPE3_UPSTREAM)
 
     def share(category: str) -> float:
-        return breakdown.where(lambda row: row["category"] == category).row(0)[
+        return breakdown.where("category", "==", category).row(0)[
             "share"
         ]
 

@@ -49,7 +49,7 @@ def run() -> ExperimentResult:
     amd = lifecycle_grid_sweep(AMD_BREAKDOWN, sources)
 
     def row(table, source: str) -> dict:
-        return table.where(lambda r: r["source"] == source).row(0)
+        return table.where("source", "==", source).row(0)
 
     checks = [
         Check("intel_baseline_use_share", 0.60,

@@ -32,8 +32,9 @@ def markdown_table(table: Table, float_format: str = "{:.4g}") -> str:
         "| " + " | ".join(names) + " |",
         "|" + "|".join("---" for _ in names) + "|",
     ]
-    for row in table:
-        lines.append("| " + " | ".join(fmt(row[name]) for name in names) + " |")
+    columns = [table.column(name) for name in names]
+    for row_values in zip(*columns):
+        lines.append("| " + " | ".join(fmt(value) for value in row_values) + " |")
     return "\n".join(lines)
 
 

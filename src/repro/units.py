@@ -25,6 +25,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from .errors import UnitError
 
 __all__ = [
@@ -54,6 +56,20 @@ GRAMS_PER_TONNE = 1e6
 
 
 def _require_finite(value: float, what: str) -> float:
+    """Validate a scalar — or, for batched models, a whole draw array.
+
+    Quantity types accept 1-D ``float64`` arrays wherever they accept a
+    float, so vectorized Monte Carlo paths can push full sample vectors
+    through the same dimensional API. All arithmetic on quantities is
+    elementwise, so array-valued quantities compose transparently.
+    """
+    if isinstance(value, np.ndarray):
+        # Copy so the frozen quantity cannot alias a caller-mutable
+        # array (the scalar path copies by construction via float()).
+        array = np.array(value, dtype=np.float64)
+        if not np.all(np.isfinite(array)):
+            raise UnitError(f"{what} must be finite everywhere")
+        return array
     value = float(value)
     if not math.isfinite(value):
         raise UnitError(f"{what} must be finite, got {value!r}")
@@ -62,6 +78,10 @@ def _require_finite(value: float, what: str) -> float:
 
 def _require_non_negative(value: float, what: str) -> float:
     value = _require_finite(value, what)
+    if isinstance(value, np.ndarray):
+        if np.any(value < 0.0):
+            raise UnitError(f"{what} must be non-negative everywhere")
+        return value
     if value < 0.0:
         raise UnitError(f"{what} must be non-negative, got {value!r}")
     return value

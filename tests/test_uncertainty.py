@@ -102,6 +102,65 @@ class TestMonteCarlo:
         assert low < 351.0 < high  # the point estimate sits inside
 
 
+class TestVectorizedMonteCarlo:
+    def test_batched_path_is_bit_identical_to_loop(self):
+        """Same draws, same elementwise arithmetic -> same bits."""
+        from repro.core.amortization import break_even_days
+        from repro.units import Carbon, CarbonIntensity, Power
+
+        def model(params):
+            return break_even_days(
+                Carbon.kg(params["capex_kg"]),
+                Power.watts(params["power_w"]),
+                CarbonIntensity.g_per_kwh(params["grid"]),
+            )
+
+        spec = {
+            "capex_kg": Triangular(15.0, 22.4, 30.0),
+            "power_w": Triangular(5.0, 7.0, 9.0),
+            "grid": Uniform(295.0, 583.0),
+        }
+        looped = monte_carlo(model, spec, samples=500, seed=11)
+        batched = monte_carlo(model, spec, samples=500, seed=11, vectorized=True)
+        assert np.array_equal(looped.samples, batched.samples)
+
+    def test_scalar_only_model_falls_back(self):
+        """A model that chokes on arrays still works under the flag."""
+
+        def model(params):
+            return float(params["a"]) + 1.0  # float() rejects arrays
+
+        result = monte_carlo(
+            model, {"a": Fixed(2.0)}, samples=20, vectorized=True
+        )
+        assert result.mean == pytest.approx(3.0)
+
+    def test_wrong_shape_batched_result_falls_back(self):
+        def model(params):
+            return 5.0  # scalar regardless of input width
+
+        result = monte_carlo(
+            model, {"a": Fixed(1.0)}, samples=10, vectorized=True
+        )
+        assert result.mean == pytest.approx(5.0)
+
+    def test_nan_output_names_offending_draw(self):
+        def model(params):
+            return float("nan") if params["a"] > 1.5 else params["a"]
+
+        with pytest.raises(SimulationError, match=r"sample \d+.*'a'"):
+            monte_carlo(model, {"a": Uniform(1.0, 2.0)}, samples=50, seed=2)
+
+    def test_inf_output_rejected_in_batched_path(self):
+        def model(params):
+            return 1.0 / (params["a"] - params["a"])  # inf everywhere
+
+        with pytest.raises(SimulationError, match="non-finite"):
+            monte_carlo(
+                model, {"a": Fixed(3.0)}, samples=10, vectorized=True
+            )
+
+
 class TestUncertaintyResult:
     def test_percentiles_ordered(self):
         result = UncertaintyResult(np.arange(100, dtype=float))
