@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Diff two pytest-benchmark snapshots and fail on mean-time regressions.
+
+Usage::
+
+    python benchmarks/compare_benchmarks.py BASELINE.json CANDIDATE.json \
+        [--threshold 2.0]
+
+Compares every benchmark present in *both* snapshots and exits
+non-zero when any shared benchmark's mean time regressed by more than
+``threshold``x. Benchmarks only present on one side are listed but
+never fail the guard (new benchmarks must be allowed to land).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_means(path: Path) -> dict[str, float]:
+    with path.open() as handle:
+        snapshot = json.load(handle)
+    return {
+        bench["name"]: bench["stats"]["mean"]
+        for bench in snapshot.get("benchmarks", [])
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="older BENCH_*.json")
+    parser.add_argument("candidate", type=Path, help="newer BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="fail when candidate mean exceeds baseline mean by this "
+        "factor (default: 2.0)",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold <= 0.0:
+        parser.error("threshold must be positive")
+
+    baseline = load_means(args.baseline)
+    candidate = load_means(args.candidate)
+    shared = sorted(set(baseline) & set(candidate))
+    if not shared:
+        print("no shared benchmarks between the two snapshots", file=sys.stderr)
+        return 2
+
+    regressions: list[str] = []
+    width = max(len(name) for name in shared)
+    print(f"{'benchmark':<{width}}  baseline(s)   candidate(s)  ratio")
+    for name in shared:
+        ratio = candidate[name] / baseline[name]
+        flag = ""
+        if ratio > args.threshold:
+            flag = f"  REGRESSION (> {args.threshold:g}x)"
+            regressions.append(name)
+        elif ratio < 1.0 / args.threshold:
+            flag = "  improved"
+        print(
+            f"{name:<{width}}  {baseline[name]:>11.6f}  {candidate[name]:>12.6f}"
+            f"  {ratio:>5.2f}{flag}"
+        )
+
+    only_baseline = sorted(set(baseline) - set(candidate))
+    only_candidate = sorted(set(candidate) - set(baseline))
+    if only_baseline:
+        print(f"\ndropped since baseline: {', '.join(only_baseline)}")
+    if only_candidate:
+        print(f"new in candidate: {', '.join(only_candidate)}")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} regression(s) beyond "
+            f"{args.threshold:g}x: {', '.join(regressions)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nno regression beyond {args.threshold:g}x across "
+          f"{len(shared)} shared benchmarks")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

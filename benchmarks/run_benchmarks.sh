@@ -1,20 +1,53 @@
 #!/usr/bin/env bash
-# Run the full pytest-benchmark suite and record a JSON snapshot so the
-# performance trajectory is visible per PR.
+# Run the FULL pytest-benchmark suite and record a JSON snapshot so the
+# performance trajectory is visible per PR. Always captures every
+# benchmark under benchmarks/ — partial snapshots make regression
+# guards blind.
 #
 # Usage:
-#   benchmarks/run_benchmarks.sh [tag]
+#   benchmarks/run_benchmarks.sh [tag] [--compare BASELINE.json] [pytest args...]
 #
 # Writes benchmarks/BENCH_<tag>.json (tag defaults to today's date,
-# YYYYMMDD). Compare two snapshots with:
-#   python -m pytest_benchmark compare benchmarks/BENCH_*.json
+# YYYYMMDD). With --compare, the snapshot is then diffed against the
+# given baseline and the script exits non-zero on any shared benchmark
+# regressing by more than 2x mean time (see compare_benchmarks.py).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-tag="${1:-$(date +%Y%m%d)}"
+tag="$(date +%Y%m%d)"
+if [[ $# -gt 0 && "$1" != -* ]]; then
+    tag="$1"
+    shift
+fi
 out="benchmarks/BENCH_${tag}.json"
 
+baseline=""
+passthrough=()
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --compare)
+            if [[ $# -lt 2 ]]; then
+                echo "usage: $0 [tag] [--compare BASELINE.json] [pytest args...]" >&2
+                exit 2
+            fi
+            baseline="$2"
+            shift 2
+            ;;
+        *)
+            passthrough+=("$1")
+            shift
+            ;;
+    esac
+done
+
+# The ${array[@]+...} form keeps the empty-array expansion safe under
+# `set -u` on bash < 4.4.
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest benchmarks \
-    -q --benchmark-json="$out" "${@:2}"
+    -q --benchmark-json="$out" ${passthrough[@]+"${passthrough[@]}"}
 
 echo "benchmark snapshot written to $out"
+
+if [[ -n "$baseline" ]]; then
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python \
+        benchmarks/compare_benchmarks.py "$baseline" "$out"
+fi

@@ -1,0 +1,65 @@
+"""Benchmark: 1000-scenario provisioning sweep, batched vs scalar loop.
+
+The batched ceil-divide/argmin kernel prices a utilization × demand
+grid in one call; the scalar loop re-runs provision_heterogeneous per
+scenario. The acceptance gate is >=10x between the two recorded means.
+"""
+
+import numpy as np
+
+from repro.datacenter.heterogeneity import (
+    WorkloadClass,
+    provision_heterogeneous,
+    provision_heterogeneous_batch,
+)
+from repro.scenarios.presets import example_service_mix
+
+_TARGETS = np.linspace(0.3, 0.95, 40)
+_SCALES = np.linspace(0.5, 8.0, 25)
+
+
+def _axes():
+    targets = np.repeat(_TARGETS, len(_SCALES))
+    scales = np.tile(_SCALES, len(_TARGETS))
+    return targets, scales
+
+
+def test_bench_provisioning_sweep_batch_1k(benchmark):
+    workloads, _, server_types = example_service_mix()
+    targets, scales = _axes()
+    assert len(targets) == 1000
+    result = benchmark(
+        lambda: provision_heterogeneous_batch(
+            workloads, server_types, targets, scales
+        )
+    )
+    assert result.num_scenarios == 1000
+    # Spot-check against the scalar reference.
+    index = 421
+    scaled = [
+        WorkloadClass(w.name, w.demand_rps * float(scales[index]))
+        for w in workloads
+    ]
+    reference = provision_heterogeneous(
+        scaled, server_types, float(targets[index])
+    )
+    assert result.plan(index).assignments == reference.assignments
+
+
+def test_bench_provisioning_sweep_scalar_1k(benchmark):
+    workloads, _, server_types = example_service_mix()
+    targets, scales = _axes()
+
+    def loop():
+        plans = []
+        for target, scale in zip(targets, scales):
+            scaled = [
+                WorkloadClass(w.name, w.demand_rps * float(scale))
+                for w in workloads
+            ]
+            plans.append(
+                provision_heterogeneous(scaled, server_types, float(target))
+            )
+        return plans
+
+    assert len(benchmark(loop)) == 1000

@@ -28,14 +28,9 @@ from repro.analysis.levers import (
     FootprintScenario,
 )
 from repro.data.grids import US_GRID
-from repro.datacenter.heterogeneity import (
-    ServerType,
-    WorkloadClass,
-    compare_provisioning,
-    provision_heterogeneous,
-    provision_homogeneous,
-)
+from repro.datacenter.heterogeneity import ServerType, WorkloadClass
 from repro.datacenter.server import AI_TRAINING_SERVER, WEB_SERVER
+from repro.scenarios import sweep_provisioning
 from repro.report.tables import render_table
 from repro.units import Carbon, CarbonIntensity, Energy
 
@@ -61,6 +56,8 @@ def main() -> None:
     )
 
     # --- 2. Serve the demand: homogeneous vs heterogeneous -------------
+    # The batched provisioner prices every (utilization, demand-scale)
+    # scenario in one ceil-divide/argmin kernel call.
     workloads = [
         WorkloadClass("ai_inference", demand_rps=500_000.0),
         WorkloadClass("web", demand_rps=800_000.0),
@@ -72,15 +69,18 @@ def main() -> None:
     accelerator = ServerType(
         config=AI_TRAINING_SERVER, throughput_rps={"ai_inference": 4_000.0}
     )
-    comparison = compare_provisioning(
-        provision_homogeneous(workloads, general),
-        provision_heterogeneous(workloads, [general, accelerator]),
-        US_GRID.intensity,
+    comparison = sweep_provisioning(
+        workloads,
+        general,
+        [general, accelerator],
+        utilization_targets=0.6,
+        demand_scales=[1.0, 2.0, 4.0],
+        grid=US_GRID.intensity,
     )
-    print(render_table(comparison, title="Provisioning the mix",
-                       float_format="{:.0f}"))
+    print(render_table(comparison, title="Provisioning the mix (demand 1-4x)",
+                       float_format="{:.2f}"))
     print("\nSpecialized hardware serves the same demand with fewer machines"
-          "\n— heterogeneity is a capex lever.\n")
+          "\nat every demand scale — heterogeneity is a capex lever.\n")
 
     # --- 3. What's left: rank the levers --------------------------------
     baseline = FootprintScenario(

@@ -4,37 +4,33 @@ Simulates six years of a Facebook-like fleet: servers multiply, a
 renewable-procurement book ramps until it covers all demand, and the
 footprint's center of mass moves from purchased electricity (opex) to
 server manufacturing and construction (capex) — the mechanism behind
-the paper's Figures 2 and 11. Finishes by filing each simulated year
-into a GHG-Protocol inventory.
+the paper's Figures 2 and 11. The simulation runs on the batched
+struct-of-arrays kernel, which also makes a growth × lifetime decision
+sweep one call; the final year is then filed into a GHG-Protocol
+inventory.
 
 Run:  python examples/datacenter_renewables.py
 """
 
 from repro import GHGInventory, Scope
-from repro.datacenter.fleet import simulate_fleet
-from repro.experiments.ext04_fleet import facebook_like_parameters
+from repro.datacenter.fleet import simulate_fleet_batch
 from repro.report.charts import line_chart
 from repro.report.tables import render_table
-from repro.tabular import Table
+from repro.scenarios import ScenarioGrid, facebook_like_fleet, sweep_fleet
 
 
 def main() -> None:
-    params = facebook_like_parameters()
-    reports = simulate_fleet(params)
+    params = facebook_like_fleet()
+    batch = simulate_fleet_batch([params])
 
-    table = Table.from_records(
-        [
-            {
-                "year": report.year,
-                "servers": report.servers,
-                "energy_gwh": report.energy.gigawatt_hours,
-                "coverage": report.renewable_coverage,
-                "opex_location_kt": report.opex_location.kilotonnes_value,
-                "opex_market_kt": report.opex_market.kilotonnes_value,
-                "capex_kt": report.capex.kilotonnes_value,
-            }
-            for report in reports
-        ]
+    table = batch.to_table().select(
+        "year",
+        "servers",
+        "energy_gwh",
+        "coverage",
+        "opex_location_kt",
+        "opex_market_kt",
+        "capex_kt",
     )
     print(render_table(table, title="Simulated fleet, 2014-2019",
                        float_format="{:.1f}"))
@@ -42,7 +38,7 @@ def main() -> None:
     print("\nCarbon by accounting view (kt CO2e):")
     print(
         line_chart(
-            [float(report.year) for report in reports],
+            [float(year) for year in table.column("year")],
             {
                 "location_opex": table.column("opex_location_kt"),
                 "market_opex": table.column("opex_market_kt"),
@@ -51,8 +47,31 @@ def main() -> None:
         )
     )
 
+    # --- Sweep the decision space: growth vs server lifetime -----------
+    grid = ScenarioGrid(
+        **{
+            "annual_growth": [0.0, 0.25, 0.5],
+            "server.lifetime_years": [2.0, 4.0, 6.0],
+        }
+    )
+    sweep = sweep_fleet(params, grid).select(
+        "annual_growth",
+        "server_lifetime_years",
+        "servers",
+        "opex_market_kt",
+        "capex_kt",
+        "capex_fraction_market",
+    )
+    print(render_table(sweep, title="Final-year footprint across "
+                       f"{len(grid)} scenarios (one batched kernel call)",
+                       float_format="{:.2f}"))
+    print(
+        "\nOnce the fleet grows, longer lifetimes cut the capex column;"
+        "\ngrowth decides how much opex the renewable book must chase."
+    )
+
     # --- File the final year as a GHG inventory ------------------------
-    final = reports[-1]
+    final = batch.reports(0)[-1]
     inventory = GHGInventory("simulated_operator", final.year)
     inventory.add(
         Scope.SCOPE2_LOCATION, "purchased_electricity", final.opex_location

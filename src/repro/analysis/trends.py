@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from ..core.lca import ProductLCA
 from ..errors import SimulationError
 from ..tabular import Table
@@ -38,13 +40,13 @@ def is_monotonic(
     ``tolerance`` forgives counter-trend steps up to that size —
     useful for real-world series with measurement wiggle.
     """
-    if len(values) < 2:
+    array = np.asarray(values, dtype=np.float64)
+    if array.size < 2:
         return True
-    for earlier, later in zip(values, values[1:]):
-        step = later - earlier if increasing else earlier - later
-        if step < -tolerance:
-            return False
-    return True
+    steps = np.diff(array)
+    if not increasing:
+        steps = -steps
+    return bool(np.all(steps >= -tolerance))
 
 
 def trend_summary(generations: Sequence[ProductLCA]) -> dict[str, float | bool]:

@@ -4,8 +4,9 @@ Usage::
 
     python -m repro list                 # experiment ids and titles
     python -m repro run fig10            # one experiment, full render
-    python -m repro run all              # everything, check summary only
+    python -m repro run all --parallel   # everything, over a process pool
     python -m repro checks               # one-line pass/fail per artifact
+    python -m repro sweep fleet_growth_lifetime   # a named scenario sweep
 """
 
 from __future__ import annotations
@@ -14,14 +15,26 @@ import argparse
 import sys
 from typing import Sequence
 
-from .experiments import EXPERIMENT_IDS, run_all, run_experiment
+from .experiments import EXPERIMENT_IDS, experiment_titles, run_all, run_experiment
 from .errors import ReproError
 
 __all__ = ["main", "build_parser"]
 
 
+def _experiment_help() -> str:
+    """Derive the run-target help from the registry, so it can't rot."""
+    first, last = EXPERIMENT_IDS[0], EXPERIMENT_IDS[-1]
+    kinds = sorted({experiment_id[:-2] for experiment_id in EXPERIMENT_IDS})
+    return (
+        f"experiment id ({first}..{last}; prefixes: {', '.join(kinds)}) "
+        "or 'all'"
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the ``repro`` CLI."""
+    from .scenarios import SWEEPS
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Chasing Carbon' (HPCA 2021)",
@@ -31,25 +44,54 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser("list", help="list experiment ids and titles")
 
     run_parser = commands.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("experiment", help=_experiment_help())
     run_parser.add_argument(
-        "experiment", help="experiment id (fig01..fig14, tab01..tab04, "
-        "ext01..ext04) or 'all'",
+        "--parallel",
+        action="store_true",
+        help="with 'all': run experiments over a process pool",
+    )
+    run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for --parallel (default: cpu count)",
     )
 
     commands.add_parser("checks", help="pass/fail summary for every artifact")
+
+    sweep_parser = commands.add_parser(
+        "sweep", help="run a named scenario sweep on the batched kernels"
+    )
+    sweep_parser.add_argument(
+        "sweep",
+        choices=sorted(SWEEPS),
+        help="sweep name: "
+        + "; ".join(f"{name} ({spec.description})" for name, spec in SWEEPS.items()),
+    )
+    sweep_parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit the result table as GitHub-flavored markdown",
+    )
     return parser
 
 
 def _command_list() -> int:
-    for experiment_id in EXPERIMENT_IDS:
-        result = run_experiment(experiment_id)
-        print(f"{experiment_id}  {result.title}")
+    for experiment_id, title in experiment_titles().items():
+        print(f"{experiment_id}  {title}")
     return 0
 
 
-def _command_run(experiment: str) -> int:
+def _command_run(experiment: str, parallel: bool, jobs: int | None) -> int:
+    if experiment != "all" and (parallel or jobs is not None):
+        print(
+            "note: --parallel/--jobs only apply to 'run all'; running "
+            f"{experiment} in-process",
+            file=sys.stderr,
+        )
     if experiment == "all":
-        results = run_all()
+        results = run_all(parallel=parallel, max_workers=jobs)
         failures = 0
         for experiment_id, result in results.items():
             status = "ok" if result.all_checks_pass else "FAIL"
@@ -79,6 +121,23 @@ def _command_checks() -> int:
     return 0 if not failing else 1
 
 
+def _command_sweep(name: str, markdown: bool) -> int:
+    from .experiments.markdown import markdown_table
+    from .report.tables import render_table
+    from .scenarios import SWEEPS, run_sweep
+
+    table = run_sweep(name)
+    spec = SWEEPS[name]
+    if markdown:
+        print(f"### {spec.name}\n\n{spec.description}\n")
+        print(markdown_table(table))
+    else:
+        print(render_table(table, title=spec.description,
+                           float_format="{:.3g}"))
+        print(f"\n{table.num_rows} scenarios, batched kernels")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
@@ -87,9 +146,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "list":
             return _command_list()
         if args.command == "run":
-            return _command_run(args.experiment)
+            return _command_run(args.experiment, args.parallel, args.jobs)
         if args.command == "checks":
             return _command_checks()
+        if args.command == "sweep":
+            return _command_sweep(args.sweep, args.markdown)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

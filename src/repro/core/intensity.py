@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
+import numpy as np
+
 from ..errors import DataValidationError, UnitError
 from ..units import Carbon, CarbonIntensity, Energy
 
@@ -148,9 +150,14 @@ def market_based_intensity(
     contractual instruments (PPAs, RECs); that fraction is accounted at
     the contracted source's intensity (zero by convention when the
     instrument conveys a zero-emission claim, which is how Facebook and
-    Google report).
+    Google report). ``renewable_coverage`` may be a 1-D coverage array,
+    in which case the result is an array-valued intensity.
     """
-    if not 0.0 <= renewable_coverage <= 1.0:
+    if isinstance(renewable_coverage, np.ndarray):
+        # Negated form so NaN fails like it does on the scalar path.
+        if np.any(~((renewable_coverage >= 0.0) & (renewable_coverage <= 1.0))):
+            raise UnitError("renewable coverage must be within [0, 1] everywhere")
+    elif not 0.0 <= renewable_coverage <= 1.0:
         raise UnitError(
             f"renewable coverage must be within [0, 1], got {renewable_coverage}"
         )

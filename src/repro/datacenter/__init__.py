@@ -11,7 +11,13 @@ points to.
 from .server import ServerConfig, WEB_SERVER, AI_TRAINING_SERVER, STORAGE_SERVER
 from .facility import Facility
 from .renewable import PPAContract, RenewablePortfolio
-from .fleet import FleetParameters, FleetYearReport, simulate_fleet
+from .fleet import (
+    FleetBatchResult,
+    FleetParameters,
+    FleetYearReport,
+    simulate_fleet,
+    simulate_fleet_batch,
+)
 from .grid_sim import DiurnalGridModel
 from .scheduler import (
     BatchJob,
@@ -24,8 +30,11 @@ from .heterogeneity import (
     WorkloadClass,
     ServerType,
     ProvisioningPlan,
+    BatchProvisioning,
     provision_homogeneous,
     provision_heterogeneous,
+    provision_homogeneous_batch,
+    provision_heterogeneous_batch,
     compare_provisioning,
 )
 
@@ -39,7 +48,9 @@ __all__ = [
     "RenewablePortfolio",
     "FleetParameters",
     "FleetYearReport",
+    "FleetBatchResult",
     "simulate_fleet",
+    "simulate_fleet_batch",
     "DiurnalGridModel",
     "BatchJob",
     "ScheduleResult",
@@ -50,7 +61,10 @@ __all__ = [
     "WorkloadClass",
     "ServerType",
     "ProvisioningPlan",
+    "BatchProvisioning",
     "provision_homogeneous",
     "provision_heterogeneous",
+    "provision_homogeneous_batch",
+    "provision_heterogeneous_batch",
     "compare_provisioning",
 ]

@@ -11,15 +11,25 @@ variants and the opex/capex split.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
 
 from ..core.embodied import EmbodiedModel
 from ..errors import SimulationError
-from ..units import Carbon, CarbonIntensity, Energy
+from ..tabular import Table
+from ..units import JOULES_PER_KWH, SECONDS_PER_YEAR, Carbon, CarbonIntensity, Energy
 from .facility import Facility
 from .renewable import RenewablePortfolio
 from .server import ServerConfig
 
-__all__ = ["FleetParameters", "FleetYearReport", "simulate_fleet"]
+__all__ = [
+    "FleetParameters",
+    "FleetYearReport",
+    "FleetBatchResult",
+    "simulate_fleet",
+    "simulate_fleet_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -137,3 +147,287 @@ def simulate_fleet(
             )
         )
     return reports
+
+
+@dataclass(frozen=True)
+class FleetBatchResult:
+    """Struct-of-arrays output of :func:`simulate_fleet_batch`.
+
+    Every per-year field is a ``(scenarios, horizon)`` array where
+    ``horizon`` is the longest scenario; cells past a scenario's own
+    ``years`` are zero and excluded by :meth:`valid_mask`. Values are
+    element-identical to what :func:`simulate_fleet` produces for the
+    same :class:`FleetParameters` (pinned by the equivalence tests).
+    """
+
+    start_years: np.ndarray
+    years: np.ndarray
+    servers: np.ndarray
+    servers_added: np.ndarray
+    energy_joules: np.ndarray
+    opex_location_grams: np.ndarray
+    opex_market_grams: np.ndarray
+    capex_grams: np.ndarray
+    renewable_coverage: np.ndarray
+
+    @property
+    def num_scenarios(self) -> int:
+        return int(self.servers.shape[0])
+
+    @property
+    def horizon(self) -> int:
+        return int(self.servers.shape[1])
+
+    def valid_mask(self) -> np.ndarray:
+        """Boolean ``(scenarios, horizon)`` mask of simulated cells."""
+        return np.arange(self.horizon)[None, :] < self.years[:, None]
+
+    def capex_to_opex_market(self) -> np.ndarray:
+        """Per-cell capex/market-opex ratio (inf at zero market opex)."""
+        with np.errstate(divide="ignore"):
+            return np.where(
+                self.opex_market_grams == 0.0,
+                np.inf,
+                self.capex_grams / np.where(
+                    self.opex_market_grams == 0.0, 1.0, self.opex_market_grams
+                ),
+            )
+
+    def capex_fraction_market(self) -> np.ndarray:
+        """Per-cell capex share of the market-based total footprint."""
+        total = self.capex_grams + self.opex_market_grams
+        if np.any((total == 0.0) & self.valid_mask()):
+            raise SimulationError("zero total footprint; fraction undefined")
+        return self.capex_grams / np.where(total == 0.0, 1.0, total)
+
+    def reports(self, scenario: int) -> list[FleetYearReport]:
+        """Reconstruct one scenario as scalar :class:`FleetYearReport`s."""
+        if not 0 <= scenario < self.num_scenarios:
+            raise SimulationError(
+                f"scenario index {scenario} out of range "
+                f"[0, {self.num_scenarios})"
+            )
+        span = int(self.years[scenario])
+        start = int(self.start_years[scenario])
+        return [
+            FleetYearReport(
+                year=start + index,
+                servers=int(self.servers[scenario, index]),
+                servers_added=int(self.servers_added[scenario, index]),
+                energy=Energy(float(self.energy_joules[scenario, index])),
+                opex_location=Carbon(
+                    float(self.opex_location_grams[scenario, index])
+                ),
+                opex_market=Carbon(float(self.opex_market_grams[scenario, index])),
+                capex=Carbon(float(self.capex_grams[scenario, index])),
+                renewable_coverage=float(
+                    self.renewable_coverage[scenario, index]
+                ),
+            )
+            for index in range(span)
+        ]
+
+    def to_table(self) -> Table:
+        """Long-format table: one row per simulated scenario-year."""
+        mask = self.valid_mask()
+        scenario_index, year_index = np.nonzero(mask)
+        return Table(
+            {
+                "scenario": scenario_index,
+                "year": self.start_years[scenario_index] + year_index,
+                "servers": self.servers[mask],
+                "servers_added": self.servers_added[mask],
+                "energy_gwh": self.energy_joules[mask] / JOULES_PER_KWH / 1e6,
+                "opex_location_kt": self.opex_location_grams[mask] / 1e6 / 1e3,
+                "opex_market_kt": self.opex_market_grams[mask] / 1e6 / 1e3,
+                "capex_kt": self.capex_grams[mask] / 1e6 / 1e3,
+                "coverage": self.renewable_coverage[mask],
+                "capex_fraction_market": self.capex_fraction_market()[mask],
+            }
+        )
+
+    def final_year_table(self) -> Table:
+        """One row per scenario: its last simulated year."""
+        rows = np.arange(self.num_scenarios)
+        last = self.years - 1
+        return Table(
+            {
+                "scenario": rows,
+                "year": self.start_years + last,
+                "servers": self.servers[rows, last],
+                "energy_gwh": self.energy_joules[rows, last] / JOULES_PER_KWH / 1e6,
+                "opex_location_kt": self.opex_location_grams[rows, last] / 1e6 / 1e3,
+                "opex_market_kt": self.opex_market_grams[rows, last] / 1e6 / 1e3,
+                "capex_kt": self.capex_grams[rows, last] / 1e6 / 1e3,
+                "coverage": self.renewable_coverage[rows, last],
+                "capex_fraction_market": self.capex_fraction_market()[rows, last],
+                "capex_to_opex_market": self.capex_to_opex_market()[rows, last],
+            }
+        )
+
+
+def _portfolio_schedule(
+    params: FleetParameters, horizon: int, cache: dict[int, tuple[float, float]]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-year (has_contracts, supply_joules, contracted_g_per_kwh).
+
+    Expands the sparse ``renewable_ramp`` into dense per-year arrays,
+    holding the last defined portfolio across gap years exactly like
+    the scalar loop does.
+    """
+    has = np.zeros(horizon, dtype=bool)
+    supply = np.zeros(horizon, dtype=np.float64)
+    contracted = np.zeros(horizon, dtype=np.float64)
+    portfolio = RenewablePortfolio()
+    for index in range(params.years):
+        portfolio = params.renewable_ramp.get(index, portfolio)
+        if not portfolio.contracts:
+            continue
+        key = id(portfolio)
+        if key not in cache:
+            cache[key] = (
+                portfolio.annual_supply.joules,
+                portfolio.contracted_intensity().grams_per_kwh,
+            )
+        has[index] = True
+        supply[index], contracted[index] = cache[key]
+    return has, supply, contracted
+
+
+def simulate_fleet_batch(
+    scenarios: Sequence[FleetParameters],
+    embodied: EmbodiedModel | None = None,
+) -> FleetBatchResult:
+    """Run many fleet simulations as one years × scenarios kernel.
+
+    The scalar :func:`simulate_fleet` is the reference implementation;
+    this kernel keeps the short year loop in Python and vectorizes the
+    wide scenario axis with numpy. The cohort/refresh ring becomes a
+    rolling gather on the purchase history: the cohort retired in year
+    ``i`` is exactly the one purchased in year ``i - lifetime``.
+    Per-SKU embodied carbon is computed once per distinct
+    :class:`ServerConfig` instead of once per scenario.
+    """
+    if not scenarios:
+        raise SimulationError("need at least one scenario")
+    embodied = embodied or EmbodiedModel()
+    count = len(scenarios)
+    horizon = max(params.years for params in scenarios)
+
+    # Embodied carbon depends only on the bill of materials, which
+    # dataclasses.replace-derived SKU variants share — so scenario
+    # grids over e.g. lifetime hit one embodied evaluation per bill.
+    embodied_cache: dict[int, float] = {}
+
+    def per_server_grams(server: ServerConfig) -> float:
+        key = id(server.bill)
+        if key not in embodied_cache:
+            embodied_cache[key] = server.embodied_carbon(embodied).grams
+        return embodied_cache[key]
+
+    initial = np.array([p.initial_servers for p in scenarios], dtype=np.int64)
+    growth = np.array([p.annual_growth for p in scenarios], dtype=np.float64)
+    years = np.array([p.years for p in scenarios], dtype=np.int64)
+    start_years = np.array([p.start_year for p in scenarios], dtype=np.int64)
+    lifetime = np.array(
+        [max(int(round(p.server.lifetime_years)), 1) for p in scenarios],
+        dtype=np.int64,
+    )
+    # Same arithmetic order as ServerConfig.power_at/annual_energy.
+    idle = np.array(
+        [p.server.idle_power.watts_value for p in scenarios], dtype=np.float64
+    )
+    span = np.array(
+        [p.server.peak_power.watts_value for p in scenarios], dtype=np.float64
+    ) - idle
+    utilization = np.array([p.utilization for p in scenarios], dtype=np.float64)
+    annual_joules = (idle + span * utilization) * SECONDS_PER_YEAR
+    pue = np.array([p.facility.pue for p in scenarios], dtype=np.float64)
+    location = np.array(
+        [p.location_intensity.grams_per_kwh for p in scenarios], dtype=np.float64
+    )
+    per_server = np.array(
+        [per_server_grams(p.server) for p in scenarios], dtype=np.float64
+    )
+    construction = np.array(
+        [p.facility.construction_per_year().grams for p in scenarios],
+        dtype=np.float64,
+    )
+
+    portfolio_cache: dict[int, tuple[float, float]] = {}
+    has_contracts = np.zeros((count, horizon), dtype=bool)
+    supply_joules = np.zeros((count, horizon), dtype=np.float64)
+    contracted = np.zeros((count, horizon), dtype=np.float64)
+    for index, params in enumerate(scenarios):
+        has, supply, gpk = _portfolio_schedule(params, horizon, portfolio_cache)
+        has_contracts[index] = has
+        supply_joules[index] = supply
+        contracted[index] = gpk
+
+    servers = np.zeros((count, horizon), dtype=np.int64)
+    purchased = np.zeros((count, horizon), dtype=np.int64)
+    energy_joules = np.zeros((count, horizon), dtype=np.float64)
+    opex_location = np.zeros((count, horizon), dtype=np.float64)
+    opex_market = np.zeros((count, horizon), dtype=np.float64)
+    capex = np.zeros((count, horizon), dtype=np.float64)
+    coverage = np.zeros((count, horizon), dtype=np.float64)
+
+    rows = np.arange(count)
+    fleet = initial.copy()
+    for index in range(horizon):
+        active = index < years
+        if index == 0:
+            bought = initial
+        else:
+            grown = np.rint(fleet.astype(np.float64) * (1.0 + growth)).astype(
+                np.int64
+            )
+            retire_from = index - lifetime
+            retired = np.where(
+                retire_from >= 0,
+                purchased[rows, np.maximum(retire_from, 0)],
+                0,
+            )
+            bought = (grown - fleet) + retired
+            fleet = np.where(active, grown, fleet)
+        purchased[active, index] = bought[active]
+        servers[active, index] = fleet[active]
+
+        it_joules = annual_joules * fleet.astype(np.float64)
+        total_joules = it_joules * pue
+        kwh = total_joules / JOULES_PER_KWH
+        year_location = location * kwh
+
+        has = has_contracts[:, index]
+        if np.any(has & (total_joules <= 0.0)):
+            raise SimulationError("demand must be positive")
+        with np.errstate(divide="ignore", invalid="ignore"):
+            raw_coverage = np.minimum(
+                supply_joules[:, index]
+                / np.where(total_joules > 0.0, total_joules, 1.0),
+                1.0,
+            )
+        year_coverage = np.where(has, raw_coverage, 0.0)
+        market_intensity = (
+            location * (1.0 - year_coverage) + contracted[:, index] * year_coverage
+        )
+        year_market = np.where(has, market_intensity * kwh, year_location)
+        year_capex = per_server * bought.astype(np.float64) + construction
+
+        energy_joules[active, index] = total_joules[active]
+        opex_location[active, index] = year_location[active]
+        opex_market[active, index] = year_market[active]
+        capex[active, index] = year_capex[active]
+        coverage[active, index] = year_coverage[active]
+
+    return FleetBatchResult(
+        start_years=start_years,
+        years=years,
+        servers=servers,
+        servers_added=purchased,
+        energy_joules=energy_joules,
+        opex_location_grams=opex_location,
+        opex_market_grams=opex_market,
+        capex_grams=capex,
+        renewable_coverage=coverage,
+    )

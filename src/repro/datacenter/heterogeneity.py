@@ -18,18 +18,23 @@ import math
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from ..core.embodied import EmbodiedModel
 from ..errors import SimulationError
 from ..tabular import Table
-from ..units import Carbon, CarbonIntensity
+from ..units import SECONDS_PER_YEAR, JOULES_PER_KWH, Carbon, CarbonIntensity
 from .server import ServerConfig
 
 __all__ = [
     "WorkloadClass",
     "ServerType",
     "ProvisioningPlan",
+    "BatchProvisioning",
     "provision_homogeneous",
     "provision_heterogeneous",
+    "provision_homogeneous_batch",
+    "provision_heterogeneous_batch",
     "compare_provisioning",
 ]
 
@@ -166,6 +171,269 @@ def provision_heterogeneous(
             (best, workload, best.servers_for(workload, utilization_target))
         )
     return ProvisioningPlan("heterogeneous", tuple(assignments), utilization_target)
+
+
+@dataclass(frozen=True)
+class BatchProvisioning:
+    """Struct-of-arrays output of the batched provisioning kernels.
+
+    One scenario is a (demand vector, utilization target) pair; the
+    ``choice``/``counts`` arrays are ``(scenarios, workloads)`` and are
+    element-identical to the scalar :func:`provision_heterogeneous` /
+    :func:`provision_homogeneous` assignments for the same inputs.
+    """
+
+    name: str
+    workloads: tuple[WorkloadClass, ...]
+    server_types: tuple[ServerType, ...]
+    utilization_targets: np.ndarray
+    demands: np.ndarray
+    choice: np.ndarray
+    counts: np.ndarray
+
+    @property
+    def num_scenarios(self) -> int:
+        return int(self.counts.shape[0])
+
+    def total_servers(self) -> np.ndarray:
+        """Machine count per scenario (sum over workloads)."""
+        return self.counts.sum(axis=1)
+
+    def embodied_per_year_grams(
+        self, model: EmbodiedModel | None = None
+    ) -> np.ndarray:
+        """Amortized embodied carbon per scenario, in grams CO2e.
+
+        Accumulates workload by workload in the scalar plan's order so
+        the floating-point sum matches :meth:`ProvisioningPlan.embodied_per_year`
+        exactly.
+        """
+        model = model or EmbodiedModel()
+        per_sku = np.array(
+            [
+                server_type.config.embodied_per_year(model).grams
+                for server_type in self.server_types
+            ],
+            dtype=np.float64,
+        )
+        total = np.zeros(self.num_scenarios, dtype=np.float64)
+        for workload_index in range(len(self.workloads)):
+            total = total + per_sku[self.choice[:, workload_index]] * self.counts[
+                :, workload_index
+            ].astype(np.float64)
+        return total
+
+    def operational_per_year_grams(self, grid: CarbonIntensity) -> np.ndarray:
+        """Operational carbon per scenario at ``grid``, in grams CO2e."""
+        idle = np.array(
+            [t.config.idle_power.watts_value for t in self.server_types]
+        )
+        span = (
+            np.array([t.config.peak_power.watts_value for t in self.server_types])
+            - idle
+        )
+        # (scenarios, skus): ServerConfig.annual_energy at each target.
+        annual_kwh = (
+            (idle[None, :] + span[None, :] * self.utilization_targets[:, None])
+            * SECONDS_PER_YEAR
+            / JOULES_PER_KWH
+        )
+        per_sku = grid.grams_per_kwh * annual_kwh
+        total = np.zeros(self.num_scenarios, dtype=np.float64)
+        rows = np.arange(self.num_scenarios)
+        for workload_index in range(len(self.workloads)):
+            chosen = self.choice[:, workload_index]
+            total = total + per_sku[rows, chosen] * self.counts[
+                :, workload_index
+            ].astype(np.float64)
+        return total
+
+    def total_per_year_grams(
+        self, grid: CarbonIntensity, model: EmbodiedModel | None = None
+    ) -> np.ndarray:
+        return self.embodied_per_year_grams(model) + self.operational_per_year_grams(
+            grid
+        )
+
+    def plan(self, scenario: int) -> ProvisioningPlan:
+        """Reconstruct one scenario as a scalar :class:`ProvisioningPlan`."""
+        if not 0 <= scenario < self.num_scenarios:
+            raise SimulationError(
+                f"scenario index {scenario} out of range "
+                f"[0, {self.num_scenarios})"
+            )
+        assignments = []
+        for workload_index, workload in enumerate(self.workloads):
+            demand = float(self.demands[scenario, workload_index])
+            scaled = (
+                workload
+                if demand == workload.demand_rps
+                else WorkloadClass(workload.name, demand)
+            )
+            assignments.append(
+                (
+                    self.server_types[int(self.choice[scenario, workload_index])],
+                    scaled,
+                    int(self.counts[scenario, workload_index]),
+                )
+            )
+        return ProvisioningPlan(
+            self.name,
+            tuple(assignments),
+            float(self.utilization_targets[scenario]),
+        )
+
+    def summary_table(
+        self, grid: CarbonIntensity, model: EmbodiedModel | None = None
+    ) -> Table:
+        """Per-scenario fleet accounting, compare_provisioning-style."""
+        model = model or EmbodiedModel()
+        embodied = self.embodied_per_year_grams(model)
+        operational = self.operational_per_year_grams(grid)
+        return Table(
+            {
+                "plan": [self.name] * self.num_scenarios,
+                "scenario": np.arange(self.num_scenarios),
+                "utilization_target": self.utilization_targets,
+                "servers": self.total_servers(),
+                "embodied_t_per_year": embodied / 1e6,
+                "operational_t_per_year": operational / 1e6,
+                "total_t_per_year": (embodied + operational) / 1e6,
+            }
+        )
+
+
+def _batch_axes(
+    workloads: Sequence[WorkloadClass],
+    utilization_targets: "float | Sequence[float] | np.ndarray",
+    demands: "np.ndarray | None",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Broadcast utilization targets and demand vectors to (S,) / (S, W)."""
+    targets = np.atleast_1d(np.asarray(utilization_targets, dtype=np.float64))
+    if targets.ndim != 1:
+        raise SimulationError("utilization targets must be scalar or 1-D")
+    # Negated form so NaN fails validation like it does on the scalar path.
+    if np.any(~((targets > 0.0) & (targets <= 1.0))):
+        raise SimulationError("utilization target must be in (0, 1]")
+    base = np.array([w.demand_rps for w in workloads], dtype=np.float64)
+    if demands is None:
+        demand_matrix = base[None, :]
+    else:
+        demand_matrix = np.asarray(demands, dtype=np.float64)
+        if demand_matrix.ndim == 1:
+            # A per-scenario scale factor on the base demand vector.
+            demand_matrix = demand_matrix[:, None] * base[None, :]
+        if demand_matrix.shape[1] != len(workloads):
+            raise SimulationError(
+                f"demand matrix has {demand_matrix.shape[1]} workloads, "
+                f"expected {len(workloads)}"
+            )
+        if np.any(~(demand_matrix > 0.0)):
+            raise SimulationError("demand must be positive everywhere")
+    count = max(len(targets), demand_matrix.shape[0])
+    if len(targets) not in (1, count) or demand_matrix.shape[0] not in (1, count):
+        raise SimulationError(
+            "utilization targets and demands must broadcast to one "
+            "scenario count"
+        )
+    targets = np.broadcast_to(targets, (count,)).copy()
+    demand_matrix = np.broadcast_to(
+        demand_matrix, (count, len(base))
+    ).copy()
+    return targets, demand_matrix
+
+
+def provision_heterogeneous_batch(
+    workloads: Sequence[WorkloadClass],
+    server_types: Sequence[ServerType],
+    utilization_targets: "float | Sequence[float] | np.ndarray" = 0.6,
+    demands: "np.ndarray | None" = None,
+    name: str = "heterogeneous",
+) -> BatchProvisioning:
+    """Batched :func:`provision_heterogeneous` over many scenarios.
+
+    ``demands`` may be a ``(scenarios, workloads)`` requests-per-second
+    matrix or a per-scenario scale factor on the workloads' base
+    demand; ``utilization_targets`` broadcasts likewise. The kernel
+    ceil-divides the demand matrix by the SKU capacity matrix and picks
+    the per-workload argmin SKU with the scalar path's
+    (machine count, embodied carbon, declaration order) tie-break.
+    """
+    if not workloads:
+        raise SimulationError("need at least one workload")
+    if not server_types:
+        raise SimulationError("need at least one server type")
+    targets, demand_matrix = _batch_axes(workloads, utilization_targets, demands)
+
+    capacity = np.full((len(server_types), len(workloads)), np.nan)
+    for sku_index, server_type in enumerate(server_types):
+        for workload_index, workload in enumerate(workloads):
+            if server_type.can_serve(workload.name):
+                capacity[sku_index, workload_index] = server_type.throughput_rps[
+                    workload.name
+                ]
+    servable = ~np.isnan(capacity)
+    for workload_index, workload in enumerate(workloads):
+        if not servable[:, workload_index].any():
+            raise SimulationError(f"no server type can serve {workload.name!r}")
+
+    # counts[s, k, w]: machines if scenario s ran workload w on SKU k.
+    effective = capacity[None, :, :] * targets[:, None, None]
+    with np.errstate(invalid="ignore"):
+        counts_all = np.maximum(
+            np.ceil(demand_matrix[:, None, :] / effective), 1.0
+        )
+    counts_all = np.where(servable[None, :, :], counts_all, np.inf)
+
+    # Scalar tie-break: min (count, embodied grams, declaration order).
+    model = EmbodiedModel()
+    embodied = [
+        server_type.config.embodied_carbon(model).grams
+        for server_type in server_types
+    ]
+    order = sorted(range(len(server_types)), key=lambda k: (embodied[k], k))
+    tie_rank = np.empty(len(server_types), dtype=np.int64)
+    tie_rank[order] = np.arange(len(server_types))
+
+    best_counts = counts_all.min(axis=1, keepdims=True)
+    candidate_rank = np.where(
+        counts_all == best_counts, tie_rank[None, :, None], len(server_types)
+    )
+    choice = candidate_rank.argmin(axis=1)
+    counts = np.take_along_axis(
+        counts_all, choice[:, None, :], axis=1
+    )[:, 0, :].astype(np.int64)
+
+    return BatchProvisioning(
+        name=name,
+        workloads=tuple(workloads),
+        server_types=tuple(server_types),
+        utilization_targets=targets,
+        demands=demand_matrix,
+        choice=choice,
+        counts=counts,
+    )
+
+
+def provision_homogeneous_batch(
+    workloads: Sequence[WorkloadClass],
+    general: ServerType,
+    utilization_targets: "float | Sequence[float] | np.ndarray" = 0.6,
+    demands: "np.ndarray | None" = None,
+) -> BatchProvisioning:
+    """Batched :func:`provision_homogeneous`: one SKU serves everything."""
+    for workload in workloads:
+        if not general.can_serve(workload.name):
+            raise SimulationError(
+                f"{general.config.name} cannot serve {workload.name!r}"
+            )
+    return provision_heterogeneous_batch(
+        workloads,
+        [general],
+        utilization_targets,
+        demands,
+        name="homogeneous",
+    )
 
 
 def compare_provisioning(

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..core.intensity import EnergySource, market_based_intensity
 from ..errors import SimulationError
 from ..units import Carbon, CarbonIntensity, Energy
@@ -62,10 +64,21 @@ class RenewablePortfolio:
         return CarbonIntensity.g_per_kwh(weighted)
 
     def coverage(self, demand: Energy) -> float:
-        """Fraction of demand matched by contracts (capped at 1)."""
-        if demand.joules <= 0.0:
+        """Fraction of demand matched by contracts (capped at 1).
+
+        ``demand`` may carry a 1-D joule array (the units types accept
+        draw/scenario vectors), in which case an elementwise coverage
+        array comes back and flows through :meth:`market_intensity` /
+        :meth:`market_carbon` as array-valued quantities.
+        """
+        joules = demand.joules
+        if isinstance(joules, np.ndarray):
+            if np.any(joules <= 0.0):
+                raise SimulationError("demand must be positive")
+            return np.minimum(self.annual_supply.joules / joules, 1.0)
+        if joules <= 0.0:
             raise SimulationError("demand must be positive")
-        return min(self.annual_supply.joules / demand.joules, 1.0)
+        return min(self.annual_supply.joules / joules, 1.0)
 
     def market_intensity(
         self, demand: Energy, location: CarbonIntensity

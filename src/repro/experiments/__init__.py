@@ -7,13 +7,24 @@ computes. ``registry.run_all()`` executes the full evaluation.
 """
 
 from .result import Check, ExperimentResult
-from .registry import EXPERIMENT_IDS, get_experiment, run_experiment, run_all
+from .registry import (
+    EXPERIMENT_IDS,
+    clear_result_cache,
+    experiment_title,
+    experiment_titles,
+    get_experiment,
+    run_experiment,
+    run_all,
+)
 
 __all__ = [
     "Check",
     "ExperimentResult",
     "EXPERIMENT_IDS",
     "get_experiment",
+    "experiment_title",
+    "experiment_titles",
+    "clear_result_cache",
     "run_experiment",
     "run_all",
 ]

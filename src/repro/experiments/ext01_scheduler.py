@@ -21,6 +21,9 @@ from .result import Check, ExperimentResult
 
 __all__ = ["run", "example_jobs"]
 
+#: Cheap registry metadata: the experiment title without run().
+TITLE = "Carbon-aware vs carbon-agnostic batch scheduling"
+
 _HORIZON_HOURS = 48
 _CAPACITY_KW = 900.0
 
@@ -92,7 +95,7 @@ def run() -> ExperimentResult:
     )
     return ExperimentResult(
         experiment_id="ext01",
-        title="Carbon-aware vs carbon-agnostic batch scheduling",
+        title=TITLE,
         tables={"placements": table},
         checks=checks,
         charts={"grid_profile": chart},

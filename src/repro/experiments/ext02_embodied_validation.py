@@ -19,6 +19,9 @@ from .result import Check, ExperimentResult
 
 __all__ = ["run"]
 
+#: Cheap registry metadata: the experiment title without run().
+TITLE = "Bottom-up embodied model vs reported LCAs"
+
 #: Phones with public die/memory specs (see repro.data.socs).
 _PHONE_SPECS = ("pixel_3", "iphone_11", "iphone_x")
 
@@ -83,7 +86,7 @@ def run() -> ExperimentResult:
     ]
     return ExperimentResult(
         experiment_id="ext02",
-        title="Bottom-up embodied model vs reported LCAs",
+        title=TITLE,
         tables={"validation": table},
         checks=checks,
         notes=[

@@ -18,6 +18,9 @@ from .result import Check, ExperimentResult
 
 __all__ = ["run"]
 
+#: Cheap registry metadata: the experiment title without run().
+TITLE = "Wafer carbon across the process-node roadmap"
+
 
 def run() -> ExperimentResult:
     """Run this experiment and return its tables and checks."""
@@ -66,7 +69,7 @@ def run() -> ExperimentResult:
     )
     return ExperimentResult(
         experiment_id="ext03",
-        title="Wafer carbon across the process-node roadmap",
+        title=TITLE,
         tables={"roadmap": table},
         checks=checks,
         charts={"per_cm2": chart},

@@ -27,6 +27,9 @@ from .result import Check, ExperimentResult
 
 __all__ = ["run", "baseline_scenario"]
 
+#: Cheap registry metadata: the experiment title without run().
+TITLE = "Reduction levers ranked on dirty vs clean grids"
+
 
 def baseline_scenario(grid: CarbonIntensity) -> FootprintScenario:
     """A 50k-server cluster: ~420 GWh/yr and ~21 kt embodied."""
@@ -103,7 +106,7 @@ def run() -> ExperimentResult:
     ]
     return ExperimentResult(
         experiment_id="ext05",
-        title="Reduction levers ranked on dirty vs clean grids",
+        title=TITLE,
         tables={"dirty_grid": dirty, "clean_grid": clean},
         checks=checks,
         notes=[

@@ -24,6 +24,9 @@ from .result import Check, ExperimentResult
 
 __all__ = ["run"]
 
+#: Cheap registry metadata: the experiment title without run().
+TITLE = "Lifetime extension and replacement economics (CO2e)"
+
 
 def _annual_use_energy(product: str) -> Energy:
     """Back out the modeled annual energy from the LCA's use stage."""
@@ -102,7 +105,7 @@ def run() -> ExperimentResult:
     ]
     return ExperimentResult(
         experiment_id="ext06",
-        title="Lifetime extension and replacement economics (CO2e)",
+        title=TITLE,
         tables={"lifetime_sweep": sweep, "replacement": replacement},
         checks=checks,
         notes=[

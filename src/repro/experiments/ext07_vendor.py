@@ -16,6 +16,9 @@ from .result import Check, ExperimentResult
 
 __all__ = ["run", "apple_like_vendor"]
 
+#: Cheap registry metadata: the experiment title without run().
+TITLE = "Vendor footprint generated bottom-up from product lines"
+
 #: Product mix (units per year, millions) loosely shaped on Apple's
 #: 2019 shipment ratios: phones dominate, then tablets/watches/Macs.
 _PRODUCT_MIX: tuple[tuple[str, float], ...] = (
@@ -75,7 +78,7 @@ def run() -> ExperimentResult:
     ]
     return ExperimentResult(
         experiment_id="ext07",
-        title="Vendor footprint generated bottom-up from product lines",
+        title=TITLE,
         tables={"breakdown": breakdown},
         checks=checks,
         notes=[

@@ -5,23 +5,28 @@ general-purpose fleet and with specialized SKUs, and compares both
 fleets' embodied and operational carbon. The reproduced structural
 claim from Section VI: specialization shrinks the machine count enough
 to cut both carbon columns — heterogeneity is a capex lever, not just
-a performance one.
+a performance one. Provisioning runs on the batched ceil-divide/argmin
+kernel; the scalar provisioners remain the pinned reference.
 """
 
 from __future__ import annotations
 
+from ..core.embodied import EmbodiedModel
 from ..data.grids import US_GRID
 from ..datacenter.heterogeneity import (
     ServerType,
     WorkloadClass,
-    compare_provisioning,
-    provision_heterogeneous,
-    provision_homogeneous,
+    provision_heterogeneous_batch,
+    provision_homogeneous_batch,
 )
-from ..datacenter.server import AI_TRAINING_SERVER, STORAGE_SERVER, WEB_SERVER
+from ..scenarios.presets import example_service_mix
+from ..tabular import Table
 from .result import Check, ExperimentResult
 
 __all__ = ["run", "example_mix"]
+
+#: Cheap registry metadata: the experiment title without run().
+TITLE = "Heterogeneous provisioning as a capex lever"
 
 
 def example_mix() -> tuple[list[WorkloadClass], ServerType, list[ServerType]]:
@@ -31,33 +36,27 @@ def example_mix() -> tuple[list[WorkloadClass], ServerType, list[ServerType]]:
     accelerator SKU is ~12x faster at AI inference, the storage SKU
     ~3x at video. Throughputs are requests (or streams) per second.
     """
-    workloads = [
-        WorkloadClass("web", demand_rps=900_000.0),
-        WorkloadClass("ai_inference", demand_rps=400_000.0),
-        WorkloadClass("video", demand_rps=60_000.0),
-    ]
-    general = ServerType(
-        config=WEB_SERVER,
-        throughput_rps={"web": 1_500.0, "ai_inference": 120.0, "video": 25.0},
-    )
-    accelerator = ServerType(
-        config=AI_TRAINING_SERVER,
-        throughput_rps={"ai_inference": 4_000.0},
-    )
-    video_sku = ServerType(
-        config=STORAGE_SERVER,
-        throughput_rps={"video": 80.0},
-    )
-    return workloads, general, [general, accelerator, video_sku]
+    return example_service_mix()
 
 
 def run() -> ExperimentResult:
     """Run this experiment and return its tables and checks."""
     workloads, general, server_types = example_mix()
-    homogeneous = provision_homogeneous(workloads, general)
-    heterogeneous = provision_heterogeneous(workloads, server_types)
-    comparison = compare_provisioning(
-        homogeneous, heterogeneous, US_GRID.intensity
+    model = EmbodiedModel()
+    grid = US_GRID.intensity
+    homogeneous = provision_homogeneous_batch(workloads, general)
+    heterogeneous = provision_heterogeneous_batch(workloads, server_types)
+    comparison = Table.concat(
+        [
+            plan.summary_table(grid, model).select(
+                "plan",
+                "servers",
+                "embodied_t_per_year",
+                "operational_t_per_year",
+                "total_t_per_year",
+            )
+            for plan in (homogeneous, heterogeneous)
+        ]
     )
 
     homo = comparison.where("plan", "==", "homogeneous").row(0)
@@ -85,13 +84,13 @@ def run() -> ExperimentResult:
             any(
                 server_type.config.name == "web_server"
                 and workload.name == "web"
-                for server_type, workload, _ in heterogeneous.assignments
+                for server_type, workload, _ in heterogeneous.plan(0).assignments
             ),
         ),
     ]
     return ExperimentResult(
         experiment_id="ext08",
-        title="Heterogeneous provisioning as a capex lever",
+        title=TITLE,
         tables={"comparison": comparison},
         checks=checks,
         notes=[

@@ -25,6 +25,9 @@ from .result import Check, ExperimentResult
 
 __all__ = ["run"]
 
+#: Cheap registry metadata: the experiment title without run().
+TITLE = "AI fleet growth vs efficiency gains"
+
 _YEARS = 5
 
 
@@ -90,7 +93,7 @@ def run() -> ExperimentResult:
     ]
     return ExperimentResult(
         experiment_id="ext09",
-        title="AI fleet growth vs efficiency gains",
+        title=TITLE,
         tables={"us_grid": dirty, "wind_grid": clean},
         checks=checks,
         notes=[

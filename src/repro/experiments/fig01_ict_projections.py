@@ -13,6 +13,9 @@ from .result import Check, ExperimentResult
 
 __all__ = ["run"]
 
+#: Cheap registry metadata: the experiment title without run().
+TITLE = "Projected global ICT energy consumption (optimistic vs expected)"
+
 
 def run() -> ExperimentResult:
     """Run this experiment and return its tables and checks."""
@@ -52,7 +55,7 @@ def run() -> ExperimentResult:
     ]
     return ExperimentResult(
         experiment_id="fig01",
-        title="Projected global ICT energy consumption (optimistic vs expected)",
+        title=TITLE,
         tables={"optimistic": optimistic, "expected": expected},
         checks=checks,
         charts={"ict_total_twh": chart},

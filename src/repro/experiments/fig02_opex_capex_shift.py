@@ -9,6 +9,8 @@ Facebook's 2018 footprint is 65% opex on location-based accounting but
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..data.corporate import facebook_series
 from ..data.devices import device_by_name
 from ..data.prineville import PRINEVILLE_SERIES
@@ -17,6 +19,9 @@ from ..tabular import Table
 from .result import Check, ExperimentResult
 
 __all__ = ["run"]
+
+#: Cheap registry metadata: the experiment title without run().
+TITLE = "Carbon footprint depends on more than energy consumption"
 
 
 def run() -> ExperimentResult:
@@ -63,8 +68,8 @@ def run() -> ExperimentResult:
 
     energy = prineville.column("energy_gwh")
     carbon = prineville.column("carbon_kt")
-    energy_rising = all(a < b for a, b in zip(energy, energy[1:]))
-    peak_year = prineville.row(carbon.index(max(carbon)))["year"]
+    energy_rising = bool(np.all(np.diff(np.asarray(energy)) > 0.0))
+    peak_year = prineville.row(int(np.argmax(np.asarray(carbon))))["year"]
 
     checks = [
         Check.boolean("prineville_energy_monotone_rising", energy_rising),
@@ -87,7 +92,7 @@ def run() -> ExperimentResult:
     )
     return ExperimentResult(
         experiment_id="fig02",
-        title="Carbon footprint depends on more than energy consumption",
+        title=TITLE,
         tables={"prineville": prineville, "opex_capex_pies": pies},
         checks=checks,
         charts={"prineville_series": chart},

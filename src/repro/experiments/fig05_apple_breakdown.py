@@ -14,6 +14,9 @@ from .result import Check, ExperimentResult
 
 __all__ = ["run"]
 
+#: Cheap registry metadata: the experiment title without run().
+TITLE = "Apple 2019 carbon-emission breakdown"
+
 _LIFECYCLE_GROUPS = (
     "manufacturing",
     "product_use",
@@ -63,7 +66,7 @@ def run() -> ExperimentResult:
     )
     return ExperimentResult(
         experiment_id="fig05",
-        title="Apple 2019 carbon-emission breakdown",
+        title=TITLE,
         tables={"categories": categories, "groups": groups},
         checks=checks,
         charts={"group_shares": chart},

@@ -21,6 +21,9 @@ from .result import Check, ExperimentResult
 
 __all__ = ["run"]
 
+#: Cheap registry metadata: the experiment title without run().
+TITLE = "Carbon breakdown across personal-computing platforms"
+
 _MIN_YEAR = 2017
 
 
@@ -76,7 +79,7 @@ def run() -> ExperimentResult:
     )
     return ExperimentResult(
         experiment_id="fig06",
-        title="Carbon breakdown across personal-computing platforms",
+        title=TITLE,
         tables={"per_device_class": per_class, "per_power_class": per_power},
         checks=checks,
         charts={"manufacturing_share_by_class": chart},

@@ -15,6 +15,9 @@ from .result import Check, ExperimentResult
 
 __all__ = ["run"]
 
+#: Cheap registry metadata: the experiment title without run().
+TITLE = "Generational carbon trends: iPhone, Apple Watch, iPad"
+
 _EXPECTED_FRACTIONS = {
     "iphone": (0.40, 0.75),
     "apple_watch": (0.60, 0.75),
@@ -77,7 +80,7 @@ def run() -> ExperimentResult:
     )
     return ExperimentResult(
         experiment_id="fig07",
-        title="Generational carbon trends: iPhone, Apple Watch, iPad",
+        title=TITLE,
         tables=tables,
         checks=checks,
         charts={"manufacturing_fraction_by_generation": chart},

@@ -18,6 +18,9 @@ from .result import Check, ExperimentResult
 
 __all__ = ["run"]
 
+#: Cheap registry metadata: the experiment title without run().
+TITLE = "MobileNet v1 throughput vs manufacturing-carbon Pareto frontier"
+
 
 def _points(max_year: int) -> list[ParetoPoint]:
     return [
@@ -100,7 +103,7 @@ def run() -> ExperimentResult:
     )
     return ExperimentResult(
         experiment_id="fig08",
-        title="MobileNet v1 throughput vs manufacturing-carbon Pareto frontier",
+        title=TITLE,
         tables={"devices": scatter, "frontiers": frontier_table},
         checks=checks,
         charts={"throughput_vs_carbon": chart},

@@ -19,6 +19,9 @@ from .result import Check, ExperimentResult
 
 __all__ = ["run"]
 
+#: Cheap registry metadata: the experiment title without run().
+TITLE = "Inference latency and energy across CNN and hardware generations"
+
 _MODELS = ("resnet50", "inception_v3", "mobilenet_v2", "mobilenet_v3")
 _PROCESSORS = ("cpu", "gpu", "dsp")
 
@@ -75,7 +78,7 @@ def run() -> ExperimentResult:
     )
     return ExperimentResult(
         experiment_id="fig09",
-        title="Inference latency and energy across CNN and hardware generations",
+        title=TITLE,
         tables={"measurements": table},
         checks=checks,
         charts={"energy_per_inference": chart},

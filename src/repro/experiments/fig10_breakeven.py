@@ -18,6 +18,9 @@ from .result import Check, ExperimentResult
 
 __all__ = ["run"]
 
+#: Cheap registry metadata: the experiment title without run().
+TITLE = "Break-even between manufacturing and operational carbon (Pixel 3)"
+
 _MODELS = ("resnet50", "inception_v3", "mobilenet_v2", "mobilenet_v3")
 _PROCESSORS = ("cpu", "gpu", "dsp")
 
@@ -87,7 +90,7 @@ def run() -> ExperimentResult:
     )
     return ExperimentResult(
         experiment_id="fig10",
-        title="Break-even between manufacturing and operational carbon (Pixel 3)",
+        title=TITLE,
         tables={"break_even": table},
         checks=checks,
         charts={"break_even_days": chart},

@@ -14,9 +14,13 @@ from __future__ import annotations
 from ..analysis.trends import is_monotonic
 from ..data.corporate import facebook_series, google_series
 from ..report.charts import line_chart
+from ..tabular import col
 from .result import Check, ExperimentResult
 
 __all__ = ["run"]
+
+#: Cheap registry metadata: the experiment title without run().
+TITLE = "Facebook and Google carbon footprint by scope"
 
 
 def run() -> ExperimentResult:
@@ -58,11 +62,8 @@ def run() -> ExperimentResult:
         Check.boolean(
             "facebook_market_scope2_falls_2016_to_2018",
             is_monotonic(
-                [
-                    row["scope2_market_t"]
-                    for row in fb_table
-                    if 2016 <= row["year"] <= 2018
-                ],
+                fb_table.where((col("year") >= 2016) & (col("year") <= 2018))
+                .column("scope2_market_t"),
                 increasing=False,
             ),
         ),
@@ -90,7 +91,7 @@ def run() -> ExperimentResult:
     )
     return ExperimentResult(
         experiment_id="fig11",
-        title="Facebook and Google carbon footprint by scope",
+        title=TITLE,
         tables={"facebook": fb_table, "google": goog_table},
         checks=checks,
         charts={"facebook_series": chart},

@@ -14,6 +14,9 @@ from .result import Check, ExperimentResult
 
 __all__ = ["run"]
 
+#: Cheap registry metadata: the experiment title without run().
+TITLE = "Facebook 2019 Scope 3 breakdown"
+
 
 def run() -> ExperimentResult:
     """Run this experiment and return its tables and checks."""
@@ -45,7 +48,7 @@ def run() -> ExperimentResult:
     )
     return ExperimentResult(
         experiment_id="fig12",
-        title="Facebook 2019 Scope 3 breakdown",
+        title=TITLE,
         tables={"scope3_categories": breakdown},
         checks=checks,
         charts={"category_shares": chart},

@@ -10,6 +10,7 @@ manufacturing-side (non-use).
 from __future__ import annotations
 
 from ..analysis.breakdown import lifecycle_grid_sweep
+from ..analysis.trends import is_monotonic
 from ..core.intensity import EnergySource
 from ..data.corporate import AMD_BREAKDOWN, INTEL_BREAKDOWN
 from ..data.energy_sources import source_by_name
@@ -18,6 +19,9 @@ from ..report.charts import bar_chart
 from .result import Check, ExperimentResult
 
 __all__ = ["run"]
+
+#: Cheap registry metadata: the experiment title without run().
+TITLE = "Intel and AMD life-cycle breakdown vs energy source"
 
 
 def _sweep_sources() -> list[EnergySource]:
@@ -73,13 +77,14 @@ def run() -> ExperimentResult:
             row(amd, "wind")["non_use_share"] > 0.80,
         ),
         Check.boolean(
+            # Order the sweep dirty-to-clean and require the life-cycle
+            # total to never rise (the previous formulation compared a
+            # sorted list against itself, which is vacuously true).
             "totals_fall_monotonically_with_cleaner_energy",
-            all(
-                a >= b
-                for a, b in zip(
-                    sorted(intel.column("total"), reverse=True),
-                    sorted(intel.column("total"), reverse=True)[1:],
-                )
+            is_monotonic(
+                intel.sort_by("intensity_g_per_kwh", reverse=True)
+                .column("total"),
+                increasing=False,
             ),
         ),
     ]
@@ -88,7 +93,7 @@ def run() -> ExperimentResult:
     )
     return ExperimentResult(
         experiment_id="fig13",
-        title="Intel and AMD life-cycle breakdown vs energy source",
+        title=TITLE,
         tables={"intel": intel, "amd": amd},
         checks=checks,
         charts={"intel_use_share": chart},

@@ -16,6 +16,9 @@ from .result import Check, ExperimentResult
 
 __all__ = ["run"]
 
+#: Cheap registry metadata: the experiment title without run().
+TITLE = "TSMC wafer carbon breakdown under renewable scaling"
+
 _FACTORS = (1, 2, 4, 8, 16, 32, 64)
 
 
@@ -61,7 +64,7 @@ def run() -> ExperimentResult:
     )
     return ExperimentResult(
         experiment_id="fig14",
-        title="TSMC wafer carbon breakdown under renewable scaling",
+        title=TITLE,
         tables={"sweep": sweep},
         checks=checks,
         charts={"component_stack": chart},

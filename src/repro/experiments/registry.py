@@ -1,14 +1,38 @@
-"""Central registry of experiment drivers."""
+"""Central registry of experiment drivers.
+
+Every driver module exposes ``run() -> ExperimentResult`` plus a
+``TITLE`` constant, so listing the catalogue costs imports, not
+simulations. Experiments are deterministic and take no inputs, which
+makes two accelerations safe:
+
+* an in-process result cache keyed by the driver module's source
+  content (editing a driver invalidates only its own entry), and
+* ``run_all(parallel=True)``, which fans the drivers out over a
+  process pool.
+"""
 
 from __future__ import annotations
 
+import concurrent.futures
+import hashlib
 import importlib
+import os
+from dataclasses import replace
+from types import ModuleType
 from typing import Callable
 
 from ..errors import ExperimentError
 from .result import ExperimentResult
 
-__all__ = ["EXPERIMENT_IDS", "get_experiment", "run_experiment", "run_all"]
+__all__ = [
+    "EXPERIMENT_IDS",
+    "get_experiment",
+    "experiment_title",
+    "experiment_titles",
+    "clear_result_cache",
+    "run_experiment",
+    "run_all",
+]
 
 #: Experiment id -> module path (relative to this package).
 _MODULES: dict[str, str] = {
@@ -41,27 +65,139 @@ _MODULES: dict[str, str] = {
 
 EXPERIMENT_IDS: tuple[str, ...] = tuple(_MODULES)
 
+#: experiment id -> (source fingerprint, result). Results are served as
+#: shallow copies so a caller mutating its copy cannot poison the cache.
+_RESULT_CACHE: dict[str, tuple[str, ExperimentResult]] = {}
 
-def get_experiment(experiment_id: str) -> Callable[[], ExperimentResult]:
-    """Resolve an experiment id to its ``run`` callable."""
+
+def _module(experiment_id: str) -> ModuleType:
     if experiment_id not in _MODULES:
         raise ExperimentError(
             f"unknown experiment {experiment_id!r}; have {list(_MODULES)}"
         )
-    module = importlib.import_module(
+    return importlib.import_module(
         f".{_MODULES[experiment_id]}", package=__package__
     )
-    return module.run
 
 
-def run_experiment(experiment_id: str) -> ExperimentResult:
-    """Run one experiment by id and return its result."""
+def get_experiment(experiment_id: str) -> Callable[[], ExperimentResult]:
+    """Resolve an experiment id to its ``run`` callable."""
+    return _module(experiment_id).run
+
+
+def experiment_title(experiment_id: str) -> str:
+    """The experiment's title, without running it."""
+    return _module(experiment_id).TITLE
+
+
+def experiment_titles() -> dict[str, str]:
+    """id -> title for the whole catalogue; costs imports, not runs."""
+    return {
+        experiment_id: experiment_title(experiment_id)
+        for experiment_id in EXPERIMENT_IDS
+    }
+
+
+def _fingerprint(experiment_id: str) -> str:
+    """Content key: the driver module's source digest."""
+    module = _module(experiment_id)
+    source = getattr(module, "__file__", None)
+    if source is None or not os.path.exists(source):
+        return "<no-source>"
+    with open(source, "rb") as handle:
+        return hashlib.sha256(handle.read()).hexdigest()
+
+
+def _copy_result(result: ExperimentResult) -> ExperimentResult:
+    return replace(
+        result,
+        tables=dict(result.tables),
+        checks=list(result.checks),
+        notes=list(result.notes),
+        charts=dict(result.charts),
+    )
+
+
+def clear_result_cache() -> None:
+    """Drop every cached experiment result."""
+    _RESULT_CACHE.clear()
+
+
+def run_experiment(experiment_id: str, *, cache: bool = False) -> ExperimentResult:
+    """Run one experiment by id and return its result.
+
+    With ``cache=True`` a result computed earlier in this process is
+    reused as long as the driver module's source is unchanged
+    (experiments are deterministic and input-free, so the cache can
+    only go stale through code edits — which the content key detects).
+    """
+    if cache:
+        entry = _RESULT_CACHE.get(experiment_id)
+        fingerprint = _fingerprint(experiment_id)
+        if entry is not None and entry[0] == fingerprint:
+            return _copy_result(entry[1])
+        result = get_experiment(experiment_id)()
+        _RESULT_CACHE[experiment_id] = (fingerprint, result)
+        return _copy_result(result)
     return get_experiment(experiment_id)()
 
 
-def run_all() -> dict[str, ExperimentResult]:
-    """Run the entire evaluation, in registry order."""
+def _run_for_pool(experiment_id: str) -> tuple[str, ExperimentResult]:
+    return experiment_id, run_experiment(experiment_id)
+
+
+def run_all(
+    *,
+    parallel: bool = False,
+    max_workers: int | None = None,
+    cache: bool = True,
+) -> dict[str, ExperimentResult]:
+    """Run the entire evaluation, in registry order.
+
+    ``parallel=True`` distributes the drivers over a
+    :class:`~concurrent.futures.ProcessPoolExecutor`; results come back
+    in registry order regardless of completion order, and cached
+    entries skip the pool entirely.
+    """
+    results: dict[str, ExperimentResult] = {}
+    pending: list[str] = []
+    for experiment_id in EXPERIMENT_IDS:
+        if cache:
+            entry = _RESULT_CACHE.get(experiment_id)
+            if entry is not None and entry[0] == _fingerprint(experiment_id):
+                results[experiment_id] = _copy_result(entry[1])
+                continue
+        pending.append(experiment_id)
+
+    if max_workers is not None and max_workers <= 0:
+        raise ExperimentError(
+            f"max_workers must be positive, got {max_workers}"
+        )
+    if pending:
+        if parallel:
+            workers = (
+                max_workers
+                if max_workers is not None
+                else min(len(pending), os.cpu_count() or 1)
+            )
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers
+            ) as pool:
+                for experiment_id, result in pool.map(_run_for_pool, pending):
+                    results[experiment_id] = result
+        else:
+            for experiment_id in pending:
+                results[experiment_id] = run_experiment(experiment_id)
+        if cache:
+            for experiment_id in pending:
+                _RESULT_CACHE[experiment_id] = (
+                    _fingerprint(experiment_id),
+                    results[experiment_id],
+                )
+                # Hand the caller a copy so the cached entry stays clean.
+                results[experiment_id] = _copy_result(results[experiment_id])
+
     return {
-        experiment_id: run_experiment(experiment_id)
+        experiment_id: results[experiment_id]
         for experiment_id in EXPERIMENT_IDS
     }

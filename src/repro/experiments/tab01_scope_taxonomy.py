@@ -8,6 +8,9 @@ from .result import Check, ExperimentResult
 
 __all__ = ["run", "TAXONOMIES"]
 
+#: Cheap registry metadata: the experiment title without run().
+TITLE = "Scope taxonomy for chip makers, device vendors, DC operators"
+
 TAXONOMIES: tuple[ScopeTaxonomy, ...] = (
     ScopeTaxonomy(
         company_type="chip_manufacturer",
@@ -46,7 +49,7 @@ def run() -> ExperimentResult:
     ]
     return ExperimentResult(
         experiment_id="tab01",
-        title="Scope taxonomy for chip makers, device vendors, DC operators",
+        title=TITLE,
         tables={"taxonomy": table},
         checks=checks,
     )

@@ -14,6 +14,9 @@ from .result import Check, ExperimentResult
 
 __all__ = ["run"]
 
+#: Cheap registry metadata: the experiment title without run().
+TITLE = "Carbon efficiency of energy sources"
+
 _EXPECTED = {
     "coal": 820.0,
     "gas": 490.0,
@@ -64,7 +67,7 @@ def run() -> ExperimentResult:
     )
     return ExperimentResult(
         experiment_id="tab02",
-        title="Carbon efficiency of energy sources",
+        title=TITLE,
         tables={"sources": table},
         checks=checks,
         charts={"intensity": chart},

@@ -9,6 +9,9 @@ from .result import Check, ExperimentResult
 
 __all__ = ["run"]
 
+#: Cheap registry metadata: the experiment title without run().
+TITLE = "Global carbon efficiency of energy production"
+
 _EXPECTED = {
     "world": 301.0,
     "india": 725.0,
@@ -59,7 +62,7 @@ def run() -> ExperimentResult:
     )
     return ExperimentResult(
         experiment_id="tab03",
-        title="Global carbon efficiency of energy production",
+        title=TITLE,
         tables={"grids": table},
         checks=checks,
         charts={"intensity": chart},

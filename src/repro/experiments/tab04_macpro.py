@@ -16,6 +16,9 @@ from .result import Check, ExperimentResult
 
 __all__ = ["run"]
 
+#: Cheap registry metadata: the experiment title without run().
+TITLE = "Mac Pro configurations: capability vs manufacturing carbon"
+
 
 def _bottom_up() -> tuple[float, float]:
     """Embodied-model estimates (kg) for both configurations."""
@@ -95,7 +98,7 @@ def run() -> ExperimentResult:
     )
     return ExperimentResult(
         experiment_id="tab04",
-        title="Mac Pro configurations: capability vs manufacturing carbon",
+        title=TITLE,
         tables={"reported": table, "bottom_up": bottom_up_table},
         checks=checks,
         notes=[

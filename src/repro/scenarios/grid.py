@@ -1,0 +1,152 @@
+"""Parameter grids: the scenario axes of a sweep.
+
+A scenario is a flat mapping from parameter path to value (dotted
+paths reach into nested dataclasses: ``"server.lifetime_years"``).
+:class:`ScenarioGrid` enumerates the cartesian product of named axes;
+:class:`ScenarioSet` holds an explicit (e.g. zipped) list of
+scenarios. Both are ordered, sized iterables of dicts, which is all
+the batched runners in :mod:`repro.scenarios.runner` require.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterator, Mapping, Sequence
+
+from ..errors import SimulationError
+from ..tabular import Table
+
+__all__ = ["ScenarioGrid", "ScenarioSet"]
+
+
+def _check_axes(axes: Mapping[str, Sequence[Any]]) -> dict[str, list[Any]]:
+    if not axes:
+        raise SimulationError("a scenario grid needs at least one axis")
+    checked: dict[str, list[Any]] = {}
+    for name, values in axes.items():
+        if not isinstance(name, str) or not name:
+            raise SimulationError(
+                f"axis names must be non-empty strings, got {name!r}"
+            )
+        values = list(values)
+        if not values:
+            raise SimulationError(f"axis {name!r} has no values")
+        checked[name] = values
+    return checked
+
+
+class ScenarioGrid:
+    """The cartesian product of named parameter axes.
+
+    Iterates scenarios in row-major order (the last axis varies
+    fastest), so the scenario index is a mixed-radix encoding of the
+    axis positions — stable across runs and easy to reason about in
+    result tables.
+
+    >>> grid = ScenarioGrid(growth=[0.1, 0.2], lifetime=[3, 4, 5])
+    >>> len(grid)
+    6
+    >>> next(iter(grid))
+    {'growth': 0.1, 'lifetime': 3}
+    """
+
+    def __init__(self, **axes: Sequence[Any]) -> None:
+        self._axes = _check_axes(axes)
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._axes)
+
+    @property
+    def axes(self) -> dict[str, list[Any]]:
+        return {name: list(values) for name, values in self._axes.items()}
+
+    def __len__(self) -> int:
+        size = 1
+        for values in self._axes.values():
+            size *= len(values)
+        return size
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        names = self.names
+        for combo in itertools.product(*self._axes.values()):
+            yield dict(zip(names, combo))
+
+    def scenarios(self) -> list[dict[str, Any]]:
+        return list(self)
+
+    def to_table(self) -> Table:
+        """One row per scenario, one column per axis."""
+        return Table.from_records(self.scenarios())
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(
+            f"{name}[{len(values)}]" for name, values in self._axes.items()
+        )
+        return f"ScenarioGrid({sizes}; {len(self)} scenarios)"
+
+
+class ScenarioSet:
+    """An explicit, ordered list of scenarios.
+
+    Use :meth:`zipped` when axes should advance in lockstep instead of
+    multiplying out (e.g. a (growth, matching-ramp) trajectory), or
+    :meth:`from_records` for hand-picked scenario lists.
+    """
+
+    def __init__(self, scenarios: Sequence[Mapping[str, Any]]) -> None:
+        records = [dict(record) for record in scenarios]
+        if not records:
+            raise SimulationError("a scenario set needs at least one scenario")
+        names = list(records[0])
+        for record in records:
+            if list(record) != names:
+                raise SimulationError(
+                    "every scenario must define the same parameters in the "
+                    f"same order; expected {names}, got {list(record)}"
+                )
+        self._records = records
+        self._names = names
+
+    @classmethod
+    def zipped(cls, **axes: Sequence[Any]) -> "ScenarioSet":
+        """Zip equally sized axes into one scenario per position."""
+        checked = _check_axes(axes)
+        lengths = {len(values) for values in checked.values()}
+        if len(lengths) != 1:
+            raise SimulationError(
+                "zipped axes must be equally sized, got "
+                + ", ".join(
+                    f"{name}[{len(values)}]" for name, values in checked.items()
+                )
+            )
+        names = list(checked)
+        return cls(
+            [dict(zip(names, combo)) for combo in zip(*checked.values())]
+        )
+
+    @classmethod
+    def from_records(
+        cls, records: Sequence[Mapping[str, Any]]
+    ) -> "ScenarioSet":
+        return cls(records)
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._names)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        for record in self._records:
+            yield dict(record)
+
+    def scenarios(self) -> list[dict[str, Any]]:
+        return list(self)
+
+    def to_table(self) -> Table:
+        return Table.from_records(self._records)
+
+    def __repr__(self) -> str:
+        return f"ScenarioSet({len(self)} scenarios over {self._names})"

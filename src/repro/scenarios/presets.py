@@ -1,0 +1,94 @@
+"""Canonical base configurations the named sweeps perturb.
+
+These used to live inside individual experiment drivers; the scenario
+engine hoists them one layer down so sweeps, experiments, and examples
+share a single source of truth. The experiment modules re-export them
+under their historical names.
+"""
+
+from __future__ import annotations
+
+from ..data.energy_sources import source_by_name
+from ..data.grids import US_GRID
+from ..datacenter.facility import Facility
+from ..datacenter.fleet import FleetParameters
+from ..datacenter.heterogeneity import ServerType, WorkloadClass
+from ..datacenter.renewable import PPAContract, RenewablePortfolio
+from ..datacenter.server import AI_TRAINING_SERVER, STORAGE_SERVER, WEB_SERVER
+from ..units import Carbon, Energy
+
+__all__ = [
+    "wind_solar_portfolio",
+    "facebook_like_fleet",
+    "example_service_mix",
+]
+
+
+def wind_solar_portfolio(wind_gwh: float, solar_gwh: float) -> RenewablePortfolio:
+    """A PPA book with the hyperscalers' wind-heavy tilt."""
+    contracts: list[PPAContract] = []
+    if wind_gwh > 0.0:
+        contracts.append(
+            PPAContract("wind_ppa", source_by_name("wind"), Energy.gwh(wind_gwh))
+        )
+    if solar_gwh > 0.0:
+        contracts.append(
+            PPAContract("solar_ppa", source_by_name("solar"), Energy.gwh(solar_gwh))
+        )
+    return RenewablePortfolio(tuple(contracts))
+
+
+def facebook_like_fleet() -> FleetParameters:
+    """A 2014-2019 fleet with an aggressive renewable ramp (ext04)."""
+    facility = Facility(
+        name="prineville_like",
+        pue=1.10,
+        construction_carbon=Carbon.kilotonnes(120.0),
+    )
+    return FleetParameters(
+        server=WEB_SERVER,
+        facility=facility,
+        location_intensity=US_GRID.intensity,
+        initial_servers=50_000,
+        annual_growth=0.25,
+        utilization=0.45,
+        years=6,
+        start_year=2014,
+        # The ramp leans into wind (11 g/kWh) the way the hyperscalers'
+        # PPA books do; by the final year contracts cover all demand.
+        renewable_ramp={
+            0: wind_solar_portfolio(30.0, 10.0),
+            1: wind_solar_portfolio(80.0, 30.0),
+            2: wind_solar_portfolio(160.0, 60.0),
+            3: wind_solar_portfolio(320.0, 80.0),
+            4: wind_solar_portfolio(600.0, 80.0),
+            5: wind_solar_portfolio(1200.0, 100.0),
+        },
+    )
+
+
+def example_service_mix() -> tuple[list[WorkloadClass], ServerType, list[ServerType]]:
+    """A three-service mix plus general and specialized SKUs (ext08).
+
+    The general SKU runs everything but is slow at AI and video; the
+    accelerator SKU is ~12x faster at AI inference, the storage SKU
+    ~3x at video. Throughputs are requests (or streams) per second.
+    """
+    workloads = [
+        WorkloadClass("web", demand_rps=900_000.0),
+        WorkloadClass("ai_inference", demand_rps=400_000.0),
+        WorkloadClass("video", demand_rps=60_000.0),
+    ]
+    general = ServerType(
+        config=WEB_SERVER,
+        throughput_rps={"web": 1_500.0, "ai_inference": 120.0, "video": 25.0},
+    )
+    accelerator = ServerType(
+        config=AI_TRAINING_SERVER,
+        throughput_rps={"ai_inference": 4_000.0},
+    )
+    video_sku = ServerType(
+        config=STORAGE_SERVER,
+        throughput_rps={"video": 80.0},
+    )
+    return workloads, general, [general, accelerator, video_sku]

@@ -1,0 +1,242 @@
+"""Batched sweep runners: a grid in, a Table of results out.
+
+``sweep_fleet`` expands every scenario into a :class:`FleetParameters`
+(dotted override paths reach nested dataclasses) and runs them all
+through :func:`simulate_fleet_batch` — one vectorized kernel call, not
+one simulation per scenario. ``sweep_provisioning`` does the same for
+the heterogeneous-provisioning question. ``SWEEPS`` names a few
+ready-made decision-space explorations for the ``repro sweep`` CLI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.embodied import EmbodiedModel
+from ..data.grids import US_GRID
+from ..datacenter.fleet import (
+    FleetBatchResult,
+    FleetParameters,
+    simulate_fleet_batch,
+)
+from ..datacenter.heterogeneity import (
+    ServerType,
+    WorkloadClass,
+    provision_heterogeneous_batch,
+    provision_homogeneous_batch,
+)
+from ..errors import SimulationError
+from ..tabular import Table
+from ..units import CarbonIntensity
+from .grid import ScenarioGrid
+from .presets import example_service_mix, facebook_like_fleet
+
+__all__ = [
+    "apply_overrides",
+    "fleet_scenario_parameters",
+    "sweep_fleet",
+    "sweep_provisioning",
+    "SweepSpec",
+    "SWEEPS",
+    "sweep_names",
+    "run_sweep",
+]
+
+
+def apply_overrides(base: Any, overrides: Mapping[str, Any]) -> Any:
+    """Return ``base`` with dotted-path dataclass fields replaced.
+
+    ``apply_overrides(params, {"server.lifetime_years": 3.0})`` rebuilds
+    the nested frozen dataclasses along the path; every other field is
+    shared with ``base``.
+    """
+    result = base
+    for path, value in overrides.items():
+        result = _replace_path(result, path, value)
+    return result
+
+
+def _replace_path(obj: Any, path: str, value: Any) -> Any:
+    head, _, rest = path.partition(".")
+    if not dataclasses.is_dataclass(obj) or head not in {
+        field.name for field in dataclasses.fields(obj)
+    }:
+        raise SimulationError(
+            f"cannot override {path!r}: {type(obj).__name__} has no field "
+            f"{head!r}"
+        )
+    if rest:
+        value = _replace_path(getattr(obj, head), rest, value)
+    return dataclasses.replace(obj, **{head: value})
+
+
+def fleet_scenario_parameters(
+    base: FleetParameters, scenarios: Iterable[Mapping[str, Any]]
+) -> list[FleetParameters]:
+    """One :class:`FleetParameters` per scenario dict."""
+    return [apply_overrides(base, scenario) for scenario in scenarios]
+
+
+def sweep_fleet(
+    base: FleetParameters,
+    scenarios: Iterable[Mapping[str, Any]],
+    embodied: EmbodiedModel | None = None,
+) -> Table:
+    """Run a fleet scenario sweep through the batched kernel.
+
+    Returns one row per scenario: the scenario's axis values followed
+    by its final simulated year's fleet metrics.
+    """
+    records = [dict(scenario) for scenario in scenarios]
+    batch = simulate_fleet_batch(
+        fleet_scenario_parameters(base, records), embodied
+    )
+    return _attach_axes(records, batch.final_year_table())
+
+
+def _attach_axes(records: Sequence[Mapping[str, Any]], results: Table) -> Table:
+    """Prefix result rows with their scenario's axis values."""
+    if not records:
+        raise SimulationError("need at least one scenario")
+    columns: dict[str, Any] = {}
+    for name in records[0]:
+        values = [record[name] for record in records]
+        # Axis values may be rich objects (portfolios, servers); only
+        # scalar axes become columns.
+        if all(isinstance(value, (int, float, str, bool)) for value in values):
+            columns[name.replace(".", "_")] = values
+    for name in results.column_names:
+        if name != "scenario":
+            columns[name] = results.column(name)
+    return Table(columns)
+
+
+def sweep_provisioning(
+    workloads: Sequence[WorkloadClass],
+    general: ServerType,
+    server_types: Sequence[ServerType],
+    utilization_targets: "float | Sequence[float]" = 0.6,
+    demand_scales: "float | Sequence[float]" = 1.0,
+    grid: CarbonIntensity | None = None,
+    model: EmbodiedModel | None = None,
+) -> Table:
+    """Homogeneous vs heterogeneous provisioning across scenarios.
+
+    Scenario axes are the cartesian product of utilization targets and
+    demand scale factors; both fleets are provisioned by the batched
+    kernels and priced in embodied + operational carbon.
+    """
+    grid = grid or US_GRID.intensity
+    model = model or EmbodiedModel()
+    targets = np.atleast_1d(np.asarray(utilization_targets, dtype=np.float64))
+    scales = np.atleast_1d(np.asarray(demand_scales, dtype=np.float64))
+    target_axis = np.repeat(targets, len(scales))
+    scale_axis = np.tile(scales, len(targets))
+
+    homogeneous = provision_homogeneous_batch(
+        workloads, general, target_axis, scale_axis
+    )
+    heterogeneous = provision_heterogeneous_batch(
+        workloads, server_types, target_axis, scale_axis
+    )
+    homo_total = homogeneous.total_per_year_grams(grid, model)
+    hetero_total = heterogeneous.total_per_year_grams(grid, model)
+    return Table(
+        {
+            "utilization_target": target_axis,
+            "demand_scale": scale_axis,
+            "servers_homogeneous": homogeneous.total_servers(),
+            "servers_heterogeneous": heterogeneous.total_servers(),
+            "total_t_homogeneous": homo_total / 1e6,
+            "total_t_heterogeneous": hetero_total / 1e6,
+            "carbon_saving_fraction": 1.0 - hetero_total / homo_total,
+        }
+    )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A named, CLI-runnable decision-space exploration."""
+
+    name: str
+    description: str
+    build: Callable[[], Table]
+
+
+def _fleet_growth_lifetime() -> Table:
+    grid = ScenarioGrid(
+        **{
+            "annual_growth": [0.0, 0.1, 0.25, 0.5],
+            "server.lifetime_years": [2.0, 3.0, 4.0, 6.0],
+        }
+    )
+    return sweep_fleet(facebook_like_fleet(), grid)
+
+
+def _fleet_pue_utilization() -> Table:
+    grid = ScenarioGrid(
+        **{
+            "facility.pue": [1.07, 1.1, 1.25, 1.5],
+            "utilization": [0.25, 0.45, 0.65, 0.85],
+        }
+    )
+    return sweep_fleet(facebook_like_fleet(), grid)
+
+
+def _provisioning_mix() -> Table:
+    workloads, general, server_types = example_service_mix()
+    return sweep_provisioning(
+        workloads,
+        general,
+        server_types,
+        utilization_targets=[0.4, 0.5, 0.6, 0.7, 0.8],
+        demand_scales=[0.5, 1.0, 2.0, 4.0],
+    )
+
+
+SWEEPS: dict[str, SweepSpec] = {
+    spec.name: spec
+    for spec in (
+        SweepSpec(
+            name="fleet_growth_lifetime",
+            description=(
+                "Final-year opex/capex split of the Facebook-like fleet "
+                "across growth rates and server lifetimes"
+            ),
+            build=_fleet_growth_lifetime,
+        ),
+        SweepSpec(
+            name="fleet_pue_utilization",
+            description=(
+                "Final-year fleet footprint across facility PUE and "
+                "steady-state utilization"
+            ),
+            build=_fleet_pue_utilization,
+        ),
+        SweepSpec(
+            name="provisioning_mix",
+            description=(
+                "Homogeneous vs heterogeneous provisioning carbon across "
+                "utilization targets and demand scales"
+            ),
+            build=_provisioning_mix,
+        ),
+    )
+}
+
+
+def sweep_names() -> list[str]:
+    return list(SWEEPS)
+
+
+def run_sweep(name: str) -> Table:
+    """Run one named sweep and return its result table."""
+    if name not in SWEEPS:
+        raise SimulationError(
+            f"unknown sweep {name!r}; have {sweep_names()}"
+        )
+    return SWEEPS[name].build()

@@ -87,6 +87,12 @@ def _require_non_negative(value: float, what: str) -> float:
     return value
 
 
+def _array_repr(kind: str, value: np.ndarray, unit: str) -> str:
+    """Compact repr for array-valued quantities (draw/scenario vectors)."""
+    low, high = float(np.min(value)), float(np.max(value))
+    return f"{kind}([{len(value)} x {low:.6g}..{high:.6g} {unit}])"
+
+
 def hours(count: float) -> float:
     """Return ``count`` hours expressed in seconds."""
     return _require_finite(count, "hours") * SECONDS_PER_HOUR
@@ -198,6 +204,8 @@ class Energy:
         return self.joules <= other.joules
 
     def __repr__(self) -> str:
+        if isinstance(self.joules, np.ndarray):
+            return _array_repr("Energy", self.kilowatt_hours, "kWh")
         return f"Energy({self.kilowatt_hours:.6g} kWh)"
 
 
@@ -282,6 +290,8 @@ class Power:
         return self.watts_value <= other.watts_value
 
     def __repr__(self) -> str:
+        if isinstance(self.watts_value, np.ndarray):
+            return _array_repr("Power", self.watts_value, "W")
         return f"Power({self.watts_value:.6g} W)"
 
 
@@ -379,6 +389,8 @@ class Carbon:
         return self.grams <= other.grams
 
     def __repr__(self) -> str:
+        if isinstance(self.grams, np.ndarray):
+            return _array_repr("Carbon", self.grams, "g CO2e")
         if abs(self.grams) >= GRAMS_PER_TONNE:
             return f"Carbon({self.tonnes_value:.6g} t CO2e)"
         if abs(self.grams) >= GRAMS_PER_KG:
@@ -449,4 +461,6 @@ class CarbonIntensity:
         return self.grams_per_kwh <= other.grams_per_kwh
 
     def __repr__(self) -> str:
+        if isinstance(self.grams_per_kwh, np.ndarray):
+            return _array_repr("CarbonIntensity", self.grams_per_kwh, "g/kWh")
         return f"CarbonIntensity({self.grams_per_kwh:.6g} g/kWh)"

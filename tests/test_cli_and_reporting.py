@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import importlib
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -11,7 +13,13 @@ from repro.datacenter.reporting import (
     fleet_year_to_inventory,
 )
 from repro.errors import AccountingError
-from repro.experiments import run_experiment
+from repro.experiments import (
+    EXPERIMENT_IDS,
+    experiment_title,
+    experiment_titles,
+    run_experiment,
+)
+from repro.experiments import registry as experiment_registry
 from repro.experiments.markdown import markdown_report, markdown_table
 from repro.experiments.ext04_fleet import facebook_like_parameters
 from repro.tabular import Table
@@ -45,6 +53,99 @@ class TestCLI:
     def test_unknown_experiment_exits_2(self, capsys):
         assert main(["run", "fig99"]) == 2
         assert "error" in capsys.readouterr().err
+
+    def test_list_does_not_run_any_experiment(self, capsys, monkeypatch):
+        """`repro list` must stay O(imports): titles come from registry
+        metadata, never from executing a driver."""
+
+        def boom(*_args, **_kwargs):
+            raise AssertionError("list must not execute experiments")
+
+        for experiment_id in EXPERIMENT_IDS:
+            module = importlib.import_module(
+                f"repro.experiments.{experiment_registry._MODULES[experiment_id]}"
+            )
+            monkeypatch.setattr(module, "run", boom)
+        monkeypatch.setattr(experiment_registry, "run_experiment", boom)
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == len(EXPERIMENT_IDS)
+
+    def test_run_help_derived_from_registry(self):
+        # The run target help names the real registry bounds, so new
+        # experiments can't leave the text stale.
+        from repro.cli import _experiment_help
+
+        assert EXPERIMENT_IDS[0] in _experiment_help()
+        assert EXPERIMENT_IDS[-1] in _experiment_help()
+        assert "ext09" in _experiment_help()
+        assert "sweep" in build_parser().format_help()
+
+    def test_run_all_parallel(self, capsys):
+        from repro.experiments import clear_result_cache
+
+        clear_result_cache()
+        assert main(["run", "all", "--parallel", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("ok") >= 20
+
+    def test_sweep_command(self, capsys):
+        assert main(["sweep", "fleet_growth_lifetime"]) == 0
+        out = capsys.readouterr().out
+        assert "annual_growth" in out and "capex" in out
+
+    def test_sweep_markdown(self, capsys):
+        assert main(["sweep", "provisioning_mix", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.lstrip().startswith("### provisioning_mix")
+        assert "| utilization_target |" in out
+
+
+class TestRegistryMetadata:
+    def test_titles_match_results(self):
+        for experiment_id in ("fig05", "ext04"):
+            assert (
+                experiment_title(experiment_id)
+                == run_experiment(experiment_id).title
+            )
+
+    def test_titles_cover_the_catalogue(self):
+        titles = experiment_titles()
+        assert list(titles) == list(EXPERIMENT_IDS)
+        assert all(titles.values())
+
+    def test_non_positive_worker_counts_rejected(self):
+        from repro.errors import ExperimentError
+        from repro.experiments import run_all
+
+        for jobs in (0, -1):
+            with pytest.raises(ExperimentError):
+                run_all(parallel=True, max_workers=jobs)
+
+    def test_result_cache_hits_and_isolation(self):
+        from repro.experiments import clear_result_cache
+
+        clear_result_cache()
+        first = run_experiment("tab01", cache=True)
+        calls = {"count": 0}
+        original = experiment_registry.get_experiment
+
+        def counting(experiment_id):
+            calls["count"] += 1
+            return original(experiment_id)
+
+        experiment_registry.get_experiment = counting
+        try:
+            second = run_experiment("tab01", cache=True)
+        finally:
+            experiment_registry.get_experiment = original
+        assert calls["count"] == 0  # served from cache
+        assert second.title == first.title
+        # Mutating a served copy must not poison the cache.
+        second.tables.clear()
+        third = run_experiment("tab01", cache=True)
+        assert third.tables
+        clear_result_cache()
 
 
 class TestMarkdown:

@@ -125,3 +125,55 @@ class TestFleetAccounting:
             renewable_coverage=1.0,
         )
         assert report.capex_to_opex_market == float("inf")
+
+
+class TestFleetEdgeCases:
+    """Regimes the batch kernel must match the scalar loop on exactly."""
+
+    def test_sub_year_lifetime_clamps_to_annual_refresh(self):
+        import dataclasses
+
+        mayfly = dataclasses.replace(WEB_SERVER, lifetime_years=0.3)
+        reports = simulate_fleet(_params(server=mayfly, annual_growth=0.0))
+        # Lifetime clamps to one year: every year after the first
+        # repurchases the whole (constant-size) fleet.
+        for report in reports[1:]:
+            assert report.servers_added == reports[0].servers
+
+    def test_zero_growth_purchases_are_refresh_only(self):
+        reports = simulate_fleet(_params(annual_growth=0.0, years=9))
+        added = [report.servers_added for report in reports]
+        # 4-year lifetime: purchases land exactly on years 0, 4, 8.
+        assert [index for index, count in enumerate(added) if count > 0] == [
+            0,
+            4,
+            8,
+        ]
+        assert added[4] == added[0] and added[8] == added[4]
+        assert all(report.servers == reports[0].servers for report in reports)
+
+    def test_ramp_holds_last_portfolio_across_gap_years(self):
+        # The fleet draws ~25-60 GWh/year, so both books stay fractional.
+        wind = PPAContract("wind", source_by_name("wind"), Energy.gwh(20.0))
+        big = PPAContract("wind2", source_by_name("wind"), Energy.gwh(45.0))
+        ramp = {1: RenewablePortfolio((wind,)), 4: RenewablePortfolio((big,))}
+        reports = simulate_fleet(_params(renewable_ramp=ramp))
+        assert reports[0].renewable_coverage == 0.0
+        # Years 2 and 3 keep the year-1 book (coverage shrinks only
+        # because the fleet grows), year 4 jumps to the bigger book.
+        assert reports[2].renewable_coverage > 0.0
+        assert reports[3].renewable_coverage < reports[2].renewable_coverage
+        assert reports[4].renewable_coverage > reports[3].renewable_coverage
+
+    def test_zero_market_opex_ratio_from_simulation(self):
+        from repro.datacenter.fleet import simulate_fleet_batch
+
+        zero_grid = US_GRID.intensity * 0.0
+        params = _params(location_intensity=zero_grid)
+        scalar = simulate_fleet(params)
+        assert all(
+            report.capex_to_opex_market == float("inf") for report in scalar
+        )
+        batch = simulate_fleet_batch([params])
+        for index, report in enumerate(scalar):
+            assert batch.reports(0)[index] == report

@@ -1,0 +1,190 @@
+"""Batched provisioning is pinned element-identical to the scalar path.
+
+provision_heterogeneous_batch / provision_homogeneous_batch must pick
+the same SKUs, the same machine counts, and price the fleets to the
+same gram across utilization targets and demand scalings — including
+the (count, embodied carbon, declaration order) tie-break.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.embodied import EmbodiedModel
+from repro.data.grids import US_GRID
+from repro.datacenter.heterogeneity import (
+    ServerType,
+    WorkloadClass,
+    compare_provisioning,
+    provision_heterogeneous,
+    provision_heterogeneous_batch,
+    provision_homogeneous,
+    provision_homogeneous_batch,
+)
+from repro.datacenter.server import AI_TRAINING_SERVER, STORAGE_SERVER, WEB_SERVER
+from repro.errors import SimulationError
+from repro.scenarios.presets import example_service_mix
+
+
+def _scaled(workloads: list[WorkloadClass], scale: float) -> list[WorkloadClass]:
+    return [
+        WorkloadClass(workload.name, workload.demand_rps * scale)
+        for workload in workloads
+    ]
+
+
+class TestHeterogeneousEquivalence:
+    def test_plans_identical_across_targets_and_scales(self):
+        workloads, _, server_types = example_service_mix()
+        targets = [0.3, 0.45, 0.6, 0.75, 1.0]
+        scales = [0.25, 1.0, 3.0, 10.0]
+        target_axis = np.repeat(targets, len(scales))
+        scale_axis = np.tile(scales, len(targets))
+        batch = provision_heterogeneous_batch(
+            workloads, server_types, target_axis, scale_axis
+        )
+        for index in range(batch.num_scenarios):
+            reference = provision_heterogeneous(
+                _scaled(workloads, float(scale_axis[index])),
+                server_types,
+                float(target_axis[index]),
+            )
+            candidate = batch.plan(index)
+            assert candidate.assignments == reference.assignments
+            assert candidate.utilization_target == reference.utilization_target
+
+    def test_carbon_totals_identical_to_the_gram(self):
+        workloads, _, server_types = example_service_mix()
+        model = EmbodiedModel()
+        grid = US_GRID.intensity
+        targets = np.array([0.4, 0.6, 0.9])
+        batch = provision_heterogeneous_batch(workloads, server_types, targets)
+        embodied = batch.embodied_per_year_grams(model)
+        operational = batch.operational_per_year_grams(grid)
+        for index, target in enumerate(targets):
+            reference = provision_heterogeneous(
+                workloads, server_types, float(target)
+            )
+            assert embodied[index] == reference.embodied_per_year(model).grams
+            assert (
+                operational[index]
+                == reference.operational_per_year(grid).grams
+            )
+
+    def test_tie_breaks_toward_lower_embodied_then_declaration_order(self):
+        # Two SKUs with identical throughput: the scalar path ties on
+        # count and picks the lower embodied carbon per machine.
+        workload = WorkloadClass("web", demand_rps=10_000.0)
+        model = EmbodiedModel()
+        contenders = [
+            ServerType(AI_TRAINING_SERVER, {"web": 100.0}),
+            ServerType(STORAGE_SERVER, {"web": 100.0}),
+        ]
+        lightest = min(
+            contenders, key=lambda t: t.config.embodied_carbon(model).grams
+        )
+        for order in (contenders, list(reversed(contenders))):
+            reference = provision_heterogeneous([workload], order, 0.6)
+            batch = provision_heterogeneous_batch([workload], order, 0.6)
+            assert batch.plan(0).assignments == reference.assignments
+            chosen = batch.server_types[int(batch.choice[0, 0])]
+            assert chosen.config.name == lightest.config.name
+        # Full tie (same SKU twice): first declared wins, as in min().
+        light = contenders[1]
+        twin = ServerType(STORAGE_SERVER, {"web": 100.0})
+        batch = provision_heterogeneous_batch([workload], [light, twin], 0.6)
+        assert int(batch.choice[0, 0]) == 0
+
+    def test_summary_table_matches_compare_provisioning(self):
+        workloads, general, server_types = example_service_mix()
+        model = EmbodiedModel()
+        grid = US_GRID.intensity
+        homo_scalar = provision_homogeneous(workloads, general)
+        hetero_scalar = provision_heterogeneous(workloads, server_types)
+        reference = compare_provisioning(homo_scalar, hetero_scalar, grid, model)
+        homo = provision_homogeneous_batch(workloads, general)
+        hetero = provision_heterogeneous_batch(workloads, server_types)
+        for plan_batch, row in zip((homo, hetero), reference):
+            summary = plan_batch.summary_table(grid, model).row(0)
+            assert summary["plan"] == row["plan"]
+            assert summary["servers"] == row["servers"]
+            assert summary["embodied_t_per_year"] == row["embodied_t_per_year"]
+            assert (
+                summary["operational_t_per_year"]
+                == row["operational_t_per_year"]
+            )
+            assert summary["total_t_per_year"] == row["total_t_per_year"]
+
+
+class TestHomogeneousEquivalence:
+    def test_matches_scalar_for_each_target(self):
+        workloads, general, _ = example_service_mix()
+        targets = np.array([0.35, 0.6, 0.8])
+        batch = provision_homogeneous_batch(workloads, general, targets)
+        for index, target in enumerate(targets):
+            reference = provision_homogeneous(workloads, general, float(target))
+            assert batch.plan(index).assignments == reference.assignments
+
+    def test_demand_matrix_axis(self):
+        workloads, general, _ = example_service_mix()
+        demands = np.array(
+            [[1_000.0, 2_000.0, 500.0], [9_999.0, 123.0, 77.0]]
+        )
+        batch = provision_homogeneous_batch(workloads, general, 0.6, demands)
+        for index in range(2):
+            scaled = [
+                WorkloadClass(workload.name, float(demands[index, position]))
+                for position, workload in enumerate(workloads)
+            ]
+            reference = provision_homogeneous(scaled, general, 0.6)
+            assert batch.plan(index).assignments == reference.assignments
+
+
+class TestBatchValidation:
+    def test_unservable_workload_rejected(self):
+        workloads, _, _ = example_service_mix()
+        accelerator_only = [ServerType(AI_TRAINING_SERVER, {"ai_inference": 1.0})]
+        with pytest.raises(SimulationError):
+            provision_heterogeneous_batch(workloads, accelerator_only, 0.6)
+
+    def test_homogeneous_requires_general_coverage(self):
+        workloads, _, server_types = example_service_mix()
+        accelerator = next(
+            t for t in server_types if t.config.name == "ai_training_server"
+        )
+        with pytest.raises(SimulationError):
+            provision_homogeneous_batch(workloads, accelerator, 0.6)
+
+    def test_bad_utilization_rejected(self):
+        workloads, general, server_types = example_service_mix()
+        for target in (0.0, 1.5, -0.25, float("nan")):
+            with pytest.raises(SimulationError):
+                provision_heterogeneous_batch(workloads, server_types, target)
+
+    def test_nan_demand_rejected(self):
+        workloads, _, server_types = example_service_mix()
+        bad = np.full((1, len(workloads)), np.nan)
+        with pytest.raises(SimulationError):
+            provision_heterogeneous_batch(workloads, server_types, 0.6, bad)
+
+    def test_mismatched_axes_rejected(self):
+        workloads, _, server_types = example_service_mix()
+        with pytest.raises(SimulationError):
+            provision_heterogeneous_batch(
+                workloads, server_types, [0.5, 0.6], np.array([1.0, 2.0, 3.0])
+            )
+
+    def test_empty_inputs_rejected(self):
+        _, _, server_types = example_service_mix()
+        with pytest.raises(SimulationError):
+            provision_heterogeneous_batch([], server_types, 0.6)
+        workloads, _, _ = example_service_mix()
+        with pytest.raises(SimulationError):
+            provision_heterogeneous_batch(workloads, [], 0.6)
+
+    def test_scenario_index_bounds_checked(self):
+        workloads, _, server_types = example_service_mix()
+        batch = provision_heterogeneous_batch(workloads, server_types, 0.6)
+        with pytest.raises(SimulationError):
+            batch.plan(5)

@@ -194,3 +194,18 @@ class TestCarbonIntensity:
         assert hash(grid) == hash(CarbonIntensity.g_per_kwh(380.0))
         with pytest.raises(Exception):
             grid.grams_per_kwh = 1.0  # type: ignore[misc]
+
+
+class TestArrayValuedRepr:
+    """Array-valued quantities (draw/scenario vectors) must repr cleanly."""
+
+    def test_each_quantity_summarizes_arrays(self):
+        import numpy as np
+
+        samples = np.array([1.0, 2.0, 3.0])
+        assert "3 x" in repr(Energy(samples * 3.6e6))
+        assert "3 x" in repr(Power(samples))
+        assert "3 x" in repr(Carbon(samples))
+        assert "3 x" in repr(CarbonIntensity(samples))
+        # Scalar reprs are unchanged.
+        assert repr(Carbon.tonnes(2.0)) == "Carbon(2 t CO2e)"
