@@ -1,0 +1,56 @@
+"""Benchmark: 270-scenario policy evaluation, batched vs scalar loop.
+
+The traces subsystem's reason to exist: the same traces × workloads ×
+policies cross-product through ``evaluate_policies`` (horizon-grouped
+matrices, shared per-trace prefix sums, one job loop for the whole
+catalog) and through ``evaluate_policies_scalar`` (one scalar
+scheduler call per scenario). The acceptance gate is >=10x between the
+two recorded means at 100+ scenarios.
+"""
+
+from repro.traces import (
+    DEFAULT_POLICIES,
+    diurnal_workload,
+    evaluate_policies,
+    evaluate_policies_scalar,
+    profile_catalog,
+    training_workload,
+)
+
+_HOURS = 72
+_CAPACITY_KW = 2500.0
+
+
+def _scenario_inputs():
+    catalog = profile_catalog(_HOURS, stochastic_seeds=(0, 1, 2))
+    workloads = [
+        diurnal_workload(days=2),
+        training_workload(num_jobs=8, horizon_hours=48),
+    ]
+    return catalog, workloads
+
+
+def test_bench_trace_eval_batched(benchmark):
+    catalog, workloads = _scenario_inputs()
+    expected = len(catalog) * len(workloads) * len(DEFAULT_POLICIES)
+    assert expected >= 100
+    table = benchmark(
+        lambda: evaluate_policies(catalog, workloads, capacity_kw=_CAPACITY_KW)
+    )
+    assert table.num_rows == expected
+    # Spot-check the batched path against the scalar reference.
+    subset = dict(list(catalog.items())[:2])
+    batched = evaluate_policies(subset, workloads, capacity_kw=_CAPACITY_KW)
+    scalar = evaluate_policies_scalar(subset, workloads, capacity_kw=_CAPACITY_KW)
+    for name in batched.column_names:
+        assert batched.column(name) == scalar.column(name)
+
+
+def test_bench_trace_eval_scalar(benchmark):
+    catalog, workloads = _scenario_inputs()
+    table = benchmark(
+        lambda: evaluate_policies_scalar(
+            catalog, workloads, capacity_kw=_CAPACITY_KW
+        )
+    )
+    assert table.num_rows == len(catalog) * len(workloads) * len(DEFAULT_POLICIES)

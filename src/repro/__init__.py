@@ -87,6 +87,13 @@ from .fab import (
     FabModel,
 )
 from .vendor import ProductLine, VendorModel
+from .traces import (
+    IntensityTrace,
+    WorkloadTrace,
+    SchedulingPolicy,
+    evaluate_policies,
+    profile_catalog,
+)
 from .experiments import (
     Check,
     ExperimentResult,
@@ -150,6 +157,11 @@ __all__ = [
     "BatchJob",
     "schedule_carbon_agnostic",
     "schedule_carbon_aware",
+    "IntensityTrace",
+    "WorkloadTrace",
+    "SchedulingPolicy",
+    "evaluate_policies",
+    "profile_catalog",
     "ProcessNode",
     "NODE_ROADMAP",
     "node_by_name",

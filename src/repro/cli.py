@@ -7,6 +7,9 @@ Usage::
     python -m repro run all --parallel   # everything, over a process pool
     python -m repro checks               # one-line pass/fail per artifact
     python -m repro sweep fleet_growth_lifetime   # a named scenario sweep
+    python -m repro trace list           # bundled intensity profiles
+    python -m repro trace show india     # one profile as an ASCII chart
+    python -m repro trace eval           # batched policy evaluation
 """
 
 from __future__ import annotations
@@ -74,6 +77,42 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the result table as GitHub-flavored markdown",
     )
+
+    trace_parser = commands.add_parser(
+        "trace",
+        help="inspect bundled intensity traces and evaluate policies",
+    )
+    trace_parser.add_argument(
+        "action",
+        choices=("list", "show", "eval"),
+        help="list profiles, show one profile's shape, or run the "
+        "batched policy evaluation over the catalog",
+    )
+    trace_parser.add_argument(
+        "profile",
+        nargs="?",
+        default=None,
+        help="profile name for 'show' (see 'trace list')",
+    )
+    trace_parser.add_argument(
+        "--hours",
+        type=int,
+        default=72,
+        metavar="H",
+        help="trace horizon in hours (default: 72; 'eval' needs >= 48)",
+    )
+    trace_parser.add_argument(
+        "--capacity-kw",
+        type=float,
+        default=2500.0,
+        metavar="KW",
+        help="cluster power cap for 'eval' (default: 2500)",
+    )
+    trace_parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="with 'eval': emit the result table as markdown",
+    )
     return parser
 
 
@@ -138,6 +177,74 @@ def _command_sweep(name: str, markdown: bool) -> int:
     return 0
 
 
+def _command_trace(
+    action: str,
+    profile: str | None,
+    hours: int,
+    capacity_kw: float,
+    markdown: bool,
+) -> int:
+    from .errors import SimulationError
+    from .experiments.markdown import markdown_table
+    from .report.charts import line_chart, sparkline
+    from .report.tables import render_table
+    from .scenarios import sweep_temporal_shifting
+    from .traces import profile_catalog
+
+    if action != "show" and profile is not None:
+        print(
+            f"error: 'trace {action}' takes no profile argument "
+            f"(got {profile!r})",
+            file=sys.stderr,
+        )
+        return 2
+    if action == "list":
+        catalog = profile_catalog(hours)
+        width = max(len(name) for name in catalog)
+        print(f"{len(catalog)} bundled profiles over {hours} h:")
+        for name, trace in catalog.items():
+            print(
+                f"  {name:<{width}}  mean {trace.mean_g_per_kwh:7.1f} "
+                f"g/kWh  {sparkline(trace.values)}"
+            )
+        return 0
+    if action == "show":
+        if profile is None:
+            print("error: 'trace show' needs a profile name", file=sys.stderr)
+            return 2
+        catalog = profile_catalog(hours)
+        if profile not in catalog:
+            raise SimulationError(
+                f"unknown profile {profile!r}; run 'repro trace list'"
+            )
+        trace = catalog[profile]
+        window = trace.cleanest_window(4.0)
+        print(
+            line_chart(
+                [float(hour) for hour in range(len(trace))],
+                {"g_per_kwh": list(trace.values)},
+            )
+        )
+        print(
+            f"{trace!r}; cleanest 4 h window starts at hour "
+            f"{window.start_hour:.0f} ({window.mean_g_per_kwh:.1f} g/kWh)"
+        )
+        return 0
+    table = sweep_temporal_shifting(hours, capacity_kw=capacity_kw)
+    if markdown:
+        print(markdown_table(table))
+    else:
+        print(
+            render_table(
+                table,
+                title="batched policy evaluation (traces x workloads x policies)",
+                float_format="{:.3g}",
+            )
+        )
+        print(f"\n{table.num_rows} scenarios, batched evaluator")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
@@ -151,6 +258,14 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_checks()
         if args.command == "sweep":
             return _command_sweep(args.sweep, args.markdown)
+        if args.command == "trace":
+            return _command_trace(
+                args.action,
+                args.profile,
+                args.hours,
+                args.capacity_kw,
+                args.markdown,
+            )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

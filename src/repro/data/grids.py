@@ -10,7 +10,14 @@ from __future__ import annotations
 from ..core.intensity import GridRegion
 from ..units import CarbonIntensity
 
-__all__ = ["GRID_REGIONS", "grid_by_name", "US_GRID", "WORLD_GRID", "TAIWAN_GRID"]
+__all__ = [
+    "GRID_REGIONS",
+    "grid_by_name",
+    "region_names",
+    "US_GRID",
+    "WORLD_GRID",
+    "TAIWAN_GRID",
+]
 
 
 def _region(name: str, g_per_kwh: float, dominant: str) -> GridRegion:
@@ -33,6 +40,15 @@ GRID_REGIONS: tuple[GridRegion, ...] = (
     _region("brazil", 82.0, "wind/hydropower"),
     _region("iceland", 28.0, "hydropower"),
 )
+
+
+def region_names() -> list[str]:
+    """Every Table III region name, dirtiest grid first.
+
+    The traces subsystem builds one duck-curve family per entry, so
+    this list is also the catalog of bundled profile roots.
+    """
+    return [region.name for region in GRID_REGIONS]
 
 
 def grid_by_name(name: str) -> GridRegion:

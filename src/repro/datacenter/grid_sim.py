@@ -9,12 +9,16 @@ hourly intensity profiles with an optional seeded noise term.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..errors import SimulationError
 from ..units import CarbonIntensity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..traces.intensity import IntensityTrace
 
 __all__ = ["DiurnalGridModel"]
 
@@ -91,7 +95,28 @@ class DiurnalGridModel:
             values = values + rng.normal(0.0, self.noise_g_per_kwh, size=hours)
         return np.clip(values, 1.0, None)
 
+    def trace(self, hours: int, name: str = "diurnal") -> "IntensityTrace":
+        """This profile as an :class:`~repro.traces.IntensityTrace`.
+
+        The bridge into the traces subsystem: one vectorized series
+        build instead of per-hour ``intensity_at`` calls.
+        """
+        from ..traces.intensity import IntensityTrace
+
+        return IntensityTrace(name, self.hourly_series(hours))
+
     def cleanest_hour(self) -> int:
-        """Hour of day with the lowest deterministic intensity."""
-        series = [self.intensity_at(float(hour)).grams_per_kwh for hour in range(24)]
-        return int(np.argmin(series))
+        """Hour of day with the lowest deterministic intensity.
+
+        .. deprecated:: prefer ``model.trace(24).cleanest_window(1)``,
+           which generalizes to multi-hour windows and noisy profiles.
+           This wrapper delegates there (on the noiseless profile, as
+           before) and survives for callers of the original API.
+        """
+        deterministic = (
+            self
+            if self.noise_g_per_kwh == 0.0
+            else replace(self, noise_g_per_kwh=0.0)
+        )
+        window = deterministic.trace(24).cleanest_window(1.0)
+        return int(window.start_hour)

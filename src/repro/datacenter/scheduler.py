@@ -21,6 +21,7 @@ the committed load.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Sequence
 
 import numpy as np
@@ -80,18 +81,54 @@ class ScheduleResult:
 
     placements: tuple[JobPlacement, ...]
 
-    @property
+    @cached_property
     def total_carbon(self) -> Carbon:
-        total = Carbon.zero()
-        for placement in self.placements:
-            total = total + placement.carbon
-        return total
+        """Total schedule carbon: one pass over the grams, cached.
+
+        Summing raw grams sequentially matches the old
+        Carbon-by-Carbon accumulation bit for bit while skipping the
+        intermediate Carbon allocations; the cache makes repeated
+        reads (savings ratios, report tables) free.
+        """
+        return Carbon.from_grams(
+            sum(placement.carbon.grams for placement in self.placements)
+        )
 
     def placement_for(self, name: str) -> JobPlacement:
         for placement in self.placements:
             if placement.job.name == name:
                 return placement
         raise SimulationError(f"no placement for job {name!r}")
+
+    def load_profile(self, horizon_hours: int) -> np.ndarray:
+        """Committed cluster power (kW) for each hour of the horizon.
+
+        The evaluator's peak-load statistic reads straight off this
+        array; it is also the schedule's occupancy proof — every
+        placement must fit inside ``horizon_hours``.
+        """
+        if horizon_hours <= 0:
+            raise SimulationError("load profile horizon must be positive")
+        load = np.zeros(horizon_hours)
+        for placement in self.placements:
+            end = placement.start_hour + placement.job.duration_hours
+            if end > horizon_hours:
+                raise SimulationError(
+                    f"{placement.job.name}: placement ends at hour {end}, "
+                    f"beyond the {horizon_hours} h horizon"
+                )
+            load[placement.start_hour : end] += placement.job.power_kw
+        return load
+
+
+def _agnostic_order(job: BatchJob) -> tuple:
+    """Arrival order (ties by name): the throughput queue's view."""
+    return (job.arrival_hour, job.name)
+
+
+def _aware_order(job: BatchJob) -> tuple:
+    """Most-energy-first (ties by name): the greedy scheduler's view."""
+    return (-job.power_kw * job.duration_hours, job.name)
 
 
 def _feasible_starts(job: BatchJob, horizon: int) -> range:
@@ -104,11 +141,15 @@ def _feasible_starts(job: BatchJob, horizon: int) -> range:
 
 
 def _prefix_sum(intensity: np.ndarray) -> np.ndarray:
-    """``csum[k]`` = intensity summed over hours ``[0, k)``, so any
-    window sum is one subtraction: ``csum[s + d] - csum[s]``."""
-    csum = np.empty(intensity.shape[0] + 1)
-    csum[0] = 0.0
-    np.cumsum(intensity, out=csum[1:])
+    """``csum[..., k]`` = intensity summed over hours ``[0, k)``, so any
+    window sum is one subtraction: ``csum[..., s + d] - csum[..., s]``.
+
+    Operates on the last axis, so the batched trace kernel can run the
+    *same implementation* over a ``(traces, hours)`` matrix — one
+    definition to keep the scalar/batched equivalence honest.
+    """
+    csum = np.zeros(intensity.shape[:-1] + (intensity.shape[-1] + 1,))
+    np.cumsum(intensity, axis=-1, out=csum[..., 1:])
     return csum
 
 
@@ -127,14 +168,15 @@ def _window_load_max(load_kw: np.ndarray, duration: int) -> np.ndarray:
     under capacity — one sliding-window pass replaces the per-start
     rescan of the whole window. Computed as ``duration - 1`` shifted
     elementwise maxima, which beats ``sliding_window_view`` on the
-    hour-scale durations batch jobs have.
+    hour-scale durations batch jobs have. Windows slide along the last
+    axis, so the batched trace kernel shares this implementation.
     """
     if duration == 1:
         return load_kw
-    span = load_kw.shape[0] - duration + 1
-    result = load_kw[:span].copy()
+    span = load_kw.shape[-1] - duration + 1
+    result = load_kw[..., :span].copy()
     for offset in range(1, duration):
-        np.maximum(result, load_kw[offset : offset + span], out=result)
+        np.maximum(result, load_kw[..., offset : offset + span], out=result)
     return result
 
 
@@ -164,7 +206,7 @@ def schedule_carbon_agnostic(
     csum = _prefix_sum(intensity)
     load = np.zeros(intensity.shape[0])
     placements: list[JobPlacement] = []
-    for job in sorted(jobs, key=lambda j: (j.arrival_hour, j.name)):
+    for job in sorted(jobs, key=_agnostic_order):
         starts = _feasible_starts(job, intensity.shape[0])
         if len(starts) == 0:
             raise SimulationError(f"{job.name}: no feasible slot under capacity")
@@ -200,9 +242,7 @@ def schedule_carbon_aware(
     csum = _prefix_sum(intensity)
     load = np.zeros(intensity.shape[0])
     placements: list[JobPlacement] = []
-    ordered = sorted(
-        jobs, key=lambda j: (-j.power_kw * j.duration_hours, j.name)
-    )
+    ordered = sorted(jobs, key=_aware_order)
     for job in ordered:
         starts = _feasible_starts(job, intensity.shape[0])
         if len(starts) == 0:

@@ -61,6 +61,7 @@ _MODULES: dict[str, str] = {
     "ext07": "ext07_vendor",
     "ext08": "ext08_heterogeneity",
     "ext09": "ext09_ai_growth",
+    "ext10": "ext10_temporal_shifting",
 }
 
 EXPERIMENT_IDS: tuple[str, ...] = tuple(_MODULES)

@@ -6,9 +6,44 @@ from typing import Mapping, Sequence
 
 from ..errors import SimulationError
 
-__all__ = ["bar_chart", "stacked_bar_chart", "line_chart", "scatter_chart"]
+__all__ = [
+    "bar_chart",
+    "stacked_bar_chart",
+    "line_chart",
+    "scatter_chart",
+    "sparkline",
+]
 
 _BLOCK = "#"
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 48) -> str:
+    """A one-line shape summary of a series (trace listings).
+
+    Values are bucketed to ``width`` columns (mean per bucket) and
+    mapped onto a ten-level character ramp; flat series render flat.
+    """
+    if not len(values):
+        raise SimulationError("a sparkline needs at least one value")
+    if width <= 0:
+        raise SimulationError("sparkline width must be positive")
+    series = [float(value) for value in values]
+    buckets: list[float] = []
+    count = min(width, len(series))
+    for index in range(count):
+        lo = index * len(series) // count
+        hi = max(lo + 1, (index + 1) * len(series) // count)
+        chunk = series[lo:hi]
+        buckets.append(sum(chunk) / len(chunk))
+    low, high = min(buckets), max(buckets)
+    span = high - low or 1.0
+    levels = len(_SPARK_LEVELS) - 1
+    return "".join(
+        _SPARK_LEVELS[int(round((value - low) / span * levels))]
+        for value in buckets
+    )
 
 
 def _label_width(labels: Sequence[str]) -> int:

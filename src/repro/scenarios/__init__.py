@@ -4,9 +4,10 @@ The paper's capex-dominance claim becomes a design tool once growth
 rates, lifetimes, PUE, renewable ramps, and SKU mixes can be swept as
 grids instead of edited one simulation at a time. This package
 supplies the axes (:class:`ScenarioGrid`, :class:`ScenarioSet`), the
-batched runners (:func:`sweep_fleet`, :func:`sweep_provisioning`)
-built on the struct-of-arrays datacenter kernels, and the named
-sweeps behind the ``repro sweep`` CLI.
+batched runners (:func:`sweep_fleet`, :func:`sweep_provisioning`,
+:func:`sweep_temporal_shifting`) built on the struct-of-arrays
+datacenter and trace kernels, and the named sweeps behind the
+``repro sweep`` CLI.
 """
 
 from .grid import ScenarioGrid, ScenarioSet
@@ -20,6 +21,7 @@ from .runner import (
     sweep_fleet,
     sweep_names,
     sweep_provisioning,
+    sweep_temporal_shifting,
 )
 
 __all__ = [
@@ -32,6 +34,7 @@ __all__ = [
     "fleet_scenario_parameters",
     "sweep_fleet",
     "sweep_provisioning",
+    "sweep_temporal_shifting",
     "SweepSpec",
     "SWEEPS",
     "sweep_names",

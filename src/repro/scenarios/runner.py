@@ -40,6 +40,7 @@ __all__ = [
     "fleet_scenario_parameters",
     "sweep_fleet",
     "sweep_provisioning",
+    "sweep_temporal_shifting",
     "SweepSpec",
     "SWEEPS",
     "sweep_names",
@@ -158,6 +159,40 @@ def sweep_provisioning(
     )
 
 
+def sweep_temporal_shifting(
+    hours: int = 72,
+    *,
+    capacity_kw: float = 2500.0,
+    stochastic_seeds: "tuple[int, ...]" = (0, 1),
+) -> Table:
+    """Carbon-aware scheduling across the bundled trace catalog.
+
+    Runs the default policy spectrum (agnostic / aware / slack-bounded)
+    over every bundled intensity profile and two canonical workload
+    streams through the batched evaluator — the temporal analogue of
+    the fleet and provisioning sweeps. The canonical workloads span
+    two days, so the horizon must cover at least 48 hours.
+    """
+    from ..traces import (
+        diurnal_workload,
+        evaluate_policies,
+        profile_catalog,
+        training_workload,
+    )
+
+    if hours < 48:
+        raise SimulationError(
+            "the temporal-shifting sweep's workloads span two days; "
+            f"need hours >= 48, got {hours}"
+        )
+    catalog = profile_catalog(hours, stochastic_seeds=stochastic_seeds)
+    workloads = [
+        diurnal_workload(days=2),
+        training_workload(num_jobs=8, horizon_hours=48),
+    ]
+    return evaluate_policies(catalog, workloads, capacity_kw=capacity_kw)
+
+
 @dataclass(frozen=True)
 class SweepSpec:
     """A named, CLI-runnable decision-space exploration."""
@@ -225,11 +260,20 @@ SWEEPS: dict[str, SweepSpec] = {
             ),
             build=_provisioning_mix,
         ),
+        SweepSpec(
+            name="temporal_shifting",
+            description=(
+                "Carbon-aware scheduling policies across the bundled "
+                "intensity-trace catalog and canonical workloads"
+            ),
+            build=sweep_temporal_shifting,
+        ),
     )
 }
 
 
 def sweep_names() -> list[str]:
+    """The registered sweep names, in registry order."""
     return list(SWEEPS)
 
 

@@ -1,0 +1,64 @@
+"""Temporal traces: intensity time series, workload streams, policies.
+
+The paper's Section VI frames carbon-aware scheduling as *when* to
+compute. This package makes the temporal objects first-class:
+
+* :class:`IntensityTrace` — validated hourly (or finer) g CO2e/kWh
+  series with vectorized resample/align/slice/rolling-mean and the
+  ``cleanest_window`` query.
+* Bundled profiles — duck-curve families per Table III grid region,
+  seeded stochastic variants, renewable-ramp overlays
+  (:func:`profile_catalog`).
+* :class:`WorkloadTrace` — deferrable batch-job streams with diurnal
+  and heavy-tail training generators.
+* :func:`evaluate_policies` — the batched evaluator that runs
+  carbon-agnostic / carbon-aware / slack-bounded policies across the
+  whole traces × workloads × policies cross-product with shared
+  per-trace prefix sums, returning a stats
+  :class:`~repro.tabular.Table`.
+"""
+
+from .batch import BatchSchedule, prefix_sums, schedule_batch
+from .evaluate import (
+    CARBON_AGNOSTIC,
+    CARBON_AWARE,
+    DEFAULT_POLICIES,
+    SchedulingPolicy,
+    evaluate_policies,
+    evaluate_policies_scalar,
+    slack_bounded,
+)
+from .intensity import IntensityTrace, Window
+from .profiles import (
+    profile_catalog,
+    profile_names,
+    regional_duck_model,
+    regional_trace,
+    renewable_ramp,
+    stochastic_variant,
+)
+from .workload import WorkloadTrace, diurnal_workload, training_workload
+
+__all__ = [
+    "IntensityTrace",
+    "Window",
+    "WorkloadTrace",
+    "diurnal_workload",
+    "training_workload",
+    "regional_duck_model",
+    "regional_trace",
+    "stochastic_variant",
+    "renewable_ramp",
+    "profile_catalog",
+    "profile_names",
+    "BatchSchedule",
+    "prefix_sums",
+    "schedule_batch",
+    "SchedulingPolicy",
+    "CARBON_AGNOSTIC",
+    "CARBON_AWARE",
+    "DEFAULT_POLICIES",
+    "slack_bounded",
+    "evaluate_policies",
+    "evaluate_policies_scalar",
+]

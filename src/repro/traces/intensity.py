@@ -1,0 +1,261 @@
+"""Time-series grid carbon intensity.
+
+The paper's Section VI argues that shrinking the operational footprint
+means running work when the grid is clean — which makes the intensity
+*time series* the first-class object, not a single average g/kWh.
+:class:`IntensityTrace` is that object: a validated, uniformly sampled
+g CO2e/kWh series with vectorized resampling, alignment, slicing,
+rolling statistics, and the ``cleanest_window`` query the carbon-aware
+scheduler builds on.
+
+Traces are piecewise constant: the value at sample ``k`` holds for the
+whole ``step_hours`` interval starting at ``k * step_hours``. That
+convention makes refining (repeat) and coarsening (block mean) exact
+inverses for power-of-two factors and keeps every window integral a
+prefix-sum subtraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Mapping, NamedTuple, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+
+__all__ = ["IntensityTrace", "Window"]
+
+
+class Window(NamedTuple):
+    """A contiguous span of a trace: where it starts and how clean it is."""
+
+    start_hour: float
+    mean_g_per_kwh: float
+
+
+def _validated_values(values: Any) -> np.ndarray:
+    array = np.array(values, dtype=np.float64)
+    if array.ndim != 1:
+        raise SimulationError(
+            f"intensity values must be one-dimensional, got shape {array.shape}"
+        )
+    if array.size == 0:
+        raise SimulationError("an intensity trace needs at least one sample")
+    if not np.all(np.isfinite(array)):
+        raise SimulationError("intensity values must be finite (no NaN/inf)")
+    if np.any(array < 0.0):
+        raise SimulationError("intensity values must be non-negative")
+    array.flags.writeable = False
+    return array
+
+
+def _integer_ratio(value: float, what: str) -> int:
+    ratio = int(round(value))
+    if ratio < 1 or abs(value - ratio) > 1e-9:
+        raise SimulationError(f"{what} must be an integer multiple, got {value}")
+    return ratio
+
+
+@dataclass(frozen=True, eq=False)
+class IntensityTrace:
+    """A uniformly sampled carbon-intensity time series (g CO2e/kWh).
+
+    ``values[k]`` is the intensity over the half-open interval
+    ``[k * step_hours, (k + 1) * step_hours)``. Construction validates
+    the series: finite, non-negative, one-dimensional, non-empty.
+    """
+
+    name: str
+    values: np.ndarray
+    step_hours: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SimulationError("an intensity trace needs a name")
+        if not (self.step_hours > 0.0) or not np.isfinite(self.step_hours):
+            raise SimulationError(
+                f"step must be a positive number of hours, got {self.step_hours}"
+            )
+        object.__setattr__(self, "values", _validated_values(self.values))
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_records(
+        cls,
+        name: str,
+        records: Sequence[Mapping[str, float]],
+        *,
+        hour_key: str = "hour",
+        value_key: str = "g_per_kwh",
+    ) -> "IntensityTrace":
+        """Build a trace from ``{hour, g_per_kwh}`` records.
+
+        Records may arrive unordered; they must form a uniformly spaced
+        series (constant positive step) once sorted by hour.
+        """
+        if not records:
+            raise SimulationError("need at least one intensity record")
+        try:
+            hours = np.array([float(r[hour_key]) for r in records])
+            values = np.array([float(r[value_key]) for r in records])
+        except KeyError as missing:
+            raise SimulationError(
+                f"intensity records need {hour_key!r} and {value_key!r} "
+                f"fields; missing {missing}"
+            ) from None
+        order = np.argsort(hours, kind="stable")
+        hours, values = hours[order], values[order]
+        if len(hours) == 1:
+            return cls(name, values, step_hours=1.0)
+        steps = np.diff(hours)
+        if np.any(steps <= 0.0):
+            raise SimulationError("intensity records contain duplicate hours")
+        if not np.allclose(steps, steps[0], rtol=0.0, atol=1e-9):
+            raise SimulationError(
+                "intensity records must be uniformly spaced, got steps "
+                f"{np.unique(np.round(steps, 6)).tolist()}"
+            )
+        return cls(name, values, step_hours=float(steps[0]))
+
+    # -- basic geometry ------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def hours(self) -> float:
+        """Total span covered by the trace, in hours."""
+        return len(self) * self.step_hours
+
+    @property
+    def mean_g_per_kwh(self) -> float:
+        """Time-weighted average intensity over the whole trace."""
+        return float(self.values.mean())
+
+    @property
+    def min_g_per_kwh(self) -> float:
+        """The cleanest single sample."""
+        return float(self.values.min())
+
+    @property
+    def max_g_per_kwh(self) -> float:
+        """The dirtiest single sample."""
+        return float(self.values.max())
+
+    def hourly_values(self) -> np.ndarray:
+        """The trace resampled to the scheduler's 1-hour granularity."""
+        return self.resample(1.0).values
+
+    # -- vectorized operations -----------------------------------------
+
+    def resample(self, step_hours: float) -> "IntensityTrace":
+        """Return the trace at a finer or coarser uniform step.
+
+        Refining repeats each sample (the series is piecewise
+        constant); coarsening block-averages, and requires the factor
+        to divide the sample count. Either way the target step must be
+        an integer multiple or divisor of the current one.
+        """
+        if not (step_hours > 0.0):
+            raise SimulationError(f"step must be positive, got {step_hours}")
+        if abs(step_hours - self.step_hours) < 1e-12:
+            return self
+        if step_hours > self.step_hours:
+            factor = _integer_ratio(
+                step_hours / self.step_hours, "coarsening factor"
+            )
+            if len(self) % factor != 0:
+                raise SimulationError(
+                    f"cannot coarsen {len(self)} samples by a factor of "
+                    f"{factor}: not divisible"
+                )
+            values = self.values.reshape(-1, factor).mean(axis=1)
+        else:
+            factor = _integer_ratio(
+                self.step_hours / step_hours, "refinement factor"
+            )
+            values = np.repeat(self.values, factor)
+        return replace(self, values=values, step_hours=step_hours)
+
+    def slice_hours(self, start_hour: float, stop_hour: float) -> "IntensityTrace":
+        """The sub-trace covering ``[start_hour, stop_hour)``.
+
+        Both bounds must land on sample boundaries and stay inside the
+        trace.
+        """
+        start = start_hour / self.step_hours
+        stop = stop_hour / self.step_hours
+        lo = int(round(start))
+        hi = int(round(stop))
+        if abs(start - lo) > 1e-9 or abs(stop - hi) > 1e-9:
+            raise SimulationError(
+                f"slice bounds must align to the {self.step_hours} h step"
+            )
+        if lo < 0 or hi > len(self) or hi <= lo:
+            raise SimulationError(
+                f"slice [{start_hour}, {stop_hour}) h falls outside the "
+                f"{self.hours} h trace"
+            )
+        return replace(self, values=self.values[lo:hi])
+
+    def scale(self, factors: "float | np.ndarray") -> "IntensityTrace":
+        """Multiply the series elementwise (overlays, what-ifs).
+
+        ``factors`` is a scalar or a per-sample array; the result is
+        re-validated, so overlays cannot smuggle in negative intensity.
+        """
+        scaled = self.values * np.asarray(factors, dtype=np.float64)
+        return replace(self, values=scaled)
+
+    def align(self, other: "IntensityTrace") -> "tuple[IntensityTrace, IntensityTrace]":
+        """Bring two traces onto a common step and horizon.
+
+        Both are resampled to the finer of the two steps, then
+        truncated to the shorter common span — after which they can be
+        compared or blended samplewise.
+        """
+        step = min(self.step_hours, other.step_hours)
+        left, right = self.resample(step), other.resample(step)
+        count = min(len(left), len(right))
+        span = count * step
+        return left.slice_hours(0.0, span), right.slice_hours(0.0, span)
+
+    def rolling_mean(self, window_hours: float) -> np.ndarray:
+        """Mean intensity of every full window of ``window_hours``.
+
+        Computed from one prefix-sum pass; entry ``k`` is the mean over
+        the window starting at sample ``k`` (``len - width + 1``
+        entries).
+        """
+        width = self._window_width(window_hours)
+        csum = np.concatenate(([0.0], np.cumsum(self.values)))
+        return (csum[width:] - csum[:-width]) / width
+
+    def cleanest_window(self, duration_hours: float) -> Window:
+        """The start of the lowest-mean window of ``duration_hours``.
+
+        Ties resolve to the earliest window, matching the carbon-aware
+        scheduler's earliest-clean-start tie-break.
+        """
+        means = self.rolling_mean(duration_hours)
+        start = int(np.argmin(means))
+        return Window(
+            start_hour=start * self.step_hours,
+            mean_g_per_kwh=float(means[start]),
+        )
+
+    def _window_width(self, window_hours: float) -> int:
+        width = _integer_ratio(window_hours / self.step_hours, "window width")
+        if width > len(self):
+            raise SimulationError(
+                f"window of {window_hours} h exceeds the {self.hours} h trace"
+            )
+        return width
+
+    def __repr__(self) -> str:
+        return (
+            f"IntensityTrace({self.name!r}, {len(self)} x {self.step_hours} h, "
+            f"{self.min_g_per_kwh:.3g}..{self.max_g_per_kwh:.3g} g/kWh)"
+        )

@@ -1,0 +1,132 @@
+"""Bundled intensity profiles: duck-curve families per grid region.
+
+Table III gives each geography one *average* intensity; real grids
+swing around that average hour by hour. This module turns every
+:class:`~repro.core.intensity.GridRegion` into a family of synthetic
+hourly traces built on :class:`~repro.datacenter.grid_sim.DiurnalGridModel`:
+
+* a deterministic duck curve whose amplitudes scale with the region's
+  average (dirty fossil grids swing hard; hydro grids barely move),
+* seeded stochastic variants (weather and demand noise), and
+* renewable-ramp overlays that taper intensity over the horizon the
+  way an aggressive PPA book does.
+
+``profile_catalog`` assembles the whole family — the scenario stock
+the batched policy evaluator and the ``repro trace`` CLI draw from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.intensity import GridRegion
+from ..data.grids import grid_by_name, region_names
+from ..datacenter.grid_sim import DiurnalGridModel
+from ..errors import SimulationError
+from .intensity import IntensityTrace
+
+__all__ = [
+    "regional_duck_model",
+    "regional_trace",
+    "stochastic_variant",
+    "renewable_ramp",
+    "profile_catalog",
+    "profile_names",
+]
+
+#: Duck-curve amplitudes as fractions of the regional average: midday
+#: solar carves out ~40% of the mean, the evening peaker ramp adds
+#: ~12% — the stylized shape of CAISO-like net-load curves.
+_SOLAR_DEPTH_FRACTION = 0.40
+_EVENING_PEAK_FRACTION = 0.12
+#: Stochastic variants perturb hours by ~6% of the regional average.
+_NOISE_FRACTION = 0.06
+
+
+def regional_duck_model(
+    region: GridRegion, *, noise_g_per_kwh: float = 0.0, seed: int = 0
+) -> DiurnalGridModel:
+    """A duck-curve generator scaled to a region's average intensity."""
+    base = region.intensity.grams_per_kwh
+    return DiurnalGridModel(
+        base_g_per_kwh=base,
+        solar_depth_g_per_kwh=_SOLAR_DEPTH_FRACTION * base,
+        evening_peak_g_per_kwh=_EVENING_PEAK_FRACTION * base,
+        noise_g_per_kwh=noise_g_per_kwh,
+        seed=seed,
+    )
+
+
+def regional_trace(region_name: str, hours: int = 168) -> IntensityTrace:
+    """The deterministic hourly duck curve for a Table III region."""
+    region = grid_by_name(region_name)
+    model = regional_duck_model(region)
+    return IntensityTrace(region_name, model.hourly_series(hours))
+
+
+def stochastic_variant(
+    region_name: str, hours: int = 168, *, seed: int = 0
+) -> IntensityTrace:
+    """A seeded noisy variant of a region's duck curve."""
+    region = grid_by_name(region_name)
+    model = regional_duck_model(
+        region,
+        noise_g_per_kwh=_NOISE_FRACTION * region.intensity.grams_per_kwh,
+        seed=seed,
+    )
+    return IntensityTrace(
+        f"{region_name}_noisy_s{seed}", model.hourly_series(hours)
+    )
+
+
+def renewable_ramp(
+    trace: IntensityTrace, final_fraction: float
+) -> IntensityTrace:
+    """Overlay a linear renewable build-out onto a trace.
+
+    The first sample keeps its intensity; by the last, a
+    ``final_fraction`` share of energy is carbon-free — the
+    market-based arc of an aggressive PPA ramp compressed into the
+    trace's horizon.
+    """
+    if not 0.0 <= final_fraction < 1.0:
+        raise SimulationError(
+            f"ramp fraction must be within [0, 1), got {final_fraction}"
+        )
+    factors = np.linspace(1.0, 1.0 - final_fraction, num=len(trace))
+    ramped = trace.scale(factors)
+    return IntensityTrace(
+        f"{trace.name}_ramp{int(round(final_fraction * 100))}",
+        ramped.values,
+        step_hours=trace.step_hours,
+    )
+
+
+def profile_catalog(
+    hours: int = 168,
+    *,
+    stochastic_seeds: tuple[int, ...] = (0,),
+    ramp_fraction: float = 0.5,
+) -> dict[str, IntensityTrace]:
+    """Every bundled profile, keyed by name.
+
+    Per Table III region: the deterministic duck curve, one noisy
+    variant per seed, and a renewable-ramp overlay of the deterministic
+    curve. All traces share the same hourly step and horizon, so the
+    batched evaluator can stack them into one matrix.
+    """
+    catalog: dict[str, IntensityTrace] = {}
+    for region_name in region_names():
+        base = regional_trace(region_name, hours)
+        catalog[base.name] = base
+        for seed in stochastic_seeds:
+            noisy = stochastic_variant(region_name, hours, seed=seed)
+            catalog[noisy.name] = noisy
+        ramped = renewable_ramp(base, ramp_fraction)
+        catalog[ramped.name] = ramped
+    return catalog
+
+
+def profile_names(hours: int = 24) -> list[str]:
+    """The catalog's trace names (cheap: short horizon)."""
+    return list(profile_catalog(hours))

@@ -26,6 +26,8 @@ _SUBPACKAGES = (
     "repro.analysis",
     "repro.report",
     "repro.experiments",
+    "repro.scenarios",
+    "repro.traces",
 )
 
 

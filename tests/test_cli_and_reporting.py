@@ -78,8 +78,9 @@ class TestCLI:
 
         assert EXPERIMENT_IDS[0] in _experiment_help()
         assert EXPERIMENT_IDS[-1] in _experiment_help()
-        assert "ext09" in _experiment_help()
+        assert "ext10" in _experiment_help()
         assert "sweep" in build_parser().format_help()
+        assert "trace" in build_parser().format_help()
 
     def test_run_all_parallel(self, capsys):
         from repro.experiments import clear_result_cache
@@ -99,6 +100,45 @@ class TestCLI:
         out = capsys.readouterr().out
         assert out.lstrip().startswith("### provisioning_mix")
         assert "| utilization_target |" in out
+
+    def test_trace_list(self, capsys):
+        assert main(["trace", "list", "--hours", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "india" in out and "iceland_ramp50" in out
+        assert "g/kWh" in out
+
+    def test_trace_show(self, capsys):
+        assert main(["trace", "show", "world", "--hours", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "cleanest 4 h window" in out
+        assert "g_per_kwh" in out
+
+    def test_trace_show_unknown_profile_exits_2(self, capsys):
+        assert main(["trace", "show", "atlantis"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_trace_show_needs_a_profile(self, capsys):
+        assert main(["trace", "show"]) == 2
+        assert "profile name" in capsys.readouterr().err
+
+    def test_trace_eval_rejects_stray_profile_operand(self, capsys):
+        assert main(["trace", "eval", "india"]) == 2
+        assert "takes no profile argument" in capsys.readouterr().err
+
+    def test_trace_eval_rejects_short_horizon(self, capsys):
+        assert main(["trace", "eval", "--hours", "24"]) == 2
+        assert "48" in capsys.readouterr().err
+
+    def test_trace_eval(self, capsys):
+        assert main(["trace", "eval", "--hours", "48"]) == 0
+        out = capsys.readouterr().out
+        assert "batched" in out
+        assert "scenarios" in out
+
+    def test_trace_eval_markdown(self, capsys):
+        assert main(["trace", "eval", "--hours", "48", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "| trace | workload | policy |" in out
 
 
 class TestRegistryMetadata:

@@ -9,6 +9,7 @@ from repro.report.charts import (
     bar_chart,
     line_chart,
     scatter_chart,
+    sparkline,
     stacked_bar_chart,
 )
 from repro.report.tables import render_table
@@ -124,3 +125,29 @@ class TestScatterChart:
     def test_degenerate_dimensions_rejected(self):
         with pytest.raises(SimulationError):
             scatter_chart([(1.0, 1.0, "x")], height=1)
+
+
+class TestSparkline:
+    def test_extremes_map_to_ramp_ends(self):
+        line = sparkline([0.0, 1.0])
+        assert line[0] == " "
+        assert line[-1] == "@"
+
+    def test_flat_series_renders_flat(self):
+        line = sparkline([5.0, 5.0, 5.0])
+        assert set(line) == {" "}
+
+    def test_long_series_bucketed_to_width(self):
+        line = sparkline(list(range(1000)), width=40)
+        assert len(line) == 40
+
+    def test_short_series_keeps_its_length(self):
+        assert len(sparkline([1.0, 2.0, 3.0], width=48)) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            sparkline([])
+
+    def test_non_positive_width_rejected(self):
+        with pytest.raises(SimulationError):
+            sparkline([1.0], width=0)

@@ -159,6 +159,45 @@ class TestAwareScheduler:
             result.placement_for("zz")
 
 
+class TestScheduleResult:
+    def _result(self):
+        jobs = [
+            BatchJob("a", 3, 100.0, arrival_hour=0),
+            BatchJob("b", 2, 150.0, arrival_hour=1),
+        ]
+        return schedule_carbon_agnostic(jobs, _flat_grid(24), capacity_kw=400.0)
+
+    def test_total_carbon_matches_placement_sum(self):
+        result = self._result()
+        manual = sum(p.carbon.grams for p in result.placements)
+        assert result.total_carbon.grams == pytest.approx(manual)
+
+    def test_total_carbon_is_cached(self):
+        result = self._result()
+        assert result.total_carbon is result.total_carbon
+
+    def test_load_profile_accumulates_overlaps(self):
+        result = self._result()
+        load = result.load_profile(24)
+        assert load.shape == (24,)
+        # a runs hours 0-2 at 100 kW; b runs hours 1-2 at 150 kW.
+        assert load[0] == pytest.approx(100.0)
+        assert load[1] == pytest.approx(250.0)
+        assert load[2] == pytest.approx(250.0)
+        assert load[3] == pytest.approx(0.0)
+        # Energy conservation: the profile integrates to the jobs' energy.
+        assert load.sum() == pytest.approx(
+            sum(p.job.power_kw * p.job.duration_hours for p in result.placements)
+        )
+
+    def test_load_profile_rejects_short_horizon(self):
+        result = self._result()
+        with pytest.raises(SimulationError):
+            result.load_profile(2)
+        with pytest.raises(SimulationError):
+            result.load_profile(0)
+
+
 @settings(max_examples=30, deadline=None)
 @given(
     st.lists(

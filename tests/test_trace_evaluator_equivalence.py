@@ -1,0 +1,240 @@
+"""Equivalence: the batched trace evaluator vs the scalar schedulers.
+
+The scalar schedulers in ``repro.datacenter.scheduler`` are the
+reference implementation; ``repro.traces`` must match them *element
+identically* — same placements, same carbon grams, same statistics,
+bit for bit — across a property grid of deadlines, capacity limits,
+and tie-break-inducing traces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datacenter.grid_sim import DiurnalGridModel
+from repro.datacenter.scheduler import (
+    BatchJob,
+    schedule_carbon_agnostic,
+    schedule_carbon_aware,
+)
+from repro.errors import SimulationError
+from repro.traces import (
+    CARBON_AGNOSTIC,
+    CARBON_AWARE,
+    IntensityTrace,
+    WorkloadTrace,
+    diurnal_workload,
+    evaluate_policies,
+    evaluate_policies_scalar,
+    prefix_sums,
+    profile_catalog,
+    schedule_batch,
+    slack_bounded,
+    training_workload,
+)
+
+_POLICIES = (CARBON_AGNOSTIC, CARBON_AWARE, slack_bounded(4), slack_bounded(12))
+
+
+def _assert_tables_identical(batched, scalar):
+    assert batched.column_names == scalar.column_names
+    assert batched.num_rows == scalar.num_rows
+    for name in batched.column_names:
+        left, right = batched.column(name), scalar.column(name)
+        assert left == right, f"column {name!r} diverges"
+
+
+def _job_grid() -> list[BatchJob]:
+    """Deadlines present and absent, equal-energy ties, varied arrivals."""
+    return [
+        BatchJob("tied_a", 3, 100.0, arrival_hour=0),
+        BatchJob("tied_b", 3, 100.0, arrival_hour=0),  # same energy: name tie-break
+        BatchJob("deadline_tight", 2, 150.0, arrival_hour=1, deadline_hour=5),
+        BatchJob("deadline_loose", 4, 200.0, arrival_hour=0, deadline_hour=30),
+        BatchJob("late_arrival", 2, 120.0, arrival_hour=12),
+        BatchJob("open_ended", 6, 80.0, arrival_hour=2),
+    ]
+
+
+def _trace_grid() -> list[IntensityTrace]:
+    """Flat (all ties), valley, duck curves, noisy — 36 h each."""
+    flat = IntensityTrace("flat", np.full(36, 250.0))
+    valley = np.full(36, 500.0)
+    valley[10:16] = 50.0
+    duck = DiurnalGridModel().trace(36, name="duck")
+    noisy = IntensityTrace(
+        "noisy",
+        DiurnalGridModel(noise_g_per_kwh=40.0, seed=11).hourly_series(36),
+    )
+    return [flat, IntensityTrace("valley", valley), duck, noisy]
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("capacity_kw", [260.0, 400.0, 1000.0])
+    @pytest.mark.parametrize("carbon_aware", [False, True])
+    def test_batch_rows_equal_scalar_schedules(self, capacity_kw, carbon_aware):
+        jobs = _job_grid()
+        traces = _trace_grid()
+        matrix = np.vstack([trace.values for trace in traces])
+        scalar_fn = (
+            schedule_carbon_aware if carbon_aware else schedule_carbon_agnostic
+        )
+        try:
+            batch = schedule_batch(
+                jobs, matrix, capacity_kw, carbon_aware=carbon_aware
+            )
+        except SimulationError:
+            # If the batch refuses, at least one scalar run must too.
+            with pytest.raises(SimulationError):
+                for row in matrix:
+                    scalar_fn(jobs, row, capacity_kw)
+            return
+        for index in range(matrix.shape[0]):
+            assert batch.result_for(index) == scalar_fn(
+                jobs, matrix[index], capacity_kw
+            )
+
+    def test_shared_prefix_sums_change_nothing(self):
+        jobs = _job_grid()
+        matrix = np.vstack([trace.values for trace in _trace_grid()])
+        csum = prefix_sums(matrix)
+        with_shared = schedule_batch(jobs, matrix, 800.0, csum=csum)
+        without = schedule_batch(jobs, matrix, 800.0)
+        assert np.array_equal(with_shared.starts, without.starts)
+        assert np.array_equal(with_shared.grams, without.grams)
+
+    def test_single_row_matrix_equals_vector_input(self):
+        jobs = _job_grid()
+        trace = _trace_grid()[2]
+        as_matrix = schedule_batch(jobs, trace.values[np.newaxis, :], 900.0)
+        as_vector = schedule_batch(jobs, trace.values, 900.0)
+        assert as_matrix.result_for(0) == as_vector.result_for(0)
+
+    def test_infeasible_capacity_raises_like_scalar(self):
+        jobs = [BatchJob("big", 2, 500.0)]
+        matrix = np.full((3, 24), 100.0)
+        with pytest.raises(SimulationError):
+            schedule_batch(jobs, matrix, 400.0)
+        with pytest.raises(SimulationError):
+            schedule_carbon_aware(jobs, matrix[0], 400.0)
+
+    def test_horizon_overflow_raises_like_scalar(self):
+        jobs = [BatchJob("long", 30, 100.0)]
+        matrix = np.full((2, 24), 100.0)
+        with pytest.raises(SimulationError):
+            schedule_batch(jobs, matrix, 400.0)
+        with pytest.raises(SimulationError):
+            schedule_carbon_agnostic(jobs, matrix[0], 400.0)
+
+
+class TestEvaluatorEquivalence:
+    @pytest.mark.parametrize("capacity_kw", [320.0, 650.0, 2000.0])
+    def test_property_grid_tables_identical(self, capacity_kw):
+        traces = _trace_grid()
+        workloads = [
+            WorkloadTrace("grid", tuple(_job_grid())),
+            WorkloadTrace.from_records(
+                "minimal", [{"name": "solo", "duration_hours": 1, "power_kw": 50.0}]
+            ),
+        ]
+        try:
+            batched = evaluate_policies(
+                traces, workloads, _POLICIES, capacity_kw=capacity_kw
+            )
+        except SimulationError:
+            with pytest.raises(SimulationError):
+                evaluate_policies_scalar(
+                    traces, workloads, _POLICIES, capacity_kw=capacity_kw
+                )
+            return
+        scalar = evaluate_policies_scalar(
+            traces, workloads, _POLICIES, capacity_kw=capacity_kw
+        )
+        _assert_tables_identical(batched, scalar)
+
+    def test_bundled_catalog_tables_identical(self):
+        catalog = profile_catalog(48)
+        workloads = [diurnal_workload(1), training_workload(6, horizon_hours=36)]
+        batched = evaluate_policies(catalog, workloads, capacity_kw=3000.0)
+        scalar = evaluate_policies_scalar(catalog, workloads, capacity_kw=3000.0)
+        _assert_tables_identical(batched, scalar)
+
+    def test_mixed_horizons_group_correctly(self):
+        # Traces of different lengths batch into separate groups but
+        # must come back in input order with scalar-identical rows.
+        long_trace = IntensityTrace(
+            "long", DiurnalGridModel().hourly_series(72)
+        )
+        short_trace = IntensityTrace(
+            "short", DiurnalGridModel(seed=1).hourly_series(36)
+        )
+        other_long = IntensityTrace(
+            "other_long",
+            DiurnalGridModel(noise_g_per_kwh=25.0, seed=2).hourly_series(72),
+        )
+        traces = [long_trace, short_trace, other_long]
+        workloads = [WorkloadTrace("grid", tuple(_job_grid()))]
+        batched = evaluate_policies(traces, workloads, capacity_kw=900.0)
+        scalar = evaluate_policies_scalar(traces, workloads, capacity_kw=900.0)
+        _assert_tables_identical(batched, scalar)
+        assert batched.column("trace")[:3] == ["long", "long", "long"]
+
+    def test_zero_carbon_trace_stays_equivalent(self):
+        traces = [
+            IntensityTrace("zero", np.zeros(36)),
+            IntensityTrace("flat", np.full(36, 250.0)),
+        ]
+        workloads = [WorkloadTrace("grid", tuple(_job_grid()))]
+        batched = evaluate_policies(traces, workloads, capacity_kw=900.0)
+        scalar = evaluate_policies_scalar(traces, workloads, capacity_kw=900.0)
+        _assert_tables_identical(batched, scalar)
+
+    def test_agnostic_policy_rows_have_zero_savings(self):
+        table = evaluate_policies(
+            _trace_grid(),
+            [WorkloadTrace("grid", tuple(_job_grid()))],
+            [CARBON_AGNOSTIC],
+            capacity_kw=900.0,
+        )
+        assert all(value == 0.0 for value in table.column("savings_fraction"))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    jobs=st.lists(
+        st.builds(
+            BatchJob,
+            name=st.uuids().map(str),
+            duration_hours=st.integers(min_value=1, max_value=6),
+            power_kw=st.floats(min_value=10.0, max_value=150.0),
+            arrival_hour=st.integers(min_value=0, max_value=12),
+            deadline_hour=st.none(),
+        ),
+        min_size=1,
+        max_size=6,
+    ),
+    seeds=st.lists(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        min_size=1,
+        max_size=5,
+    ),
+    slack=st.integers(min_value=0, max_value=24),
+)
+def test_random_scenarios_stay_element_identical(jobs, seeds, slack):
+    traces = [
+        IntensityTrace(
+            f"t{index}",
+            DiurnalGridModel(noise_g_per_kwh=30.0, seed=seed).hourly_series(48),
+        )
+        for index, seed in enumerate(seeds)
+    ]
+    workloads = [WorkloadTrace("random", tuple(jobs))]
+    policies = (CARBON_AGNOSTIC, CARBON_AWARE, slack_bounded(slack))
+    capacity = sum(job.power_kw for job in jobs) + 1.0
+    batched = evaluate_policies(traces, workloads, policies, capacity_kw=capacity)
+    scalar = evaluate_policies_scalar(
+        traces, workloads, policies, capacity_kw=capacity
+    )
+    _assert_tables_identical(batched, scalar)
