@@ -1,12 +1,23 @@
 """Benchmark: fleet simulation reproducing the Figure 2/11 mechanism
 (ext04), plus a scale run at ten years and a larger fleet."""
 
-from repro.datacenter.fleet import simulate_fleet
+from repro.datacenter.fleet import simulate_fleet, simulate_fleet_batch
 from repro.experiments.ext04_fleet import facebook_like_parameters, run
 from dataclasses import replace
 
 
 def test_bench_fleet_mechanism(benchmark):
+    # The deterministic Figure 2/11 mechanism this bench has always
+    # gated. ext04's run() additionally samples a 256-draw uncertainty
+    # band since PR 4; that bigger experiment is timed separately below
+    # so a deliberate workload growth cannot mask a kernel regression.
+    params = facebook_like_parameters()
+    table = benchmark(lambda: simulate_fleet_batch([params]).to_table())
+    assert table.num_rows == params.years
+
+
+def test_bench_fleet_experiment_with_uncertainty(benchmark):
+    """Full ext04 run(): mechanism + 256-draw CI sweep + checks."""
     result = benchmark(run)
     assert result.all_checks_pass
 

@@ -1,8 +1,12 @@
 """Ablation benchmark: reduction-lever ranking (ext05) and lifetime
 economics (ext06)."""
 
+from repro.analysis.lifetime import lifetime_sweep
+from repro.data.devices import device_by_name
+from repro.data.grids import US_GRID
 from repro.experiments.ext05_levers import run as run_levers
 from repro.experiments.ext06_lifetime import run as run_lifetime
+from repro.units import Energy
 
 
 def test_bench_levers(benchmark):
@@ -13,6 +17,25 @@ def test_bench_levers(benchmark):
 
 
 def test_bench_lifetime(benchmark):
+    # The deterministic lifetime economics this bench has always
+    # gated. ext06's run() additionally propagates 2000-draw CIs since
+    # PR 4; the bigger experiment is timed separately below so a
+    # deliberate workload growth cannot mask a model regression.
+    iphone = device_by_name("iphone_11")
+    use_grams_per_year = iphone.use_carbon.grams / iphone.lifetime_years
+    annual_energy = Energy.kwh(
+        use_grams_per_year / US_GRID.intensity.grams_per_kwh
+    )
+    sweep = benchmark(
+        lambda: lifetime_sweep(
+            iphone.capex_carbon, annual_energy, US_GRID.intensity
+        )
+    )
+    assert sweep.column("annualized_kg")[-1] < sweep.column("annualized_kg")[0]
+
+
+def test_bench_lifetime_experiment_with_uncertainty(benchmark):
+    """Full ext06 run(): lifetime economics + Monte Carlo CI columns."""
     result = benchmark(run_lifetime)
     assert result.all_checks_pass
     sweep = result.table("lifetime_sweep")

@@ -1,0 +1,89 @@
+"""Benchmark: 200-scenario x 256-draw fleet sweep, draw matrix vs loop.
+
+The uncertainty engine's reason to exist: the same distribution-tagged
+grid through ``sweep_fleet_uncertain`` (one seeded draw matrix, one
+51200-scenario ``simulate_fleet_batch`` call) and through the
+per-draw scalar reference (one ``monte_carlo`` over ``simulate_fleet``
+per scenario — 51200 scalar simulations). The acceptance gate is
+>=10x between the two recorded means; the batched side is additionally
+handicapped by sampling all eight fleet metrics where the scalar loop
+extracts one.
+
+The scalar loop is measured with a single pedantic round: at ~10s+
+per pass, statistical rounds would dominate the suite's runtime
+without changing the verdict.
+"""
+
+from repro.analysis.uncertainty import (
+    Normal,
+    Triangular,
+    is_distribution,
+    monte_carlo,
+)
+from repro.datacenter.fleet import simulate_fleet
+from repro.scenarios import ScenarioGrid, apply_overrides, facebook_like_fleet
+from repro.uncertainty import sweep_fleet_uncertain
+
+_DRAWS = 256
+_SEED = 11
+
+_GRID = ScenarioGrid(
+    **{
+        "annual_growth": [0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4, 0.5, 0.75],
+        "server.lifetime_years": [2.0, 3.0, 4.0, 5.0, 6.0],
+        "facility.pue": [
+            Triangular(1.07, 1.10, 1.30),
+            Triangular(1.10, 1.25, 1.50),
+        ],
+        "utilization": [Normal(0.45, 0.06), Normal(0.65, 0.06)],
+    }
+)
+
+
+def _scalar_reference(records):
+    """The per-draw loop: one monte_carlo per scenario over simulate_fleet."""
+    base = facebook_like_fleet()
+    results = []
+    for record in records:
+        fixed = {
+            name: value
+            for name, value in record.items()
+            if not is_distribution(value)
+        }
+        spec = {
+            name: value
+            for name, value in record.items()
+            if is_distribution(value)
+        }
+
+        def model(point, fixed=fixed):
+            final = simulate_fleet(apply_overrides(base, {**fixed, **point}))[-1]
+            return final.capex_fraction_market
+
+        results.append(monte_carlo(model, spec, samples=_DRAWS, seed=_SEED))
+    return results
+
+
+def test_bench_uncertain_sweep_batch_200x256(benchmark):
+    assert len(_GRID) == 200
+    base = facebook_like_fleet()
+    result = benchmark(
+        lambda: sweep_fleet_uncertain(base, _GRID, draws=_DRAWS, seed=_SEED)
+    )
+    assert result.num_scenarios == 200
+    assert result.samples_for("capex_fraction_market").shape == (200, _DRAWS)
+    # Spot-check the draw matrix against the scalar reference.
+    record = _GRID.scenarios()[137]
+    reference = _scalar_reference([record])[0]
+    assert list(result.samples_for("capex_fraction_market")[137]) == list(
+        reference.samples
+    )
+
+
+def test_bench_uncertain_sweep_scalar_200x256(benchmark):
+    records = _GRID.scenarios()
+    results = benchmark.pedantic(
+        lambda: _scalar_reference(records), rounds=1, iterations=1
+    )
+    assert len(results) == 200
+    assert results[0].samples.shape == (_DRAWS,)

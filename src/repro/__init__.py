@@ -101,6 +101,10 @@ from .experiments import (
     run_experiment,
     run_all,
 )
+from .uncertainty import (
+    UncertainResult,
+    sweep_fleet_uncertain,
+)
 
 __version__ = "1.0.0"
 
@@ -175,5 +179,7 @@ __all__ = [
     "EXPERIMENT_IDS",
     "run_experiment",
     "run_all",
+    "UncertainResult",
+    "sweep_fleet_uncertain",
     "__version__",
 ]

@@ -12,7 +12,10 @@ from .uncertainty import (
     Normal,
     Uniform,
     Triangular,
+    LogNormal,
+    Mixture,
     Fixed,
+    is_distribution,
     UncertaintyResult,
     monte_carlo,
 )
@@ -46,7 +49,10 @@ __all__ = [
     "Normal",
     "Uniform",
     "Triangular",
+    "LogNormal",
+    "Mixture",
     "Fixed",
+    "is_distribution",
     "UncertaintyResult",
     "monte_carlo",
     "FootprintScenario",

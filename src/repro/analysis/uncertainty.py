@@ -29,6 +29,7 @@ summary statistics.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Mapping
 
@@ -41,7 +42,10 @@ __all__ = [
     "Normal",
     "Uniform",
     "Triangular",
+    "LogNormal",
+    "Mixture",
     "Fixed",
+    "is_distribution",
     "UncertaintyResult",
     "monte_carlo",
 ]
@@ -103,6 +107,35 @@ class Triangular:
 
 
 @dataclass(frozen=True, slots=True)
+class LogNormal:
+    """A log-normal coefficient: ``exp(Normal(mu, sigma))``.
+
+    The natural shape for strictly positive multiplicative factors
+    (demand scales, abatement effectiveness, cost ratios) whose
+    uncertainty is "within a factor of x" rather than "plus or minus
+    y". ``mu``/``sigma`` parameterize the underlying normal; use
+    :meth:`from_median` to think in output space instead.
+    """
+
+    mu: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0.0:
+            raise SimulationError("log-space sigma must be non-negative")
+
+    @classmethod
+    def from_median(cls, median: float, sigma: float) -> "LogNormal":
+        """A log-normal with the given median and log-space sigma."""
+        if median <= 0.0:
+            raise SimulationError("log-normal median must be positive")
+        return cls(mu=math.log(median), sigma=sigma)
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        return rng.lognormal(self.mu, self.sigma, size=count)
+
+
+@dataclass(frozen=True, slots=True)
 class Fixed:
     """A point value — lets fixed and uncertain parameters mix freely."""
 
@@ -112,7 +145,74 @@ class Fixed:
         return np.full(count, self.value)
 
 
-Distribution = Normal | Uniform | Triangular | Fixed
+@dataclass(frozen=True, slots=True)
+class Mixture:
+    """A weighted mixture of component distributions.
+
+    Covers discrete "either/or" assumptions (a server lives 3 *or* 5
+    years; a fab abates *or* does not) that no single parametric shape
+    expresses. Components may be any distribution, including
+    :class:`Fixed` for purely discrete mixtures — see
+    :meth:`discrete`. Weights need not sum to one; they are
+    normalized.
+
+    Sampling draws one uniform selector per sample plus a full draw
+    vector from *every* component, so the generator's consumption is
+    independent of which components get selected — reseeding is
+    reproducible regardless of weights.
+    """
+
+    components: "tuple[Distribution, ...]"
+    weights: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise SimulationError("a mixture needs at least one component")
+        if len(self.components) != len(self.weights):
+            raise SimulationError(
+                f"{len(self.components)} components but "
+                f"{len(self.weights)} weights"
+            )
+        if any(weight < 0.0 for weight in self.weights):
+            raise SimulationError("mixture weights must be non-negative")
+        if sum(self.weights) <= 0.0:
+            raise SimulationError("mixture weights must sum to a positive value")
+
+    @classmethod
+    def discrete(cls, values: Mapping[float, float]) -> "Mixture":
+        """A discrete mixture: {value: weight}."""
+        if not values:
+            raise SimulationError("a discrete mixture needs at least one value")
+        return cls(
+            components=tuple(Fixed(value) for value in values),
+            weights=tuple(values.values()),
+        )
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        weights = np.asarray(self.weights, dtype=np.float64)
+        cumulative = np.cumsum(weights / np.sum(weights))
+        cumulative[-1] = 1.0  # guard the top bin against rounding
+        choices = np.searchsorted(cumulative, rng.random(count), side="right")
+        result = np.empty(count)
+        for index, component in enumerate(self.components):
+            draws = component.sample(rng, count)
+            selected = choices == index
+            result[selected] = draws[selected]
+        return result
+
+
+Distribution = Normal | Uniform | Triangular | LogNormal | Mixture | Fixed
+
+_DISTRIBUTION_TYPES = (Normal, Uniform, Triangular, LogNormal, Mixture, Fixed)
+
+
+def is_distribution(value: object) -> bool:
+    """True when ``value`` is one of this module's distribution tags.
+
+    The scenario engine uses this to tell uncertain axis values apart
+    from plain scalars when building a draw matrix.
+    """
+    return isinstance(value, _DISTRIBUTION_TYPES)
 
 
 @dataclass(frozen=True)

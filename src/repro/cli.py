@@ -7,6 +7,8 @@ Usage::
     python -m repro run all --parallel   # everything, over a process pool
     python -m repro checks               # one-line pass/fail per artifact
     python -m repro sweep fleet_growth_lifetime   # a named scenario sweep
+    python -m repro sweep fleet_growth_lifetime --draws 256 --seed 1 \
+        --band capex_fraction_market   # quantile bands over a draw matrix
     python -m repro trace list           # bundled intensity profiles
     python -m repro trace show india     # one profile as an ASCII chart
     python -m repro trace eval           # batched policy evaluation
@@ -76,6 +78,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--markdown",
         action="store_true",
         help="emit the result table as GitHub-flavored markdown",
+    )
+    sweep_parser.add_argument(
+        "--draws",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the distribution-tagged variant with N Monte Carlo "
+        "draws per scenario; the result table carries mean/p05/p50/p95 "
+        "columns",
+    )
+    sweep_parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="S",
+        help="draw-matrix seed for --draws (default: 0)",
+    )
+    sweep_parser.add_argument(
+        "--band",
+        metavar="METRIC",
+        default=None,
+        help="with --draws: also render METRIC's p5-p95 band across "
+        "scenarios as a character chart",
     )
 
     trace_parser = commands.add_parser(
@@ -160,20 +185,60 @@ def _command_checks() -> int:
     return 0 if not failing else 1
 
 
-def _command_sweep(name: str, markdown: bool) -> int:
+def _command_sweep(
+    name: str,
+    markdown: bool,
+    draws: int | None,
+    seed: int | None,
+    band: str | None,
+) -> int:
     from .experiments.markdown import markdown_table
     from .report.tables import render_table
-    from .scenarios import SWEEPS, run_sweep
+    from .scenarios import SWEEPS, run_sweep, run_uncertain_sweep
 
-    table = run_sweep(name)
     spec = SWEEPS[name]
+    if draws is None:
+        # A deterministic sweep must not silently swallow Monte Carlo
+        # flags the user believes are in effect.
+        for flag, value in (("--band", band), ("--seed", seed)):
+            if value is not None:
+                print(f"error: {flag} needs --draws", file=sys.stderr)
+                return 2
+        table = run_sweep(name)
+        footer = f"{table.num_rows} scenarios, batched kernels"
+    else:
+        result = run_uncertain_sweep(name, draws, seed if seed is not None else 0)
+        if band is not None and band not in result.metric_names:
+            print(
+                f"error: no metric {band!r}; have {result.metric_names}",
+                file=sys.stderr,
+            )
+            return 2
+        table = result.quantile_table()
+        footer = (
+            f"{result.num_scenarios} scenarios x {result.draws} draws "
+            f"(seed {result.seed}), batched draw matrix"
+        )
     if markdown:
         print(f"### {spec.name}\n\n{spec.description}\n")
         print(markdown_table(table))
     else:
         print(render_table(table, title=spec.description,
                            float_format="{:.3g}"))
-        print(f"\n{table.num_rows} scenarios, batched kernels")
+        print(f"\n{footer}")
+    if draws is not None and band is not None:
+        from .report.charts import band_chart
+
+        low, median, high = result.band(band)
+        chart = band_chart(
+            [float(index) for index in range(result.num_scenarios)],
+            low,
+            median,
+            high,
+            label=band,
+        )
+        # Character-cell output must be fenced to stay valid markdown.
+        print(f"\n```\n{chart}\n```" if markdown else f"\n{chart}")
     return 0
 
 
@@ -257,7 +322,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "checks":
             return _command_checks()
         if args.command == "sweep":
-            return _command_sweep(args.sweep, args.markdown)
+            return _command_sweep(
+                args.sweep, args.markdown, args.draws, args.seed, args.band
+            )
         if args.command == "trace":
             return _command_trace(
                 args.action,

@@ -16,6 +16,7 @@ from ..analysis.lifetime import (
     lifetime_sweep,
     replacement_break_even_years,
 )
+from ..analysis.uncertainty import Triangular, Uniform, monte_carlo
 from ..data.devices import device_by_name
 from ..data.grids import US_GRID
 from ..tabular import Table
@@ -77,6 +78,67 @@ def run() -> ExperimentResult:
         embodied, annual_energy, US_GRID.intensity, 6.0
     )
 
+    # Uncertainty view: the lifetime and grid assumptions are the
+    # elusive inputs; propagate them through the scalar models with the
+    # reference Monte Carlo and report CI columns alongside the point
+    # checks.
+    kwh_per_year = annual_energy.kilowatt_hours
+    embodied_grams = embodied.grams
+
+    def annualized_kg_model(params):
+        return (
+            embodied_grams / params["lifetime_years"]
+            + kwh_per_year * params["grid_g_per_kwh"]
+        ) / 1e3
+
+    def payback_years_model(params):
+        saved_per_year = (
+            kwh_per_year * params["efficiency_gain"] * params["grid_g_per_kwh"]
+        )
+        return embodied_grams / saved_per_year
+
+    annualized_ci = monte_carlo(
+        annualized_kg_model,
+        {
+            "lifetime_years": Triangular(2.0, 3.0, 5.0),
+            "grid_g_per_kwh": Uniform(295.0, 583.0),
+        },
+        samples=2000,
+        seed=0,
+        vectorized=True,
+    )
+    payback_ci = monte_carlo(
+        payback_years_model,
+        {
+            "efficiency_gain": Uniform(0.2, 0.4),
+            "grid_g_per_kwh": Uniform(295.0, 583.0),
+        },
+        samples=2000,
+        seed=0,
+        vectorized=True,
+    )
+    annualized_p05, annualized_p95 = annualized_ci.interval(0.90)
+    payback_p05, payback_p95 = payback_ci.interval(0.90)
+    uncertainty = Table.from_records(
+        [
+            {
+                "metric": "annualized_kg",
+                "mean": annualized_ci.mean,
+                "p05": annualized_p05,
+                "p50": annualized_ci.percentile(50.0),
+                "p95": annualized_p95,
+            },
+            {
+                "metric": "upgrade_payback_years",
+                "mean": payback_ci.mean,
+                "p05": payback_p05,
+                "p50": payback_ci.percentile(50.0),
+                "p95": payback_p95,
+            },
+        ]
+    )
+    point_annualized_kg = three_year.grams / 1e3
+
     checks = [
         Check.boolean(
             "annualized_footprint_falls_with_lifetime",
@@ -102,14 +164,38 @@ def run() -> ExperimentResult:
             "less_efficient_replacement_never_pays_back",
             payback_worse == float("inf"),
         ),
+        Check.boolean(
+            "annualized_point_estimate_inside_p05_p95_band",
+            annualized_p05 <= point_annualized_kg <= annualized_p95,
+        ),
+        Check.boolean(
+            # Even the luckiest 5th-percentile draw (big efficiency
+            # gain, dirty grid) needs several device lifetimes to repay
+            # the new manufacturing carbon.
+            "upgrade_payback_p05_exceeds_three_lifetimes",
+            payback_p05 > 3.0 * iphone.lifetime_years,
+        ),
     ]
     return ExperimentResult(
         experiment_id="ext06",
         title=TITLE,
-        tables={"lifetime_sweep": sweep, "replacement": replacement},
+        tables={
+            "lifetime_sweep": sweep,
+            "replacement": replacement,
+            "uncertainty": uncertainty,
+        },
         checks=checks,
         notes=[
             "Annual energy is backed out of the iPhone 11 LCA's use stage"
             " at the US grid; embodied carbon is its capex total.",
+            "CI columns: 2000 draws over lifetime Triangular(2,3,5) and "
+            "grid Uniform(295,583) g/kWh (annualized footprint), and "
+            "efficiency gain Uniform(0.2,0.4) x the same grid band "
+            "(upgrade payback), via the reference monte_carlo. "
+            f"Expected ranges: annualized p05-p95 = "
+            f"[{annualized_p05:.1f}, {annualized_p95:.1f}] kg around the "
+            f"{point_annualized_kg:.1f} kg 3-year point estimate; upgrade "
+            f"payback p05-p95 = [{payback_p05:.0f}, {payback_p95:.0f}] years "
+            f"vs the {iphone.lifetime_years:.0f}-year device lifetime.",
         ],
     )

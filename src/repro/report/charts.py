@@ -1,4 +1,4 @@
-"""Character-cell charts: bars, stacked bars, lines, scatters."""
+"""Character-cell charts: bars, stacked bars, lines, scatters, bands."""
 
 from __future__ import annotations
 
@@ -12,6 +12,7 @@ __all__ = [
     "line_chart",
     "scatter_chart",
     "sparkline",
+    "band_chart",
 ]
 
 _BLOCK = "#"
@@ -154,6 +155,58 @@ def line_chart(
     legend = "  ".join(f"{symbols[name]}={name}" for name in series)
     lines.append(
         f"y: [{low:.3g}, {high:.3g}]  x: [{x_low:.3g}, {x_high:.3g}]  {legend}"
+    )
+    return "\n".join(lines)
+
+
+def band_chart(
+    xs: Sequence[float],
+    low: Sequence[float],
+    median: Sequence[float],
+    high: Sequence[float],
+    height: int = 12,
+    width: int = 64,
+    label: str = "value",
+) -> str:
+    """A quantile band: ``:`` fills low..high, ``#`` marks the median.
+
+    The uncertainty companion to :func:`line_chart` — renders one
+    metric's p5-p95 corridor across scenarios or time, the shape an
+    :class:`repro.uncertainty.UncertainResult` band produces.
+    """
+    series = [list(map(float, values)) for values in (low, median, high)]
+    if not xs:
+        raise SimulationError("a band chart needs at least one point")
+    if any(len(values) != len(xs) for values in series):
+        raise SimulationError("xs, low, median, and high must share a length")
+    if height <= 1 or width <= 1:
+        raise SimulationError("chart dimensions must exceed one cell")
+    lows, medians, highs = series
+    for index, (lo, mid, hi) in enumerate(zip(lows, medians, highs)):
+        if not lo <= mid <= hi:
+            raise SimulationError(
+                f"band needs low <= median <= high at every point; point "
+                f"{index} has ({lo}, {mid}, {hi})"
+            )
+    floor, ceiling = min(lows), max(highs)
+    span = ceiling - floor or 1.0
+    x_low, x_high = min(xs), max(xs)
+    x_span = x_high - x_low or 1.0
+
+    def row_of(value: float) -> int:
+        return int(round((value - floor) / span * (height - 1)))
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, lo, mid, hi in zip(xs, lows, medians, highs):
+        column = int(round((float(x) - x_low) / x_span * (width - 1)))
+        for row in range(row_of(lo), row_of(hi) + 1):
+            grid[height - 1 - row][column] = ":"
+        grid[height - 1 - row_of(mid)][column] = _BLOCK
+    lines = ["".join(row) for row in grid]
+    lines.append("-" * width)
+    lines.append(
+        f"y: [{floor:.3g}, {ceiling:.3g}]  x: [{x_low:.3g}, {x_high:.3g}]  "
+        f"{_BLOCK}={label} median  :=band"
     )
     return "\n".join(lines)
 

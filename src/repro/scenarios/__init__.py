@@ -14,10 +14,12 @@ from .grid import ScenarioGrid, ScenarioSet
 from .presets import example_service_mix, facebook_like_fleet, wind_solar_portfolio
 from .runner import (
     SWEEPS,
+    OverridePlan,
     SweepSpec,
     apply_overrides,
     fleet_scenario_parameters,
     run_sweep,
+    run_uncertain_sweep,
     sweep_fleet,
     sweep_names,
     sweep_provisioning,
@@ -31,6 +33,7 @@ __all__ = [
     "example_service_mix",
     "wind_solar_portfolio",
     "apply_overrides",
+    "OverridePlan",
     "fleet_scenario_parameters",
     "sweep_fleet",
     "sweep_provisioning",
@@ -39,4 +42,5 @@ __all__ = [
     "SWEEPS",
     "sweep_names",
     "run_sweep",
+    "run_uncertain_sweep",
 ]

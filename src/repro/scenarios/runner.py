@@ -37,6 +37,7 @@ from .presets import example_service_mix, facebook_like_fleet
 
 __all__ = [
     "apply_overrides",
+    "OverridePlan",
     "fleet_scenario_parameters",
     "sweep_fleet",
     "sweep_provisioning",
@@ -45,7 +46,26 @@ __all__ = [
     "SWEEPS",
     "sweep_names",
     "run_sweep",
+    "run_uncertain_sweep",
 ]
+
+#: Field-name sets per dataclass type; override application is the
+#: (scenarios × draws) hot loop of the uncertainty engine, and
+#: rebuilding the set on every path lookup dominated it.
+_FIELD_NAMES: dict[type, frozenset[str]] = {}
+
+
+def _field_names(obj: Any) -> frozenset[str]:
+    cls = type(obj)
+    names = _FIELD_NAMES.get(cls)
+    if names is None:
+        names = (
+            frozenset(field.name for field in dataclasses.fields(obj))
+            if dataclasses.is_dataclass(obj)
+            else frozenset()
+        )
+        _FIELD_NAMES[cls] = names
+    return names
 
 
 def apply_overrides(base: Any, overrides: Mapping[str, Any]) -> Any:
@@ -63,9 +83,7 @@ def apply_overrides(base: Any, overrides: Mapping[str, Any]) -> Any:
 
 def _replace_path(obj: Any, path: str, value: Any) -> Any:
     head, _, rest = path.partition(".")
-    if not dataclasses.is_dataclass(obj) or head not in {
-        field.name for field in dataclasses.fields(obj)
-    }:
+    if head not in _field_names(obj):
         raise SimulationError(
             f"cannot override {path!r}: {type(obj).__name__} has no field "
             f"{head!r}"
@@ -75,11 +93,109 @@ def _replace_path(obj: Any, path: str, value: Any) -> Any:
     return dataclasses.replace(obj, **{head: value})
 
 
+class OverridePlan:
+    """Compiled dotted-path overrides for one fixed set of paths.
+
+    ``apply_overrides`` walks and validates each path on every call and
+    rebuilds every dataclass along it per path; applying the *same*
+    paths tens of thousands of times — the (scenarios × draws)
+    expansion in :mod:`repro.uncertainty` — wants that work hoisted.
+    The plan validates the paths against a template object once,
+    groups them by the nested object they touch, and then applies all
+    of a draw's values with one ``dataclasses.replace`` per touched
+    object. For disjoint paths the result is value-identical to
+    sequential :func:`apply_overrides`.
+    """
+
+    def __init__(self, template: Any, paths: Sequence[str]) -> None:
+        self._paths = tuple(paths)
+        self._path_set = frozenset(self._paths)
+        if len(self._path_set) != len(self._paths):
+            raise SimulationError(f"duplicate override paths in {list(paths)}")
+        self._tree = self._compile(template, self._paths, "")
+
+    @property
+    def paths(self) -> tuple[str, ...]:
+        return self._paths
+
+    @staticmethod
+    def _compile(
+        template: Any, paths: Sequence[str], prefix: str
+    ) -> dict[str, Any]:
+        """Group paths into a field tree: leaf -> None, node -> subtree."""
+        by_head: dict[str, list[str]] = {}
+        for path in paths:
+            head, _, rest = path.partition(".")
+            if head not in _field_names(template):
+                full = f"{prefix}{path}"
+                raise SimulationError(
+                    f"cannot override {full!r}: "
+                    f"{type(template).__name__} has no field {head!r}"
+                )
+            by_head.setdefault(head, []).append(rest)
+        tree: dict[str, Any] = {}
+        for head, rests in by_head.items():
+            if all(rests):
+                tree[head] = OverridePlan._compile(
+                    getattr(template, head), rests, f"{prefix}{head}."
+                )
+            elif len(rests) == 1:
+                tree[head] = None
+            else:
+                raise SimulationError(
+                    f"conflicting override paths: {prefix}{head!r} overlaps "
+                    + str([
+                        f"{prefix}{head}.{rest}" for rest in rests if rest
+                    ])
+                )
+        return tree
+
+    def apply(self, base: Any, values: Mapping[str, Any]) -> Any:
+        """``base`` with every planned path replaced by ``values[path]``."""
+        if values.keys() != self._path_set:
+            raise SimulationError(
+                f"plan covers {list(self._paths)}, got values for "
+                f"{list(values)}"
+            )
+        return self._apply(base, self._tree, "", values)
+
+    def _apply(
+        self, obj: Any, tree: dict[str, Any], prefix: str, values: Mapping[str, Any]
+    ) -> Any:
+        kwargs = {}
+        for head, subtree in tree.items():
+            path = f"{prefix}{head}"
+            if subtree is None:
+                kwargs[head] = values[path]
+            else:
+                kwargs[head] = self._apply(
+                    getattr(obj, head), subtree, f"{path}.", values
+                )
+        return dataclasses.replace(obj, **kwargs)
+
+
+def _reject_distribution_values(scenarios: Sequence[Mapping[str, Any]]) -> None:
+    """Deterministic runners cannot evaluate distribution-tagged axes."""
+    from ..analysis.uncertainty import is_distribution
+
+    for index, scenario in enumerate(scenarios):
+        tagged = [name for name, value in scenario.items() if is_distribution(value)]
+        if tagged:
+            raise SimulationError(
+                f"scenario {index} tags {tagged} with distributions; "
+                "deterministic sweeps need point values — run it through "
+                "repro.uncertainty (sweep_fleet_uncertain / "
+                "'repro sweep --draws N') instead"
+            )
+
+
 def fleet_scenario_parameters(
     base: FleetParameters, scenarios: Iterable[Mapping[str, Any]]
 ) -> list[FleetParameters]:
     """One :class:`FleetParameters` per scenario dict."""
-    return [apply_overrides(base, scenario) for scenario in scenarios]
+    records = [dict(scenario) for scenario in scenarios]
+    _reject_distribution_values(records)
+    return [apply_overrides(base, scenario) for scenario in records]
 
 
 def sweep_fleet(
@@ -97,6 +213,16 @@ def sweep_fleet(
         fleet_scenario_parameters(base, records), embodied
     )
     return _attach_axes(records, batch.final_year_table())
+
+
+def _reject_distribution_axis(name: str, values: np.ndarray) -> None:
+    """Array axes of a deterministic sweep must be numeric."""
+    if values.dtype == object:
+        raise SimulationError(
+            f"axis {name!r} holds non-numeric values (distribution-tagged "
+            "axes go through repro.uncertainty.sweep_provisioning_uncertain "
+            "or 'repro sweep --draws N')"
+        )
 
 
 def _attach_axes(records: Sequence[Mapping[str, Any]], results: Table) -> Table:
@@ -133,6 +259,12 @@ def sweep_provisioning(
     """
     grid = grid or US_GRID.intensity
     model = model or EmbodiedModel()
+    _reject_distribution_axis(
+        "utilization_targets", np.atleast_1d(np.asarray(utilization_targets))
+    )
+    _reject_distribution_axis(
+        "demand_scales", np.atleast_1d(np.asarray(demand_scales))
+    )
     targets = np.atleast_1d(np.asarray(utilization_targets, dtype=np.float64))
     scales = np.atleast_1d(np.asarray(demand_scales, dtype=np.float64))
     target_axis = np.repeat(targets, len(scales))
@@ -173,12 +305,7 @@ def sweep_temporal_shifting(
     the fleet and provisioning sweeps. The canonical workloads span
     two days, so the horizon must cover at least 48 hours.
     """
-    from ..traces import (
-        diurnal_workload,
-        evaluate_policies,
-        profile_catalog,
-        training_workload,
-    )
+    from ..traces import canonical_workloads, evaluate_policies, profile_catalog
 
     if hours < 48:
         raise SimulationError(
@@ -186,20 +313,26 @@ def sweep_temporal_shifting(
             f"need hours >= 48, got {hours}"
         )
     catalog = profile_catalog(hours, stochastic_seeds=stochastic_seeds)
-    workloads = [
-        diurnal_workload(days=2),
-        training_workload(num_jobs=8, horizon_hours=48),
-    ]
-    return evaluate_policies(catalog, workloads, capacity_kw=capacity_kw)
+    return evaluate_policies(
+        catalog, canonical_workloads(), capacity_kw=capacity_kw
+    )
 
 
 @dataclass(frozen=True)
 class SweepSpec:
-    """A named, CLI-runnable decision-space exploration."""
+    """A named, CLI-runnable decision-space exploration.
+
+    ``build`` runs the deterministic point-estimate sweep;
+    ``build_uncertain(draws, seed)``, when present, runs the same
+    decision space with its elusive parameters tagged as distributions
+    and returns an :class:`repro.uncertainty.UncertainResult`
+    (``repro sweep NAME --draws N``).
+    """
 
     name: str
     description: str
     build: Callable[[], Table]
+    build_uncertain: "Callable[[int, int], Any] | None" = None
 
 
 def _fleet_growth_lifetime() -> Table:
@@ -233,6 +366,68 @@ def _provisioning_mix() -> Table:
     )
 
 
+def _fleet_growth_lifetime_uncertain(draws: int, seed: int):
+    """Growth × lifetime axes with PUE and utilization left elusive."""
+    from ..analysis.uncertainty import Normal, Triangular
+    from ..uncertainty import sweep_fleet_uncertain
+
+    grid = ScenarioGrid(
+        **{
+            "annual_growth": [0.0, 0.1, 0.25, 0.5],
+            "server.lifetime_years": [2.0, 3.0, 4.0, 6.0],
+            "facility.pue": [Triangular(1.07, 1.10, 1.30)],
+            "utilization": [Normal(0.45, 0.05)],
+        }
+    )
+    return sweep_fleet_uncertain(
+        facebook_like_fleet(), grid, draws=draws, seed=seed
+    )
+
+
+def _fleet_pue_utilization_uncertain(draws: int, seed: int):
+    """PUE × utilization axes with growth and lifetime left elusive."""
+    from ..analysis.uncertainty import Mixture, Normal
+    from ..uncertainty import sweep_fleet_uncertain
+
+    grid = ScenarioGrid(
+        **{
+            "facility.pue": [1.07, 1.1, 1.25, 1.5],
+            "utilization": [0.25, 0.45, 0.65, 0.85],
+            "annual_growth": [Normal(0.25, 0.05)],
+            "server.lifetime_years": [
+                Mixture.discrete({3.0: 0.3, 4.0: 0.5, 6.0: 0.2})
+            ],
+        }
+    )
+    return sweep_fleet_uncertain(
+        facebook_like_fleet(), grid, draws=draws, seed=seed
+    )
+
+
+def _provisioning_mix_uncertain(draws: int, seed: int):
+    """Utilization-target axis with a log-normal demand forecast."""
+    from ..analysis.uncertainty import LogNormal
+    from ..uncertainty import sweep_provisioning_uncertain
+
+    workloads, general, server_types = example_service_mix()
+    return sweep_provisioning_uncertain(
+        workloads,
+        general,
+        server_types,
+        utilization_targets=[0.4, 0.5, 0.6, 0.7, 0.8],
+        demand_scales=[LogNormal.from_median(1.0, 0.35)],
+        draws=draws,
+        seed=seed,
+    )
+
+
+def _temporal_shifting_uncertain(draws: int, seed: int):
+    """Policy savings bands across seeded weather/demand noise draws."""
+    from ..uncertainty import sweep_temporal_shifting_uncertain
+
+    return sweep_temporal_shifting_uncertain(draws=draws, seed=seed)
+
+
 SWEEPS: dict[str, SweepSpec] = {
     spec.name: spec
     for spec in (
@@ -243,6 +438,7 @@ SWEEPS: dict[str, SweepSpec] = {
                 "across growth rates and server lifetimes"
             ),
             build=_fleet_growth_lifetime,
+            build_uncertain=_fleet_growth_lifetime_uncertain,
         ),
         SweepSpec(
             name="fleet_pue_utilization",
@@ -251,6 +447,7 @@ SWEEPS: dict[str, SweepSpec] = {
                 "steady-state utilization"
             ),
             build=_fleet_pue_utilization,
+            build_uncertain=_fleet_pue_utilization_uncertain,
         ),
         SweepSpec(
             name="provisioning_mix",
@@ -259,6 +456,7 @@ SWEEPS: dict[str, SweepSpec] = {
                 "utilization targets and demand scales"
             ),
             build=_provisioning_mix,
+            build_uncertain=_provisioning_mix_uncertain,
         ),
         SweepSpec(
             name="temporal_shifting",
@@ -267,6 +465,7 @@ SWEEPS: dict[str, SweepSpec] = {
                 "intensity-trace catalog and canonical workloads"
             ),
             build=sweep_temporal_shifting,
+            build_uncertain=_temporal_shifting_uncertain,
         ),
     )
 }
@@ -284,3 +483,22 @@ def run_sweep(name: str) -> Table:
             f"unknown sweep {name!r}; have {sweep_names()}"
         )
     return SWEEPS[name].build()
+
+
+def run_uncertain_sweep(name: str, draws: int, seed: int = 0) -> Any:
+    """Run one named sweep's distribution-tagged variant.
+
+    Returns the :class:`repro.uncertainty.UncertainResult`; raises for
+    sweeps that have no uncertain variant registered.
+    """
+    if name not in SWEEPS:
+        raise SimulationError(
+            f"unknown sweep {name!r}; have {sweep_names()}"
+        )
+    spec = SWEEPS[name]
+    if spec.build_uncertain is None:
+        raise SimulationError(
+            f"sweep {name!r} has no distribution-tagged variant; "
+            "run it without --draws"
+        )
+    return spec.build_uncertain(draws, seed)

@@ -37,12 +37,18 @@ from .profiles import (
     renewable_ramp,
     stochastic_variant,
 )
-from .workload import WorkloadTrace, diurnal_workload, training_workload
+from .workload import (
+    WorkloadTrace,
+    canonical_workloads,
+    diurnal_workload,
+    training_workload,
+)
 
 __all__ = [
     "IntensityTrace",
     "Window",
     "WorkloadTrace",
+    "canonical_workloads",
     "diurnal_workload",
     "training_workload",
     "regional_duck_model",

@@ -20,6 +20,7 @@ from ..datacenter.scheduler import BatchJob
 from ..errors import SimulationError
 
 __all__ = [
+    "canonical_workloads",
     "WorkloadTrace",
     "diurnal_workload",
     "training_workload",
@@ -197,3 +198,19 @@ def training_workload(
             )
         )
     return WorkloadTrace(name, tuple(jobs))
+
+
+def canonical_workloads() -> list[WorkloadTrace]:
+    """The two canonical streams every temporal sweep shares.
+
+    A two-day diurnal interactive + nightly-batch mix and an
+    eight-job training campaign: the single source of truth for
+    ``sweep_temporal_shifting``, its uncertain variant, and ext10 —
+    whose CI columns must describe the *same* workload mix as the
+    point estimates they annotate. Both streams span 48 hours, which
+    is why those sweeps require ``hours >= 48``.
+    """
+    return [
+        diurnal_workload(days=2),
+        training_workload(num_jobs=8, horizon_hours=48),
+    ]

@@ -1,0 +1,42 @@
+"""Uncertainty-aware scenario engine: sweeps with honest error bars.
+
+"Chasing Carbon" calls the footprint of computing *elusive*: fab
+abatement, grid intensity, lifetimes, and demand forecasts all carry
+wide error bars, yet point-estimate sweeps hide them. This package
+lets any scenario axis be tagged with a distribution from
+:mod:`repro.analysis.uncertainty` (``Normal``, ``Triangular``,
+``LogNormal``, ``Mixture``…) and evaluates the whole sweep as a single
+(scenarios × draws) batched call into the existing fleet,
+provisioning, and trace kernels — no per-draw Python loops. Results
+come back as :class:`UncertainResult` tables carrying mean / median /
+p5-p95 quantile columns, rendered as band charts by
+:func:`repro.report.charts.band_chart` and exposed on the CLI as
+``repro sweep NAME --draws N --seed S``.
+
+The scalar ``monte_carlo`` path remains the reference implementation:
+at matched seeds the batched sweeps reproduce its draws and summary
+statistics bit for bit (``tests/test_uncertain_sweep_equivalence.py``).
+"""
+
+from .draws import DrawMatrix, build_draw_matrix, expand_records, split_scenario
+from .result import DEFAULT_QUANTILES, UncertainResult, quantile_column
+from .sweeps import (
+    axis_label,
+    sweep_fleet_uncertain,
+    sweep_provisioning_uncertain,
+    sweep_temporal_shifting_uncertain,
+)
+
+__all__ = [
+    "DrawMatrix",
+    "split_scenario",
+    "build_draw_matrix",
+    "expand_records",
+    "DEFAULT_QUANTILES",
+    "quantile_column",
+    "UncertainResult",
+    "axis_label",
+    "sweep_fleet_uncertain",
+    "sweep_provisioning_uncertain",
+    "sweep_temporal_shifting_uncertain",
+]

@@ -1,0 +1,173 @@
+"""Uncertain sweep results: per-scenario sample matrices with bands.
+
+An :class:`UncertainResult` is the uncertainty-aware analogue of the
+deterministic sweep tables: one *row* per scenario, but every metric
+now carries a full ``(scenarios, draws)`` sample matrix instead of a
+point estimate. Summaries are computed through
+:class:`repro.analysis.uncertainty.UncertaintyResult` one scenario at
+a time, so every mean and percentile is bit-identical to what the
+scalar Monte Carlo reference reports for the same samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..analysis.uncertainty import UncertaintyResult
+from ..errors import SimulationError
+from ..tabular import Table
+
+__all__ = ["quantile_column", "UncertainResult", "DEFAULT_QUANTILES"]
+
+#: The p5-p50-p95 band every quantile table carries by default.
+DEFAULT_QUANTILES: tuple[float, ...] = (5.0, 50.0, 95.0)
+
+
+def quantile_column(q: float) -> str:
+    """The column name for a percentile: 5 -> 'p05', 97.5 -> 'p97_5'."""
+    if not 0.0 <= q <= 100.0:
+        raise SimulationError(f"percentile must be in [0, 100], got {q}")
+    if float(q).is_integer():
+        return f"p{int(q):02d}"
+    return "p" + f"{q:g}".replace(".", "_")
+
+
+@dataclass(frozen=True)
+class UncertainResult:
+    """Sampled sweep output: axes, metrics, and quantile summaries.
+
+    ``axes`` holds one row per scenario (axis values, with
+    distribution tags rendered as labels); ``samples`` maps metric
+    name to a ``(scenarios, draws)`` float array in draw order.
+    """
+
+    axes: Table
+    samples: dict[str, np.ndarray]
+    draws: int
+    seed: int
+
+    def __post_init__(self) -> None:
+        if not self.samples:
+            raise SimulationError("an uncertain result needs at least one metric")
+        if self.draws <= 0:
+            raise SimulationError("draw count must be positive")
+        expected = (self.axes.num_rows, self.draws)
+        checked: dict[str, np.ndarray] = {}
+        for name, values in self.samples.items():
+            array = np.asarray(values, dtype=np.float64)
+            if array.shape != expected:
+                raise SimulationError(
+                    f"metric {name!r} has shape {array.shape}, expected "
+                    f"{expected}"
+                )
+            checked[name] = array
+        object.__setattr__(self, "samples", checked)
+
+    @property
+    def num_scenarios(self) -> int:
+        return self.axes.num_rows
+
+    @property
+    def metric_names(self) -> list[str]:
+        return list(self.samples)
+
+    def samples_for(self, metric: str) -> np.ndarray:
+        """The ``(scenarios, draws)`` sample matrix of one metric."""
+        if metric not in self.samples:
+            raise SimulationError(
+                f"no metric {metric!r}; have {self.metric_names}"
+            )
+        return self.samples[metric]
+
+    def distribution(self, metric: str, scenario: int = 0) -> UncertaintyResult:
+        """One scenario's output distribution, in the scalar result type.
+
+        The returned :class:`UncertaintyResult` is exactly what the
+        scalar ``monte_carlo`` reference produces for the same draws,
+        so its ``mean``/``percentile``/``interval`` are the canonical
+        summary arithmetic.
+        """
+        matrix = self.samples_for(metric)
+        if not 0 <= scenario < self.num_scenarios:
+            raise SimulationError(
+                f"scenario index {scenario} out of range "
+                f"[0, {self.num_scenarios})"
+            )
+        return UncertaintyResult(matrix[scenario])
+
+    def band(
+        self, metric: str, low: float = 5.0, high: float = 95.0
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-scenario (low, median, high) percentile arrays."""
+        if not 0.0 <= low < high <= 100.0:
+            raise SimulationError(
+                f"band needs 0 <= low < high <= 100, got ({low}, {high})"
+            )
+        matrix = self.samples_for(metric)
+        rows = [UncertaintyResult(row) for row in matrix]
+        return (
+            np.array([row.percentile(low) for row in rows]),
+            np.array([row.percentile(50.0) for row in rows]),
+            np.array([row.percentile(high) for row in rows]),
+        )
+
+    def quantile_table(
+        self, quantiles: Sequence[float] = DEFAULT_QUANTILES
+    ) -> Table:
+        """One row per scenario: axes, then mean + quantiles per metric.
+
+        Metric columns are named ``{metric}_mean``, ``{metric}_p05``,
+        ``{metric}_p50``, ``{metric}_p95`` (for the default band).
+        """
+        quantiles = [float(q) for q in quantiles]
+        if not quantiles:
+            raise SimulationError("need at least one quantile")
+        if sorted(quantiles) != quantiles:
+            raise SimulationError(f"quantiles must be ascending, got {quantiles}")
+        columns: dict[str, object] = {
+            name: self.axes.column(name) for name in self.axes.column_names
+        }
+        for metric, matrix in self.samples.items():
+            rows = [UncertaintyResult(row) for row in matrix]
+            columns[f"{metric}_mean"] = np.array([row.mean for row in rows])
+            for q in quantiles:
+                columns[f"{metric}_{quantile_column(q)}"] = np.array(
+                    [row.percentile(q) for row in rows]
+                )
+        return Table(columns)
+
+    def metric_summary(
+        self,
+        scenario: int = 0,
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+    ) -> Table:
+        """One scenario as a (metric × statistics) table.
+
+        The narrow companion to :meth:`quantile_table` — one row per
+        metric, which is what experiment reports render.
+        """
+        quantiles = [float(q) for q in quantiles]
+        if not quantiles:
+            raise SimulationError("need at least one quantile")
+        records = []
+        for metric in self.metric_names:
+            result = self.distribution(metric, scenario)
+            record: dict[str, object] = {
+                "metric": metric,
+                "mean": result.mean,
+                "std": result.std,
+            }
+            for q in quantiles:
+                record[quantile_column(q)] = result.percentile(q)
+            records.append(record)
+        return Table.from_records(records)
+
+    def __repr__(self) -> str:
+        return (
+            f"UncertainResult({self.num_scenarios} scenarios x "
+            f"{self.draws} draws, metrics={self.metric_names}, "
+            f"seed={self.seed})"
+        )

@@ -1,0 +1,360 @@
+"""Uncertainty-aware sweep runners: one draw matrix, one kernel call.
+
+Each runner takes distribution-tagged scenarios, builds a seeded
+(scenarios × draws) draw matrix, expands it along the existing batched
+kernels' scenario axis, and makes a *single* batched call —
+``simulate_fleet_batch``, ``provision_*_batch``, or
+``evaluate_policies`` — for the whole cross-product. There is no
+per-draw Python loop around a kernel anywhere; a draw is just one more
+scenario to the kernel.
+
+The scalar reference is ``repro.analysis.uncertainty.monte_carlo``
+over the scalar simulators: for every scenario the batched runners
+produce the *same floats* it would (same seed discipline, same metric
+arithmetic), pinned by ``tests/test_uncertain_sweep_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..analysis.uncertainty import is_distribution
+from ..core.embodied import EmbodiedModel
+from ..data.grids import US_GRID, region_names
+from ..datacenter.fleet import FleetParameters, simulate_fleet_batch
+from ..datacenter.heterogeneity import (
+    ServerType,
+    WorkloadClass,
+    provision_heterogeneous_batch,
+    provision_homogeneous_batch,
+)
+from ..errors import SimulationError
+from ..scenarios.runner import OverridePlan, apply_overrides
+from ..tabular import Table
+from ..units import CarbonIntensity
+from .draws import DrawMatrix, build_draw_matrix
+from .result import UncertainResult
+
+__all__ = [
+    "axis_label",
+    "sweep_fleet_uncertain",
+    "sweep_provisioning_uncertain",
+    "sweep_temporal_shifting_uncertain",
+]
+
+#: Final-year fleet metrics an uncertain fleet sweep samples.
+_FLEET_METRICS = (
+    "servers",
+    "energy_gwh",
+    "opex_location_kt",
+    "opex_market_kt",
+    "capex_kt",
+    "coverage",
+    "capex_fraction_market",
+    "capex_to_opex_market",
+)
+
+#: Provisioning metrics (the deterministic sweep's result columns).
+_PROVISIONING_METRICS = (
+    "servers_homogeneous",
+    "servers_heterogeneous",
+    "total_t_homogeneous",
+    "total_t_heterogeneous",
+    "carbon_saving_fraction",
+)
+
+#: Policy-evaluation metrics sampled across trace-noise draws.
+_SHIFTING_METRICS = (
+    "total_kg",
+    "savings_fraction",
+    "mean_deferral_hours",
+    "max_deferral_hours",
+    "peak_load_kw",
+)
+
+
+def axis_label(value: Any) -> Any:
+    """Scenario axis value as a table cell: scalars pass, tags render.
+
+    Distribution tags become their compact repr (``Normal(mean=0.45,
+    std=0.05)``), so quantile tables stay self-describing.
+    """
+    if is_distribution(value):
+        return repr(value)
+    return value
+
+
+def _axes_table(records: Sequence[Mapping[str, Any]]) -> Table:
+    """Axis columns for an uncertain result, one row per scenario.
+
+    Mirrors the deterministic runner's column policy — scalar axes
+    become columns — and additionally renders distribution tags as
+    label strings; richer objects (portfolios, servers) are skipped.
+    """
+    columns: dict[str, list[Any]] = {}
+    for name in records[0]:
+        values = [axis_label(record[name]) for record in records]
+        if all(
+            isinstance(value, (int, float, str, bool)) for value in values
+        ):
+            columns[name.replace(".", "_")] = values
+    if not columns:
+        columns["scenario"] = list(range(len(records)))
+    return Table(columns)
+
+
+def _reshape_metrics(
+    table: Table,
+    metrics: Sequence[str],
+    num_scenarios: int,
+    draws: int,
+    allow_non_finite: Sequence[str] = (),
+) -> dict[str, np.ndarray]:
+    """Split flat (scenarios × draws) result columns into sample matrices.
+
+    Mirrors the scalar reference's non-finite guard: ``monte_carlo``
+    raises on inf/NaN model outputs naming the offending draw, and so
+    does this — except for metrics in ``allow_non_finite``, where the
+    kernel emits inf as a *designed* sentinel rather than a failure
+    (``capex_to_opex_market`` is inf when renewables drive market opex
+    to zero).
+    """
+    samples: dict[str, np.ndarray] = {}
+    for metric in metrics:
+        matrix = np.asarray(table.column(metric), dtype=np.float64).reshape(
+            num_scenarios, draws
+        )
+        if metric not in allow_non_finite:
+            bad = np.argwhere(~np.isfinite(matrix))
+            if bad.size:
+                scenario, draw = (int(index) for index in bad[0])
+                raise SimulationError(
+                    f"metric {metric!r} is non-finite "
+                    f"({matrix[scenario, draw]!r}) at scenario {scenario}, "
+                    f"draw {draw} ({len(bad)} of {matrix.size} cells "
+                    "non-finite)"
+                )
+        samples[metric] = matrix
+    return samples
+
+
+def sweep_fleet_uncertain(
+    base: FleetParameters,
+    scenarios: Iterable[Mapping[str, Any]],
+    *,
+    draws: int = 256,
+    seed: int = 0,
+    embodied: EmbodiedModel | None = None,
+) -> UncertainResult:
+    """Fleet sweep with distribution-tagged parameters.
+
+    Every scenario's tagged parameters are sampled ``draws`` times
+    (per-scenario ``default_rng(seed)`` streams — see
+    :mod:`repro.uncertainty.draws`), the (scenarios × draws) parameter
+    sets are expanded through a compiled
+    :class:`~repro.scenarios.runner.OverridePlan`, and one
+    :func:`~repro.datacenter.fleet.simulate_fleet_batch` call scores
+    them all. Metrics are the final simulated year's fleet columns.
+
+    Non-finite samples raise, mirroring the scalar ``monte_carlo``
+    guard — except ``capex_to_opex_market``, where inf is the kernel's
+    designed "market opex fully eliminated" sentinel and flows into
+    the quantile columns as an ordinary order statistic.
+    """
+    records = [dict(scenario) for scenario in scenarios]
+    matrix = build_draw_matrix(records, draws, seed)
+    expanded: list[FleetParameters] = []
+    plan = OverridePlan(base, matrix.names) if matrix.names else None
+    for index, record in enumerate(records):
+        fixed = {
+            name: value
+            for name, value in record.items()
+            if name not in matrix.values
+        }
+        scenario_base = apply_overrides(base, fixed) if fixed else base
+        if plan is None:
+            expanded.extend([scenario_base] * draws)
+            continue
+        columns = [matrix.values[name][index] for name in matrix.names]
+        for draw in range(draws):
+            expanded.append(
+                plan.apply(
+                    scenario_base,
+                    {
+                        name: float(column[draw])
+                        for name, column in zip(matrix.names, columns)
+                    },
+                )
+            )
+    batch = simulate_fleet_batch(expanded, embodied)
+    final = batch.final_year_table()
+    return UncertainResult(
+        axes=_axes_table(records),
+        samples=_reshape_metrics(
+            final,
+            _FLEET_METRICS,
+            len(records),
+            draws,
+            # Inf here means "market opex fully eliminated", a designed
+            # kernel sentinel — not a failed draw.
+            allow_non_finite=("capex_to_opex_market",),
+        ),
+        draws=draws,
+        seed=seed,
+    )
+
+
+def _axis_values(name: str, axis: Any) -> list[Any]:
+    """Normalize one provisioning axis to a list of values/tags."""
+    if is_distribution(axis) or isinstance(axis, (int, float)):
+        return [axis]
+    values = list(axis)
+    if not values:
+        raise SimulationError(f"axis {name!r} has no values")
+    return values
+
+
+def _flat_axis(
+    name: str,
+    records: Sequence[Mapping[str, Any]],
+    matrix: DrawMatrix,
+) -> np.ndarray:
+    """One axis as a flat (scenarios × draws) array, draw-minor."""
+    if name in matrix.values:
+        return matrix.values[name].reshape(-1)
+    return np.repeat(
+        np.array([float(record[name]) for record in records]), matrix.draws
+    )
+
+
+def sweep_provisioning_uncertain(
+    workloads: Sequence[WorkloadClass],
+    general: ServerType,
+    server_types: Sequence[ServerType],
+    *,
+    utilization_targets: Any = 0.6,
+    demand_scales: Any = 1.0,
+    draws: int = 256,
+    seed: int = 0,
+    grid: CarbonIntensity | None = None,
+    model: EmbodiedModel | None = None,
+) -> UncertainResult:
+    """Provisioning sweep with uncertain targets and demand forecasts.
+
+    Axes may mix point values and distribution tags (a log-normal
+    demand scale is the canonical case). The (scenarios × draws) axis
+    goes straight into the array-valued provisioning kernels — the
+    draw axis needs no dataclass expansion at all here.
+    """
+    grid = grid or US_GRID.intensity
+    model = model or EmbodiedModel()
+    targets = _axis_values("utilization_targets", utilization_targets)
+    scales = _axis_values("demand_scales", demand_scales)
+    records = [
+        {"utilization_target": target, "demand_scale": scale}
+        for target in targets
+        for scale in scales
+    ]
+    matrix = build_draw_matrix(records, draws, seed)
+    target_axis = _flat_axis("utilization_target", records, matrix)
+    scale_axis = _flat_axis("demand_scale", records, matrix)
+
+    homogeneous = provision_homogeneous_batch(
+        workloads, general, target_axis, scale_axis
+    )
+    heterogeneous = provision_heterogeneous_batch(
+        workloads, server_types, target_axis, scale_axis
+    )
+    homo_total = homogeneous.total_per_year_grams(grid, model)
+    hetero_total = heterogeneous.total_per_year_grams(grid, model)
+    flat = Table(
+        {
+            "servers_homogeneous": homogeneous.total_servers(),
+            "servers_heterogeneous": heterogeneous.total_servers(),
+            "total_t_homogeneous": homo_total / 1e6,
+            "total_t_heterogeneous": hetero_total / 1e6,
+            "carbon_saving_fraction": 1.0 - hetero_total / homo_total,
+        }
+    )
+    return UncertainResult(
+        axes=_axes_table(records),
+        samples=_reshape_metrics(
+            flat, _PROVISIONING_METRICS, len(records), draws
+        ),
+        draws=draws,
+        seed=seed,
+    )
+
+
+def sweep_temporal_shifting_uncertain(
+    hours: int = 72,
+    *,
+    capacity_kw: float = 2500.0,
+    draws: int = 8,
+    seed: int = 0,
+) -> UncertainResult:
+    """Carbon-aware scheduling bands across weather/demand noise draws.
+
+    The elusive input here is the *trace itself*: each draw is a
+    seeded stochastic variant of every Table III region's duck curve
+    (seeds ``seed .. seed + draws - 1``). All regions × draws go
+    through one batched :func:`~repro.traces.evaluate_policies` call —
+    a draw is literally one more trace row in the evaluator's matrix —
+    and come back as (region × workload × policy) scenarios with
+    per-draw samples.
+    """
+    from ..traces import (
+        DEFAULT_POLICIES,
+        canonical_workloads,
+        evaluate_policies,
+        stochastic_variant,
+    )
+
+    if hours < 48:
+        raise SimulationError(
+            "the temporal-shifting sweep's workloads span two days; "
+            f"need hours >= 48, got {hours}"
+        )
+    if draws <= 0:
+        raise SimulationError("draw count must be positive")
+    regions = region_names()
+    traces = [
+        stochastic_variant(region, hours, seed=seed + draw)
+        for region in regions
+        for draw in range(draws)
+    ]
+    workloads = canonical_workloads()
+    policies = list(DEFAULT_POLICIES)
+    flat = evaluate_policies(traces, workloads, policies, capacity_kw=capacity_kw)
+
+    # Rows arrive (trace, workload, policy)-major with the trace axis
+    # ordered region-major, draw-minor; fold the draw axis to the back.
+    shape = (len(regions), draws, len(workloads), len(policies))
+    samples: dict[str, np.ndarray] = {}
+    for metric in _SHIFTING_METRICS:
+        values = np.asarray(flat.column(metric), dtype=np.float64)
+        samples[metric] = (
+            values.reshape(shape)
+            .transpose(0, 2, 3, 1)
+            .reshape(-1, draws)
+            .copy()
+        )
+    records = [
+        {"region": region, "workload": workload.name, "policy": policy.name}
+        for region in regions
+        for workload in workloads
+        for policy in policies
+    ]
+    return UncertainResult(
+        axes=Table(
+            {
+                name: [record[name] for record in records]
+                for name in ("region", "workload", "policy")
+            }
+        ),
+        samples=samples,
+        draws=draws,
+        seed=seed,
+    )

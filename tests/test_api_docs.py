@@ -1,0 +1,71 @@
+"""Generated API reference: docs/api.md must track the code.
+
+``tools/gen_api_docs.py`` renders the public surface into
+``docs/api.md``; a committed reference that drifts from the code is
+worse than none. These tests regenerate the document in-process and
+require the committed file to match byte for byte, so CI rejects any
+public-surface change that ships without a regenerated reference.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+import pytest
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+_GENERATOR = _ROOT / "tools" / "gen_api_docs.py"
+_REFERENCE = _ROOT / "docs" / "api.md"
+
+
+@pytest.fixture(scope="module")
+def gen_api_docs():
+    spec = importlib.util.spec_from_file_location("gen_api_docs", _GENERATOR)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def rendered(gen_api_docs) -> str:
+    return gen_api_docs.render()
+
+
+def test_reference_exists():
+    assert _REFERENCE.exists(), (
+        "docs/api.md missing; generate it with "
+        "`PYTHONPATH=src python tools/gen_api_docs.py`"
+    )
+
+
+def test_reference_is_not_stale(rendered):
+    assert _REFERENCE.read_text() == rendered, (
+        "docs/api.md is stale; regenerate with "
+        "`PYTHONPATH=src python tools/gen_api_docs.py`"
+    )
+
+
+def test_generation_is_deterministic(gen_api_docs, rendered):
+    assert gen_api_docs.render() == rendered
+
+
+def test_every_subpackage_has_a_section(gen_api_docs, rendered):
+    for package_name in gen_api_docs.SUBPACKAGES:
+        assert f"## `{package_name}`" in rendered
+
+
+def test_surface_walk_matches_api_surface_suite(gen_api_docs):
+    # The generator documents exactly the tree the docstring
+    # enforcement suite walks; the two must not diverge.
+    from test_api_surface import _SUBPACKAGES
+
+    assert tuple(gen_api_docs.SUBPACKAGES) == tuple(_SUBPACKAGES)
+
+
+def test_no_memory_addresses_leak(rendered):
+    assert " at 0x" not in rendered
+
+
+def test_check_mode(gen_api_docs, capsys):
+    assert gen_api_docs.main(["--check"]) == 0

@@ -28,6 +28,7 @@ _SUBPACKAGES = (
     "repro.experiments",
     "repro.scenarios",
     "repro.traces",
+    "repro.uncertainty",
 )
 
 

@@ -101,6 +101,69 @@ class TestCLI:
         assert out.lstrip().startswith("### provisioning_mix")
         assert "| utilization_target |" in out
 
+    def test_sweep_with_draws_reports_quantile_columns(self, capsys):
+        assert main(
+            ["sweep", "provisioning_mix", "--draws", "8", "--seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "carbon_saving_fraction_p05" in out
+        assert "8 draws (seed 3), batched draw matrix" in out
+
+    def test_sweep_with_draws_markdown(self, capsys):
+        assert main(
+            ["sweep", "provisioning_mix", "--draws", "4", "--markdown"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "| carbon_saving_fraction_p50 |" in out.replace("| ", "| ")
+
+    def test_sweep_band_chart(self, capsys):
+        assert main(
+            [
+                "sweep",
+                "provisioning_mix",
+                "--draws",
+                "8",
+                "--band",
+                "carbon_saving_fraction",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "#=carbon_saving_fraction median" in out
+
+    def test_sweep_band_is_fenced_in_markdown_mode(self, capsys):
+        assert main(
+            [
+                "sweep",
+                "provisioning_mix",
+                "--draws",
+                "8",
+                "--band",
+                "carbon_saving_fraction",
+                "--markdown",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        fence_open = out.index("```")
+        assert "#=carbon_saving_fraction median" in out[fence_open:]
+        assert out.rstrip().endswith("```")
+
+    def test_sweep_band_needs_draws(self, capsys):
+        assert main(
+            ["sweep", "provisioning_mix", "--band", "carbon_saving_fraction"]
+        ) == 2
+        assert "--band needs --draws" in capsys.readouterr().err
+
+    def test_sweep_seed_needs_draws(self, capsys):
+        # A deterministic sweep must not silently ignore --seed.
+        assert main(["sweep", "provisioning_mix", "--seed", "7"]) == 2
+        assert "--seed needs --draws" in capsys.readouterr().err
+
+    def test_sweep_band_unknown_metric_exits_2(self, capsys):
+        assert main(
+            ["sweep", "provisioning_mix", "--draws", "4", "--band", "nope"]
+        ) == 2
+        assert "no metric" in capsys.readouterr().err
+
     def test_trace_list(self, capsys):
         assert main(["trace", "list", "--hours", "24"]) == 0
         out = capsys.readouterr().out

@@ -6,6 +6,7 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.report.charts import (
+    band_chart,
     bar_chart,
     line_chart,
     scatter_chart,
@@ -125,6 +126,43 @@ class TestScatterChart:
     def test_degenerate_dimensions_rejected(self):
         with pytest.raises(SimulationError):
             scatter_chart([(1.0, 1.0, "x")], height=1)
+
+
+class TestBandChart:
+    def test_median_and_band_markers_present(self):
+        chart = band_chart(
+            [0.0, 1.0, 2.0],
+            [1.0, 2.0, 3.0],
+            [2.0, 3.0, 4.0],
+            [3.0, 4.0, 5.0],
+            label="capex",
+        )
+        assert "#" in chart
+        assert ":" in chart
+        assert "#=capex median" in chart
+        assert "y: [1, 5]" in chart
+
+    def test_degenerate_band_is_a_line(self):
+        chart = band_chart([0.0, 1.0], [2.0, 3.0], [2.0, 3.0], [2.0, 3.0])
+        # Zero-width bands collapse onto the median marker.
+        assert ":" not in chart.split("\n-")[0]
+        assert "#" in chart
+
+    def test_band_must_bracket_the_median(self):
+        with pytest.raises(SimulationError):
+            band_chart([0.0], [2.0], [1.0], [3.0])
+        with pytest.raises(SimulationError):
+            band_chart([0.0], [1.0], [4.0], [3.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            band_chart([0.0, 1.0], [1.0], [1.0, 2.0], [2.0, 3.0])
+
+    def test_empty_and_degenerate_dimensions_rejected(self):
+        with pytest.raises(SimulationError):
+            band_chart([], [], [], [])
+        with pytest.raises(SimulationError):
+            band_chart([0.0], [1.0], [1.0], [1.0], height=1)
 
 
 class TestSparkline:

@@ -1,0 +1,184 @@
+"""Batched uncertain sweeps are pinned to the scalar Monte Carlo path.
+
+``repro.uncertainty`` evaluates (scenarios × draws) through one
+batched kernel call; ``repro.analysis.uncertainty.monte_carlo`` over
+the scalar simulators is the reference implementation. At matched
+seeds the two must produce the *same floats* — same draws (the
+per-scenario ``default_rng(seed)`` discipline), same metric
+arithmetic, same quantiles. Exact equality, not approx.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.uncertainty import (
+    Fixed,
+    LogNormal,
+    Mixture,
+    Normal,
+    Triangular,
+    UncertaintyResult,
+    Uniform,
+    is_distribution,
+    monte_carlo,
+)
+from repro.datacenter.fleet import simulate_fleet
+from repro.datacenter.heterogeneity import (
+    WorkloadClass,
+    provision_heterogeneous,
+    provision_homogeneous,
+)
+from repro.core.embodied import EmbodiedModel
+from repro.data.grids import US_GRID
+from repro.scenarios import ScenarioGrid, apply_overrides, facebook_like_fleet
+from repro.units import JOULES_PER_KWH
+from repro.scenarios.presets import example_service_mix
+from repro.uncertainty import (
+    build_draw_matrix,
+    sweep_fleet_uncertain,
+    sweep_provisioning_uncertain,
+)
+
+_DRAWS = 48
+_SEED = 7
+
+
+def _fleet_grid() -> ScenarioGrid:
+    return ScenarioGrid(
+        **{
+            "annual_growth": [0.0, 0.3],
+            "server.lifetime_years": [
+                Triangular(2.0, 4.0, 6.0),
+                Mixture.discrete({3.0: 0.5, 5.0: 0.5}),
+            ],
+            "utilization": [Normal(0.45, 0.08)],
+            # Tight log-space sigma: Facility validates pue >= 1.0, and
+            # log(1.2)/0.02 keeps a sub-1.0 draw ~9 sigma away.
+            "facility.pue": [LogNormal.from_median(1.2, 0.02)],
+        }
+    )
+
+
+#: Final-year metrics replicated with the exact arithmetic of
+#: FleetBatchResult.final_year_table / the scalar report properties.
+_FLEET_EXTRACTORS = {
+    "servers": lambda final: float(final.servers),
+    "energy_gwh": lambda final: final.energy.joules / JOULES_PER_KWH / 1e6,
+    "opex_market_kt": lambda final: final.opex_market.grams / 1e6 / 1e3,
+    "capex_kt": lambda final: final.capex.grams / 1e6 / 1e3,
+    "capex_fraction_market": lambda final: final.capex_fraction_market,
+}
+
+
+def _scalar_fleet_reference(base, record, metric, draws, seed):
+    """The reference: per-scenario monte_carlo over simulate_fleet."""
+    fixed = {
+        name: value for name, value in record.items() if not is_distribution(value)
+    }
+    spec = {
+        name: value for name, value in record.items() if is_distribution(value)
+    }
+    extract = _FLEET_EXTRACTORS[metric]
+
+    def model(point):
+        params = apply_overrides(base, {**fixed, **point})
+        return extract(simulate_fleet(params)[-1])
+
+    return monte_carlo(model, spec, samples=draws, seed=seed)
+
+
+class TestFleetEquivalence:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return sweep_fleet_uncertain(
+            facebook_like_fleet(), _fleet_grid(), draws=_DRAWS, seed=_SEED
+        )
+
+    @pytest.mark.parametrize("metric", sorted(_FLEET_EXTRACTORS))
+    def test_samples_bit_identical_to_scalar_monte_carlo(self, sweep, metric):
+        base = facebook_like_fleet()
+        for index, record in enumerate(_fleet_grid()):
+            reference = _scalar_fleet_reference(
+                base, record, metric, _DRAWS, _SEED
+            )
+            assert list(sweep.samples_for(metric)[index]) == list(
+                reference.samples
+            )
+
+    def test_quantiles_pinned_to_scalar_summary(self, sweep):
+        base = facebook_like_fleet()
+        table = sweep.quantile_table()
+        for index, record in enumerate(_fleet_grid()):
+            reference = _scalar_fleet_reference(
+                base, record, "capex_kt", _DRAWS, _SEED
+            )
+            assert table.column("capex_kt_mean")[index] == reference.mean
+            for q, column in ((5.0, "capex_kt_p05"), (50.0, "capex_kt_p50"),
+                              (95.0, "capex_kt_p95")):
+                assert table.column(column)[index] == reference.percentile(q)
+
+    def test_distribution_bridge_returns_reference_type(self, sweep):
+        result = sweep.distribution("capex_kt", 0)
+        assert isinstance(result, UncertaintyResult)
+        assert result.samples.shape == (_DRAWS,)
+
+    def test_seed_changes_draws(self):
+        base = facebook_like_fleet()
+        grid = _fleet_grid()
+        a = sweep_fleet_uncertain(base, grid, draws=16, seed=0)
+        b = sweep_fleet_uncertain(base, grid, draws=16, seed=1)
+        assert not np.array_equal(
+            a.samples_for("capex_kt"), b.samples_for("capex_kt")
+        )
+
+
+def _scaled(workloads, scale):
+    return [
+        WorkloadClass(workload.name, workload.demand_rps * scale)
+        for workload in workloads
+    ]
+
+
+class TestProvisioningEquivalence:
+    def test_samples_bit_identical_to_per_draw_scalar_loop(self):
+        workloads, general, server_types = example_service_mix()
+        targets = [0.45, Uniform(0.5, 0.8)]
+        scales = [LogNormal.from_median(1.0, 0.3), 2.0]
+        sweep = sweep_provisioning_uncertain(
+            workloads,
+            general,
+            server_types,
+            utilization_targets=targets,
+            demand_scales=scales,
+            draws=16,
+            seed=3,
+        )
+        grid = US_GRID.intensity
+        model = EmbodiedModel()
+        records = [
+            {"utilization_target": target, "demand_scale": scale}
+            for target in targets
+            for scale in scales
+        ]
+        matrix = build_draw_matrix(records, 16, 3)
+        for index, record in enumerate(records):
+            for draw in range(16):
+                overrides = {**record, **matrix.overrides(index, draw)}
+                target = float(overrides["utilization_target"])
+                scale = float(overrides["demand_scale"])
+                scaled = _scaled(workloads, scale)
+                homo = provision_homogeneous(scaled, general, target)
+                hetero = provision_heterogeneous(scaled, server_types, target)
+                homo_grams = homo.total_per_year(grid, model).grams
+                hetero_grams = hetero.total_per_year(grid, model).grams
+                cell = {
+                    "servers_homogeneous": float(homo.total_servers),
+                    "servers_heterogeneous": float(hetero.total_servers),
+                    "total_t_homogeneous": homo_grams / 1e6,
+                    "total_t_heterogeneous": hetero_grams / 1e6,
+                    "carbon_saving_fraction": 1.0 - hetero_grams / homo_grams,
+                }
+                for metric, expected in cell.items():
+                    assert sweep.samples_for(metric)[index, draw] == expected

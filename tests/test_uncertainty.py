@@ -8,10 +8,13 @@ from hypothesis import given, settings, strategies as st
 
 from repro.analysis.uncertainty import (
     Fixed,
+    LogNormal,
+    Mixture,
     Normal,
     Triangular,
     Uniform,
     UncertaintyResult,
+    is_distribution,
     monte_carlo,
 )
 from repro.errors import SimulationError
@@ -49,6 +52,66 @@ class TestDistributions:
             Uniform(2.0, 1.0)
         with pytest.raises(SimulationError):
             Triangular(1.0, 0.5, 2.0)
+
+    def test_lognormal_positive_with_matching_median(self):
+        rng = np.random.default_rng(0)
+        dist = LogNormal.from_median(2.0, 0.4)
+        samples = dist.sample(rng, 4001)
+        assert np.all(samples > 0.0)
+        assert abs(float(np.median(samples)) - 2.0) < 0.1
+
+    def test_lognormal_zero_sigma_is_constant(self):
+        rng = np.random.default_rng(0)
+        samples = LogNormal.from_median(3.0, 0.0).sample(rng, 16)
+        # Constant at exp(log(median)) — exact up to the log/exp
+        # round-trip, which is why zero-variance *collapse* guarantees
+        # use Fixed/Normal/Triangular rather than LogNormal.
+        assert np.all(samples == samples[0])
+        assert samples[0] == pytest.approx(3.0, rel=1e-15)
+
+    def test_mixture_samples_only_component_values(self):
+        rng = np.random.default_rng(0)
+        dist = Mixture.discrete({3.0: 0.25, 5.0: 0.75})
+        samples = dist.sample(rng, 2000)
+        values, counts = np.unique(samples, return_counts=True)
+        assert set(values) == {3.0, 5.0}
+        # The 3:1 weighting shows up in the counts.
+        assert counts[values == 5.0][0] > counts[values == 3.0][0]
+
+    def test_mixture_of_continuous_components(self):
+        rng = np.random.default_rng(1)
+        dist = Mixture(
+            components=(Uniform(0.0, 1.0), Uniform(10.0, 11.0)),
+            weights=(1.0, 1.0),
+        )
+        samples = dist.sample(rng, 500)
+        assert np.all((samples <= 1.0) | (samples >= 10.0))
+        assert np.any(samples <= 1.0) and np.any(samples >= 10.0)
+
+    def test_mixture_weights_need_not_be_normalized(self):
+        rng_a, rng_b = np.random.default_rng(2), np.random.default_rng(2)
+        a = Mixture.discrete({1.0: 1.0, 2.0: 3.0}).sample(rng_a, 100)
+        b = Mixture.discrete({1.0: 10.0, 2.0: 30.0}).sample(rng_b, 100)
+        assert np.array_equal(a, b)
+
+    def test_mixture_validation(self):
+        with pytest.raises(SimulationError):
+            Mixture(components=(), weights=())
+        with pytest.raises(SimulationError):
+            Mixture(components=(Fixed(1.0),), weights=(1.0, 2.0))
+        with pytest.raises(SimulationError):
+            Mixture(components=(Fixed(1.0),), weights=(-1.0,))
+        with pytest.raises(SimulationError):
+            Mixture(components=(Fixed(1.0), Fixed(2.0)), weights=(0.0, 0.0))
+        with pytest.raises(SimulationError):
+            Mixture.discrete({})
+
+    def test_is_distribution(self):
+        assert is_distribution(Normal(1.0, 0.1))
+        assert is_distribution(Mixture.discrete({1.0: 1.0}))
+        assert is_distribution(Fixed(2.0))
+        assert not is_distribution(2.0)
+        assert not is_distribution("Normal(1, 0.1)")
 
 
 class TestMonteCarlo:
