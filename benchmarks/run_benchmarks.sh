@@ -5,12 +5,18 @@
 # guards blind.
 #
 # Usage:
-#   benchmarks/run_benchmarks.sh [tag] [--compare BASELINE.json] [pytest args...]
+#   benchmarks/run_benchmarks.sh [tag] [--compare BASELINE.json] [--quick] \
+#       [pytest args...]
 #
 # Writes benchmarks/BENCH_<tag>.json (tag defaults to today's date,
 # YYYYMMDD). With --compare, the snapshot is then diffed against the
 # given baseline and the script exits non-zero on any shared benchmark
 # regressing by more than 2x mean time (see compare_benchmarks.py).
+#
+# --quick is a smoke mode: every benchmark body runs exactly once with
+# timing disabled (--benchmark-disable), no snapshot is written and no
+# comparison runs — it proves the suite still *executes* in seconds,
+# for use in pre-commit loops where a full timed run is too slow.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,16 +28,21 @@ fi
 out="benchmarks/BENCH_${tag}.json"
 
 baseline=""
+quick=0
 passthrough=()
 while [[ $# -gt 0 ]]; do
     case "$1" in
         --compare)
             if [[ $# -lt 2 ]]; then
-                echo "usage: $0 [tag] [--compare BASELINE.json] [pytest args...]" >&2
+                echo "usage: $0 [tag] [--compare BASELINE.json] [--quick] [pytest args...]" >&2
                 exit 2
             fi
             baseline="$2"
             shift 2
+            ;;
+        --quick)
+            quick=1
+            shift
             ;;
         *)
             passthrough+=("$1")
@@ -40,8 +51,19 @@ while [[ $# -gt 0 ]]; do
     esac
 done
 
-# The ${array[@]+...} form keeps the empty-array expansion safe under
-# `set -u` on bash < 4.4.
+if [[ "$quick" -eq 1 ]]; then
+    if [[ -n "$baseline" ]]; then
+        echo "--quick runs untimed; it cannot be combined with --compare" >&2
+        exit 2
+    fi
+    # The ${array[@]+...} form keeps the empty-array expansion safe
+    # under `set -u` on bash < 4.4.
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest benchmarks \
+        -q --benchmark-disable ${passthrough[@]+"${passthrough[@]}"}
+    echo "quick smoke run complete (untimed; no snapshot written)"
+    exit 0
+fi
+
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest benchmarks \
     -q --benchmark-json="$out" ${passthrough[@]+"${passthrough[@]}"}
 

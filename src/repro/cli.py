@@ -4,14 +4,20 @@ Usage::
 
     python -m repro list                 # experiment ids and titles
     python -m repro run fig10            # one experiment, full render
-    python -m repro run all --parallel   # everything, over a process pool
+    python -m repro run all --parallel --jobs 4   # over a process pool
     python -m repro checks               # one-line pass/fail per artifact
     python -m repro sweep fleet_growth_lifetime   # a named scenario sweep
+    python -m repro sweep fleet_growth_lifetime --jobs 4 --chunk-size 64
     python -m repro sweep fleet_growth_lifetime --draws 256 --seed 1 \
         --band capex_fraction_market   # quantile bands over a draw matrix
     python -m repro trace list           # bundled intensity profiles
     python -m repro trace show india     # one profile as an ASCII chart
     python -m repro trace eval           # batched policy evaluation
+
+``run`` and ``sweep`` share a content-addressed on-disk result cache
+(default ``~/.cache/repro``; override with ``--cache-dir``, disable
+with ``--no-cache``), so repeated invocations warm-start: any source
+edit to the ``repro`` package invalidates every cached entry.
 """
 
 from __future__ import annotations
@@ -62,6 +68,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for --parallel (default: cpu count)",
     )
+    _add_cache_arguments(run_parser)
 
     commands.add_parser("checks", help="pass/fail summary for every artifact")
 
@@ -102,6 +109,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --draws: also render METRIC's p5-p95 band across "
         "scenarios as a character chart",
     )
+    sweep_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard the sweep's scenario axis over N worker processes "
+        "(default: 1, inline); results are identical for every N",
+    )
+    sweep_parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="K",
+        help="scenarios per chunk (bounds peak kernel memory; default: "
+        "whole sweep inline, or one chunk per job with --jobs)",
+    )
+    _add_cache_arguments(sweep_parser)
 
     trace_parser = commands.add_parser(
         "trace",
@@ -141,13 +165,46 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared on-disk cache flags of ``run`` and ``sweep``."""
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="on-disk result cache directory (default: ~/.cache/repro, "
+        "honouring REPRO_CACHE_DIR/XDG_CACHE_HOME)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the on-disk result cache",
+    )
+
+
+def _resolve_cache_dir(cache_dir: str | None, no_cache: bool) -> str | None:
+    """The effective cache directory, or ``None`` when caching is off."""
+    from .exec import default_cache_dir
+
+    if no_cache:
+        if cache_dir is not None:
+            # Routed through main()'s ReproError handler: exit code 2.
+            raise ReproError("--cache-dir conflicts with --no-cache")
+        return None
+    return cache_dir if cache_dir is not None else str(default_cache_dir())
+
+
 def _command_list() -> int:
     for experiment_id, title in experiment_titles().items():
         print(f"{experiment_id}  {title}")
     return 0
 
 
-def _command_run(experiment: str, parallel: bool, jobs: int | None) -> int:
+def _command_run(
+    experiment: str,
+    parallel: bool,
+    jobs: int | None,
+    cache_dir: str | None,
+) -> int:
     if experiment != "all" and (parallel or jobs is not None):
         print(
             "note: --parallel/--jobs only apply to 'run all'; running "
@@ -155,14 +212,16 @@ def _command_run(experiment: str, parallel: bool, jobs: int | None) -> int:
             file=sys.stderr,
         )
     if experiment == "all":
-        results = run_all(parallel=parallel, max_workers=jobs)
+        results = run_all(
+            parallel=parallel, max_workers=jobs, cache_dir=cache_dir
+        )
         failures = 0
         for experiment_id, result in results.items():
             status = "ok" if result.all_checks_pass else "FAIL"
             print(f"{status:4s} {experiment_id}  ({len(result.checks)} checks)")
             failures += len(result.failed_checks())
         return 0 if failures == 0 else 1
-    result = run_experiment(experiment)
+    result = run_experiment(experiment, cache_dir=cache_dir)
     print(result.render())
     return 0 if result.all_checks_pass else 1
 
@@ -191,12 +250,19 @@ def _command_sweep(
     draws: int | None,
     seed: int | None,
     band: str | None,
+    jobs: int,
+    chunk_size: int | None,
+    cache_dir: str | None,
 ) -> int:
+    from .exec import ResultCache, cache_key, package_fingerprint
     from .experiments.markdown import markdown_table
     from .report.tables import render_table
     from .scenarios import SWEEPS, run_sweep, run_uncertain_sweep
+    from .tabular import Table
+    from .uncertainty import UncertainResult
 
     spec = SWEEPS[name]
+    disk = ResultCache(cache_dir) if cache_dir is not None else None
     if draws is None:
         # A deterministic sweep must not silently swallow Monte Carlo
         # flags the user believes are in effect.
@@ -204,10 +270,34 @@ def _command_sweep(
             if value is not None:
                 print(f"error: {flag} needs --draws", file=sys.stderr)
                 return 2
-        table = run_sweep(name)
+        # jobs/chunk_size are not part of the key: sharded sweeps are
+        # bit-identical to monolithic ones, so any parallelism level
+        # warm-starts every other.
+        key = (
+            cache_key("sweep", name, "point", package_fingerprint())
+            if disk is not None
+            else None
+        )
+        table = disk.get(key) if disk is not None else None
+        if not isinstance(table, Table):
+            table = run_sweep(name, jobs=jobs, chunk_size=chunk_size)
+            if disk is not None:
+                disk.put(key, table)
         footer = f"{table.num_rows} scenarios, batched kernels"
     else:
-        result = run_uncertain_sweep(name, draws, seed if seed is not None else 0)
+        seed_value = seed if seed is not None else 0
+        key = (
+            cache_key("sweep", name, draws, seed_value, package_fingerprint())
+            if disk is not None
+            else None
+        )
+        result = disk.get(key) if disk is not None else None
+        if not isinstance(result, UncertainResult):
+            result = run_uncertain_sweep(
+                name, draws, seed_value, jobs=jobs, chunk_size=chunk_size
+            )
+            if disk is not None:
+                disk.put(key, result)
         if band is not None and band not in result.metric_names:
             print(
                 f"error: no metric {band!r}; have {result.metric_names}",
@@ -318,12 +408,24 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "list":
             return _command_list()
         if args.command == "run":
-            return _command_run(args.experiment, args.parallel, args.jobs)
+            return _command_run(
+                args.experiment,
+                args.parallel,
+                args.jobs,
+                _resolve_cache_dir(args.cache_dir, args.no_cache),
+            )
         if args.command == "checks":
             return _command_checks()
         if args.command == "sweep":
             return _command_sweep(
-                args.sweep, args.markdown, args.draws, args.seed, args.band
+                args.sweep,
+                args.markdown,
+                args.draws,
+                args.seed,
+                args.band,
+                args.jobs,
+                args.chunk_size,
+                _resolve_cache_dir(args.cache_dir, args.no_cache),
             )
         if args.command == "trace":
             return _command_trace(

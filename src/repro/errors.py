@@ -16,6 +16,7 @@ __all__ = [
     "AccountingError",
     "SimulationError",
     "ExperimentError",
+    "ExecutionError",
 ]
 
 
@@ -49,3 +50,7 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment driver cannot produce its artifact."""
+
+
+class ExecutionError(ReproError):
+    """Raised for invalid shard plans, kernels, or cache operations."""

@@ -1,0 +1,40 @@
+"""Execution layer: sharded sweeps, process pools, a persistent cache.
+
+The paper's capex-dominance argument only becomes visible when many
+hardware/provisioning/lifetime scenarios are swept at once, so the
+reproduction's value scales with scenario throughput. This package
+makes every batched kernel scale past one core and one memory chunk:
+
+* :class:`ShardPlan` — deterministic chunking of a sweep's scenario
+  axis; peak kernel memory is bounded by ``chunk_size`` scenarios.
+* :func:`run_sharded` — runs a module-level chunk kernel over every
+  shard, inline (``jobs=1``) or across a ``ProcessPoolExecutor``, with
+  an in-order streaming reduction. Per-scenario seeded RNG streams
+  make sharded runs bit-identical to monolithic ones
+  (``tests/test_sharded_equivalence.py``).
+* :class:`ResultCache` — a content-addressed on-disk cache (keyed by
+  the ``repro`` source fingerprint plus the sweep/experiment spec)
+  shared by ``repro run`` and ``repro sweep`` across processes, so
+  repeated CLI invocations warm-start.
+
+The sweep runners in :mod:`repro.scenarios`, :mod:`repro.uncertainty`,
+and :mod:`repro.traces` all accept ``jobs=``/``chunk_size=`` and route
+through this layer; the CLI surfaces them as
+``repro sweep NAME --jobs N --chunk-size K --cache-dir PATH``.
+"""
+
+from .cache import ResultCache, cache_key, default_cache_dir, package_fingerprint
+from .plan import Shard, ShardPlan
+from .runner import kernel_name, resolve_kernel, run_sharded
+
+__all__ = [
+    "Shard",
+    "ShardPlan",
+    "kernel_name",
+    "resolve_kernel",
+    "run_sharded",
+    "ResultCache",
+    "cache_key",
+    "default_cache_dir",
+    "package_fingerprint",
+]

@@ -1,0 +1,122 @@
+"""Shard plans: deterministic scenario-axis chunking for batched sweeps.
+
+Every batched kernel in the library evaluates a *scenario axis* — fleet
+parameter sets, provisioning targets, intensity traces, or
+(scenario, draw) cells flattened scenario-major. A :class:`ShardPlan`
+partitions that axis into contiguous ``[start, stop)`` chunks so a
+sweep can run chunk by chunk: peak intermediate memory is bounded by
+``chunk_size`` scenarios and the chunks can fan out over a process
+pool (:func:`repro.exec.runner.run_sharded`).
+
+The partition is a pure function of ``(num_scenarios, chunk_size)`` —
+no randomness, no dependence on job count beyond the default chunk
+sizing — and every sharded runner derives per-scenario state (seeded
+RNG streams, override plans) from the scenario's *global* record, so
+sharded results are bit-identical to monolithic runs under any
+chunk/job configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ExecutionError
+
+__all__ = ["Shard", "ShardPlan"]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous ``[start, stop)`` slice of a sweep's scenario axis."""
+
+    index: int
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ExecutionError(f"shard index must be >= 0, got {self.index}")
+        if not 0 <= self.start < self.stop:
+            raise ExecutionError(
+                f"shard needs 0 <= start < stop, got [{self.start}, {self.stop})"
+            )
+
+    @property
+    def size(self) -> int:
+        """Number of scenarios in this shard."""
+        return self.stop - self.start
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic partition of ``num_scenarios`` into chunks.
+
+    Chunks are contiguous, ordered, and exactly cover ``[0,
+    num_scenarios)``; every chunk holds ``chunk_size`` scenarios except
+    possibly the last. Build one with :meth:`plan`, which also derives
+    a sensible default chunk size from the job count.
+    """
+
+    num_scenarios: int
+    chunk_size: int
+
+    def __post_init__(self) -> None:
+        if self.num_scenarios <= 0:
+            raise ExecutionError(
+                f"need at least one scenario, got {self.num_scenarios}"
+            )
+        if self.chunk_size <= 0:
+            raise ExecutionError(
+                f"chunk size must be positive, got {self.chunk_size}"
+            )
+
+    @classmethod
+    def plan(
+        cls,
+        num_scenarios: int,
+        chunk_size: int | None = None,
+        jobs: int = 1,
+    ) -> "ShardPlan":
+        """The plan for a sweep of ``num_scenarios`` scenarios.
+
+        With ``chunk_size=None`` the axis is kept whole for ``jobs=1``
+        (the monolithic fast path: zero chunking overhead) and split
+        into ``jobs`` near-equal chunks otherwise, so every worker gets
+        one chunk. An explicit ``chunk_size`` wins in both cases —
+        that is the memory bound: no chunk ever holds more scenarios.
+        """
+        if jobs <= 0:
+            raise ExecutionError(f"job count must be positive, got {jobs}")
+        if chunk_size is None:
+            if num_scenarios <= 0:
+                raise ExecutionError(
+                    f"need at least one scenario, got {num_scenarios}"
+                )
+            chunk_size = (
+                num_scenarios
+                if jobs == 1
+                else -(-num_scenarios // min(jobs, num_scenarios))
+            )
+        return cls(num_scenarios=num_scenarios, chunk_size=chunk_size)
+
+    @property
+    def num_chunks(self) -> int:
+        """How many chunks the plan produces (ceil division)."""
+        return -(-self.num_scenarios // self.chunk_size)
+
+    def shards(self) -> tuple[Shard, ...]:
+        """The ordered shards, exactly covering ``[0, num_scenarios)``."""
+        return tuple(
+            Shard(
+                index=index,
+                start=index * self.chunk_size,
+                stop=min((index + 1) * self.chunk_size, self.num_scenarios),
+            )
+            for index in range(self.num_chunks)
+        )
+
+    def __len__(self) -> int:
+        return self.num_chunks
+
+    def __iter__(self):
+        return iter(self.shards())

@@ -1,0 +1,141 @@
+"""The sharded sweep driver: chunked kernels, inline or over a pool.
+
+:func:`run_sharded` runs one *chunk kernel* over every shard of a
+:class:`~repro.exec.plan.ShardPlan` and reduces the ordered chunk
+results. A chunk kernel is a **module-level** function with the
+signature ``kernel(payload, start, stop) -> chunk_result``: it slices
+the shared payload (scenario records, base parameters, trace lists) to
+``[start, stop)`` and makes one batched kernel call for that chunk.
+
+Parallel execution uses a :class:`~concurrent.futures.ProcessPoolExecutor`
+whose workers are initialized *once* with the kernel's dotted name and
+the pickled payload; per-chunk task messages are then just ``(start,
+stop)`` index pairs, so a thousand-chunk sweep does not re-ship the
+scenario records a thousand times. Kernels are addressed by
+``"module:function"`` name — resolved by import inside the worker —
+which keeps the driver picklable under every start method (fork,
+forkserver, spawn).
+
+``jobs=1`` runs the same chunks inline with no pool, which is both the
+zero-dependency fallback and the memory-bounding mode: intermediate
+(scenarios × draws × years) kernel arrays never exceed ``chunk_size``
+scenarios, whatever the grid size.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import importlib
+from typing import Any, Callable, Sequence
+
+from ..errors import ExecutionError
+from .plan import ShardPlan
+
+__all__ = ["kernel_name", "resolve_kernel", "run_sharded"]
+
+#: Per-worker state installed by the pool initializer: the resolved
+#: chunk kernel and the shared payload, shipped once per worker.
+_WORKER_STATE: dict[str, Any] = {}
+
+
+def kernel_name(kernel: Callable[..., Any]) -> str:
+    """The ``"module:function"`` name of a module-level chunk kernel.
+
+    Validates that the name round-trips — ``resolve_kernel`` on the
+    result must return the same object — which is exactly the property
+    a spawned worker process relies on. Lambdas, closures, and methods
+    fail here, at submission time, instead of inside the pool.
+    """
+    module = getattr(kernel, "__module__", None)
+    qualname = getattr(kernel, "__qualname__", None)
+    if not module or not qualname:
+        raise ExecutionError(f"chunk kernel {kernel!r} has no importable name")
+    name = f"{module}:{qualname}"
+    try:
+        resolved = resolve_kernel(name)
+    except ExecutionError as error:
+        raise ExecutionError(
+            f"chunk kernel {name!r} must be a module-level function so "
+            f"worker processes can import it ({error})"
+        ) from error
+    if resolved is not kernel:
+        raise ExecutionError(
+            f"chunk kernel name {name!r} resolves to a different object; "
+            "kernels must be module-level functions"
+        )
+    return name
+
+
+def resolve_kernel(name: str) -> Callable[..., Any]:
+    """Import a chunk kernel back from its ``"module:function"`` name."""
+    module_name, _, attribute = name.partition(":")
+    if not module_name or not attribute or "." in attribute:
+        raise ExecutionError(
+            f"kernel name must look like 'package.module:function', got {name!r}"
+        )
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as error:
+        raise ExecutionError(f"cannot import kernel module {module_name!r}: {error}")
+    kernel = getattr(module, attribute, None)
+    if not callable(kernel):
+        raise ExecutionError(
+            f"{module_name!r} has no callable {attribute!r}"
+        )
+    return kernel
+
+
+def _worker_init(name: str, payload: Any) -> None:
+    """Pool initializer: resolve the kernel and pin the shared payload."""
+    _WORKER_STATE["kernel"] = resolve_kernel(name)
+    _WORKER_STATE["payload"] = payload
+
+
+def _worker_chunk(start: int, stop: int) -> Any:
+    """Run the initialized kernel on one ``[start, stop)`` chunk."""
+    return _WORKER_STATE["kernel"](_WORKER_STATE["payload"], start, stop)
+
+
+def run_sharded(
+    kernel: Callable[[Any, int, int], Any],
+    payload: Any,
+    plan: ShardPlan,
+    *,
+    jobs: int = 1,
+    combine: Callable[[Sequence[Any]], Any] | None = None,
+) -> Any:
+    """Run ``kernel`` over every shard of ``plan`` and reduce the chunks.
+
+    ``kernel(payload, start, stop)`` is called once per shard — inline
+    for ``jobs=1``, across a ``ProcessPoolExecutor(max_workers=jobs)``
+    otherwise. Chunk results are consumed in shard order (a streaming
+    in-order reduction: each finished chunk's kernel intermediates are
+    freed while later chunks are still running) and handed to
+    ``combine`` as one ordered list; with ``combine=None`` the list
+    itself is returned.
+
+    Because every sharded runner derives per-scenario state from global
+    scenario records, the combined result is bit-identical to a
+    monolithic run for any ``jobs``/``chunk_size``.
+    """
+    if jobs <= 0:
+        raise ExecutionError(f"job count must be positive, got {jobs}")
+    name = kernel_name(kernel)
+    shards = plan.shards()
+    if jobs == 1 or len(shards) == 1:
+        chunks = [kernel(payload, shard.start, shard.stop) for shard in shards]
+    else:
+        workers = min(jobs, len(shards))
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(name, payload),
+        ) as pool:
+            futures = [
+                pool.submit(_worker_chunk, shard.start, shard.stop)
+                for shard in shards
+            ]
+            chunks = [future.result() for future in futures]
+    if combine is None:
+        return chunks
+    return combine(chunks)

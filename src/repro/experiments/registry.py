@@ -3,12 +3,18 @@
 Every driver module exposes ``run() -> ExperimentResult`` plus a
 ``TITLE`` constant, so listing the catalogue costs imports, not
 simulations. Experiments are deterministic and take no inputs, which
-makes two accelerations safe:
+makes three accelerations safe:
 
 * an in-process result cache keyed by the driver module's source
-  content (editing a driver invalidates only its own entry), and
+  content (editing a driver invalidates only its own entry),
+* a content-addressed on-disk cache (:class:`repro.exec.ResultCache`,
+  keyed by the driver digest *and* the whole-package source
+  fingerprint) shared across processes and CLI invocations — pass
+  ``cache_dir=`` to opt in, and
 * ``run_all(parallel=True)``, which fans the drivers out over a
-  process pool.
+  process pool; each worker reads and writes the shared disk cache, so
+  a warm cache skips the pool entirely and a crashed run keeps every
+  completed result.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from types import ModuleType
 from typing import Callable
 
 from ..errors import ExperimentError
+from ..exec import ResultCache, cache_key, package_fingerprint
 from .result import ExperimentResult
 
 __all__ = [
@@ -120,31 +127,66 @@ def _copy_result(result: ExperimentResult) -> ExperimentResult:
 
 
 def clear_result_cache() -> None:
-    """Drop every cached experiment result."""
+    """Drop every cached experiment result (in-process entries only)."""
     _RESULT_CACHE.clear()
 
 
-def run_experiment(experiment_id: str, *, cache: bool = False) -> ExperimentResult:
+def _disk_key(experiment_id: str, fingerprint: str) -> str:
+    """The on-disk cache key: driver digest + whole-package fingerprint.
+
+    The package fingerprint makes the disk cache safe across sessions:
+    a kernel edit anywhere in ``repro`` orphans every entry, even when
+    the driver module itself is untouched (the in-process cache never
+    outlives the code it ran, so it needs only the driver digest).
+    """
+    return cache_key("experiment", experiment_id, fingerprint, package_fingerprint())
+
+
+def run_experiment(
+    experiment_id: str,
+    *,
+    cache: bool = False,
+    cache_dir: "str | os.PathLike[str] | None" = None,
+) -> ExperimentResult:
     """Run one experiment by id and return its result.
 
     With ``cache=True`` a result computed earlier in this process is
     reused as long as the driver module's source is unchanged
     (experiments are deterministic and input-free, so the cache can
     only go stale through code edits — which the content key detects).
+    ``cache_dir`` additionally consults and fills the shared on-disk
+    cache at that directory, so results survive the process and are
+    visible to concurrent workers.
     """
+    if not cache and cache_dir is None:
+        return get_experiment(experiment_id)()
+    fingerprint = _fingerprint(experiment_id)
     if cache:
         entry = _RESULT_CACHE.get(experiment_id)
-        fingerprint = _fingerprint(experiment_id)
         if entry is not None and entry[0] == fingerprint:
             return _copy_result(entry[1])
+    disk = ResultCache(cache_dir) if cache_dir is not None else None
+    result: ExperimentResult | None = None
+    if disk is not None:
+        value = disk.get(_disk_key(experiment_id, fingerprint))
+        # A wrong-typed entry (foreign pickle under a colliding key) is
+        # a miss, not an error.
+        if isinstance(value, ExperimentResult):
+            result = value
+    if result is None:
         result = get_experiment(experiment_id)()
+        if disk is not None:
+            disk.put(_disk_key(experiment_id, fingerprint), result)
+    if cache:
         _RESULT_CACHE[experiment_id] = (fingerprint, result)
-        return _copy_result(result)
-    return get_experiment(experiment_id)()
+    return _copy_result(result)
 
 
-def _run_for_pool(experiment_id: str) -> tuple[str, ExperimentResult]:
-    return experiment_id, run_experiment(experiment_id)
+def _run_for_pool(
+    args: "tuple[str, str | None]",
+) -> tuple[str, ExperimentResult]:
+    experiment_id, cache_dir = args
+    return experiment_id, run_experiment(experiment_id, cache_dir=cache_dir)
 
 
 def run_all(
@@ -152,21 +194,39 @@ def run_all(
     parallel: bool = False,
     max_workers: int | None = None,
     cache: bool = True,
+    cache_dir: "str | os.PathLike[str] | None" = None,
 ) -> dict[str, ExperimentResult]:
     """Run the entire evaluation, in registry order.
 
     ``parallel=True`` distributes the drivers over a
-    :class:`~concurrent.futures.ProcessPoolExecutor`; results come back
-    in registry order regardless of completion order, and cached
-    entries skip the pool entirely.
+    :class:`~concurrent.futures.ProcessPoolExecutor` (``max_workers``
+    caps the pool; default: one per pending driver up to the CPU
+    count); results come back in registry order regardless of
+    completion order, and cached entries skip the pool entirely.
+    ``cache_dir`` shares an on-disk cache across the pool's worker
+    processes and across CLI invocations: warm entries skip the pool,
+    and every freshly computed result is persisted by the worker that
+    produced it.
     """
+    disk = ResultCache(cache_dir) if cache_dir is not None else None
     results: dict[str, ExperimentResult] = {}
     pending: list[str] = []
     for experiment_id in EXPERIMENT_IDS:
+        fingerprint = (
+            _fingerprint(experiment_id) if cache or disk is not None else ""
+        )
         if cache:
             entry = _RESULT_CACHE.get(experiment_id)
-            if entry is not None and entry[0] == _fingerprint(experiment_id):
+            if entry is not None and entry[0] == fingerprint:
                 results[experiment_id] = _copy_result(entry[1])
+                continue
+        if disk is not None:
+            value = disk.get(_disk_key(experiment_id, fingerprint))
+            if isinstance(value, ExperimentResult):
+                if cache:
+                    _RESULT_CACHE[experiment_id] = (fingerprint, value)
+                    value = _copy_result(value)
+                results[experiment_id] = value
                 continue
         pending.append(experiment_id)
 
@@ -174,6 +234,7 @@ def run_all(
         raise ExperimentError(
             f"max_workers must be positive, got {max_workers}"
         )
+    cache_dir_arg = os.fspath(cache_dir) if cache_dir is not None else None
     if pending:
         if parallel:
             workers = (
@@ -184,11 +245,14 @@ def run_all(
             with concurrent.futures.ProcessPoolExecutor(
                 max_workers=workers
             ) as pool:
-                for experiment_id, result in pool.map(_run_for_pool, pending):
+                tasks = [(experiment_id, cache_dir_arg) for experiment_id in pending]
+                for experiment_id, result in pool.map(_run_for_pool, tasks):
                     results[experiment_id] = result
         else:
             for experiment_id in pending:
-                results[experiment_id] = run_experiment(experiment_id)
+                results[experiment_id] = run_experiment(
+                    experiment_id, cache_dir=cache_dir
+                )
         if cache:
             for experiment_id in pending:
                 _RESULT_CACHE[experiment_id] = (

@@ -6,6 +6,14 @@ through :func:`simulate_fleet_batch` — one vectorized kernel call, not
 one simulation per scenario. ``sweep_provisioning`` does the same for
 the heterogeneous-provisioning question. ``SWEEPS`` names a few
 ready-made decision-space explorations for the ``repro sweep`` CLI.
+
+Every runner accepts ``jobs=``/``chunk_size=`` and routes through
+:func:`repro.exec.run_sharded`: the scenario axis is split into
+contiguous chunks (peak kernel memory is bounded by ``chunk_size``
+scenarios) evaluated inline or over a process pool, and the chunk
+tables are stacked with :meth:`repro.tabular.Table.concat`. Sharded
+results are element-identical to monolithic runs for any chunk/job
+configuration (``tests/test_sharded_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ from ..datacenter.heterogeneity import (
     provision_homogeneous_batch,
 )
 from ..errors import SimulationError
+from ..exec import ShardPlan, run_sharded
 from ..tabular import Table
 from ..units import CarbonIntensity
 from .grid import ScenarioGrid
@@ -198,21 +207,45 @@ def fleet_scenario_parameters(
     return [apply_overrides(base, scenario) for scenario in records]
 
 
+def _fleet_chunk(payload: tuple, start: int, stop: int) -> Table:
+    """Chunk kernel: scenarios ``[start, stop)`` of a fleet sweep.
+
+    Module-level so :func:`repro.exec.run_sharded` workers can import
+    it by name; axis-column selection (``keep``) is decided over the
+    *full* record list, so every chunk emits identical columns.
+    """
+    base, records, embodied, keep = payload
+    chunk = records[start:stop]
+    batch = simulate_fleet_batch(
+        [apply_overrides(base, record) for record in chunk], embodied
+    )
+    return _attach_axes(chunk, batch.final_year_table(), keep=keep)
+
+
 def sweep_fleet(
     base: FleetParameters,
     scenarios: Iterable[Mapping[str, Any]],
     embodied: EmbodiedModel | None = None,
+    *,
+    jobs: int = 1,
+    chunk_size: int | None = None,
 ) -> Table:
     """Run a fleet scenario sweep through the batched kernel.
 
     Returns one row per scenario: the scenario's axis values followed
-    by its final simulated year's fleet metrics.
+    by its final simulated year's fleet metrics. ``jobs``/``chunk_size``
+    shard the scenario axis through :func:`repro.exec.run_sharded`;
+    the result is element-identical for every configuration.
     """
     records = [dict(scenario) for scenario in scenarios]
-    batch = simulate_fleet_batch(
-        fleet_scenario_parameters(base, records), embodied
+    if not records:
+        raise SimulationError("need at least one scenario")
+    _reject_distribution_values(records)
+    plan = ShardPlan.plan(len(records), chunk_size, jobs)
+    payload = (base, records, embodied, _scalar_axis_names(records))
+    return run_sharded(
+        _fleet_chunk, payload, plan, jobs=jobs, combine=Table.concat
     )
-    return _attach_axes(records, batch.final_year_table())
 
 
 def _reject_distribution_axis(name: str, values: np.ndarray) -> None:
@@ -225,21 +258,80 @@ def _reject_distribution_axis(name: str, values: np.ndarray) -> None:
         )
 
 
-def _attach_axes(records: Sequence[Mapping[str, Any]], results: Table) -> Table:
+def _scalar_axis_names(
+    records: Sequence[Mapping[str, Any]],
+    label: Callable[[Any], Any] = lambda value: value,
+) -> list[str]:
+    """Axis names whose values are plain scalars in *every* scenario.
+
+    Axis values may be rich objects (portfolios, servers); only scalar
+    axes become result columns. The decision is global so chunked runs
+    keep exactly the columns a monolithic run would. ``label`` maps
+    values before the check — the uncertain sweeps pass
+    :func:`repro.uncertainty.axis_label` so distribution tags (which
+    render as strings) also qualify.
+    """
+    return [
+        name
+        for name in records[0]
+        if all(
+            isinstance(label(record[name]), (int, float, str, bool))
+            for record in records
+        )
+    ]
+
+
+def _attach_axes(
+    records: Sequence[Mapping[str, Any]],
+    results: Table,
+    keep: Sequence[str] | None = None,
+) -> Table:
     """Prefix result rows with their scenario's axis values."""
     if not records:
         raise SimulationError("need at least one scenario")
-    columns: dict[str, Any] = {}
-    for name in records[0]:
-        values = [record[name] for record in records]
-        # Axis values may be rich objects (portfolios, servers); only
-        # scalar axes become columns.
-        if all(isinstance(value, (int, float, str, bool)) for value in values):
-            columns[name.replace(".", "_")] = values
+    if keep is None:
+        keep = _scalar_axis_names(records)
+    columns: dict[str, Any] = {
+        name.replace(".", "_"): [record[name] for record in records]
+        for name in keep
+    }
     for name in results.column_names:
         if name != "scenario":
             columns[name] = results.column(name)
     return Table(columns)
+
+
+def _provisioning_chunk(payload: tuple, start: int, stop: int) -> Table:
+    """Chunk kernel: scenarios ``[start, stop)`` of a provisioning sweep.
+
+    The provisioning kernels are elementwise along the scenario axis,
+    so slicing the (target, scale) arrays yields exactly the rows a
+    monolithic call would produce for those scenarios.
+    """
+    workloads, general, server_types, target_axis, scale_axis, grid, model = (
+        payload
+    )
+    targets = target_axis[start:stop]
+    scales = scale_axis[start:stop]
+    homogeneous = provision_homogeneous_batch(
+        workloads, general, targets, scales
+    )
+    heterogeneous = provision_heterogeneous_batch(
+        workloads, server_types, targets, scales
+    )
+    homo_total = homogeneous.total_per_year_grams(grid, model)
+    hetero_total = heterogeneous.total_per_year_grams(grid, model)
+    return Table(
+        {
+            "utilization_target": targets,
+            "demand_scale": scales,
+            "servers_homogeneous": homogeneous.total_servers(),
+            "servers_heterogeneous": heterogeneous.total_servers(),
+            "total_t_homogeneous": homo_total / 1e6,
+            "total_t_heterogeneous": hetero_total / 1e6,
+            "carbon_saving_fraction": 1.0 - hetero_total / homo_total,
+        }
+    )
 
 
 def sweep_provisioning(
@@ -250,12 +342,17 @@ def sweep_provisioning(
     demand_scales: "float | Sequence[float]" = 1.0,
     grid: CarbonIntensity | None = None,
     model: EmbodiedModel | None = None,
+    *,
+    jobs: int = 1,
+    chunk_size: int | None = None,
 ) -> Table:
     """Homogeneous vs heterogeneous provisioning across scenarios.
 
     Scenario axes are the cartesian product of utilization targets and
     demand scale factors; both fleets are provisioned by the batched
     kernels and priced in embodied + operational carbon.
+    ``jobs``/``chunk_size`` shard the scenario axis through
+    :func:`repro.exec.run_sharded` with element-identical results.
     """
     grid = grid or US_GRID.intensity
     model = model or EmbodiedModel()
@@ -269,25 +366,18 @@ def sweep_provisioning(
     scales = np.atleast_1d(np.asarray(demand_scales, dtype=np.float64))
     target_axis = np.repeat(targets, len(scales))
     scale_axis = np.tile(scales, len(targets))
-
-    homogeneous = provision_homogeneous_batch(
-        workloads, general, target_axis, scale_axis
+    plan = ShardPlan.plan(int(target_axis.shape[0]), chunk_size, jobs)
+    payload = (
+        tuple(workloads),
+        general,
+        tuple(server_types),
+        target_axis,
+        scale_axis,
+        grid,
+        model,
     )
-    heterogeneous = provision_heterogeneous_batch(
-        workloads, server_types, target_axis, scale_axis
-    )
-    homo_total = homogeneous.total_per_year_grams(grid, model)
-    hetero_total = heterogeneous.total_per_year_grams(grid, model)
-    return Table(
-        {
-            "utilization_target": target_axis,
-            "demand_scale": scale_axis,
-            "servers_homogeneous": homogeneous.total_servers(),
-            "servers_heterogeneous": heterogeneous.total_servers(),
-            "total_t_homogeneous": homo_total / 1e6,
-            "total_t_heterogeneous": hetero_total / 1e6,
-            "carbon_saving_fraction": 1.0 - hetero_total / homo_total,
-        }
+    return run_sharded(
+        _provisioning_chunk, payload, plan, jobs=jobs, combine=Table.concat
     )
 
 
@@ -296,6 +386,8 @@ def sweep_temporal_shifting(
     *,
     capacity_kw: float = 2500.0,
     stochastic_seeds: "tuple[int, ...]" = (0, 1),
+    jobs: int = 1,
+    chunk_size: int | None = None,
 ) -> Table:
     """Carbon-aware scheduling across the bundled trace catalog.
 
@@ -304,6 +396,7 @@ def sweep_temporal_shifting(
     streams through the batched evaluator — the temporal analogue of
     the fleet and provisioning sweeps. The canonical workloads span
     two days, so the horizon must cover at least 48 hours.
+    ``jobs``/``chunk_size`` shard the trace axis of the evaluator.
     """
     from ..traces import canonical_workloads, evaluate_policies, profile_catalog
 
@@ -314,7 +407,11 @@ def sweep_temporal_shifting(
         )
     catalog = profile_catalog(hours, stochastic_seeds=stochastic_seeds)
     return evaluate_policies(
-        catalog, canonical_workloads(), capacity_kw=capacity_kw
+        catalog,
+        canonical_workloads(),
+        capacity_kw=capacity_kw,
+        jobs=jobs,
+        chunk_size=chunk_size,
     )
 
 
@@ -326,36 +423,42 @@ class SweepSpec:
     ``build_uncertain(draws, seed)``, when present, runs the same
     decision space with its elusive parameters tagged as distributions
     and returns an :class:`repro.uncertainty.UncertainResult`
-    (``repro sweep NAME --draws N``).
+    (``repro sweep NAME --draws N``). Both callables accept
+    ``jobs=``/``chunk_size=`` keywords and forward them to the sharded
+    runners.
     """
 
     name: str
     description: str
-    build: Callable[[], Table]
-    build_uncertain: "Callable[[int, int], Any] | None" = None
+    build: Callable[..., Table]
+    build_uncertain: "Callable[..., Any] | None" = None
 
 
-def _fleet_growth_lifetime() -> Table:
+def _fleet_growth_lifetime(*, jobs: int = 1, chunk_size: int | None = None) -> Table:
     grid = ScenarioGrid(
         **{
             "annual_growth": [0.0, 0.1, 0.25, 0.5],
             "server.lifetime_years": [2.0, 3.0, 4.0, 6.0],
         }
     )
-    return sweep_fleet(facebook_like_fleet(), grid)
+    return sweep_fleet(
+        facebook_like_fleet(), grid, jobs=jobs, chunk_size=chunk_size
+    )
 
 
-def _fleet_pue_utilization() -> Table:
+def _fleet_pue_utilization(*, jobs: int = 1, chunk_size: int | None = None) -> Table:
     grid = ScenarioGrid(
         **{
             "facility.pue": [1.07, 1.1, 1.25, 1.5],
             "utilization": [0.25, 0.45, 0.65, 0.85],
         }
     )
-    return sweep_fleet(facebook_like_fleet(), grid)
+    return sweep_fleet(
+        facebook_like_fleet(), grid, jobs=jobs, chunk_size=chunk_size
+    )
 
 
-def _provisioning_mix() -> Table:
+def _provisioning_mix(*, jobs: int = 1, chunk_size: int | None = None) -> Table:
     workloads, general, server_types = example_service_mix()
     return sweep_provisioning(
         workloads,
@@ -363,10 +466,14 @@ def _provisioning_mix() -> Table:
         server_types,
         utilization_targets=[0.4, 0.5, 0.6, 0.7, 0.8],
         demand_scales=[0.5, 1.0, 2.0, 4.0],
+        jobs=jobs,
+        chunk_size=chunk_size,
     )
 
 
-def _fleet_growth_lifetime_uncertain(draws: int, seed: int):
+def _fleet_growth_lifetime_uncertain(
+    draws: int, seed: int, *, jobs: int = 1, chunk_size: int | None = None
+):
     """Growth × lifetime axes with PUE and utilization left elusive."""
     from ..analysis.uncertainty import Normal, Triangular
     from ..uncertainty import sweep_fleet_uncertain
@@ -380,11 +487,18 @@ def _fleet_growth_lifetime_uncertain(draws: int, seed: int):
         }
     )
     return sweep_fleet_uncertain(
-        facebook_like_fleet(), grid, draws=draws, seed=seed
+        facebook_like_fleet(),
+        grid,
+        draws=draws,
+        seed=seed,
+        jobs=jobs,
+        chunk_size=chunk_size,
     )
 
 
-def _fleet_pue_utilization_uncertain(draws: int, seed: int):
+def _fleet_pue_utilization_uncertain(
+    draws: int, seed: int, *, jobs: int = 1, chunk_size: int | None = None
+):
     """PUE × utilization axes with growth and lifetime left elusive."""
     from ..analysis.uncertainty import Mixture, Normal
     from ..uncertainty import sweep_fleet_uncertain
@@ -400,11 +514,18 @@ def _fleet_pue_utilization_uncertain(draws: int, seed: int):
         }
     )
     return sweep_fleet_uncertain(
-        facebook_like_fleet(), grid, draws=draws, seed=seed
+        facebook_like_fleet(),
+        grid,
+        draws=draws,
+        seed=seed,
+        jobs=jobs,
+        chunk_size=chunk_size,
     )
 
 
-def _provisioning_mix_uncertain(draws: int, seed: int):
+def _provisioning_mix_uncertain(
+    draws: int, seed: int, *, jobs: int = 1, chunk_size: int | None = None
+):
     """Utilization-target axis with a log-normal demand forecast."""
     from ..analysis.uncertainty import LogNormal
     from ..uncertainty import sweep_provisioning_uncertain
@@ -418,14 +539,20 @@ def _provisioning_mix_uncertain(draws: int, seed: int):
         demand_scales=[LogNormal.from_median(1.0, 0.35)],
         draws=draws,
         seed=seed,
+        jobs=jobs,
+        chunk_size=chunk_size,
     )
 
 
-def _temporal_shifting_uncertain(draws: int, seed: int):
+def _temporal_shifting_uncertain(
+    draws: int, seed: int, *, jobs: int = 1, chunk_size: int | None = None
+):
     """Policy savings bands across seeded weather/demand noise draws."""
     from ..uncertainty import sweep_temporal_shifting_uncertain
 
-    return sweep_temporal_shifting_uncertain(draws=draws, seed=seed)
+    return sweep_temporal_shifting_uncertain(
+        draws=draws, seed=seed, jobs=jobs, chunk_size=chunk_size
+    )
 
 
 SWEEPS: dict[str, SweepSpec] = {
@@ -476,20 +603,51 @@ def sweep_names() -> list[str]:
     return list(SWEEPS)
 
 
-def run_sweep(name: str) -> Table:
-    """Run one named sweep and return its result table."""
+def _run_options(jobs: int, chunk_size: int | None) -> dict[str, Any]:
+    """Sharding kwargs for a sweep builder, defaults elided.
+
+    Default settings pass no keywords at all, so a registered
+    ``SweepSpec`` whose builders predate the execution layer (zero-arg
+    ``build``, ``build_uncertain(draws, seed)``) keeps working until
+    someone actually asks it to shard.
+    """
+    options: dict[str, Any] = {}
+    if jobs != 1:
+        options["jobs"] = jobs
+    if chunk_size is not None:
+        options["chunk_size"] = chunk_size
+    return options
+
+
+def run_sweep(
+    name: str, *, jobs: int = 1, chunk_size: int | None = None
+) -> Table:
+    """Run one named sweep and return its result table.
+
+    ``jobs``/``chunk_size`` shard the sweep's scenario axis (see
+    :mod:`repro.exec`); the table is identical for every setting.
+    """
     if name not in SWEEPS:
         raise SimulationError(
             f"unknown sweep {name!r}; have {sweep_names()}"
         )
-    return SWEEPS[name].build()
+    return SWEEPS[name].build(**_run_options(jobs, chunk_size))
 
 
-def run_uncertain_sweep(name: str, draws: int, seed: int = 0) -> Any:
+def run_uncertain_sweep(
+    name: str,
+    draws: int,
+    seed: int = 0,
+    *,
+    jobs: int = 1,
+    chunk_size: int | None = None,
+) -> Any:
     """Run one named sweep's distribution-tagged variant.
 
     Returns the :class:`repro.uncertainty.UncertainResult`; raises for
-    sweeps that have no uncertain variant registered.
+    sweeps that have no uncertain variant registered. Sharding via
+    ``jobs``/``chunk_size`` preserves the per-scenario seeded draw
+    streams, so the samples are bit-identical for every setting.
     """
     if name not in SWEEPS:
         raise SimulationError(
@@ -501,4 +659,4 @@ def run_uncertain_sweep(name: str, draws: int, seed: int = 0) -> Any:
             f"sweep {name!r} has no distribution-tagged variant; "
             "run it without --draws"
         )
-    return spec.build_uncertain(draws, seed)
+    return spec.build_uncertain(draws, seed, **_run_options(jobs, chunk_size))

@@ -480,7 +480,14 @@ class Table:
 
     @classmethod
     def concat(cls, tables: Sequence["Table"]) -> "Table":
-        """Stack tables with identical columns, preserving row order."""
+        """Stack tables with identical columns, preserving row order.
+
+        Columns that are numpy-backed with one dtype kind across every
+        table stack as a single ``np.concatenate`` — the chunk-reducer
+        hot path of :mod:`repro.exec` — while any column with a list
+        backing (or mixed kinds) falls back to value-level re-sniffing
+        with identical semantics.
+        """
         if not tables:
             raise TableError("concat() needs at least one table")
         names = tables[0].column_names
@@ -489,12 +496,17 @@ class Table:
                 raise TableError(
                     f"column mismatch: {table.column_names} vs {names}"
                 )
-        data = {
-            name: _sniff(
-                [value for table in tables for value in table._list(name)]
-            )
-            for name in names
-        }
+        data: dict[str, np.ndarray | list[Any]] = {}
+        for name in names:
+            backings = [table._columns[name] for table in tables]
+            if all(isinstance(b, np.ndarray) for b in backings) and (
+                len({b.dtype.kind for b in backings}) == 1
+            ):
+                data[name] = np.concatenate(backings)
+            else:
+                data[name] = _sniff(
+                    [value for b in backings for value in _as_list(b)]
+                )
         return cls._from_backing(data, sum(t._length for t in tables))
 
     # ------------------------------------------------------------------

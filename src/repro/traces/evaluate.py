@@ -30,6 +30,7 @@ from ..datacenter.scheduler import (
     schedule_carbon_aware,
 )
 from ..errors import SimulationError
+from ..exec import ShardPlan, run_sharded
 from ..tabular import Table
 from .batch import prefix_sums, schedule_batch
 from .intensity import IntensityTrace
@@ -235,12 +236,29 @@ def _scalar_arrays(
     return jobs, starts, grams
 
 
+def _evaluate_chunk(payload: tuple, start: int, stop: int) -> Table:
+    """Chunk kernel: traces ``[start, stop)`` of a policy evaluation.
+
+    Statistics are per-trace (each trace carries its own prefix sums
+    and carbon-agnostic baseline), so evaluating a contiguous slice of
+    the trace axis reproduces exactly those rows of the monolithic
+    table. Module-level so :func:`repro.exec.run_sharded` workers can
+    import it by name.
+    """
+    trace_list, workload_list, policies, capacity_kw = payload
+    return _evaluate_batched(
+        trace_list[start:stop], workload_list, policies, capacity_kw
+    )
+
+
 def evaluate_policies(
     traces: "Sequence[IntensityTrace] | Mapping[str, IntensityTrace]",
     workloads: Sequence[WorkloadTrace],
     policies: Sequence[SchedulingPolicy] = DEFAULT_POLICIES,
     *,
     capacity_kw: float,
+    jobs: int = 1,
+    chunk_size: int | None = None,
 ) -> Table:
     """Evaluate every (trace, workload, policy) scenario, batched.
 
@@ -250,11 +268,27 @@ def evaluate_policies(
     (workload, policy) pair. Savings are measured against the
     carbon-agnostic schedule of the untightened job set on the same
     trace. Rows come back in (trace, workload, policy) order.
+    ``jobs``/``chunk_size`` shard the *trace* axis through
+    :func:`repro.exec.run_sharded`; results are element-identical for
+    every configuration.
     """
     trace_list = _normalize_traces(traces)
     workload_list = _normalize_workloads(workloads)
-    policies = _normalize_policies(policies)
+    policy_list = _normalize_policies(policies)
+    plan = ShardPlan.plan(len(trace_list), chunk_size, jobs)
+    payload = (trace_list, workload_list, policy_list, capacity_kw)
+    return run_sharded(
+        _evaluate_chunk, payload, plan, jobs=jobs, combine=Table.concat
+    )
 
+
+def _evaluate_batched(
+    trace_list: Sequence[IntensityTrace],
+    workload_list: Sequence[WorkloadTrace],
+    policies: Sequence[SchedulingPolicy],
+    capacity_kw: float,
+) -> Table:
+    """The monolithic batched evaluation of one trace-axis chunk."""
     hourly = [trace.hourly_values() for trace in trace_list]
     groups: dict[int, list[int]] = {}
     for index, values in enumerate(hourly):

@@ -66,6 +66,43 @@ class UncertainResult:
             checked[name] = array
         object.__setattr__(self, "samples", checked)
 
+    @classmethod
+    def concat(cls, results: "Sequence[UncertainResult]") -> "UncertainResult":
+        """Stack chunk results along the scenario axis, preserving order.
+
+        The chunk reducer of the sharded uncertain sweeps
+        (:mod:`repro.exec`): axes tables are stacked with
+        :meth:`repro.tabular.Table.concat` and every metric's
+        ``(scenarios, draws)`` sample matrix with one
+        ``np.concatenate``. All chunks must agree on metrics, draw
+        count, and seed.
+        """
+        if not results:
+            raise SimulationError("concat() needs at least one result")
+        first = results[0]
+        for result in results[1:]:
+            if result.metric_names != first.metric_names:
+                raise SimulationError(
+                    f"metric mismatch: {result.metric_names} vs "
+                    f"{first.metric_names}"
+                )
+            if result.draws != first.draws or result.seed != first.seed:
+                raise SimulationError(
+                    f"draw/seed mismatch: ({result.draws}, {result.seed}) vs "
+                    f"({first.draws}, {first.seed})"
+                )
+        return cls(
+            axes=Table.concat([result.axes for result in results]),
+            samples={
+                metric: np.concatenate(
+                    [result.samples[metric] for result in results], axis=0
+                )
+                for metric in first.metric_names
+            },
+            draws=first.draws,
+            seed=first.seed,
+        )
+
     @property
     def num_scenarios(self) -> int:
         return self.axes.num_rows

@@ -12,6 +12,13 @@ The scalar reference is ``repro.analysis.uncertainty.monte_carlo``
 over the scalar simulators: for every scenario the batched runners
 produce the *same floats* it would (same seed discipline, same metric
 arithmetic), pinned by ``tests/test_uncertain_sweep_equivalence.py``.
+
+Every runner accepts ``jobs=``/``chunk_size=`` and shards its scenario
+axis through :func:`repro.exec.run_sharded`. Because each scenario
+draws from its own ``default_rng(seed)`` stream (see
+:mod:`repro.uncertainty.draws`), a chunk's draw matrix is exactly the
+corresponding rows of the monolithic one, so sharded uncertain sweeps
+stay bit-identical to monolithic runs under any chunk/job count.
 """
 
 from __future__ import annotations
@@ -31,10 +38,11 @@ from ..datacenter.heterogeneity import (
     provision_homogeneous_batch,
 )
 from ..errors import SimulationError
-from ..scenarios.runner import OverridePlan, apply_overrides
+from ..exec import ShardPlan, run_sharded
+from ..scenarios.runner import OverridePlan, _scalar_axis_names, apply_overrides
 from ..tabular import Table
 from ..units import CarbonIntensity
-from .draws import DrawMatrix, build_draw_matrix
+from .draws import DrawMatrix, _check_records, build_draw_matrix
 from .result import UncertainResult
 
 __all__ = [
@@ -86,22 +94,37 @@ def axis_label(value: Any) -> Any:
     return value
 
 
-def _axes_table(records: Sequence[Mapping[str, Any]]) -> Table:
+def _kept_axis_names(records: Sequence[Mapping[str, Any]]) -> list[str]:
+    """Axis names that become result columns, decided over all records.
+
+    The deterministic runners' column policy with distribution tags
+    rendered through :func:`axis_label`; global (not per chunk) so
+    sharded runs keep exactly the columns a monolithic run would.
+    """
+    return _scalar_axis_names(records, label=axis_label)
+
+
+def _axes_table(
+    records: Sequence[Mapping[str, Any]],
+    keep: Sequence[str] | None = None,
+    offset: int = 0,
+) -> Table:
     """Axis columns for an uncertain result, one row per scenario.
 
     Mirrors the deterministic runner's column policy — scalar axes
     become columns — and additionally renders distribution tags as
     label strings; richer objects (portfolios, servers) are skipped.
+    ``offset`` is the chunk's global scenario offset, keeping the
+    fallback ``scenario`` index column monolithic-identical.
     """
-    columns: dict[str, list[Any]] = {}
-    for name in records[0]:
-        values = [axis_label(record[name]) for record in records]
-        if all(
-            isinstance(value, (int, float, str, bool)) for value in values
-        ):
-            columns[name.replace(".", "_")] = values
+    if keep is None:
+        keep = _kept_axis_names(records)
+    columns: dict[str, list[Any]] = {
+        name.replace(".", "_"): [axis_label(record[name]) for record in records]
+        for name in keep
+    }
     if not columns:
-        columns["scenario"] = list(range(len(records)))
+        columns["scenario"] = list(range(offset, offset + len(records)))
     return Table(columns)
 
 
@@ -140,34 +163,20 @@ def _reshape_metrics(
     return samples
 
 
-def sweep_fleet_uncertain(
-    base: FleetParameters,
-    scenarios: Iterable[Mapping[str, Any]],
-    *,
-    draws: int = 256,
-    seed: int = 0,
-    embodied: EmbodiedModel | None = None,
-) -> UncertainResult:
-    """Fleet sweep with distribution-tagged parameters.
+def _fleet_uncertain_chunk(payload: tuple, start: int, stop: int) -> UncertainResult:
+    """Chunk kernel: scenarios ``[start, stop)`` of an uncertain fleet sweep.
 
-    Every scenario's tagged parameters are sampled ``draws`` times
-    (per-scenario ``default_rng(seed)`` streams — see
-    :mod:`repro.uncertainty.draws`), the (scenarios × draws) parameter
-    sets are expanded through a compiled
-    :class:`~repro.scenarios.runner.OverridePlan`, and one
-    :func:`~repro.datacenter.fleet.simulate_fleet_batch` call scores
-    them all. Metrics are the final simulated year's fleet columns.
-
-    Non-finite samples raise, mirroring the scalar ``monte_carlo``
-    guard — except ``capex_to_opex_market``, where inf is the kernel's
-    designed "market opex fully eliminated" sentinel and flows into
-    the quantile columns as an ordinary order statistic.
+    Rebuilds the chunk's draw matrix from the global scenario records —
+    per-scenario ``default_rng(seed)`` streams make those rows
+    identical to the monolithic matrix — so nothing but record dicts
+    crosses the process boundary.
     """
-    records = [dict(scenario) for scenario in scenarios]
-    matrix = build_draw_matrix(records, draws, seed)
+    base, records, draws, seed, embodied, keep = payload
+    chunk = records[start:stop]
+    matrix = build_draw_matrix(chunk, draws, seed)
     expanded: list[FleetParameters] = []
     plan = OverridePlan(base, matrix.names) if matrix.names else None
-    for index, record in enumerate(records):
+    for index, record in enumerate(chunk):
         fixed = {
             name: value
             for name, value in record.items()
@@ -191,11 +200,11 @@ def sweep_fleet_uncertain(
     batch = simulate_fleet_batch(expanded, embodied)
     final = batch.final_year_table()
     return UncertainResult(
-        axes=_axes_table(records),
+        axes=_axes_table(chunk, keep=keep, offset=start),
         samples=_reshape_metrics(
             final,
             _FLEET_METRICS,
-            len(records),
+            len(chunk),
             draws,
             # Inf here means "market opex fully eliminated", a designed
             # kernel sentinel — not a failed draw.
@@ -203,6 +212,46 @@ def sweep_fleet_uncertain(
         ),
         draws=draws,
         seed=seed,
+    )
+
+
+def sweep_fleet_uncertain(
+    base: FleetParameters,
+    scenarios: Iterable[Mapping[str, Any]],
+    *,
+    draws: int = 256,
+    seed: int = 0,
+    embodied: EmbodiedModel | None = None,
+    jobs: int = 1,
+    chunk_size: int | None = None,
+) -> UncertainResult:
+    """Fleet sweep with distribution-tagged parameters.
+
+    Every scenario's tagged parameters are sampled ``draws`` times
+    (per-scenario ``default_rng(seed)`` streams — see
+    :mod:`repro.uncertainty.draws`), the (scenarios × draws) parameter
+    sets are expanded through a compiled
+    :class:`~repro.scenarios.runner.OverridePlan`, and one
+    :func:`~repro.datacenter.fleet.simulate_fleet_batch` call scores
+    them all per chunk. Metrics are the final simulated year's fleet
+    columns. ``jobs``/``chunk_size`` shard the scenario axis; peak
+    kernel memory is bounded by ``chunk_size × draws`` parameter sets
+    and the samples are bit-identical for every configuration.
+
+    Non-finite samples raise, mirroring the scalar ``monte_carlo``
+    guard — except ``capex_to_opex_market``, where inf is the kernel's
+    designed "market opex fully eliminated" sentinel and flows into
+    the quantile columns as an ordinary order statistic.
+    """
+    records = _check_records(list(scenarios))
+    plan = ShardPlan.plan(len(records), chunk_size, jobs)
+    payload = (base, records, draws, seed, embodied, _kept_axis_names(records))
+    return run_sharded(
+        _fleet_uncertain_chunk,
+        payload,
+        plan,
+        jobs=jobs,
+        combine=UncertainResult.concat,
     )
 
 
@@ -229,37 +278,18 @@ def _flat_axis(
     )
 
 
-def sweep_provisioning_uncertain(
-    workloads: Sequence[WorkloadClass],
-    general: ServerType,
-    server_types: Sequence[ServerType],
-    *,
-    utilization_targets: Any = 0.6,
-    demand_scales: Any = 1.0,
-    draws: int = 256,
-    seed: int = 0,
-    grid: CarbonIntensity | None = None,
-    model: EmbodiedModel | None = None,
+def _provisioning_uncertain_chunk(
+    payload: tuple, start: int, stop: int
 ) -> UncertainResult:
-    """Provisioning sweep with uncertain targets and demand forecasts.
-
-    Axes may mix point values and distribution tags (a log-normal
-    demand scale is the canonical case). The (scenarios × draws) axis
-    goes straight into the array-valued provisioning kernels — the
-    draw axis needs no dataclass expansion at all here.
-    """
-    grid = grid or US_GRID.intensity
-    model = model or EmbodiedModel()
-    targets = _axis_values("utilization_targets", utilization_targets)
-    scales = _axis_values("demand_scales", demand_scales)
-    records = [
-        {"utilization_target": target, "demand_scale": scale}
-        for target in targets
-        for scale in scales
-    ]
-    matrix = build_draw_matrix(records, draws, seed)
-    target_axis = _flat_axis("utilization_target", records, matrix)
-    scale_axis = _flat_axis("demand_scale", records, matrix)
+    """Chunk kernel: scenarios ``[start, stop)`` of an uncertain
+    provisioning sweep; draw rows are rebuilt per scenario record."""
+    workloads, general, server_types, records, draws, seed, grid, model, keep = (
+        payload
+    )
+    chunk = records[start:stop]
+    matrix = build_draw_matrix(chunk, draws, seed)
+    target_axis = _flat_axis("utilization_target", chunk, matrix)
+    scale_axis = _flat_axis("demand_scale", chunk, matrix)
 
     homogeneous = provision_homogeneous_batch(
         workloads, general, target_axis, scale_axis
@@ -279,32 +309,78 @@ def sweep_provisioning_uncertain(
         }
     )
     return UncertainResult(
-        axes=_axes_table(records),
+        axes=_axes_table(chunk, keep=keep, offset=start),
         samples=_reshape_metrics(
-            flat, _PROVISIONING_METRICS, len(records), draws
+            flat, _PROVISIONING_METRICS, len(chunk), draws
         ),
         draws=draws,
         seed=seed,
     )
 
 
-def sweep_temporal_shifting_uncertain(
-    hours: int = 72,
+def sweep_provisioning_uncertain(
+    workloads: Sequence[WorkloadClass],
+    general: ServerType,
+    server_types: Sequence[ServerType],
     *,
-    capacity_kw: float = 2500.0,
-    draws: int = 8,
+    utilization_targets: Any = 0.6,
+    demand_scales: Any = 1.0,
+    draws: int = 256,
     seed: int = 0,
+    grid: CarbonIntensity | None = None,
+    model: EmbodiedModel | None = None,
+    jobs: int = 1,
+    chunk_size: int | None = None,
 ) -> UncertainResult:
-    """Carbon-aware scheduling bands across weather/demand noise draws.
+    """Provisioning sweep with uncertain targets and demand forecasts.
 
-    The elusive input here is the *trace itself*: each draw is a
-    seeded stochastic variant of every Table III region's duck curve
-    (seeds ``seed .. seed + draws - 1``). All regions × draws go
-    through one batched :func:`~repro.traces.evaluate_policies` call —
-    a draw is literally one more trace row in the evaluator's matrix —
-    and come back as (region × workload × policy) scenarios with
-    per-draw samples.
+    Axes may mix point values and distribution tags (a log-normal
+    demand scale is the canonical case). The (scenarios × draws) axis
+    goes straight into the array-valued provisioning kernels — the
+    draw axis needs no dataclass expansion at all here.
+    ``jobs``/``chunk_size`` shard the scenario axis with bit-identical
+    samples (per-scenario seeded draw streams).
     """
+    grid = grid or US_GRID.intensity
+    model = model or EmbodiedModel()
+    targets = _axis_values("utilization_targets", utilization_targets)
+    scales = _axis_values("demand_scales", demand_scales)
+    records = [
+        {"utilization_target": target, "demand_scale": scale}
+        for target in targets
+        for scale in scales
+    ]
+    plan = ShardPlan.plan(len(records), chunk_size, jobs)
+    payload = (
+        tuple(workloads),
+        general,
+        tuple(server_types),
+        records,
+        draws,
+        seed,
+        grid,
+        model,
+        _kept_axis_names(records),
+    )
+    return run_sharded(
+        _provisioning_uncertain_chunk,
+        payload,
+        plan,
+        jobs=jobs,
+        combine=UncertainResult.concat,
+    )
+
+
+def _shifting_uncertain_chunk(
+    payload: tuple, start: int, stop: int
+) -> UncertainResult:
+    """Chunk kernel: regions ``[start, stop)`` of the temporal sweep.
+
+    Each region's noisy traces are seeded by draw index alone, and
+    evaluator rows are region-major, so a region slice reproduces
+    exactly that block of the monolithic result.
+    """
+    regions, hours, capacity_kw, draws, seed = payload
     from ..traces import (
         DEFAULT_POLICIES,
         canonical_workloads,
@@ -312,17 +388,10 @@ def sweep_temporal_shifting_uncertain(
         stochastic_variant,
     )
 
-    if hours < 48:
-        raise SimulationError(
-            "the temporal-shifting sweep's workloads span two days; "
-            f"need hours >= 48, got {hours}"
-        )
-    if draws <= 0:
-        raise SimulationError("draw count must be positive")
-    regions = region_names()
+    chunk = regions[start:stop]
     traces = [
         stochastic_variant(region, hours, seed=seed + draw)
-        for region in regions
+        for region in chunk
         for draw in range(draws)
     ]
     workloads = canonical_workloads()
@@ -331,7 +400,7 @@ def sweep_temporal_shifting_uncertain(
 
     # Rows arrive (trace, workload, policy)-major with the trace axis
     # ordered region-major, draw-minor; fold the draw axis to the back.
-    shape = (len(regions), draws, len(workloads), len(policies))
+    shape = (len(chunk), draws, len(workloads), len(policies))
     samples: dict[str, np.ndarray] = {}
     for metric in _SHIFTING_METRICS:
         values = np.asarray(flat.column(metric), dtype=np.float64)
@@ -343,7 +412,7 @@ def sweep_temporal_shifting_uncertain(
         )
     records = [
         {"region": region, "workload": workload.name, "policy": policy.name}
-        for region in regions
+        for region in chunk
         for workload in workloads
         for policy in policies
     ]
@@ -357,4 +426,44 @@ def sweep_temporal_shifting_uncertain(
         samples=samples,
         draws=draws,
         seed=seed,
+    )
+
+
+def sweep_temporal_shifting_uncertain(
+    hours: int = 72,
+    *,
+    capacity_kw: float = 2500.0,
+    draws: int = 8,
+    seed: int = 0,
+    jobs: int = 1,
+    chunk_size: int | None = None,
+) -> UncertainResult:
+    """Carbon-aware scheduling bands across weather/demand noise draws.
+
+    The elusive input here is the *trace itself*: each draw is a
+    seeded stochastic variant of every Table III region's duck curve
+    (seeds ``seed .. seed + draws - 1``). All regions × draws go
+    through one batched :func:`~repro.traces.evaluate_policies` call
+    per chunk — a draw is literally one more trace row in the
+    evaluator's matrix — and come back as (region × workload × policy)
+    scenarios with per-draw samples. ``jobs``/``chunk_size`` shard the
+    *region* axis; noisy-trace seeds depend only on the draw index, so
+    sharded samples are bit-identical.
+    """
+    if hours < 48:
+        raise SimulationError(
+            "the temporal-shifting sweep's workloads span two days; "
+            f"need hours >= 48, got {hours}"
+        )
+    if draws <= 0:
+        raise SimulationError("draw count must be positive")
+    regions = region_names()
+    plan = ShardPlan.plan(len(regions), chunk_size, jobs)
+    payload = (tuple(regions), hours, capacity_kw, draws, seed)
+    return run_sharded(
+        _shifting_uncertain_chunk,
+        payload,
+        plan,
+        jobs=jobs,
+        combine=UncertainResult.concat,
     )

@@ -9,6 +9,26 @@ from repro.mobile.device import pixel3
 from repro.mobile.inference import InferenceSimulator
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_cache_dir(tmp_path_factory):
+    """Point the default on-disk result cache at a per-session tmp dir.
+
+    ``repro run``/``repro sweep`` cache to ``~/.cache/repro`` by
+    default; without this, CLI tests would litter the developer's real
+    home directory and — worse — exercise only the cache-read path on
+    every suite run after the first. Session-scoped (not per-test) so
+    hypothesis tests never see a function-scoped fixture; tests that
+    probe the env-var resolution order override it with their own
+    function-scoped monkeypatching.
+    """
+    patcher = pytest.MonkeyPatch()
+    patcher.setenv(
+        "REPRO_CACHE_DIR", str(tmp_path_factory.mktemp("repro-cache"))
+    )
+    yield
+    patcher.undo()
+
+
 @pytest.fixture(scope="session")
 def simulator() -> InferenceSimulator:
     return InferenceSimulator()

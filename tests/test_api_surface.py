@@ -29,6 +29,7 @@ _SUBPACKAGES = (
     "repro.scenarios",
     "repro.traces",
     "repro.uncertainty",
+    "repro.exec",
 )
 
 

@@ -1,0 +1,300 @@
+"""Sharded execution must be bit-identical to monolithic execution.
+
+The contract of :mod:`repro.exec`: for *any* ``chunk_size``/``jobs``
+partition, every sweep — deterministic and uncertain — produces
+element-identical results (values, row order, axis columns, quantiles)
+to the monolithic reference. Hypothesis drives the chunk geometry over
+the inline path (``jobs=1``, which exercises the full
+shard-plan/chunk-kernel/concat machinery); a smaller set of pinned
+cases drives real process pools, including chunk counts that do not
+divide the scenario count and pools larger than the chunk list.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.uncertainty import LogNormal, Normal
+from repro.errors import ExecutionError
+from repro.exec import Shard, ShardPlan, kernel_name, resolve_kernel, run_sharded
+from repro.scenarios import (
+    ScenarioGrid,
+    example_service_mix,
+    facebook_like_fleet,
+    run_sweep,
+    run_uncertain_sweep,
+    sweep_fleet,
+    sweep_provisioning,
+)
+from repro.tabular import Table
+from repro.traces import (
+    DEFAULT_POLICIES,
+    canonical_workloads,
+    evaluate_policies,
+    profile_catalog,
+)
+from repro.uncertainty import (
+    UncertainResult,
+    sweep_fleet_uncertain,
+    sweep_provisioning_uncertain,
+    sweep_temporal_shifting_uncertain,
+)
+
+_BASE = facebook_like_fleet()
+
+_FLEET_GRID = ScenarioGrid(
+    **{
+        "annual_growth": [0.0, 0.1, 0.25, 0.4, 0.5],
+        "server.lifetime_years": [2.0, 3.0, 4.0],
+    }
+)
+
+_UNCERTAIN_GRID = ScenarioGrid(
+    **{
+        "annual_growth": [0.0, 0.15, 0.3],
+        "server.lifetime_years": [3.0, 4.0],
+        "utilization": [Normal(0.45, 0.05)],
+    }
+)
+
+
+def _assert_tables_identical(left: Table, right: Table) -> None:
+    assert left.column_names == right.column_names
+    assert left.num_rows == right.num_rows
+    for name in left.column_names:
+        assert left.column(name) == right.column(name), name
+
+
+def _assert_uncertain_identical(
+    left: UncertainResult, right: UncertainResult
+) -> None:
+    _assert_tables_identical(left.axes, right.axes)
+    assert left.draws == right.draws and left.seed == right.seed
+    assert left.metric_names == right.metric_names
+    for metric in left.metric_names:
+        assert np.array_equal(
+            left.samples[metric], right.samples[metric], equal_nan=True
+        ), metric
+    # Quantile summaries are derived from the samples, so they must
+    # collapse too — pinned explicitly because the CLI renders them.
+    _assert_tables_identical(left.quantile_table(), right.quantile_table())
+
+
+class TestShardPlan:
+    def test_shards_cover_axis_exactly(self):
+        for n in (1, 2, 5, 16, 17):
+            for chunk in (1, 2, 3, 16, 40):
+                shards = ShardPlan(num_scenarios=n, chunk_size=chunk).shards()
+                assert shards[0].start == 0
+                assert shards[-1].stop == n
+                for before, after in zip(shards, shards[1:]):
+                    assert before.stop == after.start
+                assert all(shard.size <= chunk for shard in shards)
+
+    def test_chunk_size_bounds_every_shard(self):
+        plan = ShardPlan.plan(100, chunk_size=7, jobs=3)
+        assert plan.chunk_size == 7
+        assert max(shard.size for shard in plan) == 7
+
+    def test_default_chunking_is_whole_axis_inline(self):
+        plan = ShardPlan.plan(100)
+        assert plan.num_chunks == 1
+
+    def test_default_chunking_splits_across_jobs(self):
+        plan = ShardPlan.plan(100, jobs=4)
+        assert plan.num_chunks == 4
+        assert max(shard.size for shard in plan) == 25
+
+    def test_more_jobs_than_scenarios(self):
+        plan = ShardPlan.plan(3, jobs=8)
+        assert plan.num_chunks == 3
+
+    def test_invalid_plans_raise(self):
+        with pytest.raises(ExecutionError):
+            ShardPlan.plan(0)
+        with pytest.raises(ExecutionError):
+            ShardPlan.plan(10, chunk_size=0)
+        with pytest.raises(ExecutionError):
+            ShardPlan.plan(10, jobs=0)
+        with pytest.raises(ExecutionError):
+            Shard(index=0, start=3, stop=3)
+
+    @given(
+        n=st.integers(1, 200),
+        chunk=st.integers(1, 220),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_partition_property(self, n, chunk):
+        shards = ShardPlan(num_scenarios=n, chunk_size=chunk).shards()
+        covered = [i for shard in shards for i in range(shard.start, shard.stop)]
+        assert covered == list(range(n))
+
+
+class TestKernelNames:
+    def test_round_trip(self):
+        from repro.scenarios.runner import _fleet_chunk
+
+        assert resolve_kernel(kernel_name(_fleet_chunk)) is _fleet_chunk
+
+    def test_lambda_rejected(self):
+        with pytest.raises(ExecutionError):
+            kernel_name(lambda payload, start, stop: None)
+
+    def test_nested_function_rejected(self):
+        def nested(payload, start, stop):
+            return None
+
+        with pytest.raises(ExecutionError):
+            kernel_name(nested)
+
+    def test_malformed_names_rejected(self):
+        for name in ("", "no-colon", "mod:", ":fn", "mod:a.b"):
+            with pytest.raises(ExecutionError):
+                resolve_kernel(name)
+        with pytest.raises(ExecutionError):
+            resolve_kernel("not_a_module_anywhere:fn")
+        with pytest.raises(ExecutionError):
+            resolve_kernel("repro.exec:missing_kernel")
+
+    def test_run_sharded_rejects_bad_jobs(self):
+        from repro.scenarios.runner import _fleet_chunk
+
+        with pytest.raises(ExecutionError):
+            run_sharded(_fleet_chunk, None, ShardPlan.plan(4), jobs=0)
+
+
+class TestDeterministicShardedEquivalence:
+    @pytest.fixture(scope="class")
+    def fleet_reference(self):
+        return sweep_fleet(_BASE, _FLEET_GRID)
+
+    @given(chunk=st.integers(1, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_fleet_any_chunk_size(self, fleet_reference, chunk):
+        sharded = sweep_fleet(_BASE, _FLEET_GRID, chunk_size=chunk)
+        _assert_tables_identical(sharded, fleet_reference)
+
+    def test_fleet_process_pool(self, fleet_reference):
+        for jobs, chunk in ((2, None), (2, 4), (3, 2), (8, 7)):
+            sharded = sweep_fleet(
+                _BASE, _FLEET_GRID, jobs=jobs, chunk_size=chunk
+            )
+            _assert_tables_identical(sharded, fleet_reference)
+
+    @given(chunk=st.integers(1, 25))
+    @settings(max_examples=12, deadline=None)
+    def test_provisioning_any_chunk_size(self, chunk):
+        workloads, general, server_types = example_service_mix()
+        kwargs = dict(
+            utilization_targets=[0.4, 0.5, 0.6, 0.7, 0.8],
+            demand_scales=[0.5, 1.0, 2.0, 4.0],
+        )
+        reference = sweep_provisioning(
+            workloads, general, server_types, **kwargs
+        )
+        sharded = sweep_provisioning(
+            workloads, general, server_types, chunk_size=chunk, **kwargs
+        )
+        _assert_tables_identical(sharded, reference)
+
+    @given(chunk=st.integers(1, 12))
+    @settings(max_examples=8, deadline=None)
+    def test_trace_evaluator_any_chunk_size(self, chunk):
+        catalog = profile_catalog(48, stochastic_seeds=(0,))
+        workloads = canonical_workloads()
+        reference = evaluate_policies(
+            catalog, workloads, DEFAULT_POLICIES, capacity_kw=2500.0
+        )
+        sharded = evaluate_policies(
+            catalog,
+            workloads,
+            DEFAULT_POLICIES,
+            capacity_kw=2500.0,
+            chunk_size=chunk,
+        )
+        _assert_tables_identical(sharded, reference)
+
+    def test_named_sweeps_sharded(self):
+        for name in ("fleet_growth_lifetime", "provisioning_mix"):
+            reference = run_sweep(name)
+            _assert_tables_identical(
+                run_sweep(name, chunk_size=3), reference
+            )
+            _assert_tables_identical(
+                run_sweep(name, jobs=2, chunk_size=5), reference
+            )
+
+
+class TestUncertainShardedEquivalence:
+    @pytest.fixture(scope="class")
+    def fleet_reference(self):
+        return sweep_fleet_uncertain(_BASE, _UNCERTAIN_GRID, draws=16, seed=7)
+
+    @given(chunk=st.integers(1, 8))
+    @settings(max_examples=8, deadline=None)
+    def test_fleet_any_chunk_size(self, fleet_reference, chunk):
+        sharded = sweep_fleet_uncertain(
+            _BASE, _UNCERTAIN_GRID, draws=16, seed=7, chunk_size=chunk
+        )
+        _assert_uncertain_identical(sharded, fleet_reference)
+
+    def test_fleet_process_pool(self, fleet_reference):
+        sharded = sweep_fleet_uncertain(
+            _BASE, _UNCERTAIN_GRID, draws=16, seed=7, jobs=2, chunk_size=2
+        )
+        _assert_uncertain_identical(sharded, fleet_reference)
+
+    @given(chunk=st.integers(1, 7), seed=st.integers(0, 2**10))
+    @settings(max_examples=8, deadline=None)
+    def test_provisioning_any_chunk_size(self, chunk, seed):
+        workloads, general, server_types = example_service_mix()
+        kwargs = dict(
+            utilization_targets=[0.4, 0.6, 0.8],
+            demand_scales=[LogNormal.from_median(1.0, 0.35), 2.0],
+            draws=12,
+            seed=seed,
+        )
+        reference = sweep_provisioning_uncertain(
+            workloads, general, server_types, **kwargs
+        )
+        sharded = sweep_provisioning_uncertain(
+            workloads, general, server_types, chunk_size=chunk, **kwargs
+        )
+        _assert_uncertain_identical(sharded, reference)
+
+    @given(chunk=st.integers(1, 10))
+    @settings(max_examples=6, deadline=None)
+    def test_temporal_any_chunk_size(self, chunk):
+        reference = sweep_temporal_shifting_uncertain(48, draws=2, seed=5)
+        sharded = sweep_temporal_shifting_uncertain(
+            48, draws=2, seed=5, chunk_size=chunk
+        )
+        _assert_uncertain_identical(sharded, reference)
+
+    def test_named_uncertain_sweep_sharded(self):
+        reference = run_uncertain_sweep("provisioning_mix", 8, 3)
+        sharded = run_uncertain_sweep(
+            "provisioning_mix", 8, 3, jobs=2, chunk_size=2
+        )
+        _assert_uncertain_identical(sharded, reference)
+
+
+class TestSweepSpecCompatibility:
+    def test_legacy_zero_arg_builders_still_run(self):
+        # SweepSpec predates the execution layer; registered specs with
+        # zero-arg builders must keep working at default settings.
+        from repro.scenarios.runner import SWEEPS, SweepSpec
+
+        legacy = SweepSpec(
+            name="legacy_test_spec",
+            description="a pre-exec-layer spec",
+            build=lambda: Table({"a": [1.0]}),
+            build_uncertain=None,
+        )
+        SWEEPS[legacy.name] = legacy
+        try:
+            assert run_sweep(legacy.name).column("a") == [1.0]
+        finally:
+            del SWEEPS[legacy.name]

@@ -95,6 +95,45 @@ class TestTableConcat:
         table = Table({"a": [1, 2], "b": ["x", "y"]})
         assert Table.concat([table]) == table
 
+    def test_array_fast_path_preserves_dtypes(self):
+        first = Table(
+            {"f": [1.0, 2.0], "i": [1, 2], "b": [True, False], "s": ["a", "bb"]}
+        )
+        second = Table({"f": [3.0], "i": [3], "b": [True], "s": ["ccc"]})
+        combined = Table.concat([first, second])
+        assert combined._columns["f"].dtype == np.float64
+        assert combined._columns["i"].dtype == np.int64
+        assert combined._columns["b"].dtype == np.bool_
+        assert combined._columns["s"].dtype.kind == "U"
+        assert combined.column("f") == [1.0, 2.0, 3.0]
+        assert combined.column("i") == [1, 2, 3]
+        assert combined.column("s") == ["a", "bb", "ccc"]
+
+    def test_fast_path_result_is_independent_of_inputs(self):
+        first = Table({"a": [1.0, 2.0]})
+        combined = Table.concat([first, Table({"a": [3.0]})])
+        combined._columns["a"][0] = 99.0
+        assert first.column("a") == [1.0, 2.0]
+
+    def test_mixed_kind_columns_fall_back_to_sniffing(self):
+        # int chunk + float chunk must merge exactly like the
+        # value-level path: a mixed int/float list stays a list so the
+        # ints survive round-tripping.
+        combined = Table.concat([Table({"a": [1, 2]}), Table({"a": [3.5]})])
+        assert isinstance(combined._columns["a"], list)
+        assert combined.column("a") == [1, 2, 3.5]
+
+    def test_object_fallback_preserved(self):
+        rich = Table({"a": [{"k": 1}, None]})
+        combined = Table.concat([rich, Table({"a": ["x"]})])
+        assert combined.column("a") == [{"k": 1}, None, "x"]
+
+    def test_array_and_list_chunks_merge(self):
+        array_backed = Table({"a": [1.0, 2.0]})
+        list_backed = Table({"a": [None]})
+        combined = Table.concat([array_backed, list_backed])
+        assert combined.column("a") == [1.0, 2.0, None]
+
 
 class TestTableDescribe:
     def test_summarizes_numeric_columns_only(self):
