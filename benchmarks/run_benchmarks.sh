@@ -60,6 +60,9 @@ if [[ "$quick" -eq 1 ]]; then
     # under `set -u` on bash < 4.4.
     PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest benchmarks \
         -q --benchmark-disable ${passthrough[@]+"${passthrough[@]}"}
+    # Chaos smoke: a seeded fault storm over a real sweep must recover
+    # to a bit-identical result (see tools/chaos_sweep.py).
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python tools/chaos_sweep.py
     echo "quick smoke run complete (untimed; no snapshot written)"
     exit 0
 fi

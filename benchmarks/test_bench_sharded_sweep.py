@@ -99,6 +99,16 @@ def test_bench_sharded_uncertain_sweep_jobs_cpu(benchmark):
     assert result.num_scenarios == 200
 
 
+def test_bench_sharded_fleet_sweep_1k_retry_armed(benchmark):
+    """Clean-path run with a retry budget armed: overhead must be noise."""
+    base = facebook_like_fleet()
+    reference = sweep_fleet(base, _GRID_1K)
+    table = benchmark(
+        lambda: sweep_fleet(base, _GRID_1K, chunk_size=128, retries=2)
+    )
+    assert table == reference
+
+
 def _best_of(call, rounds: int) -> float:
     best = float("inf")
     for _ in range(rounds):
@@ -122,4 +132,29 @@ def test_gate_sharded_fleet_speedup_at_4_jobs():
     assert inline / sharded >= 2.0, (
         f"sharded 1k fleet sweep at 4 jobs: {inline / sharded:.2f}x "
         f"(inline {inline:.3f}s, jobs=4 {sharded:.3f}s); gate is 2x"
+    )
+
+
+def test_gate_retry_overhead_on_clean_path():
+    """Arming retries must not slow a fault-free sweep.
+
+    The target is <5% overhead; the hard assert is a generous 1.25x so
+    machine noise cannot flake the suite — the measured ratio lands in
+    the benchmark JSON via ``test_bench_sharded_fleet_sweep_1k_retry_armed``
+    where the trajectory is tracked per PR.
+    """
+    base = facebook_like_fleet()
+    # Warm imports/kernels before timing either side.
+    sweep_fleet(base, _GRID_1K, chunk_size=128)
+    plain = _best_of(
+        lambda: sweep_fleet(base, _GRID_1K, chunk_size=128), rounds=3
+    )
+    armed = _best_of(
+        lambda: sweep_fleet(base, _GRID_1K, chunk_size=128, retries=2),
+        rounds=3,
+    )
+    ratio = armed / plain
+    assert ratio <= 1.25, (
+        f"retry-armed clean path: {ratio:.3f}x the plain run "
+        f"(plain {plain:.3f}s, armed {armed:.3f}s); gate is 1.25x"
     )

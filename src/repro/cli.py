@@ -18,6 +18,13 @@ Usage::
 (default ``~/.cache/repro``; override with ``--cache-dir``, disable
 with ``--no-cache``), so repeated invocations warm-start: any source
 edit to the ``repro`` package invalidates every cached entry.
+
+Long runs survive trouble: ``--retries N`` re-runs chunks whose
+workers raise or die, ``--timeout S`` bounds hung chunks (needs
+``--jobs`` > 1), ``--on-error skip`` degrades to partial results plus
+a failure report on stderr instead of aborting, and ``sweep --resume``
+warm-starts an interrupted sweep from its chunk checkpoints —
+recomputing only the unfinished chunks, bit-identically.
 """
 
 from __future__ import annotations
@@ -68,6 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for --parallel (default: cpu count)",
     )
+    _add_fault_arguments(run_parser, unit="experiment")
     _add_cache_arguments(run_parser)
 
     commands.add_parser("checks", help="pass/fail summary for every artifact")
@@ -125,6 +133,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="scenarios per chunk (bounds peak kernel memory; default: "
         "whole sweep inline, or one chunk per job with --jobs)",
     )
+    _add_fault_arguments(sweep_parser, unit="chunk")
+    sweep_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="warm-start from the chunk checkpoints an interrupted run "
+        "of this sweep left in the cache; only unfinished chunks are "
+        "recomputed and the result is bit-identical (needs the cache)",
+    )
     _add_cache_arguments(sweep_parser)
 
     trace_parser = commands.add_parser(
@@ -163,6 +179,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="with 'eval': emit the result table as markdown",
     )
     return parser
+
+
+def _add_fault_arguments(parser: argparse.ArgumentParser, *, unit: str) -> None:
+    """The shared fault-tolerance flags of ``run`` and ``sweep``."""
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=f"retry a failed {unit} up to N times (crashes, hangs, and "
+        "corrupt results included) with deterministic seeded backoff "
+        "(default: no retries)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help=f"per-{unit} wall-clock timeout in seconds; a {unit} running "
+        "past it is killed and charged a failed attempt (needs more "
+        "than one worker process)",
+    )
+    parser.add_argument(
+        "--on-error",
+        choices=("raise", "skip"),
+        default="raise",
+        help=f"what to do when a {unit} exhausts its attempts: abort with "
+        "a structured error (raise, default) or keep the partial "
+        "results and report what was skipped (skip)",
+    )
 
 
 def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
@@ -204,23 +250,45 @@ def _command_run(
     parallel: bool,
     jobs: int | None,
     cache_dir: str | None,
+    retries: int | None,
+    timeout: float | None,
+    on_error: str,
 ) -> int:
-    if experiment != "all" and (parallel or jobs is not None):
+    batch_flags = (
+        parallel
+        or jobs is not None
+        or retries is not None
+        or timeout is not None
+        or on_error != "raise"
+    )
+    if experiment != "all" and batch_flags:
         print(
-            "note: --parallel/--jobs only apply to 'run all'; running "
-            f"{experiment} in-process",
+            "note: --parallel/--jobs/--retries/--timeout/--on-error only "
+            f"apply to 'run all'; running {experiment} in-process",
             file=sys.stderr,
         )
     if experiment == "all":
         results = run_all(
-            parallel=parallel, max_workers=jobs, cache_dir=cache_dir
+            parallel=parallel,
+            max_workers=jobs,
+            cache_dir=cache_dir,
+            retries=retries,
+            timeout=timeout,
+            on_error=on_error,
         )
         failures = 0
         for experiment_id, result in results.items():
             status = "ok" if result.all_checks_pass else "FAIL"
             print(f"{status:4s} {experiment_id}  ({len(result.checks)} checks)")
             failures += len(result.failed_checks())
-        return 0 if failures == 0 else 1
+        skipped = [
+            experiment_id
+            for experiment_id in EXPERIMENT_IDS
+            if experiment_id not in results
+        ]
+        for experiment_id in skipped:
+            print(f"SKIP {experiment_id}  (exhausted its attempts)")
+        return 0 if failures == 0 and not skipped else 1
     result = run_experiment(experiment, cache_dir=cache_dir)
     print(result.render())
     return 0 if result.all_checks_pass else 1
@@ -244,6 +312,18 @@ def _command_checks() -> int:
     return 0 if not failing else 1
 
 
+def _split_sweep_outcome(outcome: object, on_error: str) -> tuple:
+    """Unpack a sweep return value into ``(result, report)``.
+
+    Under ``on_error="skip"`` the runners return a ``(result,
+    FailureReport)`` pair; otherwise the result alone.
+    """
+    if on_error == "skip":
+        result, report = outcome
+        return result, (report if report else None)
+    return outcome, None
+
+
 def _command_sweep(
     name: str,
     markdown: bool,
@@ -253,8 +333,12 @@ def _command_sweep(
     jobs: int,
     chunk_size: int | None,
     cache_dir: str | None,
+    retries: int | None,
+    timeout: float | None,
+    on_error: str,
+    resume: bool,
 ) -> int:
-    from .exec import ResultCache, cache_key, package_fingerprint
+    from .exec import CheckpointStore, ResultCache, cache_key, package_fingerprint
     from .experiments.markdown import markdown_table
     from .report.tables import render_table
     from .scenarios import SWEEPS, run_sweep, run_uncertain_sweep
@@ -263,6 +347,13 @@ def _command_sweep(
 
     spec = SWEEPS[name]
     disk = ResultCache(cache_dir) if cache_dir is not None else None
+    if resume and disk is None:
+        print(
+            "error: --resume needs the on-disk cache (drop --no-cache)",
+            file=sys.stderr,
+        )
+        return 2
+    report = None
     if draws is None:
         # A deterministic sweep must not silently swallow Monte Carlo
         # flags the user believes are in effect.
@@ -280,8 +371,27 @@ def _command_sweep(
         )
         table = disk.get(key) if disk is not None else None
         if not isinstance(table, Table):
-            table = run_sweep(name, jobs=jobs, chunk_size=chunk_size)
-            if disk is not None:
+            checkpoint = (
+                CheckpointStore(
+                    cache_dir,
+                    spec_parts=("sweep", name, "point"),
+                    consume=resume,
+                )
+                if disk is not None
+                else None
+            )
+            outcome = run_sweep(
+                name,
+                jobs=jobs,
+                chunk_size=chunk_size,
+                retries=retries,
+                timeout=timeout,
+                on_error=on_error,
+                checkpoint=checkpoint,
+            )
+            table, report = _split_sweep_outcome(outcome, on_error)
+            # A partial table must never be served as the sweep's result.
+            if disk is not None and report is None:
                 disk.put(key, table)
         footer = f"{table.num_rows} scenarios, batched kernels"
     else:
@@ -293,10 +403,28 @@ def _command_sweep(
         )
         result = disk.get(key) if disk is not None else None
         if not isinstance(result, UncertainResult):
-            result = run_uncertain_sweep(
-                name, draws, seed_value, jobs=jobs, chunk_size=chunk_size
+            checkpoint = (
+                CheckpointStore(
+                    cache_dir,
+                    spec_parts=("sweep", name, draws, seed_value),
+                    consume=resume,
+                )
+                if disk is not None
+                else None
             )
-            if disk is not None:
+            outcome = run_uncertain_sweep(
+                name,
+                draws,
+                seed_value,
+                jobs=jobs,
+                chunk_size=chunk_size,
+                retries=retries,
+                timeout=timeout,
+                on_error=on_error,
+                checkpoint=checkpoint,
+            )
+            result, report = _split_sweep_outcome(outcome, on_error)
+            if disk is not None and report is None:
                 disk.put(key, result)
         if band is not None and band not in result.metric_names:
             print(
@@ -329,6 +457,16 @@ def _command_sweep(
         )
         # Character-cell output must be fenced to stay valid markdown.
         print(f"\n```\n{chart}\n```" if markdown else f"\n{chart}")
+    if report is not None:
+        print(f"warning: {report.summary()}", file=sys.stderr)
+        for failure in report.failures:
+            print(
+                f"  chunk {failure.index} [{failure.start}, {failure.stop}) "
+                f"after {failure.attempts} attempt(s): {failure.kind}: "
+                f"{failure.error}",
+                file=sys.stderr,
+            )
+        return 1
     return 0
 
 
@@ -413,6 +551,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                 args.parallel,
                 args.jobs,
                 _resolve_cache_dir(args.cache_dir, args.no_cache),
+                args.retries,
+                args.timeout,
+                args.on_error,
             )
         if args.command == "checks":
             return _command_checks()
@@ -426,6 +567,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                 args.jobs,
                 args.chunk_size,
                 _resolve_cache_dir(args.cache_dir, args.no_cache),
+                args.retries,
+                args.timeout,
+                args.on_error,
+                args.resume,
             )
         if args.command == "trace":
             return _command_trace(

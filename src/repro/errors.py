@@ -17,6 +17,8 @@ __all__ = [
     "SimulationError",
     "ExperimentError",
     "ExecutionError",
+    "ChunkFailedError",
+    "CorruptChunkError",
 ]
 
 
@@ -54,3 +56,42 @@ class ExperimentError(ReproError):
 
 class ExecutionError(ReproError):
     """Raised for invalid shard plans, kernels, or cache operations."""
+
+
+class ChunkFailedError(ExecutionError):
+    """A sweep chunk exhausted its retry budget.
+
+    Structured so callers can react programmatically: ``start``/``stop``
+    name the failed shard's scenario range, ``attempts`` how many times
+    it was tried, and ``kind`` the failure class (``"error"``,
+    ``"timeout"``, ``"crash"``, or ``"corrupt"``). The root cause is
+    chained as ``__cause__`` where one exists (worker hangs and hard
+    crashes have no Python-level cause to chain).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        index: "int | None" = None,
+        start: "int | None" = None,
+        stop: "int | None" = None,
+        attempts: "int | None" = None,
+        kind: "str | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.index = index
+        self.start = start
+        self.stop = stop
+        self.attempts = attempts
+        self.kind = kind
+
+
+class CorruptChunkError(ExecutionError):
+    """A chunk result failed its integrity check on the way back.
+
+    Worker processes return chunk results as (digest, pickled bytes)
+    envelopes; a digest mismatch — a torn transfer, a bit flip, or an
+    injected corruption fault — raises this, which the sharded driver
+    treats as one failed attempt of that chunk.
+    """

@@ -3,7 +3,8 @@
 The paper's capex-dominance argument only becomes visible when many
 hardware/provisioning/lifetime scenarios are swept at once, so the
 reproduction's value scales with scenario throughput. This package
-makes every batched kernel scale past one core and one memory chunk:
+makes every batched kernel scale past one core and one memory chunk —
+and keeps long runs alive when workers raise, crash, or hang:
 
 * :class:`ShardPlan` — deterministic chunking of a sweep's scenario
   axis; peak kernel memory is bounded by ``chunk_size`` scenarios.
@@ -12,19 +13,46 @@ makes every batched kernel scale past one core and one memory chunk:
   an in-order streaming reduction. Per-scenario seeded RNG streams
   make sharded runs bit-identical to monolithic ones
   (``tests/test_sharded_equivalence.py``).
+* :class:`RetryPolicy` / ``timeout`` / ``on_error`` — fault-tolerant
+  execution: failed, crashed, hung, or corrupt chunks are retried with
+  deterministic seeded backoff; exhausted chunks raise a structured
+  :class:`~repro.errors.ChunkFailedError` or degrade to partial
+  results plus a :class:`FailureReport` under ``on_error="skip"``.
+* :class:`CheckpointStore` — chunk-level checkpoints layered on the
+  result cache, keyed by (spec digest, shard range), so interrupted
+  sweeps resume bit-identically via ``repro sweep --resume``.
+* :class:`FaultSpec` — deterministic fault injection (env var
+  ``REPRO_FAULTS`` or API) for exercising every recovery path in CI
+  without flaky timing.
 * :class:`ResultCache` — a content-addressed on-disk cache (keyed by
   the ``repro`` source fingerprint plus the sweep/experiment spec)
   shared by ``repro run`` and ``repro sweep`` across processes, so
   repeated CLI invocations warm-start.
 
 The sweep runners in :mod:`repro.scenarios`, :mod:`repro.uncertainty`,
-and :mod:`repro.traces` all accept ``jobs=``/``chunk_size=`` and route
-through this layer; the CLI surfaces them as
-``repro sweep NAME --jobs N --chunk-size K --cache-dir PATH``.
+and :mod:`repro.traces` all accept ``jobs=``/``chunk_size=`` plus the
+fault-tolerance knobs and route through this layer; the CLI surfaces
+them as ``repro sweep NAME --jobs N --retries R --timeout S
+--on-error skip --resume``.
 """
 
-from .cache import ResultCache, cache_key, default_cache_dir, package_fingerprint
+from .cache import (
+    CACHE_FORMAT_VERSION,
+    ResultCache,
+    cache_key,
+    default_cache_dir,
+    package_fingerprint,
+)
+from .checkpoint import CheckpointStore
+from .faults import (
+    FaultRule,
+    FaultSpec,
+    InjectedFault,
+    active_fault_spec,
+    install_faults,
+)
 from .plan import Shard, ShardPlan
+from .retry import ChunkFailure, FailureReport, RetryPolicy
 from .runner import kernel_name, resolve_kernel, run_sharded
 
 __all__ = [
@@ -33,8 +61,18 @@ __all__ = [
     "kernel_name",
     "resolve_kernel",
     "run_sharded",
+    "RetryPolicy",
+    "ChunkFailure",
+    "FailureReport",
+    "CheckpointStore",
+    "FaultRule",
+    "FaultSpec",
+    "InjectedFault",
+    "active_fault_spec",
+    "install_faults",
     "ResultCache",
     "cache_key",
     "default_cache_dir",
     "package_fingerprint",
+    "CACHE_FORMAT_VERSION",
 ]

@@ -43,6 +43,12 @@ __all__ = [
 #: never looked up again.
 _SCHEMA = "v1"
 
+#: Folded into every key digest (see :func:`cache_key`). Bump when the
+#: *meaning* of cached values changes — a pickle-layout or result-schema
+#: change the schema directory alone would not catch — so stale entries
+#: become unreachable instead of deserializing into the wrong shape.
+CACHE_FORMAT_VERSION = 2
+
 
 def default_cache_dir() -> Path:
     """The cache directory used when the caller does not name one.
@@ -85,12 +91,14 @@ def cache_key(*parts: object) -> str:
     """The content-addressed key for a sequence of spec parts.
 
     Parts are joined unambiguously (length-prefixed) and digested, so
-    ``cache_key("a", "bc")`` and ``cache_key("ab", "c")`` differ.
+    ``cache_key("a", "bc")`` and ``cache_key("ab", "c")`` differ. The
+    digest is prefixed with :data:`CACHE_FORMAT_VERSION`, so bumping
+    the format version orphans every existing entry at once.
     """
     if not parts:
         raise ExecutionError("a cache key needs at least one part")
     digest = hashlib.sha256()
-    for part in parts:
+    for part in (f"format={CACHE_FORMAT_VERSION}", *parts):
         text = str(part)
         digest.update(f"{len(text)}:".encode())
         digest.update(text.encode())

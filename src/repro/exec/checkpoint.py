@@ -1,0 +1,107 @@
+"""Chunk-level checkpoints so interrupted sweeps warm-start.
+
+The :class:`~repro.exec.cache.ResultCache` stores *whole-run* results,
+which is the right granularity for repeat invocations but useless when
+a 100k-scenario sweep dies at 95%: nothing was keyed until the final
+combine. :class:`CheckpointStore` closes that gap by recording each
+completed chunk under a key derived from the sweep's spec digest and
+the chunk's shard range, layered on the same content-addressed cache
+directory (entries are ordinary cache files; atomic writes and
+corrupt-as-miss reads come for free).
+
+Because chunk results are keyed by scenario *range* — not by
+``jobs``/``chunk_size`` at large, but by the exact ``(start, stop)``
+window the plan produced — a resumed run replays the identical
+per-scenario seeded streams and is bit-identical to an uninterrupted
+one. Reads are gated by the ``consume`` flag so checkpoints only
+warm-start runs that asked to resume (``repro sweep --resume``);
+writes always happen for multi-chunk runs, and a completed run
+discards its checkpoint entries since the whole-run cache now covers
+it.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Iterable
+
+from .cache import ResultCache, cache_key, package_fingerprint
+
+__all__ = ["CheckpointStore"]
+
+_MISS = object()
+
+
+class CheckpointStore:
+    """Per-chunk results for one sweep spec, keyed by shard range.
+
+    ``spec_parts`` identify the sweep (name, draws/seed, ...); the
+    store folds in the package source fingerprint so checkpoints never
+    survive a code change. ``consume`` controls whether :meth:`get`
+    returns stored chunks (``--resume``) or reports misses while still
+    allowing writes (the default for a fresh run, which must not be
+    contaminated by a previous run's leftovers yet should leave its
+    own trail in case it is interrupted).
+    """
+
+    def __init__(
+        self,
+        directory: "str | os.PathLike[str] | None" = None,
+        *,
+        spec_parts: Iterable[object],
+        consume: bool = True,
+    ) -> None:
+        self._cache = ResultCache(directory)
+        self._spec_key = cache_key(
+            "checkpoint", package_fingerprint(), *spec_parts
+        )
+        self._consume = consume
+
+    @property
+    def consume(self) -> bool:
+        """Whether :meth:`get` serves stored chunks (resume mode)."""
+        return self._consume
+
+    @property
+    def spec_key(self) -> str:
+        """The digest identifying this sweep spec within the cache."""
+        return self._spec_key
+
+    def key_for(self, start: int, stop: int) -> str:
+        """The cache key for the chunk covering ``[start, stop)``."""
+        return cache_key(self._spec_key, f"chunk:{start}:{stop}")
+
+    def get(self, start: int, stop: int) -> "tuple[bool, Any]":
+        """Look up the chunk for ``[start, stop)``.
+
+        Returns ``(True, chunk)`` on a hit, ``(False, None)`` on a
+        miss — chunk results may legitimately be falsy, so a sentinel
+        pair beats ``None``-as-miss. Always misses when the store was
+        opened with ``consume=False``.
+        """
+        if not self._consume:
+            return (False, None)
+        value = self._cache.get(self.key_for(start, stop), _MISS)
+        if value is _MISS:
+            return (False, None)
+        return (True, value)
+
+    def put(self, start: int, stop: int, chunk: Any) -> bool:
+        """Best-effort store of a completed chunk; returns success."""
+        return self._cache.put(self.key_for(start, stop), chunk)
+
+    def discard(self, ranges: Iterable[tuple[int, int]]) -> int:
+        """Drop the entries for the given shard ranges; returns the count.
+
+        Called after a successful run: once the whole-run result is in
+        the main cache, per-chunk entries are dead weight.
+        """
+        removed = 0
+        for start, stop in ranges:
+            path = self._cache.path_for(self.key_for(start, stop))
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

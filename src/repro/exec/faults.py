@@ -1,0 +1,289 @@
+"""Deterministic fault injection for the sharded execution engine.
+
+Testing a fault-tolerant executor with real faults — killing worker
+processes at random, sleeping past timeouts on a timer — makes CI
+flaky. This module replaces luck with a declarative, fully
+deterministic :class:`FaultSpec`: a list of rules, each naming the
+chunks (by shard start) and attempt numbers it fires on, and the kind
+of failure it produces:
+
+- ``"raise"``  — the chunk kernel raises :class:`InjectedFault`;
+- ``"crash"``  — the worker process hard-exits (``os._exit``), which
+  the driver observes as a broken pool; inline (``jobs=1``) runs
+  degrade this to ``"raise"`` so the test process survives;
+- ``"hang"``   — the kernel sleeps ``seconds``, tripping the driver's
+  per-chunk timeout;
+- ``"corrupt"``— the chunk completes but its result envelope is
+  bit-flipped after the integrity digest is computed, so verification
+  fails on the driver side.
+
+Specs reach workers three ways, in priority order: an explicit
+``faults=`` argument to ``run_sharded``, a process-wide spec installed
+with :func:`install_faults`, or the ``REPRO_FAULTS`` environment
+variable holding the spec as JSON (how the CLI and chaos tooling
+inject faults without touching call sites). Because rules key on
+``(shard start, attempt)``, the same spec replays the same failure
+schedule on every run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from ..errors import ExecutionError
+
+__all__ = [
+    "ENV_VAR",
+    "FAULT_KINDS",
+    "InjectedFault",
+    "FaultRule",
+    "FaultSpec",
+    "install_faults",
+    "active_fault_spec",
+    "perform_fault",
+    "corrupt_bytes",
+]
+
+ENV_VAR = "REPRO_FAULTS"
+"""Environment variable consulted for a JSON-encoded fault spec."""
+
+FAULT_KINDS = ("raise", "crash", "hang", "corrupt")
+"""The failure kinds a rule may inject."""
+
+_DEFAULT_HANG_SECONDS = 30.0
+
+_installed_spec: "FaultSpec | None" = None
+
+
+class InjectedFault(RuntimeError):
+    """The synthetic error raised by ``"raise"``-kind fault rules.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: injected
+    faults simulate arbitrary kernel failures, and the driver must
+    recover from exceptions it has never heard of.
+    """
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injected failure: which chunks, which attempts, what kind.
+
+    ``starts`` holds shard start offsets (``None`` matches every
+    chunk) and ``attempts`` 1-based attempt numbers (``None`` matches
+    every attempt). ``seconds`` only matters for ``"hang"`` rules.
+    """
+
+    kind: str
+    starts: "tuple[int, ...] | None" = None
+    attempts: "tuple[int, ...] | None" = (1,)
+    seconds: float = _DEFAULT_HANG_SECONDS
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ExecutionError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.seconds < 0.0:
+            raise ExecutionError(
+                f"hang duration must be non-negative, got {self.seconds}"
+            )
+        if self.starts is not None:
+            object.__setattr__(self, "starts", tuple(int(s) for s in self.starts))
+        if self.attempts is not None:
+            object.__setattr__(
+                self, "attempts", tuple(int(a) for a in self.attempts)
+            )
+
+    def matches(self, start: int, attempt: int) -> bool:
+        """Whether this rule fires for the given chunk attempt."""
+        if self.starts is not None and start not in self.starts:
+            return False
+        if self.attempts is not None and attempt not in self.attempts:
+            return False
+        return True
+
+    def to_dict(self) -> dict[str, Any]:
+        """The rule as a plain JSON-serializable mapping."""
+        payload: dict[str, Any] = {"kind": self.kind}
+        if self.starts is not None:
+            payload["starts"] = list(self.starts)
+        if self.attempts is not None:
+            payload["attempts"] = list(self.attempts)
+        if self.kind == "hang":
+            payload["seconds"] = self.seconds
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "FaultRule":
+        """Rebuild a rule from :meth:`to_dict` output."""
+        if not isinstance(payload, dict) or "kind" not in payload:
+            raise ExecutionError(f"malformed fault rule: {payload!r}")
+        starts = payload.get("starts")
+        attempts = payload.get("attempts", [1])
+        return cls(
+            kind=payload["kind"],
+            starts=None if starts is None else tuple(starts),
+            attempts=None if attempts is None else tuple(attempts),
+            seconds=float(payload.get("seconds", _DEFAULT_HANG_SECONDS)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """An ordered set of fault rules; the first matching rule fires."""
+
+    rules: tuple[FaultRule, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    def __bool__(self) -> bool:
+        return bool(self.rules)
+
+    def match(self, start: int, attempt: int) -> "FaultRule | None":
+        """The first rule firing for this chunk attempt, if any."""
+        for rule in self.rules:
+            if rule.matches(start, attempt):
+                return rule
+        return None
+
+    def to_json(self) -> str:
+        """The spec serialized as JSON (the ``REPRO_FAULTS`` format)."""
+        return json.dumps({"rules": [rule.to_dict() for rule in self.rules]})
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSpec":
+        """Parse a spec from its JSON serialization."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ExecutionError(f"invalid fault spec JSON: {error}") from error
+        if not isinstance(payload, dict) or "rules" not in payload:
+            raise ExecutionError(
+                f"fault spec JSON must be an object with a 'rules' list, "
+                f"got {text!r}"
+            )
+        return cls(
+            rules=tuple(FaultRule.from_dict(item) for item in payload["rules"])
+        )
+
+    @classmethod
+    def from_env(cls) -> "FaultSpec | None":
+        """The spec from ``REPRO_FAULTS``, or ``None`` when unset/empty."""
+        text = os.environ.get(ENV_VAR)
+        if not text:
+            return None
+        return cls.from_json(text)
+
+    @classmethod
+    def chaos(
+        cls,
+        shard_starts: Sequence[int],
+        *,
+        seed: int,
+        rate: float = 0.5,
+        kinds: Sequence[str] = ("raise", "crash", "corrupt"),
+        hang_seconds: float = 0.5,
+    ) -> "FaultSpec":
+        """A seeded random spec for chaos testing.
+
+        Samples ``rate`` of the given shard starts and assigns each a
+        first-attempt fault of a seeded-random kind, so a chaos run is
+        noisy but exactly reproducible from its seed. Every sampled
+        fault fires on attempt 1 only, so a driver with at least one
+        retry always recovers.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ExecutionError(f"fault rate must be within [0, 1], got {rate}")
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise ExecutionError(
+                    f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}"
+                )
+        rng = np.random.default_rng(seed)
+        rules = []
+        for start in shard_starts:
+            if float(rng.uniform()) >= rate:
+                continue
+            kind = str(kinds[int(rng.integers(len(kinds)))])
+            rules.append(
+                FaultRule(
+                    kind=kind,
+                    starts=(int(start),),
+                    attempts=(1,),
+                    seconds=hang_seconds,
+                )
+            )
+        return cls(rules=tuple(rules))
+
+
+@contextmanager
+def install_faults(spec: "FaultSpec | None") -> Iterator[None]:
+    """Install a process-wide fault spec for the duration of a block.
+
+    Used by tests to arm faults without threading a ``faults=``
+    argument through every call site. Nested installs restore the
+    previous spec on exit.
+    """
+    global _installed_spec
+    previous = _installed_spec
+    _installed_spec = spec
+    try:
+        yield
+    finally:
+        _installed_spec = previous
+
+
+def active_fault_spec(explicit: "FaultSpec | None" = None) -> "FaultSpec | None":
+    """Resolve the fault spec in effect for a run.
+
+    Priority: the explicit argument, then any spec installed with
+    :func:`install_faults`, then the ``REPRO_FAULTS`` environment
+    variable. Returns ``None`` (the common case) when no faults are
+    armed anywhere.
+    """
+    if explicit is not None:
+        return explicit
+    if _installed_spec is not None:
+        return _installed_spec
+    return FaultSpec.from_env()
+
+
+def perform_fault(rule: FaultRule, *, start: int, in_worker: bool) -> None:
+    """Carry out a matched fault rule inside the chunk kernel.
+
+    ``"corrupt"`` is a no-op here — corruption happens to the result
+    envelope after the kernel returns, handled by the runner. A
+    ``"crash"`` outside a pool worker degrades to ``"raise"`` so
+    inline runs do not kill the calling process.
+    """
+    if rule.kind == "raise":
+        raise InjectedFault(f"injected fault: chunk starting at {start} raised")
+    if rule.kind == "crash":
+        if in_worker:
+            # Hard exit without flushing or running atexit handlers:
+            # the closest stand-in for an OOM kill or segfault.
+            sys.stderr.flush()
+            os._exit(1)
+        raise InjectedFault(
+            f"injected fault: chunk starting at {start} crashed (inline run)"
+        )
+    if rule.kind == "hang":
+        time.sleep(rule.seconds)
+
+
+def corrupt_bytes(payload: bytes) -> bytes:
+    """Flip one bit of a result payload to defeat its integrity digest."""
+    if not payload:
+        return b"\x01"
+    corrupted = bytearray(payload)
+    corrupted[len(corrupted) // 2] ^= 0x01
+    return bytes(corrupted)

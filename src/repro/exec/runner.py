@@ -10,9 +10,9 @@ the shared payload (scenario records, base parameters, trace lists) to
 Parallel execution uses a :class:`~concurrent.futures.ProcessPoolExecutor`
 whose workers are initialized *once* with the kernel's dotted name and
 the pickled payload; per-chunk task messages are then just ``(start,
-stop)`` index pairs, so a thousand-chunk sweep does not re-ship the
-scenario records a thousand times. Kernels are addressed by
-``"module:function"`` name — resolved by import inside the worker —
+stop, attempt)`` index triples, so a thousand-chunk sweep does not
+re-ship the scenario records a thousand times. Kernels are addressed
+by ``"module:function"`` name — resolved by import inside the worker —
 which keeps the driver picklable under every start method (fork,
 forkserver, spawn).
 
@@ -20,22 +20,62 @@ forkserver, spawn).
 zero-dependency fallback and the memory-bounding mode: intermediate
 (scenarios × draws × years) kernel arrays never exceed ``chunk_size``
 scenarios, whatever the grid size.
+
+The pool path is fault tolerant. Work proceeds in *waves*: each wave
+owns a fresh pool, submits every not-yet-finished chunk, and polls
+with a short :func:`concurrent.futures.wait` so the driver can notice
+three distinct failure modes — a chunk that raises (a normal failed
+future), a worker that dies (the pool breaks; only chunks observed
+running are charged an attempt, the rest resubmit uncharged), and a
+chunk that hangs (its wall-clock runtime exceeds the per-chunk
+``timeout``; running futures cannot be cancelled, so the whole pool is
+abandoned — queued work cancelled, workers terminated — and the next
+wave takes over). Results cross the process boundary in an integrity
+envelope (sha256 over the worker-pickled bytes), so a corrupt result
+is detected and charged as a failed attempt instead of silently
+combined. Retries follow a :class:`~repro.exec.retry.RetryPolicy`
+with deterministic seeded backoff; exhausted chunks raise a structured
+:class:`~repro.errors.ChunkFailedError` or, under ``on_error="skip"``,
+degrade to partial results plus a
+:class:`~repro.exec.retry.FailureReport`. A
+:class:`~repro.exec.checkpoint.CheckpointStore` persists each finished
+chunk so an interrupted sweep resumes bit-identically.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import hashlib
 import importlib
+import pickle
+import time
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
-from ..errors import ExecutionError
-from .plan import ShardPlan
+from ..errors import ChunkFailedError, CorruptChunkError, ExecutionError
+from .checkpoint import CheckpointStore
+from .faults import FaultSpec, active_fault_spec, corrupt_bytes, perform_fault
+from .plan import Shard, ShardPlan
+from .retry import ChunkFailure, FailureReport, RetryPolicy
 
 __all__ = ["kernel_name", "resolve_kernel", "run_sharded"]
 
 #: Per-worker state installed by the pool initializer: the resolved
-#: chunk kernel and the shared payload, shipped once per worker.
+#: chunk kernel, the shared payload, and any armed fault spec, shipped
+#: once per worker.
 _WORKER_STATE: dict[str, Any] = {}
+
+#: How often the driver wakes to check for finished, crashed, or hung
+#: chunks. Small enough that timeout detection is prompt; large enough
+#: that polling is invisible next to real kernel work.
+_POLL_INTERVAL = 0.05
+
+# Module-level aliases so tests can substitute doubles (a pool that
+# records shutdown arguments, a wait that raises KeyboardInterrupt)
+# without monkeypatching the stdlib for every process.
+_pool_executor = concurrent.futures.ProcessPoolExecutor
+_wait = concurrent.futures.wait
+_sleep = time.sleep
 
 
 def kernel_name(kernel: Callable[..., Any]) -> str:
@@ -76,7 +116,9 @@ def resolve_kernel(name: str) -> Callable[..., Any]:
     try:
         module = importlib.import_module(module_name)
     except ImportError as error:
-        raise ExecutionError(f"cannot import kernel module {module_name!r}: {error}")
+        raise ExecutionError(
+            f"cannot import kernel module {module_name!r}: {error}"
+        ) from error
     kernel = getattr(module, attribute, None)
     if not callable(kernel):
         raise ExecutionError(
@@ -85,15 +127,347 @@ def resolve_kernel(name: str) -> Callable[..., Any]:
     return kernel
 
 
-def _worker_init(name: str, payload: Any) -> None:
+def _worker_init(name: str, payload: Any, faults: "FaultSpec | None" = None) -> None:
     """Pool initializer: resolve the kernel and pin the shared payload."""
     _WORKER_STATE["kernel"] = resolve_kernel(name)
     _WORKER_STATE["payload"] = payload
+    _WORKER_STATE["faults"] = faults
 
 
-def _worker_chunk(start: int, stop: int) -> Any:
-    """Run the initialized kernel on one ``[start, stop)`` chunk."""
-    return _WORKER_STATE["kernel"](_WORKER_STATE["payload"], start, stop)
+def _envelope(result: Any) -> tuple[str, bytes]:
+    """Wrap a chunk result as (sha256 hex digest, pickled bytes).
+
+    The worker digests its *own* pickled bytes, so the driver-side
+    check is sensitive to anything that mangles the payload in transit
+    without depending on pickling being canonical across processes.
+    """
+    blob = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+    return hashlib.sha256(blob).hexdigest(), blob
+
+
+def _open_envelope(envelope: Any, *, start: int, stop: int) -> Any:
+    """Verify a chunk result envelope and return the result inside."""
+    try:
+        digest, blob = envelope
+        actual = hashlib.sha256(blob).hexdigest()
+    except Exception as error:
+        raise CorruptChunkError(
+            f"malformed result envelope for chunk [{start}, {stop})"
+        ) from error
+    if actual != digest:
+        raise CorruptChunkError(
+            f"integrity check failed for chunk [{start}, {stop}): "
+            f"expected sha256 {digest[:12]}, got {actual[:12]}"
+        )
+    try:
+        return pickle.loads(blob)
+    except Exception as error:
+        raise CorruptChunkError(
+            f"cannot deserialize the result for chunk [{start}, {stop})"
+        ) from error
+
+
+def _worker_chunk(start: int, stop: int, attempt: int = 1) -> tuple[str, bytes]:
+    """Run the initialized kernel on one ``[start, stop)`` chunk.
+
+    Returns the result wrapped in an integrity envelope. If a fault
+    rule matches this (chunk, attempt), it fires here: ``raise``,
+    ``crash``, and ``hang`` before the kernel runs; ``corrupt`` by
+    flipping a bit of the pickled result *after* the digest is taken,
+    so the driver's verification fails deterministically.
+    """
+    spec = _WORKER_STATE.get("faults")
+    rule = spec.match(start, attempt) if spec else None
+    if rule is not None and rule.kind != "corrupt":
+        perform_fault(rule, start=start, in_worker=True)
+    result = _WORKER_STATE["kernel"](_WORKER_STATE["payload"], start, stop)
+    digest, blob = _envelope(result)
+    if rule is not None and rule.kind == "corrupt":
+        blob = corrupt_bytes(blob)
+    return digest, blob
+
+
+@dataclass(frozen=True)
+class _PoolTask:
+    """One unit of pool work: a caller key, a backoff stream, call args."""
+
+    key: Any
+    stream: int
+    args: tuple
+
+
+@dataclass
+class _TaskFailure:
+    """A task that exhausted its retry budget, with its final cause."""
+
+    key: Any
+    stream: int
+    attempts: int
+    kind: str
+    message: str
+    error: "BaseException | None" = None
+
+
+def _abandon_pool(pool: Any) -> None:
+    """Tear a pool down hard: cancel queued chunks, kill its workers.
+
+    Used when a chunk hangs past its timeout (running futures cannot
+    be cancelled), when the pool breaks, and on any driver-side error
+    including KeyboardInterrupt — a failed sweep must not linger on
+    queued work.
+    """
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:
+            pass
+
+
+def _run_pool_tasks(
+    tasks: Sequence[_PoolTask],
+    *,
+    task_fn: Callable[..., Any],
+    workers: int,
+    retry: RetryPolicy,
+    timeout: "float | None" = None,
+    initializer: "Callable[..., None] | None" = None,
+    initargs: tuple = (),
+    postprocess: "Callable[[_PoolTask, Any], Any] | None" = None,
+) -> tuple[dict[Any, Any], list[_TaskFailure]]:
+    """The wave-based fault-tolerant pool engine.
+
+    Runs ``task_fn(*task.args, attempt)`` for every task across a
+    process pool, retrying failures per ``retry``. Each *wave* owns a
+    fresh pool; a wave ends normally when all its futures resolve, or
+    is abandoned when the pool breaks (worker crash) or a chunk runs
+    past ``timeout`` — the unfinished, uncharged tasks roll into the
+    next wave. ``postprocess(task, raw)`` runs driver-side on each
+    completed future (envelope verification, checkpointing); an
+    exception there counts as a failed attempt of that task.
+
+    Returns ``(results, failures)``: a dict of postprocessed results
+    keyed by ``task.key``, and the tasks that exhausted every attempt.
+    Shared by :func:`run_sharded` and the experiment registry's
+    parallel ``run_all``.
+    """
+    pending: list[tuple[_PoolTask, int]] = [(task, 1) for task in tasks]
+    results: dict[Any, Any] = {}
+    failures: list[_TaskFailure] = []
+
+    def charge(
+        task: _PoolTask,
+        attempt: int,
+        kind: str,
+        message: str,
+        error: "BaseException | None",
+        delays: list[float],
+    ) -> None:
+        if attempt < retry.max_attempts:
+            delays.append(retry.delay(task.stream, attempt))
+            pending.append((task, attempt + 1))
+        else:
+            failures.append(
+                _TaskFailure(task.key, task.stream, attempt, kind, message, error)
+            )
+
+    while pending:
+        wave, pending = pending, []
+        pool = _pool_executor(
+            max_workers=min(workers, len(wave)),
+            initializer=initializer,
+            initargs=initargs,
+        )
+        delays: list[float] = []
+        abandoned = False
+        try:
+            info = {}
+            for task, attempt in wave:
+                info[pool.submit(task_fn, *task.args, attempt)] = (task, attempt)
+            outstanding = set(info)
+            first_running: dict[Any, float] = {}
+            while outstanding:
+                done, outstanding = _wait(
+                    outstanding,
+                    timeout=_POLL_INTERVAL,
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                now = time.monotonic()
+                broken: "BaseException | None" = None
+                for future in done:
+                    task, attempt = info[future]
+                    try:
+                        value = future.result()
+                        if postprocess is not None:
+                            value = postprocess(task, value)
+                    except concurrent.futures.BrokenExecutor as error:
+                        # A dead worker poisons every unfinished future
+                        # with the same exception; fold this one back in
+                        # and attribute blame once, below.
+                        broken = error
+                        outstanding.add(future)
+                        continue
+                    except Exception as error:
+                        kind = (
+                            "corrupt"
+                            if isinstance(error, CorruptChunkError)
+                            else "error"
+                        )
+                        charge(task, attempt, kind, str(error), error, delays)
+                        continue
+                    results[task.key] = value
+                if broken is not None:
+                    # Only tasks observed running can have killed the
+                    # worker; queued ones resubmit without losing an
+                    # attempt. If the crash beat our first poll, charge
+                    # everything unfinished rather than loop forever.
+                    charged = {f for f in outstanding if f in first_running}
+                    if not charged:
+                        charged = set(outstanding)
+                    for future in outstanding:
+                        task, attempt = info[future]
+                        if future in charged:
+                            charge(
+                                task,
+                                attempt,
+                                "crash",
+                                f"worker process died ({broken})",
+                                broken,
+                                delays,
+                            )
+                        else:
+                            pending.append((task, attempt))
+                    _abandon_pool(pool)
+                    abandoned = True
+                    break
+                for future in outstanding:
+                    if future not in first_running and future.running():
+                        first_running[future] = now
+                if timeout is not None:
+                    timed_out = {
+                        future
+                        for future in outstanding
+                        if future in first_running
+                        and now - first_running[future] >= timeout
+                    }
+                    if timed_out:
+                        # Running futures cannot be cancelled, so the
+                        # whole pool is forfeit; innocent bystanders
+                        # resubmit uncharged in the next wave.
+                        for future in outstanding:
+                            task, attempt = info[future]
+                            if future in timed_out:
+                                charge(
+                                    task,
+                                    attempt,
+                                    "timeout",
+                                    f"chunk ran past the {timeout:g}s "
+                                    f"per-chunk timeout",
+                                    None,
+                                    delays,
+                                )
+                            else:
+                                pending.append((task, attempt))
+                        _abandon_pool(pool)
+                        abandoned = True
+                        break
+        except BaseException:
+            _abandon_pool(pool)
+            raise
+        if not abandoned:
+            pool.shutdown(wait=True)
+        if pending and delays:
+            _sleep(max(delays))
+    return results, failures
+
+
+def _run_chunk_inline(
+    kernel: Callable[[Any, int, int], Any],
+    payload: Any,
+    shard: Shard,
+    *,
+    retry: RetryPolicy,
+    spec: "FaultSpec | None",
+) -> "tuple[Any, _TaskFailure | None]":
+    """Run one chunk on the calling thread with the same retry budget."""
+    last_error: "Exception | None" = None
+    kind = "error"
+    for attempt in range(1, retry.max_attempts + 1):
+        rule = spec.match(shard.start, attempt) if spec is not None else None
+        try:
+            if rule is not None and rule.kind != "corrupt":
+                perform_fault(rule, start=shard.start, in_worker=False)
+            chunk = kernel(payload, shard.start, shard.stop)
+            if rule is not None and rule.kind == "corrupt":
+                # Mirror the pool path's integrity failure: build the
+                # envelope, damage it, and let verification object.
+                digest, blob = _envelope(chunk)
+                _open_envelope(
+                    (digest, corrupt_bytes(blob)),
+                    start=shard.start,
+                    stop=shard.stop,
+                )
+            return chunk, None
+        except Exception as error:
+            last_error = error
+            kind = "corrupt" if isinstance(error, CorruptChunkError) else "error"
+            if attempt < retry.max_attempts:
+                _sleep(retry.delay(shard.start, attempt))
+    failure = _TaskFailure(
+        key=shard.index,
+        stream=shard.start,
+        attempts=retry.max_attempts,
+        kind=kind,
+        message=str(last_error),
+        error=last_error,
+    )
+    return None, failure
+
+
+def _raise_exhausted(
+    shard: Shard, failure: _TaskFailure, retry: RetryPolicy
+) -> None:
+    """Surface an exhausted chunk under ``on_error="raise"``.
+
+    With no retry budget armed the chunk's own exception propagates
+    raw, as ``run_sharded`` always raised before the fault-tolerance
+    layer existed; with retries in play, exhaustion is a structured
+    :class:`~repro.errors.ChunkFailedError` (crash and timeout
+    failures have no original exception and are always structured).
+    """
+    if retry.max_attempts == 1 and failure.error is not None:
+        raise failure.error
+    _raise_chunk_failed(shard, failure)
+
+
+def _raise_chunk_failed(shard: Shard, failure: _TaskFailure) -> None:
+    """Raise the structured exhaustion error for one failed shard."""
+    raise ChunkFailedError(
+        f"chunk {shard.index} (scenarios [{shard.start}, {shard.stop})) "
+        f"failed after {failure.attempts} attempt(s) [{failure.kind}]: "
+        f"{failure.message}",
+        index=shard.index,
+        start=shard.start,
+        stop=shard.stop,
+        attempts=failure.attempts,
+        kind=failure.kind,
+    ) from failure.error
+
+
+def _chunk_failure(shard: Shard, failure: _TaskFailure) -> ChunkFailure:
+    """Convert an engine failure into its report form."""
+    return ChunkFailure(
+        index=shard.index,
+        start=shard.start,
+        stop=shard.stop,
+        attempts=failure.attempts,
+        kind=failure.kind,
+        error=repr(failure.error) if failure.error is not None else failure.message,
+    )
 
 
 def run_sharded(
@@ -102,40 +476,144 @@ def run_sharded(
     plan: ShardPlan,
     *,
     jobs: int = 1,
-    combine: Callable[[Sequence[Any]], Any] | None = None,
+    combine: "Callable[[Sequence[Any]], Any] | None" = None,
+    retries: "RetryPolicy | int | None" = None,
+    timeout: "float | None" = None,
+    on_error: str = "raise",
+    checkpoint: "CheckpointStore | None" = None,
+    faults: "FaultSpec | None" = None,
 ) -> Any:
     """Run ``kernel`` over every shard of ``plan`` and reduce the chunks.
 
     ``kernel(payload, start, stop)`` is called once per shard — inline
     for ``jobs=1``, across a ``ProcessPoolExecutor(max_workers=jobs)``
-    otherwise. Chunk results are consumed in shard order (a streaming
-    in-order reduction: each finished chunk's kernel intermediates are
-    freed while later chunks are still running) and handed to
+    otherwise. Chunk results are consumed in shard order and handed to
     ``combine`` as one ordered list; with ``combine=None`` the list
-    itself is returned.
+    itself is returned. Because every sharded runner derives
+    per-scenario state from global scenario records, the combined
+    result is bit-identical to a monolithic run for any
+    ``jobs``/``chunk_size`` — and, via the retry machinery below, for
+    any schedule of recovered faults.
 
-    Because every sharded runner derives per-scenario state from global
-    scenario records, the combined result is bit-identical to a
-    monolithic run for any ``jobs``/``chunk_size``.
+    Fault tolerance:
+
+    - ``retries`` — a :class:`~repro.exec.retry.RetryPolicy`, an int
+      (that many retries after the first attempt), or ``None`` (one
+      attempt). Backoff is deterministic (seeded jitter, no wall-clock
+      randomness).
+    - ``timeout`` — per-chunk wall-clock seconds; a chunk running past
+      it is charged a failed attempt and its pool is rebuilt. Requires
+      ``jobs > 1``: inline chunks run on the calling thread and cannot
+      be cancelled.
+    - ``on_error`` — ``"raise"`` (default) surfaces the first
+      exhausted chunk: with no retry budget the chunk's own exception
+      propagates unchanged (the pre-fault-tolerance contract), with
+      retries armed it is a structured
+      :class:`~repro.errors.ChunkFailedError`. ``"skip"`` returns
+      ``(partial_result, FailureReport)`` instead, raising only if
+      *no* chunk completed at all.
+    - ``checkpoint`` — a :class:`~repro.exec.checkpoint.CheckpointStore`;
+      finished chunks are persisted as they land (multi-chunk plans
+      only), prefilled from the store when it was opened in consume
+      mode, and discarded after a fully successful run.
+    - ``faults`` — an explicit
+      :class:`~repro.exec.faults.FaultSpec`; defaults to whatever
+      :func:`~repro.exec.faults.active_fault_spec` resolves (installed
+      spec, then the ``REPRO_FAULTS`` environment variable).
     """
     if jobs <= 0:
         raise ExecutionError(f"job count must be positive, got {jobs}")
+    if on_error not in ("raise", "skip"):
+        raise ExecutionError(
+            f"on_error must be 'raise' or 'skip', got {on_error!r}"
+        )
+    retry = RetryPolicy.coerce(retries)
+    if timeout is not None:
+        if timeout <= 0:
+            raise ExecutionError(
+                f"per-chunk timeout must be positive, got {timeout}"
+            )
+        if jobs == 1:
+            raise ExecutionError(
+                "a per-chunk timeout needs jobs > 1: inline chunks run on "
+                "the calling thread and cannot be cancelled"
+            )
+    spec = active_fault_spec(faults)
+    if spec is not None and not spec:
+        spec = None
     name = kernel_name(kernel)
     shards = plan.shards()
-    if jobs == 1 or len(shards) == 1:
-        chunks = [kernel(payload, shard.start, shard.stop) for shard in shards]
-    else:
-        workers = min(jobs, len(shards))
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=workers,
+    shard_by_index = {shard.index: shard for shard in shards}
+    use_checkpoint = checkpoint is not None and len(shards) > 1
+
+    completed: dict[int, Any] = {}
+    to_run: list[Shard] = []
+    for shard in shards:
+        if use_checkpoint:
+            hit, chunk = checkpoint.get(shard.start, shard.stop)
+            if hit:
+                completed[shard.index] = chunk
+                continue
+        to_run.append(shard)
+
+    failures: list[_TaskFailure] = []
+    if jobs == 1 or (len(shards) == 1 and timeout is None):
+        for shard in to_run:
+            chunk, failure = _run_chunk_inline(
+                kernel, payload, shard, retry=retry, spec=spec
+            )
+            if failure is None:
+                completed[shard.index] = chunk
+                if use_checkpoint:
+                    checkpoint.put(shard.start, shard.stop, chunk)
+            else:
+                if on_error == "raise":
+                    _raise_exhausted(shard, failure, retry)
+                failures.append(failure)
+    elif to_run:
+        def postprocess(task: _PoolTask, raw: Any) -> Any:
+            shard = shard_by_index[task.key]
+            chunk = _open_envelope(raw, start=shard.start, stop=shard.stop)
+            if use_checkpoint:
+                checkpoint.put(shard.start, shard.stop, chunk)
+            return chunk
+
+        tasks = [
+            _PoolTask(key=shard.index, stream=shard.start,
+                      args=(shard.start, shard.stop))
+            for shard in to_run
+        ]
+        results, failures = _run_pool_tasks(
+            tasks,
+            task_fn=_worker_chunk,
+            workers=min(jobs, len(to_run)),
+            retry=retry,
+            timeout=timeout,
             initializer=_worker_init,
-            initargs=(name, payload),
-        ) as pool:
-            futures = [
-                pool.submit(_worker_chunk, shard.start, shard.stop)
-                for shard in shards
-            ]
-            chunks = [future.result() for future in futures]
-    if combine is None:
-        return chunks
-    return combine(chunks)
+            initargs=(name, payload, spec),
+            postprocess=postprocess,
+        )
+        completed.update(results)
+
+    if failures:
+        failures.sort(key=lambda failure: failure.key)
+        if on_error == "raise":
+            first = failures[0]
+            _raise_exhausted(shard_by_index[first.key], first, retry)
+        if not completed:
+            first = failures[0]
+            _raise_chunk_failed(shard_by_index[first.key], first)
+    if use_checkpoint and not failures:
+        checkpoint.discard((shard.start, shard.stop) for shard in shards)
+    chunks = [completed[index] for index in sorted(completed)]
+    result = chunks if combine is None else combine(chunks)
+    if on_error == "skip":
+        report = FailureReport(
+            failures=tuple(
+                _chunk_failure(shard_by_index[failure.key], failure)
+                for failure in failures
+            ),
+            num_chunks=len(shards),
+        )
+        return result, report
+    return result

@@ -15,20 +15,27 @@ makes three accelerations safe:
   process pool; each worker reads and writes the shared disk cache, so
   a warm cache skips the pool entirely and a crashed run keeps every
   completed result.
+
+The parallel path rides the same wave-based fault-tolerant engine as
+:func:`repro.exec.run_sharded`: ``retries=`` re-runs drivers that
+raise or whose worker dies (deterministic seeded backoff), a per-run
+``timeout=`` bounds hung drivers, and ``on_error="skip"`` returns the
+results that completed instead of aborting the whole evaluation.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
 import hashlib
 import importlib
 import os
+import time
 from dataclasses import replace
 from types import ModuleType
 from typing import Callable
 
 from ..errors import ExperimentError
-from ..exec import ResultCache, cache_key, package_fingerprint
+from ..exec import ResultCache, RetryPolicy, cache_key, package_fingerprint
+from ..exec.runner import _PoolTask, _run_pool_tasks
 from .result import ExperimentResult
 
 __all__ = [
@@ -183,10 +190,10 @@ def run_experiment(
 
 
 def _run_for_pool(
-    args: "tuple[str, str | None]",
-) -> tuple[str, ExperimentResult]:
-    experiment_id, cache_dir = args
-    return experiment_id, run_experiment(experiment_id, cache_dir=cache_dir)
+    experiment_id: str, cache_dir: "str | None", attempt: int = 1
+) -> ExperimentResult:
+    """Pool task: one driver run (``attempt`` is engine bookkeeping)."""
+    return run_experiment(experiment_id, cache_dir=cache_dir)
 
 
 def run_all(
@@ -195,6 +202,9 @@ def run_all(
     max_workers: int | None = None,
     cache: bool = True,
     cache_dir: "str | os.PathLike[str] | None" = None,
+    retries: "RetryPolicy | int | None" = None,
+    timeout: "float | None" = None,
+    on_error: str = "raise",
 ) -> dict[str, ExperimentResult]:
     """Run the entire evaluation, in registry order.
 
@@ -207,6 +217,14 @@ def run_all(
     processes and across CLI invocations: warm entries skip the pool,
     and every freshly computed result is persisted by the worker that
     produced it.
+
+    Fault tolerance mirrors :func:`repro.exec.run_sharded`:
+    ``retries`` re-runs drivers that raise or whose worker dies, the
+    per-driver ``timeout`` (parallel mode only — sequential drivers
+    run on the calling thread and cannot be cancelled) bounds hangs,
+    and ``on_error="skip"`` returns whatever completed — missing ids
+    in the returned mapping name the drivers that exhausted their
+    attempts.
     """
     disk = ResultCache(cache_dir) if cache_dir is not None else None
     results: dict[str, ExperimentResult] = {}
@@ -234,6 +252,16 @@ def run_all(
         raise ExperimentError(
             f"max_workers must be positive, got {max_workers}"
         )
+    if on_error not in ("raise", "skip"):
+        raise ExperimentError(
+            f"on_error must be 'raise' or 'skip', got {on_error!r}"
+        )
+    if timeout is not None and not parallel:
+        raise ExperimentError(
+            "a per-driver timeout needs parallel=True: sequential drivers "
+            "run on the calling thread and cannot be cancelled"
+        )
+    retry = RetryPolicy.coerce(retries)
     cache_dir_arg = os.fspath(cache_dir) if cache_dir is not None else None
     if pending:
         if parallel:
@@ -242,17 +270,65 @@ def run_all(
                 if max_workers is not None
                 else min(len(pending), os.cpu_count() or 1)
             )
-            with concurrent.futures.ProcessPoolExecutor(
-                max_workers=workers
-            ) as pool:
-                tasks = [(experiment_id, cache_dir_arg) for experiment_id in pending]
-                for experiment_id, result in pool.map(_run_for_pool, tasks):
-                    results[experiment_id] = result
-        else:
-            for experiment_id in pending:
-                results[experiment_id] = run_experiment(
-                    experiment_id, cache_dir=cache_dir
+            tasks = [
+                _PoolTask(
+                    key=experiment_id, stream=index, args=(experiment_id, cache_dir_arg)
                 )
+                for index, experiment_id in enumerate(pending)
+            ]
+            completed, failures = _run_pool_tasks(
+                tasks,
+                task_fn=_run_for_pool,
+                workers=min(workers, len(tasks)),
+                retry=retry,
+                timeout=timeout,
+            )
+            if failures and on_error == "raise":
+                order = {
+                    experiment_id: index
+                    for index, experiment_id in enumerate(pending)
+                }
+                first = min(failures, key=lambda failure: order[failure.key])
+                raise ExperimentError(
+                    f"experiment {first.key!r} failed after {first.attempts} "
+                    f"attempt(s) [{first.kind}]: {first.message}"
+                ) from first.error
+            failed = {failure.key for failure in failures}
+            pending = [
+                experiment_id
+                for experiment_id in pending
+                if experiment_id not in failed
+            ]
+            for experiment_id in pending:
+                results[experiment_id] = completed[experiment_id]
+        else:
+            completed_ids = []
+            for index, experiment_id in enumerate(pending):
+                last_error: "Exception | None" = None
+                for attempt in range(1, retry.max_attempts + 1):
+                    try:
+                        results[experiment_id] = run_experiment(
+                            experiment_id, cache_dir=cache_dir
+                        )
+                        last_error = None
+                        break
+                    except Exception as error:
+                        last_error = error
+                        if attempt < retry.max_attempts:
+                            time.sleep(retry.delay(index, attempt))
+                if last_error is not None:
+                    if on_error == "raise":
+                        if retry.max_attempts == 1:
+                            # No retry budget: surface the driver's own
+                            # exception, as run_all always has.
+                            raise last_error
+                        raise ExperimentError(
+                            f"experiment {experiment_id!r} failed after "
+                            f"{retry.max_attempts} attempt(s): {last_error}"
+                        ) from last_error
+                    continue
+                completed_ids.append(experiment_id)
+            pending = completed_ids
         if cache:
             for experiment_id in pending:
                 _RESULT_CACHE[experiment_id] = (
@@ -265,4 +341,5 @@ def run_all(
     return {
         experiment_id: results[experiment_id]
         for experiment_id in EXPERIMENT_IDS
+        if experiment_id in results
     }

@@ -14,6 +14,13 @@ scenarios) evaluated inline or over a process pool, and the chunk
 tables are stacked with :meth:`repro.tabular.Table.concat`. Sharded
 results are element-identical to monolithic runs for any chunk/job
 configuration (``tests/test_sharded_equivalence.py``).
+
+The fault-tolerance knobs ride along: ``retries=`` (int or
+:class:`repro.exec.RetryPolicy`), per-chunk ``timeout=``,
+``on_error="skip"`` (partial results plus a
+:class:`repro.exec.FailureReport`), and ``checkpoint=`` (a
+:class:`repro.exec.CheckpointStore` for crash-resumable chunk
+persistence) all forward to :func:`repro.exec.run_sharded`.
 """
 
 from __future__ import annotations
@@ -229,13 +236,21 @@ def sweep_fleet(
     *,
     jobs: int = 1,
     chunk_size: int | None = None,
+    retries: Any = None,
+    timeout: "float | None" = None,
+    on_error: str = "raise",
+    checkpoint: Any = None,
 ) -> Table:
     """Run a fleet scenario sweep through the batched kernel.
 
     Returns one row per scenario: the scenario's axis values followed
     by its final simulated year's fleet metrics. ``jobs``/``chunk_size``
     shard the scenario axis through :func:`repro.exec.run_sharded`;
-    the result is element-identical for every configuration.
+    the result is element-identical for every configuration. The
+    fault-tolerance knobs (``retries``/``timeout``/``on_error``/
+    ``checkpoint``) forward to the sharded driver; under
+    ``on_error="skip"`` the return value becomes a ``(Table,
+    FailureReport)`` pair covering only the surviving scenarios.
     """
     records = [dict(scenario) for scenario in scenarios]
     if not records:
@@ -244,7 +259,15 @@ def sweep_fleet(
     plan = ShardPlan.plan(len(records), chunk_size, jobs)
     payload = (base, records, embodied, _scalar_axis_names(records))
     return run_sharded(
-        _fleet_chunk, payload, plan, jobs=jobs, combine=Table.concat
+        _fleet_chunk,
+        payload,
+        plan,
+        jobs=jobs,
+        combine=Table.concat,
+        retries=retries,
+        timeout=timeout,
+        on_error=on_error,
+        checkpoint=checkpoint,
     )
 
 
@@ -345,6 +368,10 @@ def sweep_provisioning(
     *,
     jobs: int = 1,
     chunk_size: int | None = None,
+    retries: Any = None,
+    timeout: "float | None" = None,
+    on_error: str = "raise",
+    checkpoint: Any = None,
 ) -> Table:
     """Homogeneous vs heterogeneous provisioning across scenarios.
 
@@ -352,7 +379,9 @@ def sweep_provisioning(
     demand scale factors; both fleets are provisioned by the batched
     kernels and priced in embodied + operational carbon.
     ``jobs``/``chunk_size`` shard the scenario axis through
-    :func:`repro.exec.run_sharded` with element-identical results.
+    :func:`repro.exec.run_sharded` with element-identical results;
+    ``retries``/``timeout``/``on_error``/``checkpoint`` forward to the
+    fault-tolerant driver.
     """
     grid = grid or US_GRID.intensity
     model = model or EmbodiedModel()
@@ -377,7 +406,15 @@ def sweep_provisioning(
         model,
     )
     return run_sharded(
-        _provisioning_chunk, payload, plan, jobs=jobs, combine=Table.concat
+        _provisioning_chunk,
+        payload,
+        plan,
+        jobs=jobs,
+        combine=Table.concat,
+        retries=retries,
+        timeout=timeout,
+        on_error=on_error,
+        checkpoint=checkpoint,
     )
 
 
@@ -388,6 +425,10 @@ def sweep_temporal_shifting(
     stochastic_seeds: "tuple[int, ...]" = (0, 1),
     jobs: int = 1,
     chunk_size: int | None = None,
+    retries: Any = None,
+    timeout: "float | None" = None,
+    on_error: str = "raise",
+    checkpoint: Any = None,
 ) -> Table:
     """Carbon-aware scheduling across the bundled trace catalog.
 
@@ -396,7 +437,9 @@ def sweep_temporal_shifting(
     streams through the batched evaluator — the temporal analogue of
     the fleet and provisioning sweeps. The canonical workloads span
     two days, so the horizon must cover at least 48 hours.
-    ``jobs``/``chunk_size`` shard the trace axis of the evaluator.
+    ``jobs``/``chunk_size`` shard the trace axis of the evaluator;
+    ``retries``/``timeout``/``on_error``/``checkpoint`` forward to the
+    fault-tolerant driver.
     """
     from ..traces import canonical_workloads, evaluate_policies, profile_catalog
 
@@ -412,6 +455,10 @@ def sweep_temporal_shifting(
         capacity_kw=capacity_kw,
         jobs=jobs,
         chunk_size=chunk_size,
+        retries=retries,
+        timeout=timeout,
+        on_error=on_error,
+        checkpoint=checkpoint,
     )
 
 
@@ -434,31 +481,27 @@ class SweepSpec:
     build_uncertain: "Callable[..., Any] | None" = None
 
 
-def _fleet_growth_lifetime(*, jobs: int = 1, chunk_size: int | None = None) -> Table:
+def _fleet_growth_lifetime(**exec_options: Any) -> Table:
     grid = ScenarioGrid(
         **{
             "annual_growth": [0.0, 0.1, 0.25, 0.5],
             "server.lifetime_years": [2.0, 3.0, 4.0, 6.0],
         }
     )
-    return sweep_fleet(
-        facebook_like_fleet(), grid, jobs=jobs, chunk_size=chunk_size
-    )
+    return sweep_fleet(facebook_like_fleet(), grid, **exec_options)
 
 
-def _fleet_pue_utilization(*, jobs: int = 1, chunk_size: int | None = None) -> Table:
+def _fleet_pue_utilization(**exec_options: Any) -> Table:
     grid = ScenarioGrid(
         **{
             "facility.pue": [1.07, 1.1, 1.25, 1.5],
             "utilization": [0.25, 0.45, 0.65, 0.85],
         }
     )
-    return sweep_fleet(
-        facebook_like_fleet(), grid, jobs=jobs, chunk_size=chunk_size
-    )
+    return sweep_fleet(facebook_like_fleet(), grid, **exec_options)
 
 
-def _provisioning_mix(*, jobs: int = 1, chunk_size: int | None = None) -> Table:
+def _provisioning_mix(**exec_options: Any) -> Table:
     workloads, general, server_types = example_service_mix()
     return sweep_provisioning(
         workloads,
@@ -466,13 +509,12 @@ def _provisioning_mix(*, jobs: int = 1, chunk_size: int | None = None) -> Table:
         server_types,
         utilization_targets=[0.4, 0.5, 0.6, 0.7, 0.8],
         demand_scales=[0.5, 1.0, 2.0, 4.0],
-        jobs=jobs,
-        chunk_size=chunk_size,
+        **exec_options,
     )
 
 
 def _fleet_growth_lifetime_uncertain(
-    draws: int, seed: int, *, jobs: int = 1, chunk_size: int | None = None
+    draws: int, seed: int, **exec_options: Any
 ):
     """Growth × lifetime axes with PUE and utilization left elusive."""
     from ..analysis.uncertainty import Normal, Triangular
@@ -491,13 +533,12 @@ def _fleet_growth_lifetime_uncertain(
         grid,
         draws=draws,
         seed=seed,
-        jobs=jobs,
-        chunk_size=chunk_size,
+        **exec_options,
     )
 
 
 def _fleet_pue_utilization_uncertain(
-    draws: int, seed: int, *, jobs: int = 1, chunk_size: int | None = None
+    draws: int, seed: int, **exec_options: Any
 ):
     """PUE × utilization axes with growth and lifetime left elusive."""
     from ..analysis.uncertainty import Mixture, Normal
@@ -518,13 +559,12 @@ def _fleet_pue_utilization_uncertain(
         grid,
         draws=draws,
         seed=seed,
-        jobs=jobs,
-        chunk_size=chunk_size,
+        **exec_options,
     )
 
 
 def _provisioning_mix_uncertain(
-    draws: int, seed: int, *, jobs: int = 1, chunk_size: int | None = None
+    draws: int, seed: int, **exec_options: Any
 ):
     """Utilization-target axis with a log-normal demand forecast."""
     from ..analysis.uncertainty import LogNormal
@@ -539,19 +579,18 @@ def _provisioning_mix_uncertain(
         demand_scales=[LogNormal.from_median(1.0, 0.35)],
         draws=draws,
         seed=seed,
-        jobs=jobs,
-        chunk_size=chunk_size,
+        **exec_options,
     )
 
 
 def _temporal_shifting_uncertain(
-    draws: int, seed: int, *, jobs: int = 1, chunk_size: int | None = None
+    draws: int, seed: int, **exec_options: Any
 ):
     """Policy savings bands across seeded weather/demand noise draws."""
     from ..uncertainty import sweep_temporal_shifting_uncertain
 
     return sweep_temporal_shifting_uncertain(
-        draws=draws, seed=seed, jobs=jobs, chunk_size=chunk_size
+        draws=draws, seed=seed, **exec_options
     )
 
 
@@ -603,35 +642,62 @@ def sweep_names() -> list[str]:
     return list(SWEEPS)
 
 
-def _run_options(jobs: int, chunk_size: int | None) -> dict[str, Any]:
-    """Sharding kwargs for a sweep builder, defaults elided.
+def _run_options(
+    jobs: int,
+    chunk_size: int | None,
+    retries: Any = None,
+    timeout: "float | None" = None,
+    on_error: str = "raise",
+    checkpoint: Any = None,
+) -> dict[str, Any]:
+    """Execution kwargs for a sweep builder, defaults elided.
 
     Default settings pass no keywords at all, so a registered
     ``SweepSpec`` whose builders predate the execution layer (zero-arg
     ``build``, ``build_uncertain(draws, seed)``) keeps working until
-    someone actually asks it to shard.
+    someone actually asks it to shard or survive faults.
     """
     options: dict[str, Any] = {}
     if jobs != 1:
         options["jobs"] = jobs
     if chunk_size is not None:
         options["chunk_size"] = chunk_size
+    if retries is not None:
+        options["retries"] = retries
+    if timeout is not None:
+        options["timeout"] = timeout
+    if on_error != "raise":
+        options["on_error"] = on_error
+    if checkpoint is not None:
+        options["checkpoint"] = checkpoint
     return options
 
 
 def run_sweep(
-    name: str, *, jobs: int = 1, chunk_size: int | None = None
+    name: str,
+    *,
+    jobs: int = 1,
+    chunk_size: int | None = None,
+    retries: Any = None,
+    timeout: "float | None" = None,
+    on_error: str = "raise",
+    checkpoint: Any = None,
 ) -> Table:
     """Run one named sweep and return its result table.
 
     ``jobs``/``chunk_size`` shard the sweep's scenario axis (see
-    :mod:`repro.exec`); the table is identical for every setting.
+    :mod:`repro.exec`); the table is identical for every setting. The
+    fault-tolerance knobs forward to the sharded driver; under
+    ``on_error="skip"`` the return value becomes a ``(Table,
+    FailureReport)`` pair.
     """
     if name not in SWEEPS:
         raise SimulationError(
             f"unknown sweep {name!r}; have {sweep_names()}"
         )
-    return SWEEPS[name].build(**_run_options(jobs, chunk_size))
+    return SWEEPS[name].build(
+        **_run_options(jobs, chunk_size, retries, timeout, on_error, checkpoint)
+    )
 
 
 def run_uncertain_sweep(
@@ -641,13 +707,19 @@ def run_uncertain_sweep(
     *,
     jobs: int = 1,
     chunk_size: int | None = None,
+    retries: Any = None,
+    timeout: "float | None" = None,
+    on_error: str = "raise",
+    checkpoint: Any = None,
 ) -> Any:
     """Run one named sweep's distribution-tagged variant.
 
     Returns the :class:`repro.uncertainty.UncertainResult`; raises for
     sweeps that have no uncertain variant registered. Sharding via
     ``jobs``/``chunk_size`` preserves the per-scenario seeded draw
-    streams, so the samples are bit-identical for every setting.
+    streams, so the samples are bit-identical for every setting — and
+    the fault-tolerance knobs extend that guarantee across recovered
+    worker failures.
     """
     if name not in SWEEPS:
         raise SimulationError(
@@ -659,4 +731,8 @@ def run_uncertain_sweep(
             f"sweep {name!r} has no distribution-tagged variant; "
             "run it without --draws"
         )
-    return spec.build_uncertain(draws, seed, **_run_options(jobs, chunk_size))
+    return spec.build_uncertain(
+        draws,
+        seed,
+        **_run_options(jobs, chunk_size, retries, timeout, on_error, checkpoint),
+    )

@@ -259,6 +259,10 @@ def evaluate_policies(
     capacity_kw: float,
     jobs: int = 1,
     chunk_size: int | None = None,
+    retries: object = None,
+    timeout: "float | None" = None,
+    on_error: str = "raise",
+    checkpoint: object = None,
 ) -> Table:
     """Evaluate every (trace, workload, policy) scenario, batched.
 
@@ -270,7 +274,11 @@ def evaluate_policies(
     trace. Rows come back in (trace, workload, policy) order.
     ``jobs``/``chunk_size`` shard the *trace* axis through
     :func:`repro.exec.run_sharded`; results are element-identical for
-    every configuration.
+    every configuration. The fault-tolerance knobs
+    (``retries``/``timeout``/``on_error``/``checkpoint``) forward to
+    the sharded driver; under ``on_error="skip"`` the return value
+    becomes a ``(Table, FailureReport)`` pair covering the surviving
+    trace chunks.
     """
     trace_list = _normalize_traces(traces)
     workload_list = _normalize_workloads(workloads)
@@ -278,7 +286,15 @@ def evaluate_policies(
     plan = ShardPlan.plan(len(trace_list), chunk_size, jobs)
     payload = (trace_list, workload_list, policy_list, capacity_kw)
     return run_sharded(
-        _evaluate_chunk, payload, plan, jobs=jobs, combine=Table.concat
+        _evaluate_chunk,
+        payload,
+        plan,
+        jobs=jobs,
+        combine=Table.concat,
+        retries=retries,
+        timeout=timeout,
+        on_error=on_error,
+        checkpoint=checkpoint,
     )
 
 

@@ -19,6 +19,12 @@ draws from its own ``default_rng(seed)`` stream (see
 :mod:`repro.uncertainty.draws`), a chunk's draw matrix is exactly the
 corresponding rows of the monolithic one, so sharded uncertain sweeps
 stay bit-identical to monolithic runs under any chunk/job count.
+
+Like the deterministic runners, each sweep also forwards the
+fault-tolerance knobs — ``retries``/``timeout``/``on_error``/
+``checkpoint`` — to :func:`repro.exec.run_sharded`, so uncertain
+sweeps survive worker crashes and hangs and resume from chunk
+checkpoints with the same bit-identity guarantee.
 """
 
 from __future__ import annotations
@@ -224,6 +230,10 @@ def sweep_fleet_uncertain(
     embodied: EmbodiedModel | None = None,
     jobs: int = 1,
     chunk_size: int | None = None,
+    retries: Any = None,
+    timeout: "float | None" = None,
+    on_error: str = "raise",
+    checkpoint: Any = None,
 ) -> UncertainResult:
     """Fleet sweep with distribution-tagged parameters.
 
@@ -252,6 +262,10 @@ def sweep_fleet_uncertain(
         plan,
         jobs=jobs,
         combine=UncertainResult.concat,
+        retries=retries,
+        timeout=timeout,
+        on_error=on_error,
+        checkpoint=checkpoint,
     )
 
 
@@ -331,6 +345,10 @@ def sweep_provisioning_uncertain(
     model: EmbodiedModel | None = None,
     jobs: int = 1,
     chunk_size: int | None = None,
+    retries: Any = None,
+    timeout: "float | None" = None,
+    on_error: str = "raise",
+    checkpoint: Any = None,
 ) -> UncertainResult:
     """Provisioning sweep with uncertain targets and demand forecasts.
 
@@ -368,6 +386,10 @@ def sweep_provisioning_uncertain(
         plan,
         jobs=jobs,
         combine=UncertainResult.concat,
+        retries=retries,
+        timeout=timeout,
+        on_error=on_error,
+        checkpoint=checkpoint,
     )
 
 
@@ -437,6 +459,10 @@ def sweep_temporal_shifting_uncertain(
     seed: int = 0,
     jobs: int = 1,
     chunk_size: int | None = None,
+    retries: Any = None,
+    timeout: "float | None" = None,
+    on_error: str = "raise",
+    checkpoint: Any = None,
 ) -> UncertainResult:
     """Carbon-aware scheduling bands across weather/demand noise draws.
 
@@ -466,4 +492,8 @@ def sweep_temporal_shifting_uncertain(
         plan,
         jobs=jobs,
         combine=UncertainResult.concat,
+        retries=retries,
+        timeout=timeout,
+        on_error=on_error,
+        checkpoint=checkpoint,
     )

@@ -12,13 +12,28 @@ divide the scenario count and pools larger than the chunk list.
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.analysis.uncertainty import LogNormal, Normal
-from repro.errors import ExecutionError
-from repro.exec import Shard, ShardPlan, kernel_name, resolve_kernel, run_sharded
+from repro.errors import ChunkFailedError, ExecutionError
+from repro.exec import (
+    CheckpointStore,
+    FaultRule,
+    FaultSpec,
+    Shard,
+    ShardPlan,
+    install_faults,
+    kernel_name,
+    resolve_kernel,
+    run_sharded,
+)
 from repro.scenarios import (
     ScenarioGrid,
     example_service_mix,
@@ -279,6 +294,287 @@ class TestUncertainShardedEquivalence:
             "provisioning_mix", 8, 3, jobs=2, chunk_size=2
         )
         _assert_uncertain_identical(sharded, reference)
+
+
+class TestFaultInjectedEquivalence:
+    """Recovered faults must leave no trace in the results.
+
+    Each test pins a deterministic failure schedule — which chunks
+    fail, how, and on which attempts — and asserts the recovered sweep
+    is element-identical to the clean monolithic reference. The fleet
+    grid has 15 scenarios; ``chunk_size=4`` puts the shard starts at
+    0, 4, 8, and 12.
+    """
+
+    @pytest.fixture(scope="class")
+    def fleet_reference(self):
+        return sweep_fleet(_BASE, _FLEET_GRID)
+
+    def test_raise_schedule_inline(self, fleet_reference):
+        spec = FaultSpec(
+            rules=(FaultRule(kind="raise", starts=(0, 8), attempts=(1,)),)
+        )
+        with install_faults(spec):
+            sharded = sweep_fleet(_BASE, _FLEET_GRID, chunk_size=4, retries=1)
+        _assert_tables_identical(sharded, fleet_reference)
+
+    def test_crash_schedule_pool(self, fleet_reference):
+        spec = FaultSpec(
+            rules=(FaultRule(kind="crash", starts=(4,), attempts=(1,)),)
+        )
+        with install_faults(spec):
+            sharded = sweep_fleet(
+                _BASE, _FLEET_GRID, jobs=2, chunk_size=4, retries=2
+            )
+        _assert_tables_identical(sharded, fleet_reference)
+
+    def test_hang_schedule_pool(self, fleet_reference):
+        spec = FaultSpec(
+            rules=(
+                FaultRule(kind="hang", starts=(8,), attempts=(1,), seconds=30.0),
+            )
+        )
+        with install_faults(spec):
+            sharded = sweep_fleet(
+                _BASE,
+                _FLEET_GRID,
+                jobs=2,
+                chunk_size=4,
+                retries=1,
+                timeout=1.0,
+            )
+        _assert_tables_identical(sharded, fleet_reference)
+
+    def test_corrupt_schedule_pool(self, fleet_reference):
+        spec = FaultSpec(
+            rules=(FaultRule(kind="corrupt", starts=(4, 12), attempts=(1,)),)
+        )
+        with install_faults(spec):
+            sharded = sweep_fleet(
+                _BASE, _FLEET_GRID, jobs=2, chunk_size=4, retries=1
+            )
+        _assert_tables_identical(sharded, fleet_reference)
+
+    def test_chaos_schedule_pool(self, fleet_reference):
+        starts = [
+            shard.start
+            for shard in ShardPlan(num_scenarios=15, chunk_size=4).shards()
+        ]
+        spec = FaultSpec.chaos(starts, seed=3, rate=0.75)
+        assert spec, "chaos schedule at rate=0.75 must inject something"
+        with install_faults(spec):
+            sharded = sweep_fleet(
+                _BASE, _FLEET_GRID, jobs=2, chunk_size=4, retries=1
+            )
+        _assert_tables_identical(sharded, fleet_reference)
+
+    def test_env_var_schedule(self, fleet_reference, monkeypatch):
+        spec = FaultSpec(
+            rules=(FaultRule(kind="raise", starts=(12,), attempts=(1,)),)
+        )
+        monkeypatch.setenv("REPRO_FAULTS", spec.to_json())
+        sharded = sweep_fleet(_BASE, _FLEET_GRID, chunk_size=4, retries=1)
+        _assert_tables_identical(sharded, fleet_reference)
+
+    def test_uncertain_sweep_under_faults(self):
+        reference = sweep_fleet_uncertain(
+            _BASE, _UNCERTAIN_GRID, draws=16, seed=7
+        )
+        spec = FaultSpec(
+            rules=(FaultRule(kind="crash", starts=(0,), attempts=(1,)),)
+        )
+        with install_faults(spec):
+            sharded = sweep_fleet_uncertain(
+                _BASE,
+                _UNCERTAIN_GRID,
+                draws=16,
+                seed=7,
+                jobs=2,
+                chunk_size=2,
+                retries=1,
+            )
+        _assert_uncertain_identical(sharded, reference)
+
+    def test_skip_mode_partial_matches_reference_rows(self, fleet_reference):
+        spec = FaultSpec(
+            rules=(FaultRule(kind="raise", starts=(4,), attempts=None),)
+        )
+        with install_faults(spec):
+            partial, report = sweep_fleet(
+                _BASE, _FLEET_GRID, chunk_size=4, on_error="skip"
+            )
+        assert report.shard_ranges() == [(4, 8)]
+        assert report.skipped_scenarios() == 4
+        kept = [i for i in range(15) if not 4 <= i < 8]
+        assert partial.num_rows == len(kept)
+        for name in fleet_reference.column_names:
+            full = fleet_reference.column(name)
+            assert partial.column(name) == [full[i] for i in kept], name
+
+
+def _logging_square_chunk(payload, start, stop):
+    """Counting kernel: records every chunk call before computing it."""
+    log_path, values = payload
+    with open(log_path, "a", encoding="utf-8") as handle:
+        handle.write(f"{start}:{stop}\n")
+    return [value * value for value in values[start:stop]]
+
+
+def _concat(chunks):
+    """Flatten list chunks."""
+    return [value for chunk in chunks for value in chunk]
+
+
+class TestCheckpointResume:
+    def test_resume_recomputes_only_unfinished_chunks(self, tmp_path):
+        log = tmp_path / "calls.log"
+        log.touch()
+        values = list(range(12))
+        payload = (str(log), values)
+        plan = ShardPlan(num_scenarios=12, chunk_size=3)
+        spec = FaultSpec(
+            rules=(FaultRule(kind="raise", starts=(6,), attempts=None),)
+        )
+        store = CheckpointStore(
+            tmp_path / "cache", spec_parts=("resume-test",), consume=False
+        )
+        with pytest.raises(ChunkFailedError):
+            run_sharded(
+                _logging_square_chunk,
+                payload,
+                plan,
+                combine=_concat,
+                retries=1,
+                checkpoint=store,
+                faults=spec,
+            )
+        # The inline runner aborts at the failing chunk (whose injected
+        # fault fires before the kernel), so exactly the chunks before
+        # it completed and were checkpointed.
+        assert log.read_text().splitlines() == ["0:3", "3:6"]
+
+        log.write_text("")
+        resume = CheckpointStore(
+            tmp_path / "cache", spec_parts=("resume-test",), consume=True
+        )
+        result = run_sharded(
+            _logging_square_chunk,
+            payload,
+            plan,
+            combine=_concat,
+            checkpoint=resume,
+        )
+        assert result == [value * value for value in values]
+        # The kernel-call counter proves only unfinished chunks reran.
+        assert log.read_text().splitlines() == ["6:9", "9:12"]
+
+        # A fully successful run discards its checkpoints, so a later
+        # resume of the same spec starts clean.
+        leftover = CheckpointStore(
+            tmp_path / "cache", spec_parts=("resume-test",), consume=True
+        )
+        for start in (0, 3, 6, 9):
+            assert leftover.get(start, start + 3) == (False, None)
+
+    def test_resume_result_is_bit_identical(self, tmp_path):
+        reference = sweep_fleet(_BASE, _FLEET_GRID)
+        spec = FaultSpec(
+            rules=(FaultRule(kind="raise", starts=(8,), attempts=None),)
+        )
+        store = CheckpointStore(
+            tmp_path, spec_parts=("fleet-resume",), consume=False
+        )
+        with install_faults(spec):
+            with pytest.raises(ChunkFailedError):
+                sweep_fleet(
+                    _BASE,
+                    _FLEET_GRID,
+                    chunk_size=4,
+                    retries=1,
+                    checkpoint=store,
+                )
+        resume = CheckpointStore(
+            tmp_path, spec_parts=("fleet-resume",), consume=True
+        )
+        resumed = sweep_fleet(
+            _BASE, _FLEET_GRID, chunk_size=4, checkpoint=resume
+        )
+        _assert_tables_identical(resumed, reference)
+
+
+class TestCliResume:
+    def test_sweep_resume_after_injected_failure(self, tmp_path):
+        import repro
+
+        src_dir = Path(repro.__file__).resolve().parents[1]
+        env = os.environ.copy()
+        env["PYTHONPATH"] = str(src_dir) + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        base_cmd = [
+            sys.executable,
+            "-m",
+            "repro",
+            "sweep",
+            "fleet_growth_lifetime",
+            "--chunk-size",
+            "4",
+        ]
+        cache = str(tmp_path / "cache")
+
+        spec = FaultSpec(
+            rules=(FaultRule(kind="raise", starts=(8,), attempts=None),)
+        )
+        faulted_env = dict(env, REPRO_FAULTS=spec.to_json())
+        first = subprocess.run(
+            base_cmd + ["--cache-dir", cache],
+            env=faulted_env,
+            capture_output=True,
+            text=True,
+        )
+        assert first.returncode != 0, first.stderr
+
+        resumed = subprocess.run(
+            base_cmd + ["--cache-dir", cache, "--resume"],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert resumed.returncode == 0, resumed.stderr
+
+        clean = subprocess.run(
+            base_cmd + ["--cache-dir", str(tmp_path / "clean")],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert clean.returncode == 0, clean.stderr
+        assert resumed.stdout == clean.stdout
+
+    def test_resume_without_cache_is_an_error(self, tmp_path):
+        import repro
+
+        src_dir = Path(repro.__file__).resolve().parents[1]
+        env = os.environ.copy()
+        env["PYTHONPATH"] = str(src_dir) + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "sweep",
+                "fleet_growth_lifetime",
+                "--resume",
+                "--no-cache",
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 2
+        assert "--resume" in result.stderr
 
 
 class TestSweepSpecCompatibility:
