@@ -61,8 +61,14 @@ if [[ "$quick" -eq 1 ]]; then
     PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest benchmarks \
         -q --benchmark-disable ${passthrough[@]+"${passthrough[@]}"}
     # Chaos smoke: a seeded fault storm over a real sweep must recover
-    # to a bit-identical result (see tools/chaos_sweep.py).
-    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python tools/chaos_sweep.py
+    # to a bit-identical result, and — traced — its attempt events must
+    # match the injected schedule (see tools/chaos_sweep.py).
+    trace="$(mktemp -t chaos_trace.XXXXXX.jsonl)"
+    trap 'rm -f "$trace"' EXIT
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python tools/chaos_sweep.py \
+        --trace-out "$trace"
+    # Stats smoke: the trace the storm just wrote must render.
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro stats "$trace"
     echo "quick smoke run complete (untimed; no snapshot written)"
     exit 0
 fi

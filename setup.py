@@ -1,10 +1,31 @@
 """Setup shim for environments without the ``wheel`` package.
 
-The project is configured in pyproject.toml; this file only enables
-``pip install -e . --no-use-pep517`` on offline machines whose
-setuptools cannot build PEP 660 editable wheels.
+Enables ``pip install -e . --no-use-pep517`` on offline machines whose
+setuptools cannot build PEP 660 editable wheels. The version is parsed
+textually from ``src/repro/_version.py`` — the same file
+``repro.__version__`` imports — so the package and its metadata cannot
+drift apart, and building never imports the package itself.
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+
+def _read_version() -> str:
+    text = Path(__file__).parent.joinpath(
+        "src", "repro", "_version.py"
+    ).read_text(encoding="utf-8")
+    match = re.search(r'^__version__ = "([^"]+)"$', text, re.MULTILINE)
+    if match is None:
+        raise RuntimeError("cannot find __version__ in src/repro/_version.py")
+    return match.group(1)
+
+
+setup(
+    name="repro",
+    version=_read_version(),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

@@ -105,8 +105,8 @@ from .uncertainty import (
     UncertainResult,
     sweep_fleet_uncertain,
 )
-
-__version__ = "1.0.0"
+from .obs import TraceRecorder, install_recorder
+from ._version import __version__
 
 __all__ = [
     "Energy",
@@ -181,5 +181,7 @@ __all__ = [
     "run_all",
     "UncertainResult",
     "sweep_fleet_uncertain",
+    "TraceRecorder",
+    "install_recorder",
     "__version__",
 ]

@@ -1,0 +1,8 @@
+"""The single source of truth for the package version.
+
+``repro.__version__``, ``repro --version``, and ``setup.py`` all read
+the value below — ``setup.py`` parses this file textually (no import)
+so building a wheel never requires the package's dependencies.
+"""
+
+__version__ = "1.1.0"

@@ -25,14 +25,25 @@ workers raise or die, ``--timeout S`` bounds hung chunks (needs
 a failure report on stderr instead of aborting, and ``sweep --resume``
 warm-starts an interrupted sweep from its chunk checkpoints —
 recomputing only the unfinished chunks, bit-identically.
+
+``run`` and ``sweep`` are observable: ``--trace-out PATH`` appends a
+run-scoped JSONL trace (spans, chunk attempts, retries, cache and
+pool events, worker peak RSS), ``--metrics`` prints the aggregated
+metrics summary to stderr after the run, and ``repro stats PATH``
+renders a recorded trace into per-phase latency/throughput/cache
+tables. Telemetry never enters cache keys or results: a traced run is
+bit-identical to an untraced one.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Sequence
+from contextlib import contextmanager
+from typing import Iterator, Sequence
 
+from ._version import __version__
 from .experiments import EXPERIMENT_IDS, experiment_titles, run_all, run_experiment
 from .errors import ReproError
 
@@ -57,6 +68,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of 'Chasing Carbon' (HPCA 2021)",
     )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("list", help="list experiment ids and titles")
@@ -77,6 +93,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_fault_arguments(run_parser, unit="experiment")
     _add_cache_arguments(run_parser)
+    _add_obs_arguments(run_parser)
 
     commands.add_parser("checks", help="pass/fail summary for every artifact")
 
@@ -142,6 +159,17 @@ def build_parser() -> argparse.ArgumentParser:
         "recomputed and the result is bit-identical (needs the cache)",
     )
     _add_cache_arguments(sweep_parser)
+    _add_obs_arguments(sweep_parser)
+
+    stats_parser = commands.add_parser(
+        "stats",
+        help="render a --trace-out trace file into latency/cache tables",
+    )
+    stats_parser.add_argument(
+        "trace",
+        metavar="PATH",
+        help="JSONL trace file written by 'repro run|sweep --trace-out'",
+    )
 
     trace_parser = commands.add_parser(
         "trace",
@@ -225,6 +253,59 @@ def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="neither read nor write the on-disk result cache",
     )
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared observability flags of ``run`` and ``sweep``."""
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="append a JSONL execution trace (spans, chunk attempts, "
+        "retries, cache/pool events, worker peak RSS) to PATH; render "
+        "it later with 'repro stats PATH'",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the aggregated metrics summary (counters, gauges, "
+        "latency histograms) to stderr after the run",
+    )
+
+
+@contextmanager
+def _observed(
+    command: str,
+    target: str,
+    trace_out: "str | None",
+    metrics: bool,
+) -> Iterator[None]:
+    """Install a trace recorder around one CLI command, if asked to.
+
+    With neither ``--trace-out`` nor ``--metrics`` this is a true
+    no-op — the null recorder stays installed and the run pays
+    nothing. Otherwise the whole command executes inside a ``run``
+    span; the metrics summary lands on stderr (stdout stays parseable
+    result output) and the trace file is flushed even when the command
+    fails midway.
+    """
+    if trace_out is None and not metrics:
+        yield
+        return
+    from .obs import TraceRecorder, install_recorder
+
+    recorder = TraceRecorder(trace_out)
+    try:
+        with install_recorder(recorder):
+            with recorder.span("run", command=command, target=target):
+                yield
+    finally:
+        recorder.close()
+        if metrics:
+            print(
+                "metrics: " + json.dumps(recorder.summary(), indent=2),
+                file=sys.stderr,
+            )
 
 
 def _resolve_cache_dir(cache_dir: str | None, no_cache: bool) -> str | None:
@@ -470,6 +551,13 @@ def _command_sweep(
     return 0
 
 
+def _command_stats(trace: str) -> int:
+    from .obs import render_stats
+
+    print(render_stats(trace))
+    return 0
+
+
 def _command_trace(
     action: str,
     profile: str | None,
@@ -546,32 +634,40 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "list":
             return _command_list()
         if args.command == "run":
-            return _command_run(
-                args.experiment,
-                args.parallel,
-                args.jobs,
-                _resolve_cache_dir(args.cache_dir, args.no_cache),
-                args.retries,
-                args.timeout,
-                args.on_error,
-            )
+            with _observed(
+                "run", args.experiment, args.trace_out, args.metrics
+            ):
+                return _command_run(
+                    args.experiment,
+                    args.parallel,
+                    args.jobs,
+                    _resolve_cache_dir(args.cache_dir, args.no_cache),
+                    args.retries,
+                    args.timeout,
+                    args.on_error,
+                )
         if args.command == "checks":
             return _command_checks()
         if args.command == "sweep":
-            return _command_sweep(
-                args.sweep,
-                args.markdown,
-                args.draws,
-                args.seed,
-                args.band,
-                args.jobs,
-                args.chunk_size,
-                _resolve_cache_dir(args.cache_dir, args.no_cache),
-                args.retries,
-                args.timeout,
-                args.on_error,
-                args.resume,
-            )
+            with _observed(
+                "sweep", args.sweep, args.trace_out, args.metrics
+            ):
+                return _command_sweep(
+                    args.sweep,
+                    args.markdown,
+                    args.draws,
+                    args.seed,
+                    args.band,
+                    args.jobs,
+                    args.chunk_size,
+                    _resolve_cache_dir(args.cache_dir, args.no_cache),
+                    args.retries,
+                    args.timeout,
+                    args.on_error,
+                    args.resume,
+                )
+        if args.command == "stats":
+            return _command_stats(args.trace)
         if args.command == "trace":
             return _command_trace(
                 args.action,

@@ -19,6 +19,7 @@ __all__ = [
     "ExecutionError",
     "ChunkFailedError",
     "CorruptChunkError",
+    "ObservabilityError",
 ]
 
 
@@ -95,3 +96,7 @@ class CorruptChunkError(ExecutionError):
     injected corruption fault — raises this, which the sharded driver
     treats as one failed attempt of that chunk.
     """
+
+
+class ObservabilityError(ReproError):
+    """Raised for invalid metrics usage or malformed trace files."""

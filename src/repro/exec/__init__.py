@@ -27,7 +27,16 @@ and keeps long runs alive when workers raise, crash, or hang:
 * :class:`ResultCache` — a content-addressed on-disk cache (keyed by
   the ``repro`` source fingerprint plus the sweep/experiment spec)
   shared by ``repro run`` and ``repro sweep`` across processes, so
-  repeated CLI invocations warm-start.
+  repeated CLI invocations warm-start. Per-instance
+  :class:`CacheStats` count hits/misses/corrupt entries/writes, and
+  corrupt entries raise a one-line ``RuntimeWarning``.
+
+The whole layer is instrumented for :mod:`repro.obs`: when a recorder
+is installed, sharded runs emit ``sharded_run``/``wave`` spans plus
+per-attempt, retry, cache, and pool events (workers ship chunk timing
+and peak RSS back inside the result envelopes), and
+:func:`predict_outcomes` turns a :class:`FaultSpec` into the exact
+attempt-outcome sequences a traced run must reproduce.
 
 The sweep runners in :mod:`repro.scenarios`, :mod:`repro.uncertainty`,
 and :mod:`repro.traces` all accept ``jobs=``/``chunk_size=`` plus the
@@ -38,6 +47,7 @@ them as ``repro sweep NAME --jobs N --retries R --timeout S
 
 from .cache import (
     CACHE_FORMAT_VERSION,
+    CacheStats,
     ResultCache,
     cache_key,
     default_cache_dir,
@@ -50,6 +60,7 @@ from .faults import (
     InjectedFault,
     active_fault_spec,
     install_faults,
+    predict_outcomes,
 )
 from .plan import Shard, ShardPlan
 from .retry import ChunkFailure, FailureReport, RetryPolicy
@@ -70,7 +81,9 @@ __all__ = [
     "InjectedFault",
     "active_fault_spec",
     "install_faults",
+    "predict_outcomes",
     "ResultCache",
+    "CacheStats",
     "cache_key",
     "default_cache_dir",
     "package_fingerprint",

@@ -26,16 +26,20 @@ import hashlib
 import os
 import pickle
 import tempfile
+import warnings
+from dataclasses import dataclass
 from functools import lru_cache
 from pathlib import Path
 from typing import Any
 
 from ..errors import ExecutionError
+from ..obs.recorder import active_recorder
 
 __all__ = [
     "default_cache_dir",
     "package_fingerprint",
     "cache_key",
+    "CacheStats",
     "ResultCache",
 ]
 
@@ -105,13 +109,43 @@ def cache_key(*parts: object) -> str:
     return digest.hexdigest()
 
 
-class ResultCache:
-    """Pickled results keyed by content digest, safe to share on disk."""
+@dataclass
+class CacheStats:
+    """Counts of what one :class:`ResultCache` instance observed.
 
-    def __init__(self, directory: "str | os.PathLike[str] | None" = None) -> None:
+    ``corrupt`` counts entries that *existed* but could not be read
+    back (torn write, bit flip, renamed class); each such entry also
+    counts as a miss, since the caller recomputes either way.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    writes: int = 0
+
+
+class ResultCache:
+    """Pickled results keyed by content digest, safe to share on disk.
+
+    ``scope`` labels this cache's telemetry (``"result"`` for the
+    whole-run cache, ``"checkpoint"`` for chunk checkpoints) so traces
+    and metrics can tell the two apart; it never affects keys or
+    storage. Per-instance :class:`CacheStats` tally hits, misses,
+    corrupt entries, and completed writes regardless of whether a
+    recorder is installed.
+    """
+
+    def __init__(
+        self,
+        directory: "str | os.PathLike[str] | None" = None,
+        *,
+        scope: str = "result",
+    ) -> None:
         self._directory = (
             Path(directory) if directory is not None else default_cache_dir()
         )
+        self._scope = scope
+        self.stats = CacheStats()
 
     @property
     def directory(self) -> Path:
@@ -129,19 +163,40 @@ class ResultCache:
 
         Unreadable, truncated, or unpicklable entries count as misses:
         a shared cache must degrade to recomputation, never crash the
-        sweep that consulted it.
+        sweep that consulted it. An entry that *opened* but failed to
+        read back is additionally counted corrupt and flagged with one
+        ``RuntimeWarning``, so a torn cache is visible instead of
+        silently slow.
         """
         path = self.path_for(key)
         try:
-            with path.open("rb") as handle:
-                return pickle.load(handle)
+            handle = path.open("rb")
+        except Exception:
+            self.stats.misses += 1
+            active_recorder().event("cache", scope=self._scope, op="miss")
+            return default
+        try:
+            with handle:
+                value = pickle.load(handle)
         except Exception:
             # Deliberately broad: a torn or bit-flipped pickle can raise
             # nearly anything (TypeError from a mangled REDUCE opcode,
             # KeyError from __setstate__, ImportError from a renamed
             # class, ...) and every one of them means "miss", not
             # "crash the sweep that consulted a shared cache".
+            self.stats.misses += 1
+            self.stats.corrupt += 1
+            warnings.warn(
+                f"repro cache: dropping corrupt entry {path.name} "
+                "(treated as a miss)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            active_recorder().event("cache", scope=self._scope, op="corrupt")
             return default
+        self.stats.hits += 1
+        active_recorder().event("cache", scope=self._scope, op="hit")
+        return value
 
     def put(self, key: str, value: Any) -> bool:
         """Best-effort atomic store; returns whether the entry landed.
@@ -173,6 +228,8 @@ class ResultCache:
             except OSError:
                 pass
             return False
+        self.stats.writes += 1
+        active_recorder().event("cache", scope=self._scope, op="write")
         return True
 
     def clear(self) -> int:

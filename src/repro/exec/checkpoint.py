@@ -51,7 +51,7 @@ class CheckpointStore:
         spec_parts: Iterable[object],
         consume: bool = True,
     ) -> None:
-        self._cache = ResultCache(directory)
+        self._cache = ResultCache(directory, scope="checkpoint")
         self._spec_key = cache_key(
             "checkpoint", package_fingerprint(), *spec_parts
         )

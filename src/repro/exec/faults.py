@@ -50,6 +50,7 @@ __all__ = [
     "active_fault_spec",
     "perform_fault",
     "corrupt_bytes",
+    "predict_outcomes",
 ]
 
 ENV_VAR = "REPRO_FAULTS"
@@ -278,6 +279,68 @@ def perform_fault(rule: FaultRule, *, start: int, in_worker: bool) -> None:
         )
     if rule.kind == "hang":
         time.sleep(rule.seconds)
+
+
+def predict_outcomes(
+    spec: "FaultSpec | None",
+    shard_starts: Sequence[int],
+    *,
+    max_attempts: int,
+    pooled: bool = True,
+    timeout_armed: bool = True,
+) -> dict[int, list[str]]:
+    """The per-chunk attempt-outcome sequence a fault schedule implies.
+
+    Because fault rules key on ``(shard start, attempt)``, the full
+    sequence of chunk-attempt outcomes a run will record is computable
+    in advance — which makes this module double as the correctness
+    oracle for the observability layer: a traced, fault-injected run
+    must emit exactly the ``attempt`` events predicted here
+    (``tests/test_obs_trace_correctness.py``).
+
+    Returns ``{shard_start: [outcome, ...]}`` where each outcome is
+    one of ``ok``/``error``/``corrupt``/``crash``/``timeout``, mapped
+    from the firing rule's kind the way the runner charges it:
+    ``raise`` → ``error``; ``corrupt`` → ``corrupt``; ``crash`` →
+    ``crash`` pooled, ``error`` inline (where it degrades to a raise);
+    ``hang`` → ``timeout`` when pooled with a timeout armed, else the
+    chunk just sleeps and finishes ``ok``. The sequence ends at the
+    first ``ok`` or when ``max_attempts`` is exhausted.
+
+    The prediction is exact for inline runs and for pooled schedules
+    whose faults are confined to the failing chunk (``raise``,
+    ``corrupt``, ``hang``). A pooled ``crash`` takes down a shared
+    worker, and which *other* chunks the driver charges alongside it
+    depends on poll timing — only the crashed chunk's own sequence is
+    predicted, and co-charged bystanders may add attempts.
+    """
+    if max_attempts < 1:
+        raise ExecutionError(
+            f"max_attempts must be at least 1, got {max_attempts}"
+        )
+    outcomes: dict[int, list[str]] = {}
+    for start in shard_starts:
+        start = int(start)
+        sequence: list[str] = []
+        for attempt in range(1, max_attempts + 1):
+            rule = spec.match(start, attempt) if spec is not None else None
+            if rule is None:
+                sequence.append("ok")
+                break
+            if rule.kind == "raise":
+                sequence.append("error")
+            elif rule.kind == "corrupt":
+                sequence.append("corrupt")
+            elif rule.kind == "crash":
+                sequence.append("crash" if pooled else "error")
+            else:  # hang
+                if pooled and timeout_armed:
+                    sequence.append("timeout")
+                else:
+                    sequence.append("ok")
+                    break
+        outcomes[start] = sequence
+    return outcomes
 
 
 def corrupt_bytes(payload: bytes) -> bytes:

@@ -48,15 +48,22 @@ import concurrent.futures
 import hashlib
 import importlib
 import pickle
+import sys
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from ..errors import ChunkFailedError, CorruptChunkError, ExecutionError
+from ..obs.recorder import active_recorder
 from .checkpoint import CheckpointStore
 from .faults import FaultSpec, active_fault_spec, corrupt_bytes, perform_fault
 from .plan import Shard, ShardPlan
 from .retry import ChunkFailure, FailureReport, RetryPolicy
+
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - resource is POSIX-only
+    _resource = None
 
 __all__ = ["kernel_name", "resolve_kernel", "run_sharded"]
 
@@ -127,11 +134,37 @@ def resolve_kernel(name: str) -> Callable[..., Any]:
     return kernel
 
 
-def _worker_init(name: str, payload: Any, faults: "FaultSpec | None" = None) -> None:
-    """Pool initializer: resolve the kernel and pin the shared payload."""
+def _worker_init(
+    name: str,
+    payload: Any,
+    faults: "FaultSpec | None" = None,
+    telemetry: bool = False,
+) -> None:
+    """Pool initializer: resolve the kernel and pin the shared payload.
+
+    ``telemetry`` mirrors whether the driver has a live recorder: when
+    set, each chunk ships its timing and peak-RSS events back in the
+    result envelope; when clear, workers build no telemetry at all.
+    """
     _WORKER_STATE["kernel"] = resolve_kernel(name)
     _WORKER_STATE["payload"] = payload
     _WORKER_STATE["faults"] = faults
+    _WORKER_STATE["telemetry"] = telemetry
+
+
+def _peak_rss_kb() -> "int | None":
+    """This process's peak resident set size in KiB, if knowable.
+
+    ``ru_maxrss`` is KiB on Linux and bytes on macOS; normalized to
+    KiB so traces are comparable. ``None`` where ``resource`` is
+    unavailable (non-POSIX platforms).
+    """
+    if _resource is None:
+        return None
+    peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        peak //= 1024
+    return int(peak)
 
 
 def _envelope(result: Any) -> tuple[str, bytes]:
@@ -167,7 +200,7 @@ def _open_envelope(envelope: Any, *, start: int, stop: int) -> Any:
         ) from error
 
 
-def _worker_chunk(start: int, stop: int, attempt: int = 1) -> tuple[str, bytes]:
+def _worker_chunk(start: int, stop: int, attempt: int = 1) -> tuple:
     """Run the initialized kernel on one ``[start, stop)`` chunk.
 
     Returns the result wrapped in an integrity envelope. If a fault
@@ -175,16 +208,55 @@ def _worker_chunk(start: int, stop: int, attempt: int = 1) -> tuple[str, bytes]:
     ``crash``, and ``hang`` before the kernel runs; ``corrupt`` by
     flipping a bit of the pickled result *after* the digest is taken,
     so the driver's verification fails deterministically.
+
+    With telemetry armed the envelope grows a third element — a list
+    of ``chunk_worker`` event dicts (kernel wall time, rows, peak RSS)
+    the driver records on arrival. The events ride *outside* the
+    digested blob, so telemetry can never perturb integrity checks,
+    cached bytes, or results.
     """
     spec = _WORKER_STATE.get("faults")
     rule = spec.match(start, attempt) if spec else None
     if rule is not None and rule.kind != "corrupt":
         perform_fault(rule, start=start, in_worker=True)
+    began = time.monotonic()
     result = _WORKER_STATE["kernel"](_WORKER_STATE["payload"], start, stop)
+    duration = time.monotonic() - began
     digest, blob = _envelope(result)
     if rule is not None and rule.kind == "corrupt":
         blob = corrupt_bytes(blob)
-    return digest, blob
+    if not _WORKER_STATE.get("telemetry"):
+        return digest, blob
+    events = [
+        {
+            "kind": "chunk_worker",
+            "start": start,
+            "stop": stop,
+            "attempt": attempt,
+            "dur_s": duration,
+            "rows": stop - start,
+            "peak_rss_kb": _peak_rss_kb(),
+        }
+    ]
+    return digest, blob, events
+
+
+def _split_envelope_events(raw: Any) -> "tuple[Any, list | None]":
+    """Split worker telemetry off a result envelope, if present.
+
+    Telemetry must be separated *before* envelope verification — a
+    corrupt-blob attempt still carries valid timing events, and
+    :func:`_open_envelope` only understands two-element envelopes.
+    """
+    if (
+        isinstance(raw, tuple)
+        and len(raw) == 3
+        and isinstance(raw[0], str)
+        and isinstance(raw[1], bytes)
+        and isinstance(raw[2], list)
+    ):
+        return (raw[0], raw[1]), raw[2]
+    return raw, None
 
 
 @dataclass(frozen=True)
@@ -238,6 +310,7 @@ def _run_pool_tasks(
     initializer: "Callable[..., None] | None" = None,
     initargs: tuple = (),
     postprocess: "Callable[[_PoolTask, Any], Any] | None" = None,
+    scope: str = "chunk",
 ) -> tuple[dict[Any, Any], list[_TaskFailure]]:
     """The wave-based fault-tolerant pool engine.
 
@@ -250,11 +323,19 @@ def _run_pool_tasks(
     completed future (envelope verification, checkpointing); an
     exception there counts as a failed attempt of that task.
 
+    Every wave is a ``wave`` span on the active recorder; each charged
+    attempt lands as an ``attempt`` event (outcome
+    ``ok``/``error``/``corrupt``/``crash``/``timeout``), each scheduled
+    retry as a ``retry`` event, and pool teardown/rebuild as ``pool``
+    events. ``scope`` labels those events (``"chunk"`` for sharded
+    sweeps, ``"experiment"`` for the registry's parallel ``run_all``).
+
     Returns ``(results, failures)``: a dict of postprocessed results
     keyed by ``task.key``, and the tasks that exhausted every attempt.
     Shared by :func:`run_sharded` and the experiment registry's
     parallel ``run_all``.
     """
+    recorder = active_recorder()
     pending: list[tuple[_PoolTask, int]] = [(task, 1) for task in tasks]
     results: dict[Any, Any] = {}
     failures: list[_TaskFailure] = []
@@ -267,119 +348,159 @@ def _run_pool_tasks(
         error: "BaseException | None",
         delays: list[float],
     ) -> None:
+        recorder.event(
+            "attempt",
+            scope=scope,
+            key=task.key,
+            stream=task.stream,
+            attempt=attempt,
+            outcome=kind,
+            error=message[:200],
+        )
         if attempt < retry.max_attempts:
-            delays.append(retry.delay(task.stream, attempt))
+            delay = retry.delay(task.stream, attempt)
+            recorder.event(
+                "retry",
+                scope=scope,
+                stream=task.stream,
+                attempt=attempt,
+                delay_s=delay,
+            )
+            delays.append(delay)
             pending.append((task, attempt + 1))
         else:
             failures.append(
                 _TaskFailure(task.key, task.stream, attempt, kind, message, error)
             )
 
+    wave_index = 0
     while pending:
         wave, pending = pending, []
-        pool = _pool_executor(
-            max_workers=min(workers, len(wave)),
-            initializer=initializer,
-            initargs=initargs,
+        if wave_index:
+            recorder.event("pool", op="rebuild", wave=wave_index)
+        wave_span = recorder.span(
+            "wave",
+            index=wave_index,
+            tasks=len(wave),
+            workers=min(workers, len(wave)),
         )
-        delays: list[float] = []
-        abandoned = False
-        try:
-            info = {}
-            for task, attempt in wave:
-                info[pool.submit(task_fn, *task.args, attempt)] = (task, attempt)
-            outstanding = set(info)
-            first_running: dict[Any, float] = {}
-            while outstanding:
-                done, outstanding = _wait(
-                    outstanding,
-                    timeout=_POLL_INTERVAL,
-                    return_when=concurrent.futures.FIRST_COMPLETED,
-                )
-                now = time.monotonic()
-                broken: "BaseException | None" = None
-                for future in done:
-                    task, attempt = info[future]
-                    try:
-                        value = future.result()
-                        if postprocess is not None:
-                            value = postprocess(task, value)
-                    except concurrent.futures.BrokenExecutor as error:
-                        # A dead worker poisons every unfinished future
-                        # with the same exception; fold this one back in
-                        # and attribute blame once, below.
-                        broken = error
-                        outstanding.add(future)
-                        continue
-                    except Exception as error:
-                        kind = (
-                            "corrupt"
-                            if isinstance(error, CorruptChunkError)
-                            else "error"
-                        )
-                        charge(task, attempt, kind, str(error), error, delays)
-                        continue
-                    results[task.key] = value
-                if broken is not None:
-                    # Only tasks observed running can have killed the
-                    # worker; queued ones resubmit without losing an
-                    # attempt. If the crash beat our first poll, charge
-                    # everything unfinished rather than loop forever.
-                    charged = {f for f in outstanding if f in first_running}
-                    if not charged:
-                        charged = set(outstanding)
-                    for future in outstanding:
+        wave_index += 1
+        with wave_span:
+            pool = _pool_executor(
+                max_workers=min(workers, len(wave)),
+                initializer=initializer,
+                initargs=initargs,
+            )
+            delays: list[float] = []
+            abandoned = False
+            try:
+                info = {}
+                for task, attempt in wave:
+                    info[pool.submit(task_fn, *task.args, attempt)] = (task, attempt)
+                outstanding = set(info)
+                first_running: dict[Any, float] = {}
+                while outstanding:
+                    done, outstanding = _wait(
+                        outstanding,
+                        timeout=_POLL_INTERVAL,
+                        return_when=concurrent.futures.FIRST_COMPLETED,
+                    )
+                    now = time.monotonic()
+                    broken: "BaseException | None" = None
+                    for future in done:
                         task, attempt = info[future]
-                        if future in charged:
-                            charge(
-                                task,
-                                attempt,
-                                "crash",
-                                f"worker process died ({broken})",
-                                broken,
-                                delays,
+                        try:
+                            value = future.result()
+                            value, worker_events = _split_envelope_events(value)
+                            recorder.record_worker_events(worker_events)
+                            if postprocess is not None:
+                                value = postprocess(task, value)
+                        except concurrent.futures.BrokenExecutor as error:
+                            # A dead worker poisons every unfinished future
+                            # with the same exception; fold this one back in
+                            # and attribute blame once, below.
+                            broken = error
+                            outstanding.add(future)
+                            continue
+                        except Exception as error:
+                            kind = (
+                                "corrupt"
+                                if isinstance(error, CorruptChunkError)
+                                else "error"
                             )
-                        else:
-                            pending.append((task, attempt))
-                    _abandon_pool(pool)
-                    abandoned = True
-                    break
-                for future in outstanding:
-                    if future not in first_running and future.running():
-                        first_running[future] = now
-                if timeout is not None:
-                    timed_out = {
-                        future
-                        for future in outstanding
-                        if future in first_running
-                        and now - first_running[future] >= timeout
-                    }
-                    if timed_out:
-                        # Running futures cannot be cancelled, so the
-                        # whole pool is forfeit; innocent bystanders
-                        # resubmit uncharged in the next wave.
+                            charge(task, attempt, kind, str(error), error, delays)
+                            continue
+                        recorder.event(
+                            "attempt",
+                            scope=scope,
+                            key=task.key,
+                            stream=task.stream,
+                            attempt=attempt,
+                            outcome="ok",
+                        )
+                        results[task.key] = value
+                    if broken is not None:
+                        # Only tasks observed running can have killed the
+                        # worker; queued ones resubmit without losing an
+                        # attempt. If the crash beat our first poll, charge
+                        # everything unfinished rather than loop forever.
+                        charged = {f for f in outstanding if f in first_running}
+                        if not charged:
+                            charged = set(outstanding)
                         for future in outstanding:
                             task, attempt = info[future]
-                            if future in timed_out:
+                            if future in charged:
                                 charge(
                                     task,
                                     attempt,
-                                    "timeout",
-                                    f"chunk ran past the {timeout:g}s "
-                                    f"per-chunk timeout",
-                                    None,
+                                    "crash",
+                                    f"worker process died ({broken})",
+                                    broken,
                                     delays,
                                 )
                             else:
                                 pending.append((task, attempt))
+                        recorder.event("pool", op="abandon", reason="crash")
                         _abandon_pool(pool)
                         abandoned = True
                         break
-        except BaseException:
-            _abandon_pool(pool)
-            raise
-        if not abandoned:
-            pool.shutdown(wait=True)
+                    for future in outstanding:
+                        if future not in first_running and future.running():
+                            first_running[future] = now
+                    if timeout is not None:
+                        timed_out = {
+                            future
+                            for future in outstanding
+                            if future in first_running
+                            and now - first_running[future] >= timeout
+                        }
+                        if timed_out:
+                            # Running futures cannot be cancelled, so the
+                            # whole pool is forfeit; innocent bystanders
+                            # resubmit uncharged in the next wave.
+                            for future in outstanding:
+                                task, attempt = info[future]
+                                if future in timed_out:
+                                    charge(
+                                        task,
+                                        attempt,
+                                        "timeout",
+                                        f"chunk ran past the {timeout:g}s "
+                                        f"per-chunk timeout",
+                                        None,
+                                        delays,
+                                    )
+                                else:
+                                    pending.append((task, attempt))
+                            recorder.event("pool", op="abandon", reason="timeout")
+                            _abandon_pool(pool)
+                            abandoned = True
+                            break
+            except BaseException:
+                _abandon_pool(pool)
+                raise
+            if not abandoned:
+                pool.shutdown(wait=True)
         if pending and delays:
             _sleep(max(delays))
     return results, failures
@@ -394,10 +515,12 @@ def _run_chunk_inline(
     spec: "FaultSpec | None",
 ) -> "tuple[Any, _TaskFailure | None]":
     """Run one chunk on the calling thread with the same retry budget."""
+    recorder = active_recorder()
     last_error: "Exception | None" = None
     kind = "error"
     for attempt in range(1, retry.max_attempts + 1):
         rule = spec.match(shard.start, attempt) if spec is not None else None
+        began = time.monotonic()
         try:
             if rule is not None and rule.kind != "corrupt":
                 perform_fault(rule, start=shard.start, in_worker=False)
@@ -411,12 +534,39 @@ def _run_chunk_inline(
                     start=shard.start,
                     stop=shard.stop,
                 )
+            recorder.event(
+                "attempt",
+                scope="chunk",
+                key=shard.index,
+                stream=shard.start,
+                attempt=attempt,
+                outcome="ok",
+                dur_s=time.monotonic() - began,
+                rows=shard.stop - shard.start,
+            )
             return chunk, None
         except Exception as error:
             last_error = error
             kind = "corrupt" if isinstance(error, CorruptChunkError) else "error"
+            recorder.event(
+                "attempt",
+                scope="chunk",
+                key=shard.index,
+                stream=shard.start,
+                attempt=attempt,
+                outcome=kind,
+                error=str(error)[:200],
+            )
             if attempt < retry.max_attempts:
-                _sleep(retry.delay(shard.start, attempt))
+                delay = retry.delay(shard.start, attempt)
+                recorder.event(
+                    "retry",
+                    scope="chunk",
+                    stream=shard.start,
+                    attempt=attempt,
+                    delay_s=delay,
+                )
+                _sleep(delay)
     failure = _TaskFailure(
         key=shard.index,
         stream=shard.start,
@@ -545,75 +695,83 @@ def run_sharded(
     shards = plan.shards()
     shard_by_index = {shard.index: shard for shard in shards}
     use_checkpoint = checkpoint is not None and len(shards) > 1
+    recorder = active_recorder()
 
-    completed: dict[int, Any] = {}
-    to_run: list[Shard] = []
-    for shard in shards:
-        if use_checkpoint:
-            hit, chunk = checkpoint.get(shard.start, shard.stop)
-            if hit:
-                completed[shard.index] = chunk
-                continue
-        to_run.append(shard)
+    with recorder.span(
+        "sharded_run",
+        kernel=name,
+        scenarios=plan.num_scenarios,
+        chunks=len(shards),
+        jobs=jobs,
+    ):
+        completed: dict[int, Any] = {}
+        to_run: list[Shard] = []
+        for shard in shards:
+            if use_checkpoint:
+                hit, chunk = checkpoint.get(shard.start, shard.stop)
+                if hit:
+                    completed[shard.index] = chunk
+                    continue
+            to_run.append(shard)
 
-    failures: list[_TaskFailure] = []
-    if jobs == 1 or (len(shards) == 1 and timeout is None):
-        for shard in to_run:
-            chunk, failure = _run_chunk_inline(
-                kernel, payload, shard, retry=retry, spec=spec
-            )
-            if failure is None:
-                completed[shard.index] = chunk
+        failures: list[_TaskFailure] = []
+        if jobs == 1 or (len(shards) == 1 and timeout is None):
+            for shard in to_run:
+                chunk, failure = _run_chunk_inline(
+                    kernel, payload, shard, retry=retry, spec=spec
+                )
+                if failure is None:
+                    completed[shard.index] = chunk
+                    if use_checkpoint:
+                        checkpoint.put(shard.start, shard.stop, chunk)
+                else:
+                    if on_error == "raise":
+                        _raise_exhausted(shard, failure, retry)
+                    failures.append(failure)
+        elif to_run:
+            def postprocess(task: _PoolTask, raw: Any) -> Any:
+                shard = shard_by_index[task.key]
+                chunk = _open_envelope(raw, start=shard.start, stop=shard.stop)
                 if use_checkpoint:
                     checkpoint.put(shard.start, shard.stop, chunk)
-            else:
-                if on_error == "raise":
-                    _raise_exhausted(shard, failure, retry)
-                failures.append(failure)
-    elif to_run:
-        def postprocess(task: _PoolTask, raw: Any) -> Any:
-            shard = shard_by_index[task.key]
-            chunk = _open_envelope(raw, start=shard.start, stop=shard.stop)
-            if use_checkpoint:
-                checkpoint.put(shard.start, shard.stop, chunk)
-            return chunk
+                return chunk
 
-        tasks = [
-            _PoolTask(key=shard.index, stream=shard.start,
-                      args=(shard.start, shard.stop))
-            for shard in to_run
-        ]
-        results, failures = _run_pool_tasks(
-            tasks,
-            task_fn=_worker_chunk,
-            workers=min(jobs, len(to_run)),
-            retry=retry,
-            timeout=timeout,
-            initializer=_worker_init,
-            initargs=(name, payload, spec),
-            postprocess=postprocess,
-        )
-        completed.update(results)
+            tasks = [
+                _PoolTask(key=shard.index, stream=shard.start,
+                          args=(shard.start, shard.stop))
+                for shard in to_run
+            ]
+            results, failures = _run_pool_tasks(
+                tasks,
+                task_fn=_worker_chunk,
+                workers=min(jobs, len(to_run)),
+                retry=retry,
+                timeout=timeout,
+                initializer=_worker_init,
+                initargs=(name, payload, spec, recorder.enabled),
+                postprocess=postprocess,
+            )
+            completed.update(results)
 
-    if failures:
-        failures.sort(key=lambda failure: failure.key)
-        if on_error == "raise":
-            first = failures[0]
-            _raise_exhausted(shard_by_index[first.key], first, retry)
-        if not completed:
-            first = failures[0]
-            _raise_chunk_failed(shard_by_index[first.key], first)
-    if use_checkpoint and not failures:
-        checkpoint.discard((shard.start, shard.stop) for shard in shards)
-    chunks = [completed[index] for index in sorted(completed)]
-    result = chunks if combine is None else combine(chunks)
-    if on_error == "skip":
-        report = FailureReport(
-            failures=tuple(
-                _chunk_failure(shard_by_index[failure.key], failure)
-                for failure in failures
-            ),
-            num_chunks=len(shards),
-        )
-        return result, report
-    return result
+        if failures:
+            failures.sort(key=lambda failure: failure.key)
+            if on_error == "raise":
+                first = failures[0]
+                _raise_exhausted(shard_by_index[first.key], first, retry)
+            if not completed:
+                first = failures[0]
+                _raise_chunk_failed(shard_by_index[first.key], first)
+        if use_checkpoint and not failures:
+            checkpoint.discard((shard.start, shard.stop) for shard in shards)
+        chunks = [completed[index] for index in sorted(completed)]
+        result = chunks if combine is None else combine(chunks)
+        if on_error == "skip":
+            report = FailureReport(
+                failures=tuple(
+                    _chunk_failure(shard_by_index[failure.key], failure)
+                    for failure in failures
+                ),
+                num_chunks=len(shards),
+            )
+            return result, report
+        return result

@@ -36,6 +36,7 @@ from typing import Callable
 from ..errors import ExperimentError
 from ..exec import ResultCache, RetryPolicy, cache_key, package_fingerprint
 from ..exec.runner import _PoolTask, _run_pool_tasks
+from ..obs.recorder import active_recorder
 from .result import ExperimentResult
 
 __all__ = [
@@ -165,13 +166,17 @@ def run_experiment(
     cache at that directory, so results survive the process and are
     visible to concurrent workers.
     """
+    recorder = active_recorder()
     if not cache and cache_dir is None:
-        return get_experiment(experiment_id)()
+        with recorder.span("experiment", id=experiment_id):
+            return get_experiment(experiment_id)()
     fingerprint = _fingerprint(experiment_id)
     if cache:
         entry = _RESULT_CACHE.get(experiment_id)
         if entry is not None and entry[0] == fingerprint:
+            recorder.event("cache", scope="memory", op="hit")
             return _copy_result(entry[1])
+        recorder.event("cache", scope="memory", op="miss")
     disk = ResultCache(cache_dir) if cache_dir is not None else None
     result: ExperimentResult | None = None
     if disk is not None:
@@ -181,7 +186,8 @@ def run_experiment(
         if isinstance(value, ExperimentResult):
             result = value
     if result is None:
-        result = get_experiment(experiment_id)()
+        with recorder.span("experiment", id=experiment_id):
+            result = get_experiment(experiment_id)()
         if disk is not None:
             disk.put(_disk_key(experiment_id, fingerprint), result)
     if cache:
@@ -236,6 +242,7 @@ def run_all(
         if cache:
             entry = _RESULT_CACHE.get(experiment_id)
             if entry is not None and entry[0] == fingerprint:
+                active_recorder().event("cache", scope="memory", op="hit")
                 results[experiment_id] = _copy_result(entry[1])
                 continue
         if disk is not None:
@@ -282,6 +289,7 @@ def run_all(
                 workers=min(workers, len(tasks)),
                 retry=retry,
                 timeout=timeout,
+                scope="experiment",
             )
             if failures and on_error == "raise":
                 order = {

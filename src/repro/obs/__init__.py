@@ -1,0 +1,45 @@
+"""Observability for the execution stack: tracing, metrics, profiling.
+
+``repro.obs`` makes the sharded, cached, fault-tolerant execution
+layer visible. A :class:`TraceRecorder` installed with
+:func:`install_recorder` captures nested spans (run → sweep → sharded
+run → wave) and point events (chunk attempts, retries, cache hits,
+pool rebuilds, worker peak RSS) into an append-only JSONL trace and a
+live :class:`MetricsRegistry`; ``repro stats`` renders a persisted
+trace back into per-phase latency, throughput, and cache tables.
+
+When nothing is installed, every instrumented call site resolves the
+no-op :class:`NullRecorder` — tracing off costs one dict lookup and a
+no-op method call per site, and recorded telemetry never enters cache
+keys, checkpoints, or result tables, so traced runs stay bit-identical
+to untraced ones.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    Span,
+    TraceRecorder,
+    active_recorder,
+    install_recorder,
+    load_trace,
+)
+from .stats import phase_table, render_stats, trace_summary
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Span",
+    "TraceRecorder",
+    "active_recorder",
+    "install_recorder",
+    "load_trace",
+    "phase_table",
+    "render_stats",
+    "trace_summary",
+]

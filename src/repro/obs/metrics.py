@@ -1,0 +1,149 @@
+"""A lightweight in-process metrics registry: counters, gauges, histograms.
+
+The execution stack needs numbers, not prose: how many cache hits a
+warm sweep saw, how many chunk attempts were retried, how chunk
+latency is distributed. This module provides the smallest registry
+that answers those questions — no background threads, no exporters,
+no global state. A :class:`MetricsRegistry` is owned by a
+:class:`~repro.obs.recorder.TraceRecorder` and updated synchronously
+as events are recorded; :meth:`MetricsRegistry.summary` flattens
+everything into a plain dict the CLI renders after a run
+(``repro sweep ... --metrics``).
+
+Histograms keep their raw observations. Observation rates in this
+codebase are chunk-level (hundreds to thousands per sweep), never
+scenario-level, so exact quantiles are affordable and there is no
+reason to trade them for bucketing error.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..errors import ObservabilityError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1); counters never decrease."""
+        if amount < 0:
+            raise ObservabilityError(
+                f"counters only increase; got increment {amount}"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """A last-value-wins float metric (e.g. scenarios per second)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: "float | None" = None
+
+    def set(self, value: float) -> None:
+        """Record the gauge's current value, replacing any previous one."""
+        self.value = float(value)
+
+
+class Histogram:
+    """A distribution metric holding every observation it has seen."""
+
+    __slots__ = ("values",)
+
+    def __init__(self) -> None:
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        """How many observations have been recorded."""
+        return len(self.values)
+
+    def summary(self) -> dict[str, float]:
+        """count/mean/min/p50/p95/max of the observations so far."""
+        if not self.values:
+            return {"count": 0}
+        data = np.asarray(self.values, dtype=np.float64)
+        return {
+            "count": int(data.shape[0]),
+            "mean": float(np.mean(data)),
+            "min": float(np.min(data)),
+            "p50": float(np.percentile(data, 50.0)),
+            "p95": float(np.percentile(data, 95.0)),
+            "max": float(np.max(data)),
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms, created on first use.
+
+    A metric name may hold exactly one instrument kind: asking for
+    ``counter("x")`` after ``gauge("x")`` is a caller bug and raises,
+    so a summary never silently merges incompatible series.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _claim(self, name: str, family: dict) -> None:
+        if not name:
+            raise ObservabilityError("a metric needs a non-empty name")
+        for other in (self._counters, self._gauges, self._histograms):
+            if other is not family and name in other:
+                raise ObservabilityError(
+                    f"metric {name!r} already registered as a different kind"
+                )
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        self._claim(name, self._counters)
+        return self._counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        self._claim(name, self._gauges)
+        return self._gauges.setdefault(name, Gauge())
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name``, created on first use."""
+        self._claim(name, self._histograms)
+        return self._histograms.setdefault(name, Histogram())
+
+    def summary(self) -> dict[str, Any]:
+        """Everything aggregated into one plain, JSON-serializable dict.
+
+        Keys are sorted so the summary is deterministic for a given
+        event stream — tests and rendered tables rely on that.
+        """
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value
+                for name in sorted(self._gauges)
+                if self._gauges[name].value is not None
+            },
+            "histograms": {
+                name: self._histograms[name].summary()
+                for name in sorted(self._histograms)
+            },
+        }

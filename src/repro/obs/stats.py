@@ -1,0 +1,140 @@
+"""Turn a persisted trace file into per-phase latency and cache tables.
+
+``repro stats trace.jsonl`` answers the questions a trace exists to
+answer — where did the time go, how fast did scenarios flow, how did
+the cache behave — without re-running anything. The analysis replays
+the trace's lines through the *same* metric translation the live
+:class:`~repro.obs.recorder.TraceRecorder` uses
+(:func:`~repro.obs.recorder._update_metrics`), so a rendered trace and
+a live ``--metrics`` summary can never disagree about the same run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..tabular import Table
+from ..report.tables import render_table
+from .metrics import MetricsRegistry
+from .recorder import _update_metrics, load_trace
+
+__all__ = ["trace_summary", "phase_table", "render_stats"]
+
+
+def trace_summary(lines: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
+    """Aggregate trace lines into a metrics summary dict.
+
+    Replays every line through the recorder's own metric translation,
+    so the result matches what ``--metrics`` printed when the trace
+    was recorded.
+    """
+    metrics = MetricsRegistry()
+    for line in lines:
+        _update_metrics(metrics, line)
+    return metrics.summary()
+
+
+def _phase_rows(
+    lines: Sequence[Mapping[str, Any]],
+) -> "dict[str, list[float]]":
+    """Collect span durations per kind, plus a synthetic ``chunk`` phase.
+
+    Chunk work has no span of its own — worker timings arrive as
+    ``chunk_worker`` events and inline timings as ``attempt`` events
+    with a duration — so both are folded into one ``chunk`` phase.
+    """
+    durations: dict[str, list[float]] = {}
+    for line in lines:
+        kind = line.get("kind")
+        duration = line.get("dur_s")
+        if duration is None:
+            continue
+        if line.get("type") == "span":
+            durations.setdefault(str(kind), []).append(float(duration))
+        elif kind == "chunk_worker" or (
+            kind == "attempt" and line.get("scope") == "chunk"
+        ):
+            durations.setdefault("chunk", []).append(float(duration))
+    return durations
+
+
+def phase_table(lines: Sequence[Mapping[str, Any]]) -> Table:
+    """Per-phase latency table: count, total, mean, p50, max seconds."""
+    durations = _phase_rows(lines)
+    phases = sorted(durations)
+    records = []
+    for phase in phases:
+        data = np.asarray(durations[phase], dtype=np.float64)
+        records.append(
+            {
+                "phase": phase,
+                "count": int(data.shape[0]),
+                "total_s": float(np.sum(data)),
+                "mean_s": float(np.mean(data)),
+                "p50_s": float(np.percentile(data, 50.0)),
+                "max_s": float(np.max(data)),
+            }
+        )
+    return Table.from_records(
+        records,
+        columns=["phase", "count", "total_s", "mean_s", "p50_s", "max_s"],
+    )
+
+
+def _counter_table(summary: Mapping[str, Any]) -> "Table | None":
+    rows = [
+        {"metric": name, "value": value}
+        for name, value in summary.get("counters", {}).items()
+    ]
+    rows.extend(
+        {"metric": name, "value": value}
+        for name, value in summary.get("gauges", {}).items()
+    )
+    if not rows:
+        return None
+    rows.sort(key=lambda row: row["metric"])
+    return Table.from_records(rows, columns=["metric", "value"])
+
+
+def _histogram_table(summary: Mapping[str, Any]) -> "Table | None":
+    records = []
+    for name, stats in summary.get("histograms", {}).items():
+        if not stats.get("count"):
+            continue
+        records.append(
+            {
+                "metric": name,
+                "count": stats["count"],
+                "mean": stats["mean"],
+                "p50": stats["p50"],
+                "p95": stats["p95"],
+                "max": stats["max"],
+            }
+        )
+    if not records:
+        return None
+    return Table.from_records(
+        records, columns=["metric", "count", "mean", "p50", "p95", "max"]
+    )
+
+
+def render_stats(path: "str | Path") -> str:
+    """Render a trace file as the ``repro stats`` report text."""
+    lines = load_trace(path)
+    summary = trace_summary(lines)
+    sections = [
+        f"trace: {path} ({len(lines)} lines)",
+        render_table(phase_table(lines), title="Phase latency (seconds)"),
+    ]
+    counters = _counter_table(summary)
+    if counters is not None:
+        sections.append(render_table(counters, title="Counters and gauges"))
+    histograms = _histogram_table(summary)
+    if histograms is not None:
+        sections.append(
+            render_table(histograms, title="Distributions", float_format="{:.4f}")
+        )
+    return "\n\n".join(sections)

@@ -46,6 +46,7 @@ from ..datacenter.heterogeneity import (
 )
 from ..errors import SimulationError
 from ..exec import ShardPlan, run_sharded
+from ..obs.recorder import active_recorder
 from ..tabular import Table
 from ..units import CarbonIntensity
 from .grid import ScenarioGrid
@@ -258,17 +259,20 @@ def sweep_fleet(
     _reject_distribution_values(records)
     plan = ShardPlan.plan(len(records), chunk_size, jobs)
     payload = (base, records, embodied, _scalar_axis_names(records))
-    return run_sharded(
-        _fleet_chunk,
-        payload,
-        plan,
-        jobs=jobs,
-        combine=Table.concat,
-        retries=retries,
-        timeout=timeout,
-        on_error=on_error,
-        checkpoint=checkpoint,
-    )
+    with active_recorder().span(
+        "batch", fn="sweep_fleet", scenarios=len(records)
+    ):
+        return run_sharded(
+            _fleet_chunk,
+            payload,
+            plan,
+            jobs=jobs,
+            combine=Table.concat,
+            retries=retries,
+            timeout=timeout,
+            on_error=on_error,
+            checkpoint=checkpoint,
+        )
 
 
 def _reject_distribution_axis(name: str, values: np.ndarray) -> None:
@@ -405,17 +409,20 @@ def sweep_provisioning(
         grid,
         model,
     )
-    return run_sharded(
-        _provisioning_chunk,
-        payload,
-        plan,
-        jobs=jobs,
-        combine=Table.concat,
-        retries=retries,
-        timeout=timeout,
-        on_error=on_error,
-        checkpoint=checkpoint,
-    )
+    with active_recorder().span(
+        "batch", fn="sweep_provisioning", scenarios=int(target_axis.shape[0])
+    ):
+        return run_sharded(
+            _provisioning_chunk,
+            payload,
+            plan,
+            jobs=jobs,
+            combine=Table.concat,
+            retries=retries,
+            timeout=timeout,
+            on_error=on_error,
+            checkpoint=checkpoint,
+        )
 
 
 def sweep_temporal_shifting(
@@ -695,9 +702,17 @@ def run_sweep(
         raise SimulationError(
             f"unknown sweep {name!r}; have {sweep_names()}"
         )
-    return SWEEPS[name].build(
-        **_run_options(jobs, chunk_size, retries, timeout, on_error, checkpoint)
-    )
+    with active_recorder().span("sweep", name=name, mode="point") as span:
+        result = SWEEPS[name].build(
+            **_run_options(
+                jobs, chunk_size, retries, timeout, on_error, checkpoint
+            )
+        )
+        table = result[0] if isinstance(result, tuple) else result
+        rows = getattr(table, "num_rows", None)
+        if rows is not None:
+            span.note(rows=rows)
+        return result
 
 
 def run_uncertain_sweep(
@@ -731,8 +746,18 @@ def run_uncertain_sweep(
             f"sweep {name!r} has no distribution-tagged variant; "
             "run it without --draws"
         )
-    return spec.build_uncertain(
-        draws,
-        seed,
-        **_run_options(jobs, chunk_size, retries, timeout, on_error, checkpoint),
-    )
+    with active_recorder().span(
+        "sweep", name=name, mode="uncertain", draws=draws, seed=seed
+    ) as span:
+        result = spec.build_uncertain(
+            draws,
+            seed,
+            **_run_options(
+                jobs, chunk_size, retries, timeout, on_error, checkpoint
+            ),
+        )
+        outcome = result[0] if isinstance(result, tuple) else result
+        scenarios = getattr(outcome, "num_scenarios", None)
+        if scenarios is not None:
+            span.note(rows=scenarios * outcome.draws)
+        return result

@@ -31,6 +31,7 @@ from ..datacenter.scheduler import (
 )
 from ..errors import SimulationError
 from ..exec import ShardPlan, run_sharded
+from ..obs.recorder import active_recorder
 from ..tabular import Table
 from .batch import prefix_sums, schedule_batch
 from .intensity import IntensityTrace
@@ -285,17 +286,24 @@ def evaluate_policies(
     policy_list = _normalize_policies(policies)
     plan = ShardPlan.plan(len(trace_list), chunk_size, jobs)
     payload = (trace_list, workload_list, policy_list, capacity_kw)
-    return run_sharded(
-        _evaluate_chunk,
-        payload,
-        plan,
-        jobs=jobs,
-        combine=Table.concat,
-        retries=retries,
-        timeout=timeout,
-        on_error=on_error,
-        checkpoint=checkpoint,
-    )
+    with active_recorder().span(
+        "batch",
+        fn="evaluate_policies",
+        traces=len(trace_list),
+        workloads=len(workload_list),
+        policies=len(policy_list),
+    ):
+        return run_sharded(
+            _evaluate_chunk,
+            payload,
+            plan,
+            jobs=jobs,
+            combine=Table.concat,
+            retries=retries,
+            timeout=timeout,
+            on_error=on_error,
+            checkpoint=checkpoint,
+        )
 
 
 def _evaluate_batched(

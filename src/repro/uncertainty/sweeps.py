@@ -45,6 +45,7 @@ from ..datacenter.heterogeneity import (
 )
 from ..errors import SimulationError
 from ..exec import ShardPlan, run_sharded
+from ..obs.recorder import active_recorder
 from ..scenarios.runner import OverridePlan, _scalar_axis_names, apply_overrides
 from ..tabular import Table
 from ..units import CarbonIntensity
@@ -256,17 +257,23 @@ def sweep_fleet_uncertain(
     records = _check_records(list(scenarios))
     plan = ShardPlan.plan(len(records), chunk_size, jobs)
     payload = (base, records, draws, seed, embodied, _kept_axis_names(records))
-    return run_sharded(
-        _fleet_uncertain_chunk,
-        payload,
-        plan,
-        jobs=jobs,
-        combine=UncertainResult.concat,
-        retries=retries,
-        timeout=timeout,
-        on_error=on_error,
-        checkpoint=checkpoint,
-    )
+    with active_recorder().span(
+        "batch",
+        fn="sweep_fleet_uncertain",
+        scenarios=len(records),
+        draws=draws,
+    ):
+        return run_sharded(
+            _fleet_uncertain_chunk,
+            payload,
+            plan,
+            jobs=jobs,
+            combine=UncertainResult.concat,
+            retries=retries,
+            timeout=timeout,
+            on_error=on_error,
+            checkpoint=checkpoint,
+        )
 
 
 def _axis_values(name: str, axis: Any) -> list[Any]:
@@ -380,17 +387,23 @@ def sweep_provisioning_uncertain(
         model,
         _kept_axis_names(records),
     )
-    return run_sharded(
-        _provisioning_uncertain_chunk,
-        payload,
-        plan,
-        jobs=jobs,
-        combine=UncertainResult.concat,
-        retries=retries,
-        timeout=timeout,
-        on_error=on_error,
-        checkpoint=checkpoint,
-    )
+    with active_recorder().span(
+        "batch",
+        fn="sweep_provisioning_uncertain",
+        scenarios=len(records),
+        draws=draws,
+    ):
+        return run_sharded(
+            _provisioning_uncertain_chunk,
+            payload,
+            plan,
+            jobs=jobs,
+            combine=UncertainResult.concat,
+            retries=retries,
+            timeout=timeout,
+            on_error=on_error,
+            checkpoint=checkpoint,
+        )
 
 
 def _shifting_uncertain_chunk(
@@ -486,14 +499,20 @@ def sweep_temporal_shifting_uncertain(
     regions = region_names()
     plan = ShardPlan.plan(len(regions), chunk_size, jobs)
     payload = (tuple(regions), hours, capacity_kw, draws, seed)
-    return run_sharded(
-        _shifting_uncertain_chunk,
-        payload,
-        plan,
-        jobs=jobs,
-        combine=UncertainResult.concat,
-        retries=retries,
-        timeout=timeout,
-        on_error=on_error,
-        checkpoint=checkpoint,
-    )
+    with active_recorder().span(
+        "batch",
+        fn="sweep_temporal_shifting_uncertain",
+        scenarios=len(regions),
+        draws=draws,
+    ):
+        return run_sharded(
+            _shifting_uncertain_chunk,
+            payload,
+            plan,
+            jobs=jobs,
+            combine=UncertainResult.concat,
+            retries=retries,
+            timeout=timeout,
+            on_error=on_error,
+            checkpoint=checkpoint,
+        )

@@ -30,6 +30,7 @@ _SUBPACKAGES = (
     "repro.traces",
     "repro.uncertainty",
     "repro.exec",
+    "repro.obs",
 )
 
 
@@ -80,4 +81,20 @@ def test_public_callables_have_docstrings(module_name):
 
 
 def test_version_is_exposed():
-    assert repro.__version__ == "1.0.0"
+    assert repro.__version__ == "1.1.0"
+
+
+def test_version_has_one_source():
+    # repro.__version__, the CLI --version flag, and setup.py must all
+    # read the same value from repro/_version.py.
+    import re
+    from pathlib import Path
+
+    from repro import _version
+
+    assert repro.__version__ == _version.__version__
+    setup_text = Path(repro.__file__).parents[2].joinpath("setup.py").read_text(
+        encoding="utf-8"
+    )
+    assert "_version.py" in setup_text
+    assert re.fullmatch(r"\d+\.\d+\.\d+", repro.__version__)

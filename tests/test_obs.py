@@ -1,0 +1,404 @@
+"""The observability layer: metrics, the recorder, stats, cache stats.
+
+Unit coverage for :mod:`repro.obs` plus the surfaces that ride on it —
+per-cache :class:`~repro.exec.CacheStats`, the ``repro stats``
+subcommand, ``--trace-out``/``--metrics``, and ``repro --version``.
+The cross-layer contracts (bit-identity under tracing, fault-schedule
+oracle agreement) live in ``tests/test_obs_trace_correctness.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ObservabilityError
+from repro.exec import ResultCache
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_RECORDER,
+    TraceRecorder,
+    active_recorder,
+    install_recorder,
+    load_trace,
+    phase_table,
+    render_stats,
+    trace_summary,
+)
+from repro.obs.recorder import TRACE_FORMAT_VERSION, _NULL_SPAN
+
+
+class TestMetrics:
+    def test_counter_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ObservabilityError):
+            Counter().inc(-1)
+
+    def test_gauge_last_value_wins(self):
+        gauge = Gauge()
+        assert gauge.value is None
+        gauge.set(3)
+        gauge.set(7.5)
+        assert gauge.value == 7.5
+
+    def test_histogram_summary(self):
+        histogram = Histogram()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 4
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["min"] == 1.0 and summary["max"] == 4.0
+        assert summary["p50"] == pytest.approx(2.5)
+
+    def test_empty_histogram_summary(self):
+        assert Histogram().summary() == {"count": 0}
+
+    def test_registry_creates_on_first_use(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("b") is registry.histogram("b")
+
+    def test_registry_rejects_kind_collision(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ObservabilityError):
+            registry.gauge("x")
+        with pytest.raises(ObservabilityError):
+            registry.histogram("x")
+
+    def test_registry_rejects_empty_name(self):
+        with pytest.raises(ObservabilityError):
+            MetricsRegistry().counter("")
+
+    def test_summary_is_sorted_and_plain(self):
+        registry = MetricsRegistry()
+        registry.counter("z.late").inc()
+        registry.counter("a.early").inc(2)
+        registry.gauge("rate").set(10.0)
+        registry.gauge("unset")  # never set -> omitted
+        registry.histogram("lat").observe(0.5)
+        summary = registry.summary()
+        assert list(summary["counters"]) == ["a.early", "z.late"]
+        assert summary["gauges"] == {"rate": 10.0}
+        assert summary["histograms"]["lat"]["count"] == 1
+        json.dumps(summary)  # must be JSON-serializable as-is
+
+
+class TestNullRecorder:
+    def test_defaults_to_null(self):
+        assert active_recorder() is NULL_RECORDER
+        assert NULL_RECORDER.enabled is False
+        assert NULL_RECORDER.metrics is None
+
+    def test_span_is_shared_noop(self):
+        span = NULL_RECORDER.span("sweep", name="x")
+        assert span is _NULL_SPAN
+        with span as inner:
+            inner.note(rows=3)  # discarded, no error
+        assert NULL_RECORDER.event("cache", op="hit") is None
+        assert NULL_RECORDER.record_worker_events([{"kind": "x"}]) is None
+        assert NULL_RECORDER.close() is None
+
+    def test_install_restores_previous(self):
+        outer = TraceRecorder()
+        inner = TraceRecorder()
+        with install_recorder(outer):
+            assert active_recorder() is outer
+            with install_recorder(inner):
+                assert active_recorder() is inner
+            assert active_recorder() is outer
+            with install_recorder(None):  # explicitly off for a block
+                assert active_recorder() is NULL_RECORDER
+            assert active_recorder() is outer
+        assert active_recorder() is NULL_RECORDER
+
+
+class TestTraceRecorder:
+    def test_events_are_sequenced_and_stamped(self):
+        recorder = TraceRecorder()
+        recorder.event("cache", scope="result", op="hit")
+        recorder.event("retry", stream=0, attempt=1, delay_s=0.1)
+        first, second = recorder.events
+        assert (first["seq"], second["seq"]) == (0, 1)
+        assert first["v"] == TRACE_FORMAT_VERSION
+        assert first["type"] == "event" and first["kind"] == "cache"
+        assert first["parent"] is None
+        assert first["t"] >= 0.0 and first["ts"] > 0
+
+    def test_span_nesting_tracks_parents(self):
+        recorder = TraceRecorder()
+        with recorder.span("sweep", name="s"):
+            recorder.event("cache", scope="result", op="miss")
+            with recorder.span("wave", index=0):
+                pass
+        kinds = [line["kind"] for line in recorder.events]
+        assert kinds == ["cache", "wave", "sweep"]  # spans written at exit
+        cache, wave, sweep = recorder.events
+        assert sweep["parent"] is None
+        assert cache["parent"] == sweep["span"]
+        assert wave["parent"] == sweep["span"]
+        assert wave["status"] == "ok" and wave["dur_s"] >= 0.0
+
+    def test_note_lands_on_span_line(self):
+        recorder = TraceRecorder()
+        with recorder.span("sweep", name="s") as span:
+            span.note(rows=42)
+        assert recorder.events[-1]["rows"] == 42
+
+    def test_failed_span_is_marked_error(self):
+        recorder = TraceRecorder()
+        with pytest.raises(ValueError):
+            with recorder.span("sweep", name="s"):
+                raise ValueError("boom")
+        assert recorder.events[-1]["status"] == "error"
+
+    def test_worker_events_are_tagged(self):
+        recorder = TraceRecorder()
+        recorder.record_worker_events(
+            [{"kind": "chunk_worker", "start": 0, "dur_s": 0.01}]
+        )
+        recorder.record_worker_events(None)  # tolerated
+        (line,) = recorder.events
+        assert line["proc"] == "worker" and line["kind"] == "chunk_worker"
+
+    def test_metrics_fed_synchronously(self):
+        recorder = TraceRecorder()
+        recorder.event("cache", scope="result", op="hit")
+        recorder.event("cache", scope="result", op="miss")
+        recorder.event("retry", stream=0, attempt=1, delay_s=0.25)
+        recorder.event("pool", op="rebuild", wave=1)
+        recorder.event(
+            "attempt", scope="chunk", stream=0, attempt=1, outcome="error"
+        )
+        recorder.event(
+            "attempt",
+            scope="chunk",
+            stream=0,
+            attempt=2,
+            outcome="ok",
+            dur_s=0.02,
+        )
+        with recorder.span("wave", index=0):
+            pass
+        summary = recorder.summary()
+        assert summary["counters"] == {
+            "attempt.error": 1,
+            "attempt.total": 2,
+            "cache.hit": 1,
+            "cache.miss": 1,
+            "pool.rebuilds": 1,
+            "pool.waves": 1,
+            "retry.attempts": 1,
+        }
+        assert summary["histograms"]["retry.delay_s"]["count"] == 1
+        assert summary["histograms"]["chunk.duration"]["count"] == 1
+
+    def test_sweep_span_sets_throughput_gauge(self):
+        recorder = TraceRecorder()
+        with recorder.span("sweep", name="s", mode="point") as span:
+            span.note(rows=100)
+        assert recorder.summary()["gauges"]["sweep.scenarios_per_sec"] > 0
+
+    def test_writes_jsonl_flushed_per_line(self, tmp_path):
+        path = tmp_path / "deep" / "trace.jsonl"  # parent dirs created lazily
+        recorder = TraceRecorder(path)
+        assert recorder.path == path
+        recorder.event("cache", scope="result", op="hit")
+        # Readable before close: a killed run leaves a usable trace.
+        assert len(load_trace(path)) == 1
+        with recorder.span("run", command="sweep"):
+            pass
+        recorder.close()
+        lines = load_trace(path)
+        assert [line["seq"] for line in lines] == [0, 1]
+        assert lines == recorder.events
+
+    def test_memory_only_recorder_has_no_path(self):
+        recorder = TraceRecorder()
+        assert recorder.path is None
+        recorder.event("cache", scope="result", op="hit")
+        recorder.close()  # nothing to flush; must not raise
+        assert len(recorder.events) == 1
+
+
+class TestLoadTrace:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ObservabilityError, match="cannot read"):
+            load_trace(tmp_path / "absent.jsonl")
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "event"}\nnot json\n', encoding="utf-8")
+        with pytest.raises(ObservabilityError, match="malformed"):
+            load_trace(path)
+
+    def test_non_object_line(self, tmp_path):
+        path = tmp_path / "list.jsonl"
+        path.write_text("[1, 2]\n", encoding="utf-8")
+        with pytest.raises(ObservabilityError, match="objects"):
+            load_trace(path)
+
+    def test_newer_format_version_refused(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        payload = {"type": "event", "kind": "cache", "v": TRACE_FORMAT_VERSION + 1}
+        path.write_text(json.dumps(payload) + "\n", encoding="utf-8")
+        with pytest.raises(ObservabilityError, match="newer"):
+            load_trace(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text('\n{"type": "event", "kind": "x"}\n\n', encoding="utf-8")
+        assert len(load_trace(path)) == 1
+
+
+class TestStats:
+    def _recorder(self, tmp_path):
+        recorder = TraceRecorder(tmp_path / "trace.jsonl")
+        with recorder.span("sweep", name="s", mode="point") as span:
+            recorder.event("cache", scope="result", op="miss")
+            recorder.event(
+                "attempt",
+                scope="chunk",
+                stream=0,
+                attempt=1,
+                outcome="ok",
+                dur_s=0.01,
+                rows=5,
+            )
+            span.note(rows=5)
+        recorder.close()
+        return recorder
+
+    def test_replay_matches_live_summary(self, tmp_path):
+        recorder = self._recorder(tmp_path)
+        assert trace_summary(load_trace(recorder.path)) == recorder.summary()
+
+    def test_phase_table_includes_synthetic_chunk_phase(self, tmp_path):
+        recorder = self._recorder(tmp_path)
+        table = phase_table(load_trace(recorder.path))
+        phases = table.column("phase")
+        assert "sweep" in phases and "chunk" in phases
+
+    def test_render_stats_sections(self, tmp_path):
+        recorder = self._recorder(tmp_path)
+        text = render_stats(recorder.path)
+        assert "Phase latency (seconds)" in text
+        assert "Counters and gauges" in text
+        assert "Distributions" in text
+        assert "cache.miss" in text
+
+
+class TestCacheStats:
+    def test_hits_misses_writes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "a" * 64
+        assert cache.get(key, default="fallback") == "fallback"
+        assert cache.put(key, {"answer": 42})
+        assert cache.get(key) == {"answer": 42}
+        stats = cache.stats
+        assert (stats.hits, stats.misses, stats.corrupt, stats.writes) == (
+            1, 1, 0, 1,
+        )
+
+    def test_corrupt_entry_warns_and_counts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "b" * 64
+        assert cache.put(key, [1, 2, 3])
+        cache.path_for(key).write_bytes(b"\x80\x04 not a pickle")
+        with pytest.warns(RuntimeWarning, match="corrupt entry"):
+            assert cache.get(key, default="fallback") == "fallback"
+        stats = cache.stats
+        assert stats.corrupt == 1
+        assert stats.misses == 1  # corrupt also counts as a miss
+
+    def test_cache_events_reach_installed_recorder(self, tmp_path):
+        recorder = TraceRecorder()
+        cache = ResultCache(tmp_path, scope="checkpoint")
+        key = "c" * 64
+        with install_recorder(recorder):
+            cache.get(key)
+            cache.put(key, 1)
+            cache.get(key)
+        ops = [
+            (line["scope"], line["op"])
+            for line in recorder.events
+            if line["kind"] == "cache"
+        ]
+        assert ops == [
+            ("checkpoint", "miss"),
+            ("checkpoint", "write"),
+            ("checkpoint", "hit"),
+        ]
+
+
+class TestObsCli:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_sweep_trace_out_and_metrics(self, tmp_path, capsys):
+        trace = tmp_path / "sweep.jsonl"
+        # --no-cache: a warm result cache would satisfy the sweep
+        # without running any chunks, leaving no attempt events.
+        assert (
+            main(
+                [
+                    "sweep",
+                    "fleet_growth_lifetime",
+                    "--no-cache",
+                    "--trace-out",
+                    str(trace),
+                    "--metrics",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "metrics:" in captured.err
+        payload = json.loads(captured.err.split("metrics:", 1)[1])
+        assert payload["counters"]["attempt.total"] >= 1
+        lines = load_trace(trace)
+        kinds = {line["kind"] for line in lines}
+        assert {"run", "sweep", "sharded_run", "attempt"} <= kinds
+        run_line = [line for line in lines if line["kind"] == "run"][-1]
+        assert run_line["command"] == "sweep"
+
+    def test_metrics_without_trace_out(self, capsys):
+        assert main(["run", "tab02", "--metrics"]) == 0
+        assert "metrics:" in capsys.readouterr().err
+
+    def test_stats_command(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        assert (
+            main(["sweep", "provisioning_mix", "--trace-out", str(trace)]) == 0
+        )
+        capsys.readouterr()
+        assert main(["stats", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Phase latency (seconds)" in out
+        assert "Counters and gauges" in out
+
+    def test_stats_missing_trace_exits_2(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_stats_malformed_trace_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("garbage\n", encoding="utf-8")
+        assert main(["stats", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
