@@ -67,6 +67,10 @@ if [[ "$quick" -eq 1 ]]; then
     trap 'rm -f "$trace"' EXIT
     PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python tools/chaos_sweep.py \
         --trace-out "$trace"
+    # Portfolio smoke: the device-axis-sharded sweep must survive the
+    # same storm (its chunk starts come from SweepSpec.axis_size).
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python tools/chaos_sweep.py \
+        --sweep portfolio
     # Stats smoke: the trace the storm just wrote must render.
     PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro stats "$trace"
     echo "quick smoke run complete (untimed; no snapshot written)"

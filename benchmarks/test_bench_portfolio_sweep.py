@@ -1,0 +1,112 @@
+"""Benchmark: 100k-device x 64-scenario portfolio sweep, batch vs scalar.
+
+The portfolio layer's reason to exist: the same fleet decision space
+through ``sweep_portfolio`` (struct-of-arrays kernels over every
+device x scenario cell at once) and through the per-device
+``simulate_device`` scalar loop. The batched side runs the full
+100,000-device catalog (6.4M device-scenario rows); the scalar side is
+a documented 100-device subsample — at ~75us per scalar row, the full
+loop would take over eight minutes per round without changing the
+verdict. Both sides are measured with a single pedantic round.
+
+The acceptance gate is >=10x *per-row* throughput between the two
+sides; ``test_bench_portfolio_throughput_gate`` enforces it directly
+(the recorded means cover different row counts, so the snapshot
+comparison alone cannot).
+"""
+
+import dataclasses
+import time
+
+from repro.portfolio import (
+    default_catalog,
+    simulate_device,
+    sweep_portfolio,
+)
+from repro.scenarios import ScenarioGrid
+
+_GRID = ScenarioGrid(
+    **{
+        "node_shift": [0.0, 1.0, 2.0, 3.0],
+        "fab_intensity_g_per_kwh": [583.0, 400.0, 250.0, 100.0],
+        "lifetime_scale": [1.0, 1.1, 1.25, 1.5],
+    }
+)
+
+_COPIES = 12_500  # x 8 archetypes = 100k devices
+_CACHE: dict = {}
+
+
+def _fleet(copies: int) -> tuple:
+    """``copies`` spins of the default catalog with per-spin variation.
+
+    Die areas wobble so the yield/wafer math cannot be memoized away,
+    and unit counts are scaled so fleet totals stay comparable to the
+    8-archetype sweep.
+    """
+    if copies not in _CACHE:
+        base = default_catalog()
+        _CACHE[copies] = tuple(
+            dataclasses.replace(
+                spec,
+                name=f"{spec.name}_{spin}",
+                die_area_mm2=spec.die_area_mm2 * (1.0 + 0.1 * (spin % 7) / 7.0),
+                units=spec.units / copies,
+            )
+            for spin in range(copies)
+            for spec in base
+        )
+    return _CACHE[copies]
+
+
+def _scalar_loop(catalog, records) -> int:
+    rows = 0
+    for record in records:
+        for spec in catalog:
+            simulate_device(dataclasses.replace(spec, **record))
+            rows += 1
+    return rows
+
+
+def test_bench_portfolio_sweep_batch_100k_x64(benchmark):
+    catalog = _fleet(_COPIES)
+    assert len(catalog) == 100_000
+    assert len(_GRID) == 64
+    table = benchmark.pedantic(
+        lambda: sweep_portfolio(catalog, _GRID), rounds=1, iterations=1
+    )
+    assert table.num_rows == 64
+    assert table.column("devices") == [100_000] * 64
+    assert all(value > 0.0 for value in table.column("embodied_t"))
+
+
+def test_bench_portfolio_sweep_scalar_100_x64(benchmark):
+    catalog = _fleet(_COPIES)[:100]
+    records = list(_GRID)
+    rows = benchmark.pedantic(
+        lambda: _scalar_loop(catalog, records), rounds=1, iterations=1
+    )
+    assert rows == 6400
+
+
+def test_bench_portfolio_throughput_gate():
+    """Batched per-row throughput must beat the scalar loop >=10x."""
+    catalog = _fleet(2_500)  # 20k devices keeps the gate check snappy
+    began = time.perf_counter()
+    table = sweep_portfolio(catalog, _GRID)
+    batch_per_row = (time.perf_counter() - began) / (
+        len(catalog) * len(_GRID)
+    )
+    assert table.num_rows == 64
+
+    subsample = catalog[:100]
+    records = list(_GRID)[:8]
+    began = time.perf_counter()
+    rows = _scalar_loop(subsample, records)
+    scalar_per_row = (time.perf_counter() - began) / rows
+
+    speedup = scalar_per_row / batch_per_row
+    assert speedup >= 10.0, (
+        f"batched sweep only {speedup:.1f}x faster per row "
+        f"({batch_per_row * 1e6:.2f}us vs {scalar_per_row * 1e6:.2f}us)"
+    )

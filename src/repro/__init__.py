@@ -105,6 +105,14 @@ from .uncertainty import (
     UncertainResult,
     sweep_fleet_uncertain,
 )
+from .portfolio import (
+    DeviceSpec,
+    default_catalog,
+    simulate_device,
+    simulate_device_batch,
+    sweep_portfolio,
+    sweep_portfolio_uncertain,
+)
 from .obs import TraceRecorder, install_recorder
 from ._version import __version__
 
@@ -181,6 +189,12 @@ __all__ = [
     "run_all",
     "UncertainResult",
     "sweep_fleet_uncertain",
+    "DeviceSpec",
+    "default_catalog",
+    "simulate_device",
+    "simulate_device_batch",
+    "sweep_portfolio",
+    "sweep_portfolio_uncertain",
     "TraceRecorder",
     "install_recorder",
     "__version__",

@@ -77,6 +77,7 @@ _MODULES: dict[str, str] = {
     "ext08": "ext08_heterogeneity",
     "ext09": "ext09_ai_growth",
     "ext10": "ext10_temporal_shifting",
+    "ext11": "ext11_device_portfolio",
 }
 
 EXPERIMENT_IDS: tuple[str, ...] = tuple(_MODULES)

@@ -3,66 +3,115 @@
 Per-die embodied carbon divides per-wafer carbon over the *good* dies,
 so the bottom-up model needs (a) how many die candidates fit on a wafer
 and (b) what fraction of them work.
+
+Every function here is array-friendly: scalar inputs return plain
+Python numbers (the historical behaviour), while numpy array inputs
+broadcast elementwise and return float64 arrays. Both paths route
+through the same numpy elementwise kernels (``np.exp``/``np.sqrt``),
+which are position-stable: a scalar call produces bit-for-bit the same
+float as the corresponding element of an array call. The portfolio
+batch kernels (:mod:`repro.portfolio`) rely on exactly that contract to
+stay element-identical to the scalar reference.
 """
 
 from __future__ import annotations
 
-import math
+from typing import Any
+
+import numpy as np
 
 from ..errors import SimulationError
 
 __all__ = ["poisson_yield", "murphy_yield", "dies_per_wafer", "good_dies_per_wafer"]
 
 
-def poisson_yield(die_area_mm2: float, defect_density_per_cm2: float) -> float:
+def _any(condition: Any) -> bool:
+    """Truth of a predicate over a scalar or an array."""
+    if isinstance(condition, np.ndarray):
+        return bool(condition.any())
+    return bool(condition)
+
+
+def _as_result(value: Any) -> "float | np.ndarray":
+    """Arrays pass through; numpy scalars decay to Python floats."""
+    if isinstance(value, np.ndarray):
+        return value
+    return float(value)
+
+
+def poisson_yield(
+    die_area_mm2: "float | np.ndarray",
+    defect_density_per_cm2: "float | np.ndarray",
+) -> "float | np.ndarray":
     """Poisson yield model: Y = exp(-A * D0).
 
-    The classic first-order model; pessimistic for large dies.
+    The classic first-order model; pessimistic for large dies. Accepts
+    scalars or broadcastable numpy arrays.
     """
     _validate(die_area_mm2, defect_density_per_cm2)
     area_cm2 = die_area_mm2 / 100.0
-    return math.exp(-area_cm2 * defect_density_per_cm2)
+    return _as_result(np.exp(-area_cm2 * defect_density_per_cm2))
 
 
-def murphy_yield(die_area_mm2: float, defect_density_per_cm2: float) -> float:
+def murphy_yield(
+    die_area_mm2: "float | np.ndarray",
+    defect_density_per_cm2: "float | np.ndarray",
+) -> "float | np.ndarray":
     """Murphy's yield model: Y = ((1 - exp(-A*D0)) / (A*D0))^2.
 
     Assumes a triangular defect-density distribution; the standard
-    industry compromise between Poisson and Seeds models.
+    industry compromise between Poisson and Seeds models. Accepts
+    scalars or broadcastable numpy arrays; a zero ``A*D0`` yields 1.
     """
     _validate(die_area_mm2, defect_density_per_cm2)
     area_cm2 = die_area_mm2 / 100.0
     ad = area_cm2 * defect_density_per_cm2
+    if isinstance(ad, np.ndarray):
+        with np.errstate(divide="ignore", invalid="ignore"):
+            base = (1.0 - np.exp(-ad)) / ad
+            squared = base * base
+        return np.where(ad == 0.0, 1.0, squared)
     if ad == 0.0:
         return 1.0
-    return ((1.0 - math.exp(-ad)) / ad) ** 2
+    base = (1.0 - np.exp(-ad)) / ad
+    return float(base * base)
 
 
-def dies_per_wafer(wafer_diameter_mm: float, die_area_mm2: float) -> int:
+def dies_per_wafer(
+    wafer_diameter_mm: "float | np.ndarray",
+    die_area_mm2: "float | np.ndarray",
+) -> "int | np.ndarray":
     """Gross die candidates per wafer (edge-loss corrected).
 
     Uses the standard approximation
     ``N = pi*(d/2)^2/A - pi*d/sqrt(2*A)`` which subtracts the partial
-    dies lost around the wafer edge.
+    dies lost around the wafer edge. Scalar inputs return an ``int``;
+    array inputs return the (integral) counts as a float64 array.
     """
-    if wafer_diameter_mm <= 0.0:
+    if _any(np.asarray(wafer_diameter_mm) <= 0.0):
         raise SimulationError("wafer diameter must be positive")
-    if die_area_mm2 <= 0.0:
+    if _any(np.asarray(die_area_mm2) <= 0.0):
         raise SimulationError("die area must be positive")
     radius = wafer_diameter_mm / 2.0
-    gross = (math.pi * radius * radius) / die_area_mm2
-    edge_loss = (math.pi * wafer_diameter_mm) / math.sqrt(2.0 * die_area_mm2)
-    count = int(gross - edge_loss)
-    return max(count, 0)
+    gross = (np.pi * radius * radius) / die_area_mm2
+    edge_loss = (np.pi * wafer_diameter_mm) / np.sqrt(2.0 * die_area_mm2)
+    count = np.maximum(np.trunc(gross - edge_loss), 0.0)
+    if isinstance(count, np.ndarray):
+        return count
+    return int(count)
 
 
 def good_dies_per_wafer(
-    wafer_diameter_mm: float,
-    die_area_mm2: float,
-    defect_density_per_cm2: float,
+    wafer_diameter_mm: "float | np.ndarray",
+    die_area_mm2: "float | np.ndarray",
+    defect_density_per_cm2: "float | np.ndarray",
     model: str = "murphy",
-) -> float:
-    """Expected working dies per wafer under the chosen yield model."""
+) -> "float | np.ndarray":
+    """Expected working dies per wafer under the chosen yield model.
+
+    Accepts scalars or broadcastable numpy arrays; the yield ``model``
+    itself is a single choice for the whole call.
+    """
     candidates = dies_per_wafer(wafer_diameter_mm, die_area_mm2)
     if model == "murphy":
         fraction = murphy_yield(die_area_mm2, defect_density_per_cm2)
@@ -70,11 +119,14 @@ def good_dies_per_wafer(
         fraction = poisson_yield(die_area_mm2, defect_density_per_cm2)
     else:
         raise SimulationError(f"unknown yield model {model!r}")
-    return candidates * fraction
+    return _as_result(candidates * fraction)
 
 
-def _validate(die_area_mm2: float, defect_density_per_cm2: float) -> None:
-    if die_area_mm2 <= 0.0:
+def _validate(
+    die_area_mm2: "float | np.ndarray",
+    defect_density_per_cm2: "float | np.ndarray",
+) -> None:
+    if _any(np.asarray(die_area_mm2) <= 0.0):
         raise SimulationError("die area must be positive")
-    if defect_density_per_cm2 < 0.0:
+    if _any(np.asarray(defect_density_per_cm2) < 0.0):
         raise SimulationError("defect density must be non-negative")

@@ -8,11 +8,18 @@ simulator so the paper's break-even questions become one-liners:
 5.0
 >>> round(phone.break_even_days("mobilenet_v3", "cpu"))
 350
+
+The break-even methods are batch-friendly: a ``grid`` wrapping a 1-D
+numpy draw array yields one break-even per draw, with no intermediate
+coercion through Python floats — element ``i`` of the array result is
+bit-identical to a scalar call at ``grid[i]``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from ..core.amortization import (
     AmortizationSchedule,
@@ -61,14 +68,24 @@ class MobilePhone:
         energy = self.simulator.energy_per_inference(model_name, processor_kind)
         return self.grid.carbon_for(energy)
 
-    def break_even_images(self, model_name: str, processor_kind: str) -> float:
-        """Inferences until operational carbon equals the IC capex."""
+    def break_even_images(
+        self, model_name: str, processor_kind: str
+    ) -> "float | np.ndarray":
+        """Inferences until operational carbon equals the IC capex.
+
+        Array-valued grids return one break-even per draw.
+        """
         return break_even_units(
             self.ic_capex, self.carbon_per_inference(model_name, processor_kind)
         )
 
-    def break_even_days(self, model_name: str, processor_kind: str) -> float:
-        """Days of continuous inference until opex equals IC capex."""
+    def break_even_days(
+        self, model_name: str, processor_kind: str
+    ) -> "float | np.ndarray":
+        """Days of continuous inference until opex equals IC capex.
+
+        Array-valued grids return one break-even per draw.
+        """
         power = self.simulator.sustained_power(model_name, processor_kind)
         return break_even_days(self.ic_capex, power, self.grid)
 
@@ -81,12 +98,22 @@ class MobilePhone:
 
     def amortizes_within_lifetime(
         self, model_name: str, processor_kind: str
-    ) -> bool:
-        """Does break-even land inside the device's service life?"""
+    ) -> "bool | np.ndarray":
+        """Does break-even land inside the device's service life?
+
+        Scalar grids return a plain ``bool``; array-valued grids return
+        an elementwise boolean array, one verdict per draw.
+        """
         lifetime_s = self.lca.lifetime_years * 365.0 * SECONDS_PER_DAY
         if lifetime_s <= 0.0:
             raise SimulationError("device lifetime must be positive")
-        return self.break_even_days(model_name, processor_kind) * SECONDS_PER_DAY <= lifetime_s
+        verdict = (
+            self.break_even_days(model_name, processor_kind) * SECONDS_PER_DAY
+            <= lifetime_s
+        )
+        if isinstance(verdict, np.ndarray):
+            return verdict
+        return bool(verdict)
 
 
 def pixel3(grid: CarbonIntensity | None = None) -> MobilePhone:

@@ -1,0 +1,52 @@
+"""Device-portfolio embodied carbon at fleet scale.
+
+The portfolio layer turns the repo's per-wafer fab model and
+bottom-up mobile use-phase model into a *fleet* model: a catalog of
+:class:`DeviceSpec` archetypes (manufacturer / process node / wafer
+size / lifetime / replacement cycle) evaluated across scenario grids,
+for millions of devices at a time.
+
+Two implementations, pinned element-identical to each other:
+
+- :func:`simulate_device` — the scalar reference, composed from the
+  existing ``repro.fab`` and ``repro.mobile`` primitives one device at
+  a time.
+- :func:`simulate_device_batch` / :func:`sweep_portfolio` /
+  :func:`sweep_portfolio_uncertain` — struct-of-arrays batch kernels
+  vectorized over devices × scenario cells (× draws), sharded over the
+  device axis through ``repro.exec`` and reduced with exactly rounded
+  sums.
+
+``tests/test_portfolio_batch_equivalence.py`` enforces the pin
+bit-for-bit for deterministic, uncertain, and sharded runs.
+"""
+
+from __future__ import annotations
+
+from .batch import simulate_device_batch
+from .catalog import (
+    OVERRIDABLE_FIELDS,
+    DeviceSpec,
+    default_catalog,
+    resolved_node_index,
+)
+from .device import DEVICE_METRICS, resolve_node, simulate_device
+from .sweep import (
+    PORTFOLIO_METRICS,
+    sweep_portfolio,
+    sweep_portfolio_uncertain,
+)
+
+__all__ = [
+    "DeviceSpec",
+    "OVERRIDABLE_FIELDS",
+    "DEVICE_METRICS",
+    "PORTFOLIO_METRICS",
+    "default_catalog",
+    "resolve_node",
+    "resolved_node_index",
+    "simulate_device",
+    "simulate_device_batch",
+    "sweep_portfolio",
+    "sweep_portfolio_uncertain",
+]

@@ -1,0 +1,399 @@
+"""Struct-of-arrays batch kernels for the device-portfolio model.
+
+The scalar reference (:func:`repro.portfolio.device.simulate_device`)
+composes ``repro.fab`` and ``repro.mobile`` primitives one device at a
+time. The kernels here evaluate a whole catalog against a whole
+scenario axis in a handful of numpy expressions, mirroring the scalar
+arithmetic *operation for operation* — including the unit round-trips
+(``(x * 3.6e6) / 3.6e6``) the quantity types perform — so every element
+of a batch result is bit-identical to the corresponding scalar call.
+``tests/test_portfolio_batch_equivalence.py`` pins that contract.
+
+Parameters are laid out as broadcastable 2-D arrays: device-varying
+columns are ``(devices, 1)``, scenario-varying overrides are
+``(1, cells)``, and every elementwise kernel broadcast lands on
+``(devices, cells)`` without materializing per-cell dataclasses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..fab.process import NODE_ROADMAP
+from ..fab.yields import dies_per_wafer, murphy_yield, poisson_yield
+from ..obs.recorder import active_recorder
+from ..tabular import Table
+from ..units import (
+    DAYS_PER_YEAR,
+    GRAMS_PER_KG,
+    JOULES_PER_KWH,
+    SECONDS_PER_HOUR,
+)
+from .catalog import OVERRIDABLE_FIELDS, DeviceSpec
+from .device import DEVICE_METRICS
+
+__all__ = ["simulate_device_batch"]
+
+#: Roadmap coefficients as gather tables, indexed by roadmap position.
+_NODE_NAMES = tuple(node.name for node in NODE_ROADMAP)
+_NODE_INDEX = {name: index for index, name in enumerate(_NODE_NAMES)}
+_ENERGY_KWH_PER_CM2 = np.array(
+    [node.energy_kwh_per_cm2 for node in NODE_ROADMAP], dtype=np.float64
+)
+_GAS_KG_PER_CM2 = np.array(
+    [node.gas_kg_per_cm2 for node in NODE_ROADMAP], dtype=np.float64
+)
+_MATERIAL_KG_PER_CM2 = np.array(
+    [node.material_kg_per_cm2 for node in NODE_ROADMAP], dtype=np.float64
+)
+_DEFECT_PER_CM2 = np.array(
+    [node.defect_density_per_cm2 for node in NODE_ROADMAP], dtype=np.float64
+)
+
+#: Numeric DeviceSpec fields that become parameter arrays ("node" is
+#: resolved to a roadmap index separately; identity fields are labels).
+_NUMERIC_FIELDS = tuple(
+    spec_field.name
+    for spec_field in dataclasses.fields(DeviceSpec)
+    if spec_field.name not in ("name", "manufacturer", "node", "yield_model")
+)
+
+#: Figure 14 gas split and material split, as in ``from_node``.
+_PFC_SHARE = 0.50
+_CHEM_SHARE = 0.37
+_BULK_SHARE = 0.13
+_RAW_SHARE = 0.65
+_OTHER_SHARE = 0.35
+
+
+def _node_index(name: Any) -> int:
+    if name not in _NODE_INDEX:
+        raise SimulationError(
+            f"unknown process node {name!r}; roadmap has {list(_NODE_NAMES)}"
+        )
+    return _NODE_INDEX[name]
+
+
+def _parameter_grid(
+    specs: Sequence[DeviceSpec],
+    records: Sequence[Mapping[str, Any]],
+    matrix: Any = None,
+) -> tuple:
+    """Broadcastable parameter arrays for (devices × scenario cells).
+
+    Device columns come out ``(devices, 1)``; scenario-record overrides
+    replace them with ``(1, cells)`` rows, where ``cells`` is
+    ``scenarios`` for point sweeps or ``scenarios × draws`` when a
+    :class:`~repro.uncertainty.draws.DrawMatrix` is supplied (its
+    sampled rows flatten scenario-major, draw-minor — the shared axis
+    convention). Returns ``(params, node_axis, murphy_mask, names,
+    scenario_fields)``.
+    """
+    if not specs:
+        raise SimulationError("need at least one device in the portfolio")
+    if not records:
+        raise SimulationError("need at least one scenario")
+    draws = matrix.draws if matrix is not None else 1
+    params: dict[str, np.ndarray] = {
+        name: np.array(
+            [float(getattr(spec, name)) for spec in specs], dtype=np.float64
+        ).reshape(-1, 1)
+        for name in _NUMERIC_FIELDS
+    }
+    node_axis = np.array(
+        [float(_NODE_INDEX[spec.node]) for spec in specs], dtype=np.float64
+    ).reshape(-1, 1)
+    murphy_mask = np.array(
+        [spec.yield_model == "murphy" for spec in specs], dtype=bool
+    ).reshape(-1, 1)
+    names = [spec.name for spec in specs]
+    scenario_fields: set[str] = set()
+    for name in records[0]:
+        if name not in OVERRIDABLE_FIELDS:
+            raise SimulationError(
+                f"cannot sweep {name!r}: portfolio scenarios may override "
+                f"{sorted(OVERRIDABLE_FIELDS)}"
+            )
+        scenario_fields.add(name)
+        if name == "node":
+            indices = np.array(
+                [float(_node_index(record[name])) for record in records],
+                dtype=np.float64,
+            )
+            node_axis = np.repeat(indices, draws).reshape(1, -1)
+            continue
+        if matrix is not None and name in matrix.values:
+            params[name] = matrix.values[name].reshape(1, -1)
+            continue
+        values = []
+        for index, record in enumerate(records):
+            value = record[name]
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SimulationError(
+                    f"portfolio scenario {index}: axis {name!r} holds "
+                    f"non-numeric {value!r}"
+                )
+            values.append(float(value))
+        params[name] = np.repeat(
+            np.array(values, dtype=np.float64), draws
+        ).reshape(1, -1)
+    return params, node_axis, murphy_mask, names, scenario_fields
+
+
+def _complain(
+    field: str,
+    array: np.ndarray,
+    mask: np.ndarray,
+    names: Sequence[str],
+    scenario_fields: "set[str]",
+    what: str,
+) -> None:
+    """Raise for the first violating cell, naming device or scenario."""
+    device, cell = (int(index) for index in np.argwhere(mask)[0])
+    value = array[device, cell] if array.ndim == 2 else array[device]
+    if field in scenario_fields:
+        raise SimulationError(
+            f"portfolio scenario cell {cell}: {field} {what}, got {value!r}"
+        )
+    raise SimulationError(
+        f"device {names[device]!r}: {field} {what}, got {value!r}"
+    )
+
+
+_POSITIVE_FIELDS = (
+    "die_area_mm2",
+    "wafer_diameter_mm",
+    "fab_intensity_g_per_kwh",
+    "use_intensity_g_per_kwh",
+    "battery_capacity_wh",
+    "active_power_w",
+    "lifetime_years",
+    "lifetime_scale",
+    "replacement_cycle_years",
+)
+_NON_NEGATIVE_FIELDS = (
+    "non_ic_kg",
+    "defect_density_scale",
+    "standby_power_w",
+    "units",
+)
+
+
+def _validate_params(
+    params: Mapping[str, np.ndarray],
+    names: Sequence[str],
+    scenario_fields: "set[str]",
+) -> None:
+    """Elementwise re-validation of (possibly overridden) parameters.
+
+    The scalar path revalidates through ``DeviceSpec.__post_init__`` on
+    every override application; the batch path mirrors those checks on
+    the parameter arrays so bad scenario values fail loudly — naming
+    the offending device or scenario cell — instead of flowing NaNs
+    into fleet aggregates.
+    """
+    for field, array in params.items():
+        finite = np.isfinite(array)
+        if not finite.all():
+            _complain(
+                field, array, ~finite, names, scenario_fields, "is non-finite"
+            )
+    for field in _POSITIVE_FIELDS:
+        bad = params[field] <= 0.0
+        if bad.any():
+            _complain(
+                field, params[field], bad, names, scenario_fields,
+                "must be positive",
+            )
+    for field in _NON_NEGATIVE_FIELDS:
+        bad = params[field] < 0.0
+        if bad.any():
+            _complain(
+                field, params[field], bad, names, scenario_fields,
+                "must be non-negative",
+            )
+    for field in ("abatement_coverage", "abatement_efficiency"):
+        bad = (params[field] < 0.0) | (params[field] > 1.0)
+        if bad.any():
+            _complain(
+                field, params[field], bad, names, scenario_fields,
+                "must be in [0, 1]",
+            )
+    bad = (params["charge_efficiency"] <= 0.0) | (
+        params["charge_efficiency"] > 1.0
+    )
+    if bad.any():
+        _complain(
+            "charge_efficiency", params["charge_efficiency"], bad, names,
+            scenario_fields, "must be in (0, 1]",
+        )
+    hours = params["active_hours_per_day"]
+    bad = (hours < 0.0) | (hours > 24.0)
+    if bad.any():
+        _complain(
+            "active_hours_per_day", hours, bad, names, scenario_fields,
+            "must be within a day",
+        )
+    bad = params["active_power_w"] < params["standby_power_w"]
+    if bad.any():
+        _complain(
+            "active_power_w",
+            np.broadcast_to(params["active_power_w"], bad.shape),
+            bad, names, scenario_fields, "is below standby power",
+        )
+    shift = params["node_shift"]
+    bad = shift != np.trunc(shift)
+    if bad.any():
+        _complain(
+            "node_shift", shift, bad, names, scenario_fields,
+            "must be an integral number of roadmap steps",
+        )
+
+
+def _metrics(
+    params: Mapping[str, np.ndarray],
+    node_axis: np.ndarray,
+    murphy_mask: np.ndarray,
+    names: Sequence[str],
+    scenario_fields: "set[str]",
+) -> "dict[str, np.ndarray]":
+    """Per-(device, cell) metric arrays, mirroring the scalar reference.
+
+    Every expression replicates ``simulate_device``'s float operations
+    in the same order and grouping — including the quantity types' unit
+    round-trips — so elements are bit-identical to scalar calls.
+    """
+    _validate_params(params, names, scenario_fields)
+
+    # Node resolution: clamped roadmap shift, then coefficient gathers.
+    resolved = np.clip(
+        node_axis + params["node_shift"], 0.0, float(len(NODE_ROADMAP) - 1)
+    ).astype(np.intp)
+    energy_coeff = _ENERGY_KWH_PER_CM2[resolved]
+    gas_coeff = _GAS_KG_PER_CM2[resolved]
+    material_coeff = _MATERIAL_KG_PER_CM2[resolved]
+    defect = _DEFECT_PER_CM2[resolved] * params["defect_density_scale"]
+
+    # Wafer footprint: WaferFootprintModel.from_node + AbatementPolicy.
+    wafer_diameter = params["wafer_diameter_mm"]
+    radius_cm = wafer_diameter / 20.0
+    area_cm2 = np.pi * radius_cm * radius_cm
+    energy_g = params["fab_intensity_g_per_kwh"] * (
+        ((energy_coeff * area_cm2) * JOULES_PER_KWH) / JOULES_PER_KWH
+    )
+    gas_g = (gas_coeff * area_cm2) * GRAMS_PER_KG
+    material_g = (material_coeff * area_cm2) * GRAMS_PER_KG
+    keep = 1.0 - (
+        params["abatement_coverage"] * params["abatement_efficiency"]
+    )
+    pfc_g = (gas_g * _PFC_SHARE) * keep
+    chem_g = (gas_g * _CHEM_SHARE) * keep
+    bulk_g = (gas_g * _BULK_SHARE) * keep
+    raw_g = material_g * _RAW_SHARE
+    other_g = material_g * _OTHER_SHARE
+    wafer_g = (
+        ((((0.0 + energy_g) + pfc_g) + chem_g) + bulk_g) + raw_g
+    ) + other_g
+
+    # Yield: good dies per wafer, per-device model choice.
+    die_area = params["die_area_mm2"]
+    candidates = dies_per_wafer(wafer_diameter, die_area)
+    fraction = np.where(
+        murphy_mask,
+        murphy_yield(die_area, defect),
+        poisson_yield(die_area, defect),
+    )
+    good = candidates * fraction
+    dead = good <= 0.0
+    if dead.any():
+        device, cell = (int(index) for index in np.argwhere(dead)[0])
+        raise SimulationError(
+            f"device {names[device]!r}: zero good dies per wafer at "
+            f"scenario cell {cell}"
+        )
+    ic_kg = (wafer_g / good) / GRAMS_PER_KG
+    embodied_kg = ic_kg + params["non_ic_kg"]
+
+    # Use phase: UsageProfile / Battery / use_phase_bottom_up.
+    hours = params["active_hours_per_day"]
+    active_j = params["active_power_w"] * (hours * SECONDS_PER_HOUR)
+    standby_j = params["standby_power_w"] * ((24.0 - hours) * SECONDS_PER_HOUR)
+    annual_j = (active_j + standby_j) * DAYS_PER_YEAR
+    wall_j = annual_j * (1.0 / params["charge_efficiency"])
+    per_year_g = params["use_intensity_g_per_kwh"] * (wall_j / JOULES_PER_KWH)
+    lifetime_years = params["lifetime_years"] * params["lifetime_scale"]
+    use_g = per_year_g * lifetime_years
+    use_kg = use_g / GRAMS_PER_KG
+    daily_use_g = per_year_g / DAYS_PER_YEAR
+
+    total_kg = embodied_kg + use_kg
+    embodied_fraction = embodied_kg / total_kg
+    break_even_days = (embodied_kg * GRAMS_PER_KG) / daily_use_g
+    amortizes = break_even_days <= lifetime_years * DAYS_PER_YEAR
+    annual_kg = (
+        embodied_kg / params["replacement_cycle_years"]
+        + use_kg / lifetime_years
+    )
+    metrics = {
+        "ic_kg": ic_kg,
+        "embodied_kg": embodied_kg,
+        "use_kg": use_kg,
+        "total_kg": total_kg,
+        "embodied_fraction": embodied_fraction,
+        "break_even_days": break_even_days,
+        "amortizes": amortizes,
+        "annual_kg": annual_kg,
+    }
+    for metric in ("total_kg", "break_even_days", "annual_kg"):
+        finite = np.isfinite(metrics[metric])
+        if not finite.all():
+            device, cell = (int(index) for index in np.argwhere(~finite)[0])
+            raise SimulationError(
+                f"device {names[device]!r}: metric {metric!r} is non-finite "
+                f"at scenario cell {cell}"
+            )
+    return metrics
+
+
+def _flat(array: np.ndarray, shape: "tuple[int, int]") -> np.ndarray:
+    """Broadcast a parameter/metric to ``shape`` and flatten row-major."""
+    return np.ascontiguousarray(np.broadcast_to(array, shape)).reshape(-1)
+
+
+def simulate_device_batch(specs: Sequence[DeviceSpec]) -> Table:
+    """Simulate a catalog of devices in one struct-of-arrays call.
+
+    Returns one row per device — identity columns (``device``,
+    ``manufacturer``, ``node`` as fabbed after the clamped node shift),
+    the fleet ``units`` count, then the :data:`DEVICE_METRICS` — with
+    every float bit-identical to :func:`~repro.portfolio.device
+    .simulate_device` on the same spec.
+    """
+    specs = tuple(specs)
+    params, node_axis, murphy_mask, names, scenario_fields = _parameter_grid(
+        specs, [{}]
+    )
+    with active_recorder().span(
+        "batch", fn="simulate_device_batch", scenarios=len(specs)
+    ):
+        metrics = _metrics(
+            params, node_axis, murphy_mask, names, scenario_fields
+        )
+        resolved = np.clip(
+            node_axis + params["node_shift"],
+            0.0,
+            float(len(NODE_ROADMAP) - 1),
+        ).astype(np.intp)
+        columns: dict[str, Any] = {
+            "device": list(names),
+            "manufacturer": [spec.manufacturer for spec in specs],
+            "node": [_NODE_NAMES[int(index)] for index in resolved[:, 0]],
+            "units": params["units"].reshape(-1),
+        }
+        for metric in DEVICE_METRICS:
+            columns[metric] = metrics[metric].reshape(-1)
+        return Table(columns)

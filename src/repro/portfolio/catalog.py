@@ -1,0 +1,314 @@
+"""Device catalogs: the portfolio model's unit of account.
+
+A :class:`DeviceSpec` describes one consumer-device archetype with the
+axes the paper's consumer-device story turns on — process node, total
+silicon area, wafer size, fab and use-phase grid intensities, PFC
+abatement, usage profile, service lifetime, and replacement cycle —
+plus a fleet ``units`` count so catalogs scale to the hundreds of
+millions of devices Figure 2 is about. Every field is a flat scalar,
+so the scenario engine's ``apply_overrides`` works on a spec directly
+and validation reruns on every override.
+
+``default_catalog`` is the registered ``portfolio`` sweep's fleet: a
+handful of archetypes spanning manufacturers, nodes (65 nm to 7 nm),
+both common wafer sizes, and replacement cycles from yearly-churn
+wearables to four-year laptops.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+from ..fab.process import NODE_ROADMAP
+
+__all__ = [
+    "DeviceSpec",
+    "OVERRIDABLE_FIELDS",
+    "resolved_node_index",
+    "default_catalog",
+]
+
+#: Roadmap node names in order, for ``node_shift`` resolution.
+_NODE_NAMES = tuple(node.name for node in NODE_ROADMAP)
+_NODE_INDEX = {name: index for index, name in enumerate(_NODE_NAMES)}
+
+_YIELD_MODELS = ("murphy", "poisson")
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One device archetype of a portfolio.
+
+    ``die_area_mm2`` is the device's *total* packaged silicon (SoC,
+    memory, RF, ...), the area the bottom-up fab model prices.
+    ``node_shift`` moves the device along :data:`repro.fab.NODE_ROADMAP`
+    relative to its named ``node`` (clamped at the roadmap ends) — the
+    node-shrink scenario axis of Figure 14. ``defect_density_scale``
+    and ``lifetime_scale`` are the fab-yield and lifetime uncertainty
+    knobs the distribution-tagged sweeps draw on. ``units`` is the
+    fleet count this archetype contributes to portfolio aggregates.
+    """
+
+    name: str
+    manufacturer: str
+    node: str
+    die_area_mm2: float
+    non_ic_kg: float
+    battery_capacity_wh: float
+    active_hours_per_day: float
+    active_power_w: float
+    use_intensity_g_per_kwh: float
+    lifetime_years: float
+    replacement_cycle_years: float
+    wafer_diameter_mm: float = 300.0
+    fab_intensity_g_per_kwh: float = 583.0
+    abatement_coverage: float = 0.0
+    abatement_efficiency: float = 0.95
+    defect_density_scale: float = 1.0
+    yield_model: str = "murphy"
+    node_shift: float = 0.0
+    standby_power_w: float = 0.0
+    charge_efficiency: float = 0.75
+    lifetime_scale: float = 1.0
+    units: float = 1.0
+
+    def __post_init__(self) -> None:
+        label = f"device {self.name!r}"
+        if not self.name:
+            raise SimulationError("device name must be non-empty")
+        for spec_field in dataclasses.fields(self):
+            value = getattr(self, spec_field.name)
+            if isinstance(value, (int, float)) and not math.isfinite(
+                float(value)
+            ):
+                raise SimulationError(
+                    f"{label}: field {spec_field.name!r} is non-finite "
+                    f"({value!r})"
+                )
+        if self.node not in _NODE_INDEX:
+            raise SimulationError(
+                f"{label}: unknown process node {self.node!r}; "
+                f"roadmap has {list(_NODE_NAMES)}"
+            )
+        if self.yield_model not in _YIELD_MODELS:
+            raise SimulationError(
+                f"{label}: unknown yield model {self.yield_model!r}; "
+                f"have {list(_YIELD_MODELS)}"
+            )
+        if not float(self.node_shift).is_integer():
+            raise SimulationError(
+                f"{label}: node_shift must be an integral number of "
+                f"roadmap steps, got {self.node_shift!r}"
+            )
+        positive = (
+            "die_area_mm2",
+            "wafer_diameter_mm",
+            "fab_intensity_g_per_kwh",
+            "use_intensity_g_per_kwh",
+            "battery_capacity_wh",
+            "active_power_w",
+            "lifetime_years",
+            "lifetime_scale",
+            "replacement_cycle_years",
+        )
+        for field_name in positive:
+            if getattr(self, field_name) <= 0.0:
+                raise SimulationError(
+                    f"{label}: {field_name} must be positive, "
+                    f"got {getattr(self, field_name)!r}"
+                )
+        non_negative = (
+            "non_ic_kg",
+            "defect_density_scale",
+            "standby_power_w",
+            "units",
+        )
+        for field_name in non_negative:
+            if getattr(self, field_name) < 0.0:
+                raise SimulationError(
+                    f"{label}: {field_name} must be non-negative, "
+                    f"got {getattr(self, field_name)!r}"
+                )
+        if not 0.0 <= self.abatement_coverage <= 1.0:
+            raise SimulationError(
+                f"{label}: abatement coverage must be in [0, 1], "
+                f"got {self.abatement_coverage!r}"
+            )
+        if not 0.0 <= self.abatement_efficiency <= 1.0:
+            raise SimulationError(
+                f"{label}: abatement efficiency must be in [0, 1], "
+                f"got {self.abatement_efficiency!r}"
+            )
+        if not 0.0 < self.charge_efficiency <= 1.0:
+            raise SimulationError(
+                f"{label}: charge efficiency must be in (0, 1], "
+                f"got {self.charge_efficiency!r}"
+            )
+        if not 0.0 <= self.active_hours_per_day <= 24.0:
+            raise SimulationError(
+                f"{label}: active hours must be within a day, "
+                f"got {self.active_hours_per_day!r}"
+            )
+        if self.active_power_w < self.standby_power_w:
+            raise SimulationError(
+                f"{label}: active power ({self.active_power_w!r} W) below "
+                f"standby power ({self.standby_power_w!r} W)"
+            )
+
+
+#: DeviceSpec fields a scenario record may override. Identity fields
+#: (name/manufacturer) and the yield-model choice are per-device, not
+#: per-scenario; everything numeric plus the node name is fair game.
+OVERRIDABLE_FIELDS = frozenset(
+    spec_field.name
+    for spec_field in dataclasses.fields(DeviceSpec)
+    if spec_field.name not in ("name", "manufacturer", "yield_model")
+)
+
+
+def resolved_node_index(spec: DeviceSpec) -> int:
+    """The roadmap index ``spec`` fabs at, after its clamped node shift."""
+    base = _NODE_INDEX[spec.node]
+    shifted = base + int(spec.node_shift)
+    return min(max(shifted, 0), len(NODE_ROADMAP) - 1)
+
+
+def default_catalog() -> "tuple[DeviceSpec, ...]":
+    """The registered ``portfolio`` sweep's device fleet.
+
+    Eight archetypes spanning the catalog axes: manufacturers, nodes
+    from 65 nm feature phones to 7 nm flagships, 200 mm and 300 mm
+    wafers, lifetimes of 2-5 years, and replacement cycles from yearly
+    churn to laptop-grade four-year holds. Unit counts are
+    stylized-but-plausible annual fleet sizes (tens of millions).
+    """
+    return (
+        DeviceSpec(
+            name="flagship_phone",
+            manufacturer="vertex",
+            node="7nm",
+            die_area_mm2=600.0,
+            non_ic_kg=38.0,
+            battery_capacity_wh=15.8,
+            active_hours_per_day=5.5,
+            active_power_w=3.2,
+            standby_power_w=0.04,
+            use_intensity_g_per_kwh=450.0,
+            lifetime_years=3.0,
+            replacement_cycle_years=2.0,
+            units=40e6,
+        ),
+        DeviceSpec(
+            name="midrange_phone",
+            manufacturer="solstice",
+            node="10nm",
+            die_area_mm2=450.0,
+            non_ic_kg=30.0,
+            battery_capacity_wh=11.2,
+            active_hours_per_day=4.5,
+            active_power_w=2.4,
+            standby_power_w=0.04,
+            use_intensity_g_per_kwh=560.0,
+            lifetime_years=3.5,
+            replacement_cycle_years=3.0,
+            units=110e6,
+        ),
+        DeviceSpec(
+            name="tablet",
+            manufacturer="vertex",
+            node="10nm",
+            die_area_mm2=700.0,
+            non_ic_kg=55.0,
+            battery_capacity_wh=28.6,
+            active_hours_per_day=3.0,
+            active_power_w=6.0,
+            standby_power_w=0.10,
+            use_intensity_g_per_kwh=450.0,
+            lifetime_years=4.0,
+            replacement_cycle_years=4.0,
+            units=18e6,
+        ),
+        DeviceSpec(
+            name="laptop",
+            manufacturer="aurora",
+            node="10nm",
+            die_area_mm2=800.0,
+            non_ic_kg=120.0,
+            battery_capacity_wh=56.0,
+            active_hours_per_day=6.0,
+            active_power_w=18.0,
+            standby_power_w=0.5,
+            use_intensity_g_per_kwh=430.0,
+            lifetime_years=4.0,
+            replacement_cycle_years=4.0,
+            charge_efficiency=0.85,
+            units=25e6,
+        ),
+        DeviceSpec(
+            name="smartwatch",
+            manufacturer="vertex",
+            node="28nm",
+            die_area_mm2=120.0,
+            non_ic_kg=8.0,
+            battery_capacity_wh=1.1,
+            active_hours_per_day=2.0,
+            active_power_w=0.4,
+            standby_power_w=0.01,
+            use_intensity_g_per_kwh=450.0,
+            lifetime_years=2.5,
+            replacement_cycle_years=2.5,
+            units=12e6,
+        ),
+        DeviceSpec(
+            name="earbuds",
+            manufacturer="solstice",
+            node="45nm",
+            die_area_mm2=60.0,
+            non_ic_kg=4.0,
+            battery_capacity_wh=0.5,
+            active_hours_per_day=3.0,
+            active_power_w=0.1,
+            standby_power_w=0.005,
+            use_intensity_g_per_kwh=560.0,
+            lifetime_years=2.0,
+            replacement_cycle_years=2.0,
+            wafer_diameter_mm=200.0,
+            units=30e6,
+        ),
+        DeviceSpec(
+            name="smart_speaker",
+            manufacturer="aurora",
+            node="28nm",
+            die_area_mm2=180.0,
+            non_ic_kg=7.0,
+            battery_capacity_wh=5.0,
+            active_hours_per_day=4.0,
+            active_power_w=3.0,
+            standby_power_w=2.0,
+            use_intensity_g_per_kwh=430.0,
+            lifetime_years=5.0,
+            replacement_cycle_years=5.0,
+            charge_efficiency=0.9,
+            units=9e6,
+        ),
+        DeviceSpec(
+            name="feature_phone",
+            manufacturer="meadow",
+            node="65nm",
+            die_area_mm2=90.0,
+            non_ic_kg=10.0,
+            battery_capacity_wh=4.0,
+            active_hours_per_day=2.0,
+            active_power_w=0.8,
+            standby_power_w=0.02,
+            use_intensity_g_per_kwh=620.0,
+            lifetime_years=4.0,
+            replacement_cycle_years=4.0,
+            wafer_diameter_mm=200.0,
+            yield_model="poisson",
+            units=15e6,
+        ),
+    )

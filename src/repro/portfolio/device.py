@@ -1,0 +1,115 @@
+"""Scalar reference simulation of one portfolio device.
+
+Composes the existing ``repro.fab`` and ``repro.mobile`` primitives —
+:meth:`~repro.fab.WaferFootprintModel.from_node`,
+:class:`~repro.fab.AbatementPolicy`,
+:func:`~repro.fab.good_dies_per_wafer`, and
+:func:`~repro.mobile.battery.use_phase_bottom_up` — into one embodied +
+use-phase bottom line per device. This is the *reference
+implementation*: the batch kernels in :mod:`repro.portfolio.batch`
+mirror its arithmetic operation for operation and are pinned
+element-identical to it by ``tests/test_portfolio_batch_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+from ..fab.abatement import AbatementPolicy
+from ..fab.process import NODE_ROADMAP, ProcessNode
+from ..fab.wafer import WaferFootprintModel
+from ..fab.yields import good_dies_per_wafer
+from ..mobile.battery import (
+    Battery,
+    UsageProfile,
+    annual_wall_energy,
+    use_phase_bottom_up,
+)
+from ..units import DAYS_PER_YEAR, GRAMS_PER_KG, CarbonIntensity, Power
+from .catalog import DeviceSpec, resolved_node_index
+
+__all__ = ["resolve_node", "simulate_device", "DEVICE_METRICS"]
+
+#: Metric keys of one simulated device, in result-column order.
+DEVICE_METRICS = (
+    "ic_kg",
+    "embodied_kg",
+    "use_kg",
+    "total_kg",
+    "embodied_fraction",
+    "break_even_days",
+    "amortizes",
+    "annual_kg",
+)
+
+
+def resolve_node(spec: DeviceSpec) -> ProcessNode:
+    """The roadmap node ``spec`` fabs at, after its clamped node shift."""
+    return NODE_ROADMAP[resolved_node_index(spec)]
+
+
+def simulate_device(spec: DeviceSpec) -> "dict[str, float]":
+    """One device's life-cycle carbon, from the scalar primitives.
+
+    Returns the :data:`DEVICE_METRICS` dict: per-unit IC, embodied
+    (IC + non-IC production), use-phase, and total carbon in kg; the
+    embodied share of the total; usage-based break-even days (days of
+    the device's own usage profile until use-phase carbon equals the
+    embodied footprint) with its within-lifetime verdict; and the
+    replacement-cycle-annualized footprint
+    ``embodied/replacement_cycle + use/lifetime``.
+    """
+    node = resolve_node(spec)
+    defect = node.defect_density_per_cm2 * spec.defect_density_scale
+    fab_grid = CarbonIntensity.g_per_kwh(spec.fab_intensity_g_per_kwh)
+    wafer = WaferFootprintModel.from_node(
+        node, fab_grid, wafer_diameter_mm=spec.wafer_diameter_mm
+    )
+    policy = AbatementPolicy(
+        spec.abatement_coverage, spec.abatement_efficiency
+    )
+    breakdown = policy.apply(wafer.baseline)
+    good = good_dies_per_wafer(
+        spec.wafer_diameter_mm, spec.die_area_mm2, defect, spec.yield_model
+    )
+    if good <= 0.0:
+        raise SimulationError(
+            f"device {spec.name!r}: zero good dies per wafer "
+            f"({spec.die_area_mm2} mm2 dies on a {spec.wafer_diameter_mm} mm "
+            f"wafer at defect density {defect} /cm2)"
+        )
+    ic_kg = (breakdown.total.grams / good) / GRAMS_PER_KG
+    embodied_kg = ic_kg + spec.non_ic_kg
+
+    lifetime_years = spec.lifetime_years * spec.lifetime_scale
+    profile = UsageProfile(
+        active_hours_per_day=spec.active_hours_per_day,
+        active_power=Power.watts(spec.active_power_w),
+        standby_power=Power.watts(spec.standby_power_w),
+    )
+    battery = Battery(
+        capacity_wh=spec.battery_capacity_wh,
+        charge_efficiency=spec.charge_efficiency,
+    )
+    use_grid = CarbonIntensity.g_per_kwh(spec.use_intensity_g_per_kwh)
+    use_kg = use_phase_bottom_up(
+        profile, battery, use_grid, lifetime_years
+    ).kilograms
+    per_year_g = use_grid.carbon_for(annual_wall_energy(profile, battery)).grams
+    daily_use_g = per_year_g / DAYS_PER_YEAR
+
+    total_kg = embodied_kg + use_kg
+    embodied_fraction = embodied_kg / total_kg
+    break_even = (embodied_kg * GRAMS_PER_KG) / daily_use_g
+    annual_kg = (
+        embodied_kg / spec.replacement_cycle_years + use_kg / lifetime_years
+    )
+    return {
+        "ic_kg": ic_kg,
+        "embodied_kg": embodied_kg,
+        "use_kg": use_kg,
+        "total_kg": total_kg,
+        "embodied_fraction": embodied_fraction,
+        "break_even_days": break_even,
+        "amortizes": bool(break_even <= lifetime_years * DAYS_PER_YEAR),
+        "annual_kg": annual_kg,
+    }

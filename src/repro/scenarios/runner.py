@@ -480,12 +480,19 @@ class SweepSpec:
     (``repro sweep NAME --draws N``). Both callables accept
     ``jobs=``/``chunk_size=`` keywords and forward them to the sharded
     runners.
+
+    ``axis_size``, when present, reports the length of the axis the
+    sweep's sharded runner actually chunks when that is *not* the
+    result row count — the ``portfolio`` sweep shards its device
+    catalog, not its scenario grid — so fault-injection tooling can
+    compute valid chunk starts.
     """
 
     name: str
     description: str
     build: Callable[..., Table]
     build_uncertain: "Callable[..., Any] | None" = None
+    axis_size: "Callable[[], int] | None" = None
 
 
 def _fleet_growth_lifetime(**exec_options: Any) -> Table:
@@ -601,6 +608,46 @@ def _temporal_shifting_uncertain(
     )
 
 
+def _device_portfolio(**exec_options: Any) -> Table:
+    """Default catalog across node-shrink, fab-grid, and lifetime axes."""
+    from ..portfolio import default_catalog, sweep_portfolio
+
+    grid = ScenarioGrid(
+        **{
+            "node_shift": [0.0, 1.0, 2.0],
+            "fab_intensity_g_per_kwh": [583.0, 250.0],
+            "lifetime_scale": [1.0, 1.5],
+        }
+    )
+    return sweep_portfolio(default_catalog(), grid, **exec_options)
+
+
+def _device_portfolio_uncertain(
+    draws: int, seed: int, **exec_options: Any
+):
+    """Node-shrink axis with fab-yield and lifetime left elusive."""
+    from ..analysis.uncertainty import LogNormal, Triangular
+    from ..portfolio import default_catalog, sweep_portfolio_uncertain
+
+    grid = ScenarioGrid(
+        **{
+            "node_shift": [0.0, 1.0, 2.0],
+            "defect_density_scale": [LogNormal.from_median(1.0, 0.25)],
+            "lifetime_scale": [Triangular(0.8, 1.0, 1.4)],
+        }
+    )
+    return sweep_portfolio_uncertain(
+        default_catalog(), grid, draws=draws, seed=seed, **exec_options
+    )
+
+
+def _device_portfolio_axis_size() -> int:
+    """The portfolio sweep shards its device catalog, not its grid."""
+    from ..portfolio import default_catalog
+
+    return len(default_catalog())
+
+
 SWEEPS: dict[str, SweepSpec] = {
     spec.name: spec
     for spec in (
@@ -639,6 +686,16 @@ SWEEPS: dict[str, SweepSpec] = {
             ),
             build=sweep_temporal_shifting,
             build_uncertain=_temporal_shifting_uncertain,
+        ),
+        SweepSpec(
+            name="portfolio",
+            description=(
+                "Fleet embodied + use-phase carbon of the default device "
+                "catalog across node-shrink, fab-grid, and lifetime axes"
+            ),
+            build=_device_portfolio,
+            build_uncertain=_device_portfolio_uncertain,
+            axis_size=_device_portfolio_axis_size,
         ),
     )
 }

@@ -31,6 +31,7 @@ _SUBPACKAGES = (
     "repro.uncertainty",
     "repro.exec",
     "repro.obs",
+    "repro.portfolio",
 )
 
 

@@ -78,7 +78,7 @@ class TestCLI:
 
         assert EXPERIMENT_IDS[0] in _experiment_help()
         assert EXPERIMENT_IDS[-1] in _experiment_help()
-        assert "ext10" in _experiment_help()
+        assert "ext11" in _experiment_help()
         assert "sweep" in build_parser().format_help()
         assert "trace" in build_parser().format_help()
 

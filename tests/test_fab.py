@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
@@ -231,3 +232,92 @@ class TestAbatement:
     def test_coverage_validated(self):
         with pytest.raises(SimulationError):
             AbatementPolicy(coverage=1.5)
+
+    def test_efficiency_bounds_validated(self):
+        with pytest.raises(SimulationError):
+            AbatementPolicy(coverage=0.5, destruction_efficiency=-0.1)
+        with pytest.raises(SimulationError):
+            AbatementPolicy(coverage=0.5, destruction_efficiency=1.2)
+
+    def test_boundary_factors_accepted(self):
+        # Both extremes of each knob are legal policies, not errors.
+        assert AbatementPolicy(0.0, 0.0).removal_fraction == 0.0
+        assert AbatementPolicy(1.0, 1.0).removal_fraction == 1.0
+
+    def test_full_abatement_removes_all_abatable_gas(self):
+        model = tsmc_wafer_model()
+        abated = AbatementPolicy(1.0, 1.0).apply(model.baseline)
+        for name in ("pfc_diffusive", "chemicals_gases", "bulk_gases"):
+            assert abated.components[name].grams == 0.0
+        assert abated.components["energy"].grams == pytest.approx(
+            model.baseline.components["energy"].grams
+        )
+
+    def test_apply_scales_abatable_total_linearly(self):
+        model = tsmc_wafer_model()
+        policy = AbatementPolicy(0.8, 0.9)
+        abated = policy.apply(model.baseline)
+        for name in ("pfc_diffusive", "chemicals_gases", "bulk_gases"):
+            assert abated.components[name].grams == pytest.approx(
+                model.baseline.components[name].grams
+                * (1.0 - policy.removal_fraction)
+            )
+
+
+class TestYieldArrayContract:
+    """The vectorized yield kernels are position-stable vs scalars.
+
+    ``repro.portfolio.batch`` relies on element ``i`` of an array call
+    being *bit-identical* to a scalar call at element ``i`` — exact
+    equality, not approx.
+    """
+
+    def test_poisson_position_stable(self):
+        areas = np.array([60.0, 100.0, 450.0, 800.0])
+        defects = np.array([0.0, 0.05, 0.10, 0.46])
+        batched = poisson_yield(areas, defects)
+        for index in range(areas.size):
+            assert batched[index] == poisson_yield(
+                float(areas[index]), float(defects[index])
+            )
+
+    def test_murphy_position_stable(self):
+        areas = np.array([60.0, 100.0, 450.0, 800.0])
+        defects = np.array([0.0, 0.05, 0.10, 0.46])
+        batched = murphy_yield(areas, defects)
+        for index in range(areas.size):
+            assert batched[index] == murphy_yield(
+                float(areas[index]), float(defects[index])
+            )
+
+    def test_murphy_zero_defect_singularity_in_arrays(self):
+        batched = murphy_yield(np.array([100.0, 200.0]), np.array([0.0, 0.0]))
+        assert batched.tolist() == [1.0, 1.0]
+
+    def test_dies_per_wafer_array_matches_scalar_counts(self):
+        areas = np.array([50.0, 100.0, 600.0])
+        batched = dies_per_wafer(300.0, areas)
+        assert batched.tolist() == [
+            float(dies_per_wafer(300.0, float(area))) for area in areas
+        ]
+
+    def test_good_dies_array_matches_scalar(self):
+        areas = np.array([100.0, 600.0])
+        batched = good_dies_per_wafer(300.0, areas, 0.1)
+        for index in range(areas.size):
+            assert batched[index] == good_dies_per_wafer(
+                300.0, float(areas[index]), 0.1
+            )
+
+    def test_array_validation_rejects_any_bad_element(self):
+        with pytest.raises(SimulationError, match="die area"):
+            murphy_yield(np.array([100.0, -1.0]), 0.1)
+        with pytest.raises(SimulationError, match="defect density"):
+            poisson_yield(100.0, np.array([0.1, -0.2]))
+        with pytest.raises(SimulationError, match="wafer diameter"):
+            dies_per_wafer(np.array([300.0, 0.0]), 100.0)
+
+    def test_giant_die_hits_zero_good_dies(self):
+        # The zero-yield guard upstream (portfolio) triggers off this.
+        assert dies_per_wafer(300.0, 70000.0) == 0
+        assert good_dies_per_wafer(300.0, 70000.0, 0.1) == 0.0

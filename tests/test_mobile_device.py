@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.data.grids import grid_by_name
+from repro.units import CarbonIntensity
 from repro.mobile.device import MobilePhone, pixel3
 
 
@@ -85,3 +87,54 @@ class TestAmortizationSchedule:
 
     def test_carbon_per_inference_positive(self, phone):
         assert phone.carbon_per_inference("resnet50", "gpu").grams > 0.0
+
+
+class TestArrayBreakEven:
+    """Break-even methods accept array grids without float coercion.
+
+    The scalar anchors are pinned exactly — the array plumbing must
+    not move them — and each array element must be bit-identical to a
+    scalar call at the same intensity.
+    """
+
+    _INTENSITIES = [200.0, 401.1, 700.0]
+
+    def test_scalar_results_pinned_unchanged(self, phone: MobilePhone):
+        days = phone.break_even_days("mobilenet_v3", "cpu")
+        assert isinstance(days, float)
+        assert days == pytest.approx(349.76792897912236, rel=1e-12)
+        assert round(days) == 350
+        images = phone.break_even_images("mobilenet_v3", "cpu")
+        assert isinstance(images, float)
+        assert round(images / 1e9, 1) == 5.0
+        verdict = phone.amortizes_within_lifetime("resnet50", "cpu")
+        assert isinstance(verdict, bool)
+
+    def test_array_grid_elementwise_matches_scalar(self):
+        base = pixel3()
+        array_grid = CarbonIntensity.g_per_kwh(np.array(self._INTENSITIES))
+        batched = pixel3(grid=array_grid)
+        days = batched.break_even_days("mobilenet_v3", "cpu")
+        images = batched.break_even_images("mobilenet_v3", "cpu")
+        assert isinstance(days, np.ndarray)
+        assert isinstance(images, np.ndarray)
+        for index, intensity in enumerate(self._INTENSITIES):
+            scalar = pixel3(grid=CarbonIntensity.g_per_kwh(intensity))
+            assert days[index] == scalar.break_even_days(
+                "mobilenet_v3", "cpu"
+            )
+            assert images[index] == scalar.break_even_images(
+                "mobilenet_v3", "cpu"
+            )
+
+    def test_array_amortization_verdict_is_elementwise(self):
+        array_grid = CarbonIntensity.g_per_kwh(np.array(self._INTENSITIES))
+        batched = pixel3(grid=array_grid)
+        verdict = batched.amortizes_within_lifetime("mobilenet_v3", "cpu")
+        assert isinstance(verdict, np.ndarray)
+        assert verdict.dtype == np.bool_
+        for index, intensity in enumerate(self._INTENSITIES):
+            scalar = pixel3(grid=CarbonIntensity.g_per_kwh(intensity))
+            assert bool(verdict[index]) == scalar.amortizes_within_lifetime(
+                "mobilenet_v3", "cpu"
+            )

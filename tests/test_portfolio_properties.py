@@ -1,0 +1,146 @@
+"""Property-based invariants of the portfolio fleet sweeps.
+
+Three guarantees the exactly-rounded aggregation buys, driven by
+hypothesis: fleet totals are invariant under any permutation of the
+device axis; distribution-tagged axes with zero variance collapse the
+uncertain sweep to the deterministic one, draw for draw; and any
+chunk geometry reproduces the monolithic run bit for bit (the
+portfolio cousin of ``test_sharded_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.uncertainty import Fixed, Triangular
+from repro.portfolio import (
+    default_catalog,
+    simulate_device_batch,
+    sweep_portfolio,
+    sweep_portfolio_uncertain,
+)
+from repro.portfolio.sweep import PORTFOLIO_METRICS
+from repro.scenarios import ScenarioGrid
+from repro.tabular import Table
+
+_CATALOG = default_catalog()
+
+_GRID = ScenarioGrid(
+    **{
+        "node_shift": [0.0, 1.0, 2.0],
+        "lifetime_scale": [1.0, 1.5],
+    }
+)
+
+
+def _tables_identical(left: Table, right: Table) -> bool:
+    return (
+        left.column_names == right.column_names
+        and left.num_rows == right.num_rows
+        and all(
+            left.column(name) == right.column(name)
+            for name in left.column_names
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return sweep_portfolio(_CATALOG, _GRID)
+
+
+class TestPermutationInvariance:
+    @given(order=st.permutations(list(range(len(_CATALOG)))))
+    @settings(max_examples=25, deadline=None)
+    def test_fleet_totals_ignore_device_order(self, order):
+        shuffled = tuple(_CATALOG[index] for index in order)
+        assert _tables_identical(
+            sweep_portfolio(shuffled, _GRID), sweep_portfolio(_CATALOG, _GRID)
+        )
+
+    @given(order=st.permutations(list(range(len(_CATALOG)))))
+    @settings(max_examples=10, deadline=None)
+    def test_uncertain_samples_ignore_device_order(self, order):
+        grid = ScenarioGrid(
+            **{
+                "node_shift": [0.0, 1.0],
+                "lifetime_scale": [Triangular(0.8, 1.0, 1.4)],
+            }
+        )
+        shuffled = tuple(_CATALOG[index] for index in order)
+        base = sweep_portfolio_uncertain(_CATALOG, grid, draws=6, seed=3)
+        other = sweep_portfolio_uncertain(shuffled, grid, draws=6, seed=3)
+        for metric in PORTFOLIO_METRICS:
+            assert np.array_equal(
+                base.samples[metric], other.samples[metric]
+            ), metric
+
+    def test_batch_rows_follow_input_order(self):
+        reversed_catalog = tuple(reversed(_CATALOG))
+        table = simulate_device_batch(reversed_catalog)
+        assert table.column("device") == [
+            spec.name for spec in reversed_catalog
+        ]
+
+
+class TestZeroVarianceCollapse:
+    @given(
+        draws=st.integers(1, 12),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_fixed_axes_reproduce_deterministic_sweep(self, draws, seed):
+        tagged = ScenarioGrid(
+            **{
+                "node_shift": [0.0, 1.0],
+                "defect_density_scale": [Fixed(1.0)],
+                "lifetime_scale": [Fixed(1.2)],
+            }
+        )
+        plain = ScenarioGrid(
+            **{
+                "node_shift": [0.0, 1.0],
+                "defect_density_scale": [1.0],
+                "lifetime_scale": [1.2],
+            }
+        )
+        uncertain = sweep_portfolio_uncertain(
+            _CATALOG, tagged, draws=draws, seed=seed
+        )
+        deterministic = sweep_portfolio(_CATALOG, plain)
+        for metric in PORTFOLIO_METRICS:
+            samples = uncertain.samples[metric]
+            column = np.asarray(deterministic.column(metric))
+            assert samples.shape == (2, draws)
+            assert (samples == column[:, None]).all(), metric
+
+
+class TestChunkGeometryInvariance:
+    @given(chunk=st.integers(1, 12))
+    @settings(max_examples=12, deadline=None)
+    def test_any_chunk_size_bit_identical(self, reference, chunk):
+        sharded = sweep_portfolio(_CATALOG, _GRID, chunk_size=chunk)
+        assert _tables_identical(sharded, reference)
+
+    @given(chunk=st.integers(1, 10), seed=st.integers(0, 2**10))
+    @settings(max_examples=8, deadline=None)
+    def test_uncertain_chunks_bit_identical(self, chunk, seed):
+        grid = ScenarioGrid(
+            **{
+                "node_shift": [0.0, 2.0],
+                "lifetime_scale": [Triangular(0.8, 1.0, 1.4)],
+            }
+        )
+        base = sweep_portfolio_uncertain(_CATALOG, grid, draws=5, seed=seed)
+        sharded = sweep_portfolio_uncertain(
+            _CATALOG, grid, draws=5, seed=seed, chunk_size=chunk
+        )
+        for metric in PORTFOLIO_METRICS:
+            assert np.array_equal(
+                base.samples[metric], sharded.samples[metric]
+            ), metric
+        assert _tables_identical(
+            base.quantile_table(), sharded.quantile_table()
+        )

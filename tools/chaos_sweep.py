@@ -135,7 +135,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "--chunk-size",
         type=int,
         default=None,
-        help="scenarios per chunk (default: about four chunks)",
+        help="sharded-axis entries per chunk (default: about four chunks)",
     )
     parser.add_argument(
         "--retries",
@@ -154,8 +154,13 @@ def main(argv: "list[str] | None" = None) -> int:
     args = parser.parse_args(argv)
 
     clean = run_sweep(args.sweep)
-    chunk_size = args.chunk_size or max(1, clean.num_rows // 4)
-    plan = ShardPlan(num_scenarios=clean.num_rows, chunk_size=chunk_size)
+    # Sweeps that shard a non-scenario axis (the portfolio sweep chunks
+    # its device catalog) report it via SweepSpec.axis_size; the fault
+    # schedule must target that axis's chunk starts, not the row count.
+    size_of_axis = SWEEPS[args.sweep].axis_size
+    axis = size_of_axis() if size_of_axis is not None else clean.num_rows
+    chunk_size = args.chunk_size or max(1, axis // 4)
+    plan = ShardPlan(num_scenarios=axis, chunk_size=chunk_size)
     starts = [shard.start for shard in plan.shards()]
     spec = FaultSpec.chaos(starts, seed=args.seed, rate=args.rate)
     schedule = {rule.starts[0]: rule.kind for rule in spec.rules}
