@@ -73,6 +73,14 @@ if [[ "$quick" -eq 1 ]]; then
         --sweep portfolio
     # Stats smoke: the trace the storm just wrote must render.
     PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro stats "$trace"
+    # Serve smoke: a concurrent-client burst against the in-process
+    # sweep service, both coalesced and baseline, must answer every
+    # request (see tools/load_gen.py; the 5x throughput gate lives in
+    # benchmarks/test_bench_serve.py, run above).
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python tools/load_gen.py \
+        --clients 200
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python tools/load_gen.py \
+        --clients 200 --no-coalesce
     echo "quick smoke run complete (untimed; no snapshot written)"
     exit 0
 fi

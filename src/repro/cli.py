@@ -161,6 +161,110 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_arguments(sweep_parser)
     _add_obs_arguments(sweep_parser)
 
+    serve_parser = commands.add_parser(
+        "serve",
+        help="serve scenario/portfolio/sweep requests over HTTP, "
+        "micro-batching concurrent requests into single kernel calls",
+    )
+    serve_parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8000,
+        metavar="P",
+        help="port to bind; 0 picks an ephemeral port (default: 8000)",
+    )
+    serve_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes per batched kernel call (default: 1, "
+        "inline); per-request deadlines only cancel chunks when N > 1",
+    )
+    serve_parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="K",
+        help="scenarios per chunk inside a batch (default: planner's "
+        "choice)",
+    )
+    serve_parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry budget per chunk before a batch degrades (default: 0)",
+    )
+    serve_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-chunk wall-clock cap inside a batch (needs --jobs > 1)",
+    )
+    serve_parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="bounded admission queue depth; beyond it requests are "
+        "shed with a structured 429 (default: 1024)",
+    )
+    serve_parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="most requests one kernel call may answer (default: 1024)",
+    )
+    serve_parser.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=5.0,
+        metavar="MS",
+        help="how long the dispatcher lingers so concurrent requests "
+        "can join a batch (default: 5)",
+    )
+    serve_parser.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="answer every request with its own kernel call (the "
+        "benchmark baseline; equivalent to --max-batch 1)",
+    )
+    serve_parser.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        metavar="N",
+        help="consecutive infrastructure failures before the circuit "
+        "breaker opens and batches degrade to inline skip-and-report "
+        "execution (default: 3)",
+    )
+    serve_parser.add_argument(
+        "--breaker-reset",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="how long an open breaker waits before a half-open probe "
+        "(default: 30)",
+    )
+    serve_parser.add_argument(
+        "--drain-grace",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="SIGTERM drain budget: in-flight requests get this long "
+        "to finish before a shutdown 503 (default: 30)",
+    )
+    _add_cache_arguments(serve_parser)
+    _add_obs_arguments(serve_parser)
+
     stats_parser = commands.add_parser(
         "stats",
         help="render a --trace-out trace file into latency/cache tables",
@@ -551,6 +655,66 @@ def _command_sweep(
     return 0
 
 
+def _command_serve(args: argparse.Namespace, cache_dir: "str | None") -> int:
+    """Run the sweep service until SIGTERM/SIGINT drains it.
+
+    Prints the bound address on stderr once listening (stdout stays
+    free for result piping) and drains gracefully on either signal:
+    new requests are refused with 503s while everything already
+    admitted is answered, then the process exits 0.
+    """
+    import asyncio
+    import signal
+
+    from .serve import ServeConfig, SweepService
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        batch_window_s=args.batch_window_ms / 1000.0,
+        coalesce=not args.no_coalesce,
+        jobs=args.jobs,
+        chunk_size=args.chunk_size,
+        retries=args.retries,
+        timeout_s=args.timeout,
+        cache_dir=cache_dir,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_s=args.breaker_reset,
+        drain_grace_s=args.drain_grace,
+    )
+
+    async def _serve() -> int:
+        service = SweepService(config)
+        await service.start()
+        print(
+            f"repro serve listening on http://{config.host}:{service.port} "
+            f"(pid ready; SIGTERM drains)",
+            file=sys.stderr,
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        drain: dict[str, asyncio.Task] = {}
+
+        def _request_drain() -> None:
+            if "task" not in drain:
+                drain["task"] = loop.create_task(service.drain())
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, _request_drain)
+        await service.wait_stopped()
+        abandoned = await drain["task"] if "task" in drain else 0
+        print(
+            f"repro serve drained ({abandoned} request(s) abandoned)",
+            file=sys.stderr,
+            flush=True,
+        )
+        return 0
+
+    return asyncio.run(_serve())
+
+
 def _command_stats(trace: str) -> int:
     from .obs import render_stats
 
@@ -665,6 +829,14 @@ def main(argv: Sequence[str] | None = None) -> int:
                     args.timeout,
                     args.on_error,
                     args.resume,
+                )
+        if args.command == "serve":
+            with _observed(
+                "serve", f"{args.host}:{args.port}", args.trace_out,
+                args.metrics,
+            ):
+                return _command_serve(
+                    args, _resolve_cache_dir(args.cache_dir, args.no_cache)
                 )
         if args.command == "stats":
             return _command_stats(args.trace)

@@ -20,6 +20,7 @@ __all__ = [
     "ChunkFailedError",
     "CorruptChunkError",
     "ObservabilityError",
+    "ServiceError",
 ]
 
 
@@ -100,3 +101,12 @@ class CorruptChunkError(ExecutionError):
 
 class ObservabilityError(ReproError):
     """Raised for invalid metrics usage or malformed trace files."""
+
+
+class ServiceError(ReproError):
+    """Raised for sweep-service failures (:mod:`repro.serve`).
+
+    The service's structured refusals — overload shedding, expired
+    deadlines, drain-time rejections — derive from this so the HTTP
+    layer can map library failures onto status codes without guessing.
+    """

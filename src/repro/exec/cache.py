@@ -237,22 +237,30 @@ class ResultCache:
 
         Also sweeps ``*.tmp`` files orphaned by writers killed between
         ``mkstemp`` and ``os.replace`` (safe: a live writer's rename is
-        atomic and every ``put`` uses a fresh temp name). Orphans do
-        not count toward the returned entry count.
+        atomic and every ``put`` uses a fresh temp name), and the
+        ``checkpoints/`` tree under this directory — chunk checkpoints
+        exist only to resume runs whose results this cache would have
+        held, so clearing the results makes every checkpoint stale by
+        definition. Orphans and checkpoints do not count toward the
+        returned entry count.
         """
         removed = 0
         schema_dir = self._directory / _SCHEMA
-        if not schema_dir.is_dir():
-            return 0
-        for path in schema_dir.glob("*.pkl"):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
-        for path in schema_dir.glob("*.tmp"):
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        if schema_dir.is_dir():
+            for path in schema_dir.glob("*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            for path in schema_dir.glob("*.tmp"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        checkpoints = self._directory / "checkpoints"
+        if checkpoints.is_dir():
+            import shutil
+
+            shutil.rmtree(checkpoints, ignore_errors=True)
         return removed

@@ -5,9 +5,18 @@ which is the right granularity for repeat invocations but useless when
 a 100k-scenario sweep dies at 95%: nothing was keyed until the final
 combine. :class:`CheckpointStore` closes that gap by recording each
 completed chunk under a key derived from the sweep's spec digest and
-the chunk's shard range, layered on the same content-addressed cache
-directory (entries are ordinary cache files; atomic writes and
-corrupt-as-miss reads come for free).
+the chunk's shard range.
+
+Entries live in a per-spec namespace —
+``<cache-dir>/checkpoints/<spec-digest>/`` — each an ordinary
+content-addressed cache file (atomic temp + ``os.replace`` writes and
+corrupt-as-miss reads come for free from :class:`ResultCache`). The
+namespace is what makes cleanup exact: :meth:`complete` removes the
+*whole* per-spec directory when a run finishes, so checkpoints written
+under a different chunk geometry of the same spec — which a
+range-by-range discard can never name — cannot pile up, and
+:meth:`ResultCache.clear` sweeps the entire ``checkpoints/`` tree
+along with the results that superseded it.
 
 Because chunk results are keyed by scenario *range* — not by
 ``jobs``/``chunk_size`` at large, but by the exact ``(start, stop)``
@@ -16,20 +25,30 @@ per-scenario seeded streams and is bit-identical to an uninterrupted
 one. Reads are gated by the ``consume`` flag so checkpoints only
 warm-start runs that asked to resume (``repro sweep --resume``);
 writes always happen for multi-chunk runs, and a completed run
-discards its checkpoint entries since the whole-run cache now covers
+removes its checkpoint namespace since the whole-run cache now covers
 it.
 """
 
 from __future__ import annotations
 
 import os
+from pathlib import Path
 from typing import Any, Iterable
 
-from .cache import ResultCache, cache_key, package_fingerprint
+from .cache import (
+    _SCHEMA,
+    ResultCache,
+    cache_key,
+    default_cache_dir,
+    package_fingerprint,
+)
 
 __all__ = ["CheckpointStore"]
 
 _MISS = object()
+
+#: Subdirectory of the cache root holding every checkpoint namespace.
+_CHECKPOINT_SUBDIR = "checkpoints"
 
 
 class CheckpointStore:
@@ -51,10 +70,12 @@ class CheckpointStore:
         spec_parts: Iterable[object],
         consume: bool = True,
     ) -> None:
-        self._cache = ResultCache(directory, scope="checkpoint")
+        base = Path(directory) if directory is not None else default_cache_dir()
         self._spec_key = cache_key(
             "checkpoint", package_fingerprint(), *spec_parts
         )
+        self._directory = base / _CHECKPOINT_SUBDIR / self._spec_key
+        self._cache = ResultCache(self._directory, scope="checkpoint")
         self._consume = consume
 
     @property
@@ -66,6 +87,11 @@ class CheckpointStore:
     def spec_key(self) -> str:
         """The digest identifying this sweep spec within the cache."""
         return self._spec_key
+
+    @property
+    def directory(self) -> Path:
+        """This spec's checkpoint namespace directory."""
+        return self._directory
 
     def key_for(self, start: int, stop: int) -> str:
         """The cache key for the chunk covering ``[start, stop)``."""
@@ -93,8 +119,9 @@ class CheckpointStore:
     def discard(self, ranges: Iterable[tuple[int, int]]) -> int:
         """Drop the entries for the given shard ranges; returns the count.
 
-        Called after a successful run: once the whole-run result is in
-        the main cache, per-chunk entries are dead weight.
+        Range-precise cleanup for callers that know their plan;
+        :meth:`complete` is the stronger whole-namespace form the
+        sharded driver uses after a fully successful run.
         """
         removed = 0
         for start, stop in ranges:
@@ -102,6 +129,27 @@ class CheckpointStore:
             try:
                 path.unlink()
                 removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def complete(self) -> int:
+        """Remove this spec's entire checkpoint namespace; returns the count.
+
+        Called after a fully successful run: every checkpoint of this
+        spec is dead weight, *including* entries an earlier interrupted
+        run wrote under a different chunk geometry — ranges a
+        plan-shaped :meth:`discard` could never enumerate. Directory
+        removal is best-effort (a concurrent writer may race it); the
+        entries themselves are gone either way.
+        """
+        removed = self._cache.clear()
+        for directory in (
+            self._cache.directory / _SCHEMA,
+            self._directory,
+        ):
+            try:
+                directory.rmdir()
             except OSError:
                 pass
         return removed

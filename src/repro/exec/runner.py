@@ -762,7 +762,16 @@ def run_sharded(
                 first = failures[0]
                 _raise_chunk_failed(shard_by_index[first.key], first)
         if use_checkpoint and not failures:
-            checkpoint.discard((shard.start, shard.stop) for shard in shards)
+            # complete() wipes the spec's whole namespace — catching
+            # stale entries an earlier geometry left — where a
+            # plan-shaped discard() only covers this run's ranges.
+            complete = getattr(checkpoint, "complete", None)
+            if complete is not None:
+                complete()
+            else:
+                checkpoint.discard(
+                    (shard.start, shard.stop) for shard in shards
+                )
         chunks = [completed[index] for index in sorted(completed)]
         result = chunks if combine is None else combine(chunks)
         if on_error == "skip":

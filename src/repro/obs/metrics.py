@@ -75,7 +75,7 @@ class Histogram:
         return len(self.values)
 
     def summary(self) -> dict[str, float]:
-        """count/mean/min/p50/p95/max of the observations so far."""
+        """count/mean/min/p50/p95/p99/max of the observations so far."""
         if not self.values:
             return {"count": 0}
         data = np.asarray(self.values, dtype=np.float64)
@@ -85,6 +85,7 @@ class Histogram:
             "min": float(np.min(data)),
             "p50": float(np.percentile(data, 50.0)),
             "p95": float(np.percentile(data, 95.0)),
+            "p99": float(np.percentile(data, 99.0)),
             "max": float(np.max(data)),
         }
 

@@ -173,6 +173,10 @@ def _update_metrics(metrics: MetricsRegistry, payload: Mapping[str, Any]) -> Non
             rows = payload.get("rows")
             if rows and duration:
                 metrics.gauge("sweep.scenarios_per_sec").set(rows / duration)
+        elif kind == "request_batch":
+            duration = payload.get("dur_s")
+            if duration is not None:
+                metrics.histogram("serve.batch_duration_s").observe(duration)
         return
     if kind == "cache":
         metrics.counter(f"cache.{payload.get('op', 'unknown')}").inc()
@@ -199,6 +203,24 @@ def _update_metrics(metrics: MetricsRegistry, payload: Mapping[str, Any]) -> Non
         rss = payload.get("peak_rss_kb")
         if rss is not None:
             metrics.histogram("chunk.peak_rss_kb").observe(rss)
+    elif kind == "request":
+        # The sweep service's per-request facts (repro.serve).
+        metrics.counter("serve.requests").inc()
+        status = payload.get("status")
+        if isinstance(status, int):
+            metrics.counter(f"serve.status.{status // 100}xx").inc()
+        duration = payload.get("dur_s")
+        if duration is not None:
+            metrics.histogram("serve.request_latency_s").observe(duration)
+    elif kind == "coalesce":
+        metrics.counter("serve.batches").inc()
+        width = payload.get("width")
+        if width is not None:
+            metrics.histogram("serve.coalesce_width").observe(width)
+    elif kind == "shed":
+        metrics.counter("serve.shed").inc()
+    elif kind == "deadline_expired":
+        metrics.counter("serve.deadline_expired").inc()
 
 
 class TraceRecorder:

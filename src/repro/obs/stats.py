@@ -111,13 +111,15 @@ def _histogram_table(summary: Mapping[str, Any]) -> "Table | None":
                 "mean": stats["mean"],
                 "p50": stats["p50"],
                 "p95": stats["p95"],
+                "p99": stats["p99"],
                 "max": stats["max"],
             }
         )
     if not records:
         return None
     return Table.from_records(
-        records, columns=["metric", "count", "mean", "p50", "p95", "max"]
+        records,
+        columns=["metric", "count", "mean", "p50", "p95", "p99", "max"],
     )
 
 

@@ -1,0 +1,154 @@
+"""An asyncio client for the sweep service — tests and load generation.
+
+The service speaks plain HTTP/1.1, so any client works; this one
+exists so the test suite and ``tools/load_gen.py`` need no third-party
+HTTP stack. One :class:`ServiceClient` holds one keep-alive
+connection, reconnecting transparently when the server closed it
+(drains answer the in-flight request with ``Connection: close``; the
+next call simply dials again).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Mapping
+
+from ..errors import ServiceError
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """One keep-alive HTTP connection to a :class:`~repro.serve.SweepService`.
+
+    Every request method returns ``(status, payload)`` — the decoded
+    JSON body is never hidden behind exceptions, because shed (429),
+    degraded (200 + report), and draining (503) responses are expected
+    outcomes the caller inspects, not failures.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: "asyncio.StreamReader | None" = None
+        self._writer: "asyncio.StreamWriter | None" = None
+
+    async def _connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+        self._reader = None
+        self._writer = None
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        payload: "Mapping[str, Any] | None" = None,
+    ) -> "tuple[int, dict]":
+        """One round-trip: returns ``(status, decoded_json_body)``."""
+        if self._writer is None or self._writer.is_closing():
+            await self._connect()
+        assert self._reader is not None and self._writer is not None
+        body = (
+            json.dumps(payload).encode("utf-8") if payload is not None else b""
+        )
+        lines = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {self.host}:{self.port}",
+            f"Content-Length: {len(body)}",
+            "Content-Type: application/json",
+        ]
+        self._writer.write(
+            ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+        )
+        await self._writer.drain()
+        return await self._read_response()
+
+    async def _read_response(self) -> "tuple[int, dict]":
+        assert self._reader is not None
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ServiceError("connection closed before a response arrived")
+        parts = status_line.decode("ascii").split(maxsplit=2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ServiceError(f"malformed status line: {status_line[:80]!r}")
+        status = int(parts[1])
+        length = 0
+        keep_alive = True
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            name = name.strip().lower()
+            if name == "content-length":
+                length = int(value.strip())
+            elif name == "connection":
+                keep_alive = value.strip().lower() != "close"
+        raw = await self._reader.readexactly(length) if length else b"{}"
+        if not keep_alive:
+            await self.close()
+        return status, json.loads(raw.decode("utf-8"))
+
+    async def scenario(
+        self,
+        overrides: "Mapping[str, Any] | None" = None,
+        *,
+        deadline_s: "float | None" = None,
+    ) -> "tuple[int, dict]":
+        """POST one fleet-scenario request."""
+        body: dict[str, Any] = {"overrides": dict(overrides or {})}
+        if deadline_s is not None:
+            body["deadline_s"] = deadline_s
+        return await self.request("POST", "/v1/scenario", body)
+
+    async def portfolio(
+        self,
+        overrides: "Mapping[str, Any] | None" = None,
+        *,
+        deadline_s: "float | None" = None,
+    ) -> "tuple[int, dict]":
+        """POST one device-portfolio cell request."""
+        body: dict[str, Any] = {"overrides": dict(overrides or {})}
+        if deadline_s is not None:
+            body["deadline_s"] = deadline_s
+        return await self.request("POST", "/v1/portfolio", body)
+
+    async def sweep(
+        self,
+        name: str,
+        *,
+        draws: "int | None" = None,
+        seed: int = 0,
+        deadline_s: "float | None" = None,
+    ) -> "tuple[int, dict]":
+        """POST one named-sweep request."""
+        body: dict[str, Any] = {"name": name, "seed": seed}
+        if draws is not None:
+            body["draws"] = draws
+        if deadline_s is not None:
+            body["deadline_s"] = deadline_s
+        return await self.request("POST", "/v1/sweep", body)
+
+    async def healthz(self) -> "tuple[int, dict]":
+        """GET the liveness report."""
+        return await self.request("GET", "/healthz")
+
+    async def readyz(self) -> "tuple[int, dict]":
+        """GET the readiness report (503 while draining)."""
+        return await self.request("GET", "/readyz")
+
+    async def metrics(self) -> "tuple[int, dict]":
+        """GET the live metrics summary."""
+        return await self.request("GET", "/metrics")

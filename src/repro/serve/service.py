@@ -1,0 +1,440 @@
+"""The sweep service: HTTP endpoints wired to the micro-batcher.
+
+:class:`SweepService` owns the whole serving stack: the asyncio
+server, the :class:`~repro.serve.batcher.MicroBatcher`, the
+:class:`~repro.serve.breaker.CircuitBreaker`, the shared
+:class:`~repro.exec.ResultCache`, and a
+:class:`~repro.obs.metrics.MetricsRegistry` that the health endpoints
+read live. The execution path is: HTTP request → parse/validate →
+bounded admission → coalesced batch → one kernel call in a worker
+thread → per-request JSON responses.
+
+Failure behavior is the design center:
+
+* **Overload** sheds at admission with a structured 429 — the queue is
+  the only buffer, so memory is bounded by ``max_queue`` requests.
+* **Deadlines** expire queued requests with a 504 before any kernel
+  time is spent, and the tightest live deadline of a batch forwards
+  into :func:`repro.exec.run_sharded`'s timeout when ``jobs > 1``.
+* **Infrastructure failures** (broken pools, exhausted chunk retries,
+  integrity failures) feed the breaker; tripped batches — and every
+  batch while the breaker is open — rerun on the degraded path
+  (inline, ``on_error="skip"``), so clients get partial answers with
+  the :class:`~repro.exec.FailureReport` attached instead of timeouts.
+* **Drain** (SIGTERM) refuses new work with 503s, flushes every
+  admitted request, then closes — zero accepted requests are lost.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any, Callable, Sequence
+
+from ..errors import ServiceError
+from ..obs.metrics import MetricsRegistry
+from ..obs.recorder import _update_metrics, active_recorder
+from .batcher import DrainingError, MicroBatcher, OverloadedError
+from .breaker import CircuitBreaker, is_infrastructure_error
+from .config import ServeConfig
+from .http import serve_connection
+from .requests import Request, Response, execute_group, parse_request
+
+__all__ = ["SweepService"]
+
+
+class SweepService:
+    """One long-lived sweep service instance.
+
+    Construct with a :class:`~repro.serve.config.ServeConfig`, then
+    either ``await start()`` and drive it from a running event loop
+    (tests do this) or call :meth:`serve_forever` from synchronous
+    code (the CLI does this). The injectable clock feeds the breaker
+    and deadline bookkeeping for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        config: "ServeConfig | None" = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self._clock = clock
+        self.metrics = MetricsRegistry()
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_threshold,
+            reset_timeout_s=self.config.breaker_reset_s,
+            clock=clock,
+        )
+        self._cache = None
+        if self.config.cache_dir is not None:
+            from ..exec.cache import ResultCache
+
+            self._cache = ResultCache(self.config.cache_dir)
+        self._batcher = MicroBatcher(
+            self._execute_batch,
+            max_queue=self.config.max_queue,
+            max_batch=self.config.effective_max_batch,
+            window_s=self.config.effective_window_s,
+            record=self._record,
+            clock=clock,
+        )
+        self._server: "asyncio.Server | None" = None
+        self._writers: "set[asyncio.StreamWriter]" = set()
+        self._started_at = clock()
+        self._draining = False
+        self._stopped = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    async def start(self) -> None:
+        """Bind the listener and start the dispatcher."""
+        if self._server is not None:
+            raise ServiceError("service already started")
+        self._started_at = self._clock()
+        # The accept backlog must absorb the same burst the admission
+        # queue does: at the default backlog (100) a connect storm hits
+        # kernel SYN retransmits (~1s) before the service ever sees the
+        # request. The kernel clamps this to net.core.somaxconn.
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.config.host,
+            self.config.port,
+            backlog=max(self.config.max_queue, 128),
+        )
+        self._batcher.start()
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with the ``port=0`` ephemeral default)."""
+        if self._server is None or not self._server.sockets:
+            raise ServiceError("service is not listening")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def draining(self) -> bool:
+        """Whether a drain has begun (readiness reports 503)."""
+        return self._draining
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests admitted but not yet dispatched to a kernel."""
+        return self._batcher.queue_depth
+
+    async def drain(self) -> int:
+        """Graceful shutdown: refuse, flush, close. Returns abandon count.
+
+        Every request admitted before the drain began is answered
+        (abandon count 0) unless ``drain_grace_s`` expires, in which
+        case stragglers get a shutdown 503 — resolved, never dropped.
+        """
+        if self._draining:
+            await self._stopped.wait()
+            return 0
+        self._draining = True
+        if self._server is not None:
+            self._server.close()  # stop accepting new connections
+        abandoned = await self._batcher.drain(self.config.drain_grace_s)
+        # In-flight responses are written by now; close idle keep-alive
+        # connections still parked in readline().
+        for writer in list(self._writers):
+            writer.close()
+        if self._server is not None:
+            await self._server.wait_closed()
+        self._stopped.set()
+        return abandoned
+
+    async def wait_stopped(self) -> None:
+        """Block until a drain completes (the CLI parks here)."""
+        await self._stopped.wait()
+
+    async def serve_until_stopped(self) -> None:
+        """Start and block until a drain completes (signal-driven use)."""
+        await self.start()
+        await self._stopped.wait()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            await serve_connection(
+                reader,
+                writer,
+                self._route,
+                max_body=self.config.max_body_bytes,
+                closing=lambda: self._draining,
+            )
+        finally:
+            self._writers.discard(writer)
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> "tuple[int, Any, dict]":
+        if path in ("/healthz", "/readyz", "/metrics"):
+            if method != "GET":
+                return 405, {"error": "method_not_allowed"}, {}
+            status, payload = getattr(self, f"_get_{path[1:]}")()
+            return status, payload, {}
+        if path.startswith("/v1/"):
+            kind = path[len("/v1/"):]
+            if method != "POST":
+                return 405, {"error": "method_not_allowed"}, {}
+            return await self._post_request(kind, body)
+        return 404, {"error": "not_found", "detail": f"no route for {path}"}, {}
+
+    def _get_healthz(self) -> "tuple[int, dict]":
+        return 200, {
+            "status": "ok",
+            "uptime_s": self._clock() - self._started_at,
+            "breaker": self.breaker.snapshot(),
+            "queue_depth": self.queue_depth,
+        }
+
+    def _get_readyz(self) -> "tuple[int, dict]":
+        if self._draining:
+            return 503, {"status": "draining"}
+        return 200, {
+            "status": "ready",
+            "queue_depth": self.queue_depth,
+            "queue_limit": self.config.max_queue,
+        }
+
+    def _get_metrics(self) -> "tuple[int, dict]":
+        return 200, {
+            "metrics": self.metrics.summary(),
+            "breaker": self.breaker.snapshot(),
+            "queue_depth": self.queue_depth,
+        }
+
+    async def _post_request(
+        self, kind: str, body: bytes
+    ) -> "tuple[int, Any, dict]":
+        try:
+            decoded = json.loads(body or b"{}")
+        except json.JSONDecodeError as error:
+            return 400, {"error": "bad_request", "detail": str(error)}, {}
+        try:
+            request = parse_request(kind, decoded)
+            self._validate_overrides(request)
+        except ServiceError as error:
+            return 400, {"error": "bad_request", "detail": str(error)}, {}
+        try:
+            response = await self._batcher.submit(request)
+        except OverloadedError as error:
+            return (
+                429,
+                {
+                    "error": "overloaded",
+                    "detail": str(error),
+                    "queue_depth": error.queue_depth,
+                    "queue_limit": error.limit,
+                    "retry_after_s": 1.0,
+                },
+                {"Retry-After": "1"},
+            )
+        except DrainingError as error:
+            return 503, {"error": "shutting_down", "detail": str(error)}, {}
+        return response.status, response.payload, {}
+
+    def _validate_overrides(self, request: Request) -> None:
+        """Reject bad override paths at admission, not inside a batch.
+
+        A coalesced batch shares one kernel call; validating here keeps
+        one client's typo from poisoning its batchmates.
+        """
+        if request.kind == "scenario":
+            from ..errors import SimulationError
+            from ..scenarios.presets import facebook_like_fleet
+            from ..scenarios.runner import apply_overrides
+
+            try:
+                apply_overrides(facebook_like_fleet(), request.override_mapping)
+            except SimulationError as error:
+                raise ServiceError(str(error)) from error
+        elif request.kind == "portfolio":
+            from ..portfolio.catalog import OVERRIDABLE_FIELDS
+
+            for name, _ in request.overrides:
+                if name not in OVERRIDABLE_FIELDS:
+                    raise ServiceError(
+                        f"cannot sweep {name!r}: portfolio scenarios may "
+                        f"override {sorted(OVERRIDABLE_FIELDS)}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Batch execution
+
+    def _exec_options(self, budget_s: "float | None") -> dict[str, Any]:
+        budgets = [
+            value
+            for value in (budget_s, self.config.timeout_s)
+            if value is not None
+        ]
+        options: dict[str, Any] = {
+            "jobs": self.config.jobs,
+            "chunk_size": self.config.chunk_size,
+            "retries": self.config.retries or None,
+            "on_error": "raise",
+        }
+        if budgets:
+            options["timeout"] = min(budgets)
+        return options
+
+    def _checkpoint_factory(self, request: Request) -> Any:
+        """A consume-mode checkpoint store for one sweep request."""
+        from ..exec.checkpoint import CheckpointStore
+
+        if request.draws is None:
+            spec_parts: "tuple[Any, ...]" = ("sweep", request.sweep_name, "point")
+        else:
+            spec_parts = (
+                "sweep", request.sweep_name, request.draws, request.seed,
+            )
+        return CheckpointStore(
+            self.config.cache_dir, spec_parts=spec_parts, consume=True
+        )
+
+    async def _execute_batch(
+        self,
+        group_key: tuple,
+        requests: Sequence[Request],
+        budget_s: "float | None",
+    ) -> list[Response]:
+        loop = asyncio.get_running_loop()
+        recorder = active_recorder()
+        primary_allowed = self.breaker.allow()
+        with recorder.span(
+            "request_batch",
+            endpoint=requests[0].kind,
+            width=len(requests),
+            breaker=self.breaker.state if not primary_allowed else "closed",
+        ):
+            if primary_allowed:
+                try:
+                    responses = await loop.run_in_executor(
+                        None,
+                        lambda: execute_group(
+                            list(requests),
+                            options=self._exec_options(budget_s),
+                            cache=self._cache,
+                            checkpoint_factory=(
+                                self._checkpoint_factory
+                                if self._cache is not None
+                                else None
+                            ),
+                        ),
+                    )
+                except Exception as error:
+                    if not is_infrastructure_error(error):
+                        raise  # batcher answers the batch with 500s
+                    self.breaker.record_failure()
+                    responses = await self._execute_degraded(
+                        loop, requests, error
+                    )
+                else:
+                    self.breaker.record_success()
+            else:
+                responses = await self._execute_degraded(loop, requests, None)
+        for response in responses:
+            if response.payload.get("degraded"):
+                self.metrics.counter("serve.degraded").inc()
+        return responses
+
+    async def _execute_degraded(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        requests: Sequence[Request],
+        cause: "BaseException | None",
+    ) -> list[Response]:
+        """The fallback path: inline execution, skip-and-report semantics."""
+        options = {
+            "jobs": 1,
+            "chunk_size": self.config.chunk_size,
+            "retries": self.config.retries or None,
+            "on_error": "skip",
+        }
+        try:
+            responses = await loop.run_in_executor(
+                None,
+                lambda: execute_group(
+                    list(requests),
+                    options=options,
+                    cache=self._cache,
+                    checkpoint_factory=(
+                        self._checkpoint_factory
+                        if self._cache is not None
+                        else None
+                    ),
+                ),
+            )
+        except Exception as error:
+            detail = repr(cause) if cause is not None else repr(error)
+            return [
+                Response(
+                    status=500,
+                    payload={
+                        "error": "execution_failed",
+                        "detail": detail,
+                        "degraded": True,
+                    },
+                )
+                for _ in requests
+            ]
+        if cause is not None:
+            for response in responses:
+                response.payload["breaker_cause"] = repr(cause)
+        return responses
+
+    # ------------------------------------------------------------------
+    # Observability
+
+    def _record(self, kind: str, fields: dict) -> None:
+        """Fold one batcher fact into metrics and the active trace.
+
+        Trace lines go through the same
+        :func:`~repro.obs.recorder._update_metrics` vocabulary the
+        execution stack uses, so ``repro stats`` on a serve trace and
+        the live ``/metrics`` endpoint agree by construction.
+        """
+        if kind in ("admit", "depth"):
+            self.metrics.gauge("serve.queue_depth").set(
+                fields.get("queue_depth", 0)
+            )
+            return
+        recorder = active_recorder()
+        if kind == "shed":
+            payload = {"type": "event", "kind": "shed", **fields}
+        elif kind == "expired":
+            payload = {"type": "event", "kind": "deadline_expired", **fields}
+        elif kind == "batch":
+            payload = {
+                "type": "event",
+                "kind": "coalesce",
+                "endpoint": fields.get("kind"),
+                "width": fields.get("width"),
+            }
+        elif kind == "respond":
+            payload = {
+                "type": "event",
+                "kind": "request",
+                "endpoint": fields.get("kind"),
+                "status": fields.get("status"),
+                "dur_s": fields.get("dur_s"),
+            }
+        else:
+            return
+        _update_metrics(self.metrics, payload)
+        if recorder.enabled:
+            event_fields = {
+                name: value
+                for name, value in payload.items()
+                if name not in ("type", "kind")
+            }
+            recorder.event(payload["kind"], **event_fields)

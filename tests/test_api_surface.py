@@ -32,6 +32,7 @@ _SUBPACKAGES = (
     "repro.exec",
     "repro.obs",
     "repro.portfolio",
+    "repro.serve",
 )
 
 

@@ -16,6 +16,7 @@ import pytest
 from repro.cli import main
 from repro.errors import ExecutionError
 from repro.exec import (
+    CheckpointStore,
     ResultCache,
     cache_key,
     default_cache_dir,
@@ -268,3 +269,162 @@ class TestCliCache:
         assert main(["sweep", "fleet_growth_lifetime"]) == 0
         capsys.readouterr()
         assert list(tmp_path.rglob("*.pkl"))
+
+
+# ----------------------------------------------------------------------
+# Concurrent-writer stress and checkpoint-namespace hygiene
+
+
+def _blob(writer: int) -> bytes:
+    """A payload whose integrity is checkable from its own content."""
+    return bytes([writer % 256]) * 65536
+
+
+def _hammer_cache(directory: str, key: str, writer: int, rounds: int) -> None:
+    """Worker: race put/get on one ResultCache key; die on a torn read."""
+    import warnings
+
+    # A corrupt entry surfaces as a RuntimeWarning miss — with atomic
+    # temp+rename writes a reader must only ever see a complete entry,
+    # so any corruption here is a failure, not a degradation.
+    warnings.simplefilter("error", RuntimeWarning)
+    cache = ResultCache(directory)
+    for _ in range(rounds):
+        assert cache.put(key, {"writer": writer, "blob": _blob(writer)})
+        value = cache.get(key)
+        if value is not None:
+            assert value["blob"] == _blob(value["writer"])
+    assert cache.stats.corrupt == 0
+
+
+def _hammer_checkpoints(directory: str, writer: int, rounds: int) -> None:
+    """Worker: race put/get on one CheckpointStore chunk range."""
+    import warnings
+
+    warnings.simplefilter("error", RuntimeWarning)
+    store = CheckpointStore(
+        directory, spec_parts=("stress", "shared"), consume=True
+    )
+    for _ in range(rounds):
+        assert store.put(0, 64, {"writer": writer, "blob": _blob(writer)})
+        hit, value = store.get(0, 64)
+        if hit:
+            assert value["blob"] == _blob(value["writer"])
+
+
+class TestConcurrentWriters:
+    """Processes racing temp+rename on one key never tear a read."""
+
+    WRITERS = 4
+    ROUNDS = 120
+
+    def _race(self, target, args_for):
+        import multiprocessing
+
+        context = multiprocessing.get_context("fork")
+        workers = [
+            context.Process(target=target, args=args_for(writer))
+            for writer in range(self.WRITERS)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=120)
+        codes = [worker.exitcode for worker in workers]
+        assert codes == [0] * self.WRITERS, codes
+
+    def test_result_cache_same_key_stress(self, tmp_path):
+        key = "f" * 64
+        self._race(
+            _hammer_cache,
+            lambda writer: (str(tmp_path), key, writer, self.ROUNDS),
+        )
+        # While the storm ran, each write was atomic; afterwards the
+        # entry is one writer's complete payload.
+        reader = ResultCache(tmp_path)
+        value = reader.get(key)
+        assert value is not None
+        assert value["blob"] == _blob(value["writer"])
+        assert reader.stats.corrupt == 0
+        # No orphaned temp files survived the racing mkstemp/replace.
+        schema_dir = tmp_path / "v1"
+        assert not list(schema_dir.glob("*.tmp"))
+
+    def test_checkpoint_store_same_range_stress(self, tmp_path):
+        self._race(
+            _hammer_checkpoints,
+            lambda writer: (str(tmp_path), writer, self.ROUNDS),
+        )
+        store = CheckpointStore(
+            tmp_path, spec_parts=("stress", "shared"), consume=True
+        )
+        hit, value = store.get(0, 64)
+        assert hit
+        assert value["blob"] == _blob(value["writer"])
+
+
+def _range_chunk(payload, start, stop):
+    """Module-level chunk kernel for the checkpoint-lifecycle test."""
+    return [value * 3 for value in payload[start:stop]]
+
+
+class TestCheckpointNamespace:
+    """complete()/clear() leave no stale checkpoints behind."""
+
+    def test_complete_removes_stale_geometry_entries(self, tmp_path):
+        store = CheckpointStore(
+            tmp_path, spec_parts=("sweep", "x"), consume=True
+        )
+        # Two chunk geometries of the same spec — a range-by-range
+        # discard driven by either plan could never name the other's.
+        store.put(0, 5, "a")
+        store.put(5, 10, "b")
+        store.put(0, 10, "stale geometry")
+        assert store.complete() == 3
+        assert not store.directory.exists()
+        fresh = CheckpointStore(
+            tmp_path, spec_parts=("sweep", "x"), consume=True
+        )
+        assert fresh.get(0, 10) == (False, None)
+
+    def test_complete_leaves_other_specs_alone(self, tmp_path):
+        mine = CheckpointStore(tmp_path, spec_parts=("a",), consume=True)
+        other = CheckpointStore(tmp_path, spec_parts=("b",), consume=True)
+        mine.put(0, 5, "mine")
+        other.put(0, 5, "other")
+        mine.complete()
+        assert other.get(0, 5) == (True, "other")
+
+    def test_result_cache_clear_sweeps_checkpoint_tree(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("a" * 64, {"result": 1})
+        store = CheckpointStore(tmp_path, spec_parts=("s",), consume=True)
+        store.put(0, 5, "chunk")
+        # Checkpoints are swept alongside the results that supersede
+        # them but do not count toward the removed-entry total.
+        assert cache.clear() == 1
+        assert not (tmp_path / "checkpoints").exists()
+        fresh = CheckpointStore(tmp_path, spec_parts=("s",), consume=True)
+        assert fresh.get(0, 5) == (False, None)
+
+    def test_sharded_success_completes_the_namespace(self, tmp_path):
+        from repro.exec import ShardPlan, run_sharded
+
+        store = CheckpointStore(
+            tmp_path, spec_parts=("sweep", "lifecycle"), consume=False
+        )
+        # Leftover from a hypothetical earlier run under a different
+        # chunk geometry: the success path must remove it too.
+        store.put(3, 17, "stale leftover")
+        plan = ShardPlan(num_scenarios=20, chunk_size=5)
+        payload = list(range(20))
+        result = run_sharded(
+            _range_chunk,
+            payload,
+            plan,
+            jobs=1,
+            combine=lambda chunks: [v for chunk in chunks for v in chunk],
+            checkpoint=store,
+        )
+        assert result == [value * 3 for value in payload]
+        assert not store.directory.exists()

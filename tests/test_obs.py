@@ -61,7 +61,17 @@ class TestMetrics:
         assert summary["min"] == 1.0 and summary["max"] == 4.0
         assert summary["p50"] == pytest.approx(2.5)
 
+    def test_histogram_summary_includes_p99(self):
+        histogram = Histogram()
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        summary = histogram.summary()
+        assert summary["p99"] == pytest.approx(99.01)
+        assert summary["p95"] <= summary["p99"] <= summary["max"]
+
     def test_empty_histogram_summary(self):
+        # Exactly {"count": 0} — no percentile keys appear for empty
+        # distributions, which `repro stats` and /metrics rely on.
         assert Histogram().summary() == {"count": 0}
 
     def test_registry_creates_on_first_use(self):
@@ -402,3 +412,26 @@ class TestObsCli:
         path.write_text("garbage\n", encoding="utf-8")
         assert main(["stats", str(path)]) == 2
         assert "error" in capsys.readouterr().err
+
+    def test_stats_empty_trace_renders_zero_counts(self, tmp_path, capsys):
+        # Regression pin: an existing-but-empty trace (a run killed
+        # before its first line) is a zero-count report, not an error.
+        path = tmp_path / "empty.jsonl"
+        path.write_text("", encoding="utf-8")
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "(0 lines)" in out
+        assert "Phase latency (seconds)" in out
+
+    def test_stats_header_only_trace_exits_0(self, tmp_path, capsys):
+        # A trace holding only the run's opening span — no events, no
+        # counters — still renders (phase table only) and exits 0.
+        path = tmp_path / "header.jsonl"
+        recorder = TraceRecorder(path)
+        with recorder.span("run"):
+            pass
+        recorder.close()
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "(1 lines)" in out
+        assert "run" in out

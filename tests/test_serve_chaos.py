@@ -1,0 +1,290 @@
+"""Chaos soak for the sweep service: correctness under fault storms.
+
+The service's resilience claims are only worth something if a batch
+that weathered injected faults answers *exactly* what a clean run
+would have. These tests arm :meth:`repro.exec.FaultSpec.chaos`
+schedules (seeded, attempt-1-only — an armed retry always recovers)
+under live multi-client sessions and pin three things:
+
+* recovered responses are bit-identical to fault-free library calls;
+* the trace a stormed run leaves behind matches the attempt-outcome
+  schedule :func:`repro.exec.predict_outcomes` computes in advance;
+* persistent (every-attempt) faults degrade into structured responses
+  with :class:`~repro.exec.FailureReport` attached — never hangs,
+  never silent drops — and a post-storm drain loses nothing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.exec import (
+    FaultRule,
+    FaultSpec,
+    ShardPlan,
+    install_faults,
+    predict_outcomes,
+)
+from repro.obs import TraceRecorder, install_recorder
+from repro.obs.recorder import load_trace
+from repro.obs.stats import trace_summary
+from repro.serve import ServeConfig, ServiceClient, SweepService, parse_request
+
+#: One distinct scenario per concurrent client in the storm waves.
+_STORM_OVERRIDES = [
+    {},
+    {"facility.pue": 1.1},
+    {"facility.pue": 1.2},
+    {"facility.pue": 1.4},
+    {"annual_growth": 0.05},
+    {"annual_growth": 0.15},
+    {"initial_servers": 30000},
+    {"initial_servers": 60000},
+    {"utilization": 0.4},
+    {"utilization": 0.7},
+    {"facility.pue": 1.3, "annual_growth": 0.1},
+    {"server.lifetime_years": 5.0},
+]
+
+_CHUNK_SIZE = 2
+
+#: Shard starts the chaos schedule covers: every start any coalesced
+#: composition of the storm can produce at the fixed chunk size.
+_STARTS = tuple(range(0, len(_STORM_OVERRIDES), _CHUNK_SIZE))
+
+
+def _chaos_spec(seed: int = 7, rate: float = 0.6) -> FaultSpec:
+    spec = FaultSpec.chaos(
+        _STARTS, seed=seed, rate=rate, kinds=("raise", "crash", "corrupt")
+    )
+    assert spec.rules, "storm seed produced no faults; pick another"
+    return spec
+
+
+def _expected_rows():
+    """The bit-exact per-scenario rows of a fault-free library call."""
+    from repro.datacenter.fleet import simulate_fleet_batch
+    from repro.scenarios.presets import facebook_like_fleet
+    from repro.scenarios.runner import apply_overrides
+
+    table = simulate_fleet_batch(
+        [
+            apply_overrides(facebook_like_fleet(), record)
+            for record in _STORM_OVERRIDES
+        ]
+    ).final_year_table().drop("scenario")
+    return [
+        {name: table.column(name)[index] for name in table.column_names}
+        for index in range(len(_STORM_OVERRIDES))
+    ]
+
+
+class TestChaosStorm:
+    def test_stormed_responses_bit_identical_to_clean_calls(self):
+        """A live multi-client session under chaos answers exactly."""
+
+        async def scenario():
+            service = SweepService(
+                ServeConfig(
+                    retries=1, chunk_size=_CHUNK_SIZE, batch_window_s=0.05
+                )
+            )
+            await service.start()
+            clients = [
+                ServiceClient("127.0.0.1", service.port)
+                for _ in _STORM_OVERRIDES
+            ]
+            try:
+                with install_faults(_chaos_spec()):
+                    responses = await asyncio.gather(
+                        *(
+                            client.scenario(record)
+                            for client, record in zip(
+                                clients, _STORM_OVERRIDES
+                            )
+                        )
+                    )
+            finally:
+                for client in clients:
+                    await client.close()
+                abandoned = await service.drain()
+            return responses, abandoned
+
+        responses, abandoned = asyncio.run(scenario())
+        assert abandoned == 0
+        expected = _expected_rows()
+        for (status, payload), want in zip(responses, expected):
+            # Attempt-1 faults with one retry armed: every request
+            # recovers, nothing is even flagged degraded.
+            assert status == 200
+            assert payload["degraded"] is False
+            for name, value in want.items():
+                assert payload["row"][name] == float(value), name
+
+    def test_trace_matches_predicted_attempt_outcomes(self):
+        """A stormed batch's trace is exactly the schedule's prediction."""
+        spec = _chaos_spec(seed=11, rate=0.7)
+        requests = [
+            parse_request("scenario", {"overrides": record})
+            for record in _STORM_OVERRIDES
+        ]
+        recorder = TraceRecorder()
+
+        async def scenario():
+            service = SweepService(
+                ServeConfig(retries=1, chunk_size=_CHUNK_SIZE)
+            )
+            await service.start()
+            try:
+                with install_recorder(recorder), install_faults(spec):
+                    return await service._execute_batch(
+                        requests[0].group_key, requests, None
+                    )
+            finally:
+                await service.drain()
+
+        responses = asyncio.run(scenario())
+        expected = _expected_rows()
+        for response, want in zip(responses, expected):
+            assert response.status == 200
+            for name, value in want.items():
+                assert response.payload["row"][name] == float(value), name
+        # One coalesced batch over the full storm: the plan's shard
+        # starts are exactly _STARTS, so the oracle's prediction names
+        # every attempt event the trace may contain.
+        plan = ShardPlan.plan(len(requests), _CHUNK_SIZE, 1)
+        starts = [shard.start for shard in plan.shards()]
+        assert tuple(starts) == _STARTS
+        predicted = predict_outcomes(
+            spec, starts, max_attempts=2, pooled=False, timeout_armed=False
+        )
+        recorded: dict[int, list[str]] = {}
+        for line in recorder.events:
+            if line.get("kind") == "attempt":
+                recorded.setdefault(line["stream"], []).append(
+                    line["outcome"]
+                )
+        assert recorded == predicted
+        # The batch span itself was traced with the coalesced width.
+        widths = [
+            line.get("width")
+            for line in recorder.events
+            if line.get("kind") == "request_batch"
+        ]
+        assert widths == [len(requests)]
+
+    def test_persistent_faults_degrade_structured_never_silent(self):
+        """Every-attempt faults: structured degraded answers, breaker trips."""
+        spec = FaultSpec(
+            rules=(FaultRule(kind="raise", starts=(0,), attempts=None),)
+        )
+
+        async def scenario():
+            service = SweepService(
+                ServeConfig(
+                    retries=1,
+                    chunk_size=1,
+                    batch_window_s=0.05,
+                    breaker_threshold=1,
+                )
+            )
+            await service.start()
+            clients = [
+                ServiceClient("127.0.0.1", service.port) for _ in range(4)
+            ]
+            probe = ServiceClient("127.0.0.1", service.port)
+            try:
+                with install_faults(spec):
+                    responses = await asyncio.gather(
+                        *(
+                            client.scenario({"facility.pue": 1.0 + i / 10})
+                            for i, client in enumerate(clients)
+                        )
+                    )
+                    health = (await probe.healthz())[1]
+            finally:
+                for client in clients + [probe]:
+                    await client.close()
+                abandoned = await service.drain()
+            return responses, health, abandoned
+
+        responses, health, abandoned = asyncio.run(scenario())
+        assert abandoned == 0
+        assert len(responses) == 4
+        # Chunk 0 of every batch dies on every attempt. Whatever the
+        # coalescing produced, each client must get a structured
+        # degraded answer — a 200 with the report, or a 500 naming the
+        # failure — never a hang or an empty body.
+        for status, payload in responses:
+            assert status in (200, 500)
+            assert payload["degraded"] is True
+            if status == 200:
+                assert payload["failure_report"]["failures"]
+            else:
+                assert payload["error"] in ("chunk_failed", "execution_failed")
+        assert health["breaker"]["trips"] >= 1
+
+    def test_soak_trace_survives_drain_and_replays(self, tmp_path):
+        """A stormed soak leaves a loadable trace whose replay matches."""
+        trace_path = tmp_path / "soak-trace.jsonl"
+        recorder = TraceRecorder(trace_path)
+        waves = 3
+
+        async def scenario():
+            service = SweepService(
+                ServeConfig(
+                    retries=1,
+                    chunk_size=_CHUNK_SIZE,
+                    batch_window_s=0.02,
+                    cache_dir=str(tmp_path / "cache"),
+                )
+            )
+            await service.start()
+            statuses = []
+            with install_recorder(recorder), install_faults(_chaos_spec()):
+                for _ in range(waves):
+                    clients = [
+                        ServiceClient("127.0.0.1", service.port)
+                        for _ in range(6)
+                    ]
+                    try:
+                        wave = await asyncio.gather(
+                            clients[0].scenario(_STORM_OVERRIDES[1]),
+                            clients[1].scenario(_STORM_OVERRIDES[2]),
+                            clients[2].portfolio({"lifetime_years": 3.0}),
+                            clients[3].portfolio({"lifetime_years": 4.0}),
+                            clients[4].sweep("fleet_growth_lifetime"),
+                            clients[5].sweep(
+                                "fleet_growth_lifetime", draws=8, seed=3
+                            ),
+                        )
+                        statuses.extend(status for status, _ in wave)
+                    finally:
+                        for client in clients:
+                            await client.close()
+                abandoned = await service.drain()
+            return statuses, abandoned
+
+        statuses, abandoned = asyncio.run(scenario())
+        assert abandoned == 0
+        total = waves * 6
+        assert statuses == [200] * total
+        # The post-drain trace loads, every stormed chunk recovered
+        # (last attempt ok), and replaying it yields the same request
+        # accounting the live /metrics endpoint was serving.
+        lines = load_trace(trace_path)
+        attempts: dict[int, list[str]] = {}
+        for line in lines:
+            if line.get("kind") == "attempt":
+                attempts.setdefault(line["stream"], []).append(
+                    line["outcome"]
+                )
+        assert attempts, "storm left no attempt events in the trace"
+        for start, outcomes in attempts.items():
+            assert outcomes[-1] == "ok", (start, outcomes)
+        summary = trace_summary(lines)
+        assert summary["counters"]["serve.requests"] == total
+        assert summary["counters"]["serve.status.2xx"] == total
+        assert summary["counters"].get("serve.batches", 0) <= total

@@ -1,0 +1,318 @@
+#!/usr/bin/env python
+"""Load generator for the sweep service: N concurrent clients, one box.
+
+Boots an in-process :class:`repro.serve.SweepService` on an ephemeral
+port, fires ``--clients`` concurrent HTTP clients at it (each client
+one keep-alive connection, one request), and reports throughput and
+latency percentiles. ``--no-coalesce`` runs the same offered load
+against a ``coalesce=False`` service — the baseline the micro-batcher
+is judged against — so one invocation of each mode measures exactly
+what coalescing buys on this machine.
+
+Ten thousand logical clients do not need ten thousand simultaneously
+open sockets: ``--max-open`` bounds concurrency with a semaphore
+(default 5000) and the soft ``RLIMIT_NOFILE`` is raised toward the
+hard limit so the default survives stock containers. The queue is
+sized to the client count by default, so a clean run sheds nothing;
+pass ``--max-queue`` to study overload behavior instead (shed 429s
+are counted, never treated as errors).
+
+Usage::
+
+    PYTHONPATH=src python tools/load_gen.py --clients 1000
+    PYTHONPATH=src python tools/load_gen.py --clients 200 --no-coalesce
+    PYTHONPATH=src python tools/load_gen.py --clients 10000 --json
+
+``benchmarks/test_bench_serve.py`` imports :func:`run_load` for the
+coalescing throughput gate; ``benchmarks/run_benchmarks.sh --quick``
+runs a small smoke of both modes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from typing import Any
+
+from repro.serve import ServeConfig, ServiceClient, SweepService
+
+#: Distinct override values cycled across clients so coalesced batches
+#: do real per-row work (identical rows would flatter the kernel).
+_VALUE_CYCLE = 16
+
+
+def raise_nofile_limit(target: int) -> int:
+    """Raise the soft ``RLIMIT_NOFILE`` toward ``target``; return it.
+
+    Never exceeds the hard limit and never lowers the current soft
+    limit — on platforms without :mod:`resource` (or without the
+    privilege to change it) the current limit is simply reported.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return target
+    soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    wanted = min(max(soft, target), hard if hard > 0 else target)
+    if wanted > soft:
+        try:
+            resource.setrlimit(resource.RLIMIT_NOFILE, (wanted, hard))
+            soft = wanted
+        except (ValueError, OSError):  # pragma: no cover - privilege
+            pass
+    return soft
+
+
+def _payload(kind: str, index: int) -> "dict[str, Any]":
+    """The request body for logical client ``index``.
+
+    Every kind keeps one batch-group key across all clients (that is
+    the scenario coalescing is built for) while cycling the override
+    *values* so rows differ.
+    """
+    step = index % _VALUE_CYCLE
+    if kind == "portfolio":
+        return {"overrides": {"lifetime_years": 2.0 + step * 0.25}}
+    if kind == "scenario":
+        return {"overrides": {"facility.pue": 1.05 + step * 0.025}}
+    if kind == "sweep":
+        return {"name": "fleet_growth_lifetime"}
+    raise ValueError(f"unknown request kind: {kind!r}")
+
+
+def _percentile(ordered: "list[float]", q: float) -> float:
+    """Linear-interpolation percentile of an ascending-sorted list."""
+    if not ordered:
+        return float("nan")
+    rank = (len(ordered) - 1) * q
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    return ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
+
+
+async def _client_task(
+    host: str,
+    port: int,
+    kind: str,
+    index: int,
+    per_client: int,
+    gate: asyncio.Semaphore,
+    deadline_s: "float | None",
+) -> "list[tuple[int, float]]":
+    """One logical client: one keep-alive connection, N sequential POSTs."""
+    async with gate:
+        client = ServiceClient(host, port)
+        outcomes = []
+        try:
+            for round_index in range(per_client):
+                body = _payload(kind, index + round_index)
+                if deadline_s is not None:
+                    body["deadline_s"] = deadline_s
+                start = time.perf_counter()
+                status, _ = await client.request("POST", f"/v1/{kind}", body)
+                outcomes.append((status, time.perf_counter() - start))
+            return outcomes
+        finally:
+            await client.close()
+
+
+async def _run(
+    *,
+    clients: int,
+    kind: str,
+    coalesce: bool,
+    per_client: int,
+    max_open: int,
+    batch_window_s: float,
+    max_queue: "int | None",
+    deadline_s: "float | None",
+) -> "dict[str, Any]":
+    config = ServeConfig(
+        coalesce=coalesce,
+        batch_window_s=batch_window_s,
+        max_queue=max_queue if max_queue is not None else max(clients, 1),
+    )
+    service = SweepService(config)
+    await service.start()
+    gate = asyncio.Semaphore(max_open)
+    try:
+        wall_start = time.perf_counter()
+        per_task = await asyncio.gather(
+            *(
+                _client_task(
+                    config.host,
+                    service.port,
+                    kind,
+                    index,
+                    per_client,
+                    gate,
+                    deadline_s,
+                )
+                for index in range(clients)
+            )
+        )
+        elapsed = time.perf_counter() - wall_start
+        probe = ServiceClient(config.host, service.port)
+        try:
+            _, metrics = await probe.metrics()
+        finally:
+            await probe.close()
+    finally:
+        abandoned = await service.drain()
+
+    results = [outcome for outcomes in per_task for outcome in outcomes]
+    total = clients * per_client
+    latencies = sorted(latency for status, latency in results if status == 200)
+    statuses: dict[int, int] = {}
+    for status, _ in results:
+        statuses[status] = statuses.get(status, 0) + 1
+    counters = metrics["metrics"]["counters"]
+    width = metrics["metrics"]["histograms"].get(
+        "serve.coalesce_width", {"count": 0}
+    )
+    return {
+        "kind": kind,
+        "coalesce": coalesce,
+        "clients": clients,
+        "per_client": per_client,
+        "requests": total,
+        "ok": statuses.get(200, 0),
+        "shed": statuses.get(429, 0),
+        "errors": sum(
+            count
+            for status, count in statuses.items()
+            if status not in (200, 429)
+        ),
+        "abandoned": abandoned,
+        "elapsed_s": elapsed,
+        "req_per_s": total / elapsed if elapsed > 0 else float("inf"),
+        "p50_ms": _percentile(latencies, 0.50) * 1e3,
+        "p99_ms": _percentile(latencies, 0.99) * 1e3,
+        "batches": int(counters.get("serve.batches", 0)),
+        "max_batch_width": int(width.get("max", 1)) if width["count"] else 1,
+    }
+
+
+def run_load(
+    *,
+    clients: int,
+    kind: str = "portfolio",
+    coalesce: bool = True,
+    per_client: int = 1,
+    max_open: int = 5000,
+    batch_window_s: float = 0.005,
+    max_queue: "int | None" = None,
+    deadline_s: "float | None" = None,
+) -> "dict[str, Any]":
+    """Run one load session against a fresh in-process service.
+
+    Returns the report dict ``main`` prints — throughput, latency
+    percentiles, status counts, and the coalescing evidence
+    (batch count and widest batch).
+    """
+    raise_nofile_limit(max(max_open * 2, 1024))
+    return asyncio.run(
+        _run(
+            clients=clients,
+            kind=kind,
+            coalesce=coalesce,
+            per_client=per_client,
+            max_open=max_open,
+            batch_window_s=batch_window_s,
+            max_queue=max_queue,
+            deadline_s=deadline_s,
+        )
+    )
+
+
+def _render(report: "dict[str, Any]") -> str:
+    mode = "coalesced" if report["coalesce"] else "no-coalesce"
+    lines = [
+        f"load_gen: {report['clients']} clients x {report['per_client']} "
+        f"{report['kind']} request(s) ({mode})",
+        (
+            f"  responses: {report['ok']} ok, {report['shed']} shed (429), "
+            f"{report['errors']} errors, {report['abandoned']} abandoned"
+        ),
+        (
+            f"  throughput: {report['req_per_s']:.0f} req/s "
+            f"({report['elapsed_s']:.3f}s wall)"
+        ),
+        (
+            f"  latency: p50 {report['p50_ms']:.1f} ms, "
+            f"p99 {report['p99_ms']:.1f} ms"
+        ),
+        (
+            f"  batching: {report['batches']} kernel call(s), "
+            f"widest {report['max_batch_width']}"
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fire N concurrent clients at an in-process sweep service."
+    )
+    parser.add_argument(
+        "--clients", type=int, default=1000,
+        help="logical clients, one request each (default 1000)",
+    )
+    parser.add_argument(
+        "--kind", choices=("portfolio", "scenario", "sweep"),
+        default="portfolio",
+        help="request kind every client sends (default portfolio)",
+    )
+    parser.add_argument(
+        "--no-coalesce", action="store_true",
+        help="serve with coalescing disabled (the baseline mode)",
+    )
+    parser.add_argument(
+        "--per-client", type=int, default=1,
+        help="sequential keep-alive requests per client (default 1)",
+    )
+    parser.add_argument(
+        "--max-open", type=int, default=5000,
+        help="max simultaneously open client sockets (default 5000)",
+    )
+    parser.add_argument(
+        "--batch-window-ms", type=float, default=5.0,
+        help="service coalescing window in milliseconds (default 5)",
+    )
+    parser.add_argument(
+        "--max-queue", type=int, default=None,
+        help="admission queue bound (default: the client count — no shedding)",
+    )
+    parser.add_argument(
+        "--deadline-s", type=float, default=None,
+        help="per-request deadline forwarded to the service",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    args = parser.parse_args(argv)
+    if args.clients <= 0:
+        parser.error("--clients must be positive")
+    if args.per_client <= 0:
+        parser.error("--per-client must be positive")
+    if args.max_open <= 0:
+        parser.error("--max-open must be positive")
+    report = run_load(
+        clients=args.clients,
+        kind=args.kind,
+        coalesce=not args.no_coalesce,
+        per_client=args.per_client,
+        max_open=args.max_open,
+        batch_window_s=args.batch_window_ms / 1e3,
+        max_queue=args.max_queue,
+        deadline_s=args.deadline_s,
+    )
+    print(json.dumps(report, indent=2) if args.json else _render(report))
+    return 0 if report["errors"] == 0 and report["abandoned"] == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
